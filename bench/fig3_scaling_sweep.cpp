@@ -1,0 +1,166 @@
+// Scaling and ablation study for the design choices DESIGN.md calls out.
+//
+// Part 1 — scaling: campaign time of each technique as the b14 campaign
+// grows (testbench length 40..640), confirming the claimed asymptotics:
+// mask-scan ~ F*T, state-scan ~ F*(N + suffix), time-mux ~ F*latency.
+//
+// Part 2 — ablations on the paper's two speed mechanisms, quantified by
+// recomputing the exact cycle account with the mechanism disabled:
+//   * time-mux WITHOUT convergence early-exit (silent faults run to the end)
+//     — isolates the benefit of the on-chip golden/faulty comparator;
+//   * mask-scan WITHOUT failure early-exit (every fault replays everything)
+//     — isolates the benefit of on-the-fly response comparison;
+//   * time-mux WITHOUT the state checkpoint (every fault restarts at cycle
+//     0, golden re-run included) — isolates the benefit of Figure 1's STATE
+//     flip-flop ("used to avoid restarting the emulation from the beginning
+//     every time").
+
+#include <iostream>
+
+#include "circuits/b14.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/autonomous_emulator.h"
+#include "fault/fault_list.h"
+#include "paper_data.h"
+#include "stim/generate.h"
+
+namespace {
+
+using namespace femu;
+
+// Ablated cycle accounts (same per-fault structure as core/cycle_model.cpp,
+// with one mechanism removed; ring-shift costs are 1/fault in the canonical
+// cycle-major schedule and are folded into the constants).
+std::uint64_t timemux_no_convergence_exit(const CycleModelParams& p,
+                                          std::span<const Fault> faults,
+                                          std::span<const FaultOutcome> outs) {
+  std::uint64_t total = 3ull * (p.num_cycles - 1);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const std::uint64_t len =
+        outs[i].cls == FaultClass::kFailure
+            ? outs[i].detect_cycle - faults[i].cycle + 1
+            : p.num_cycles - faults[i].cycle;  // silent runs to the end
+    total += 2 + 2 * len;
+  }
+  return total;
+}
+
+std::uint64_t maskscan_no_failure_exit(const CycleModelParams& p,
+                                       std::span<const Fault> faults,
+                                       std::span<const FaultOutcome> outs) {
+  (void)outs;
+  return p.num_cycles + faults.size() * (2ull + p.num_cycles);
+}
+
+std::uint64_t timemux_no_checkpoint(const CycleModelParams& p,
+                                    std::span<const Fault> faults,
+                                    std::span<const FaultOutcome> outs) {
+  // Without the STATE FF the golden/faulty pair must replay the prefix
+  // [0, c) before every injection (both machines stepping: 2 clocks/cycle).
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    std::uint64_t len = 0;
+    switch (outs[i].cls) {
+      case FaultClass::kFailure:
+        len = outs[i].detect_cycle - faults[i].cycle + 1;
+        break;
+      case FaultClass::kSilent:
+        len = outs[i].converge_cycle - faults[i].cycle;
+        break;
+      case FaultClass::kLatent:
+        len = p.num_cycles - faults[i].cycle;
+        break;
+    }
+    total += 2 + 2ull * faults[i].cycle + 2 * len;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  using namespace femu;
+
+  const Circuit b14 = circuits::build_b14();
+  EmulatorOptions options;
+  options.compute_area = false;
+
+  std::cout << "=== Figure: campaign-time scaling on b14 ===\n\n";
+  TextTable scaling({"vectors", "faults", "mask-scan (ms)", "state-scan (ms)",
+                     "time-mux (ms)", "time-mux speedup"});
+  for (const std::size_t cycles : {40u, 80u, 160u, 320u, 640u}) {
+    const Testbench tb = random_testbench(b14.num_inputs(), cycles, 2005);
+    AutonomousEmulator emulator(b14, tb, options);
+    const auto mask = emulator.run_complete(Technique::kMaskScan);
+    const auto state = emulator.run_complete(Technique::kStateScan);
+    const auto timemux = emulator.run_complete(Technique::kTimeMux);
+    scaling.add_row(
+        {str_cat(cycles), format_grouped(static_cast<long long>(
+                              b14.num_dffs() * cycles)),
+         format_fixed(mask.emulation_seconds * 1e3, 2),
+         format_fixed(state.emulation_seconds * 1e3, 2),
+         format_fixed(timemux.emulation_seconds * 1e3, 2),
+         str_cat(format_fixed(mask.emulation_seconds /
+                              timemux.emulation_seconds, 1),
+                 "x vs mask-scan")});
+  }
+  std::cout << scaling.to_ascii() << "\n";
+
+  std::cout << "=== Ablations: what each mechanism buys (paper campaign: "
+            << "160 vectors, 34,400 faults) ===\n\n";
+  const Testbench tb =
+      random_testbench(b14.num_inputs(), paper::kVectors, 2005);
+  AutonomousEmulator emulator(b14, tb, options);
+  const auto faults = complete_fault_list(b14.num_dffs(), tb.num_cycles());
+  const auto mask = emulator.run(Technique::kMaskScan, faults);
+  const auto timemux = emulator.run(Technique::kTimeMux, faults);
+  const CycleModelParams params{b14.num_dffs(), tb.num_cycles(), 32};
+
+  const double clk = paper::kClockMhz * 1e6;
+  const auto ms = [&](std::uint64_t cycles) {
+    return format_fixed(static_cast<double>(cycles) / clk * 1e3, 2);
+  };
+
+  TextTable ablation({"configuration", "cycles", "time (ms)", "vs baseline"});
+  const std::uint64_t tm_base = timemux.cycles.total();
+  ablation.add_row({"time-mux (full, baseline)",
+                    format_grouped(static_cast<long long>(tm_base)),
+                    ms(tm_base), "1.00x"});
+  const std::uint64_t tm_noconv = timemux_no_convergence_exit(
+      params, faults, timemux.grading.outcomes());
+  ablation.add_row({"  - convergence early-exit",
+                    format_grouped(static_cast<long long>(tm_noconv)),
+                    ms(tm_noconv),
+                    str_cat(format_fixed(static_cast<double>(tm_noconv) /
+                                         static_cast<double>(tm_base), 2),
+                            "x")});
+  const std::uint64_t tm_nockpt =
+      timemux_no_checkpoint(params, faults, timemux.grading.outcomes());
+  ablation.add_row({"  - state checkpoint (restart from 0)",
+                    format_grouped(static_cast<long long>(tm_nockpt)),
+                    ms(tm_nockpt),
+                    str_cat(format_fixed(static_cast<double>(tm_nockpt) /
+                                         static_cast<double>(tm_base), 2),
+                            "x")});
+  const std::uint64_t ms_base = mask.cycles.total();
+  ablation.add_row({"mask-scan (full, baseline)",
+                    format_grouped(static_cast<long long>(ms_base)),
+                    ms(ms_base), "1.00x"});
+  const std::uint64_t ms_noexit =
+      maskscan_no_failure_exit(params, faults, mask.grading.outcomes());
+  ablation.add_row({"  - failure early-exit",
+                    format_grouped(static_cast<long long>(ms_noexit)),
+                    ms(ms_noexit),
+                    str_cat(format_fixed(static_cast<double>(ms_noexit) /
+                                         static_cast<double>(ms_base), 2),
+                            "x")});
+  std::cout << ablation.to_ascii();
+
+  std::cout << "\nreading: the state checkpoint is the dominant time-mux "
+               "mechanism on b14-size\ncampaigns; convergence early-exit "
+               "compounds on top (most faults are silent or\ndetected "
+               "quickly, so per-fault work approaches O(latency) instead of "
+               "O(T)).\n";
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Extension study (the paper's natural future work): multi-bit upsets.
+//
+// The paper grades single bit-flips — the right model for 2005-era cells.
+// Deep-submicron scaling made multi-cell upsets common, so a production
+// fault-grading flow must sweep cluster sizes. This harness does that on
+// the b14 campaign, then demonstrates the canonical architectural
+// consequence: adjacent double upsets defeating naive TMR placement.
+
+#include <iostream>
+
+#include "circuits/b14.h"
+#include "circuits/small.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/mbu_emulation.h"
+#include "fault/fault_list.h"
+#include "fault/mbu.h"
+#include "fault/parallel_faultsim.h"
+#include "harden/tmr.h"
+#include "paper_data.h"
+#include "stim/generate.h"
+
+int main() {
+  using namespace femu;
+
+  const Circuit b14 = circuits::build_b14();
+  const Testbench tb =
+      random_testbench(b14.num_inputs(), paper::kVectors, /*seed=*/2005);
+
+  std::cout << "=== Extension: multi-bit upset grading on b14 ===\n\n";
+
+  TextTable table({"fault model", "faults", "failure", "latent", "silent"});
+
+  {
+    ParallelFaultSimulator sim(b14, tb);
+    const auto faults = complete_fault_list(b14.num_dffs(), tb.num_cycles());
+    const ClassCounts counts = sim.run(faults).counts();
+    table.add_row({"single SEU (paper)", format_grouped(counts.total()),
+                   format_percent(counts.failure_fraction()),
+                   format_percent(counts.latent_fraction()),
+                   format_percent(counts.silent_fraction())});
+  }
+
+  MbuFaultSimulator mbu(b14, tb);
+  {
+    const auto faults =
+        adjacent_pair_fault_list(b14.num_dffs(), tb.num_cycles());
+    const MbuCampaignResult result = mbu.run(faults);
+    table.add_row({"adjacent 2-bit MBU", format_grouped(result.counts.total()),
+                   format_percent(result.counts.failure_fraction()),
+                   format_percent(result.counts.latent_fraction()),
+                   format_percent(result.counts.silent_fraction())});
+  }
+  for (const std::size_t cluster : {3u, 4u}) {
+    const auto faults = random_cluster_fault_list(
+        b14.num_dffs(), tb.num_cycles(), cluster, /*window=*/8,
+        /*count=*/20'000, /*seed=*/17);
+    const MbuCampaignResult result = mbu.run(faults);
+    table.add_row({str_cat(cluster, "-bit cluster (window 8, sampled)"),
+                   format_grouped(result.counts.total()),
+                   format_percent(result.counts.failure_fraction()),
+                   format_percent(result.counts.latent_fraction()),
+                   format_percent(result.counts.silent_fraction())});
+  }
+  std::cout << table.to_ascii();
+  std::cout << "\nexpected shape: failure rate grows monotonically with "
+               "cluster size\n(more simultaneous corruption, less chance of "
+               "washing out silently).\n\n";
+
+  // ---- emulation time under MBU: the technique ranking inverts ----
+  std::cout << "=== Emulation time for the adjacent-pair MBU campaign @ 25 "
+               "MHz ===\n\n";
+  {
+    const auto faults =
+        adjacent_pair_fault_list(b14.num_dffs(), tb.num_cycles());
+    const MbuCampaignResult graded = mbu.run(faults);
+    const CycleModelParams params{b14.num_dffs(), tb.num_cycles(), 32};
+
+    TextTable timing({"technique", "SEU us/fault (Table 2)",
+                      "MBU us/fault", "note"});
+    const char* notes[] = {
+        "one-hot ring trick lost: N-cycle mask reload/fault",
+        "image scan already carries the flips — unchanged",
+        "mask reload added on top of the 2-phase run"};
+    const double seu_us[] = {5.16, 10.86, 1.11};
+    double mbu_us[3] = {};
+    for (std::size_t i = 0; i < kAllTechniques.size(); ++i) {
+      const CampaignCycles cycles = mbu_campaign_cycles(
+          kAllTechniques[i], params, faults, graded.outcomes);
+      mbu_us[i] = cycles.seconds_at_mhz(paper::kClockMhz) * 1e6 /
+                  static_cast<double>(faults.size());
+      timing.add_row({std::string(technique_name(kAllTechniques[i])),
+                      format_fixed(seu_us[i], 2), format_fixed(mbu_us[i], 2),
+                      notes[i]});
+    }
+    std::cout << timing.to_ascii();
+    std::cout << "\nreading: for MBUs, state-scan "
+              << (mbu_us[1] < mbu_us[0] ? "overtakes" : "does not overtake")
+              << " mask-scan on b14 (paper's Table-2 ranking inverts), and "
+                 "time-mux's\nadvantage shrinks from "
+              << format_fixed(seu_us[0] / seu_us[2], 1) << "x to "
+              << format_fixed(mbu_us[0] / mbu_us[2], 1)
+              << "x — the one-hot mask ring was a single-SEU optimisation.\n\n";
+  }
+
+  // ---- TMR under MBU: the architectural consequence ----
+  std::cout << "=== TMR vs MBU (b09-like, full TMR) ===\n\n";
+  const Circuit small = circuits::build_b09_like();
+  const harden::TmrResult hardened = harden::apply_tmr(small);
+  const Testbench small_tb =
+      random_testbench(small.num_inputs(), 96, /*seed=*/4);
+
+  ParallelFaultSimulator seu_sim(hardened.circuit, small_tb);
+  const auto seu = complete_fault_list(hardened.circuit.num_dffs(),
+                                       small_tb.num_cycles());
+  const ClassCounts seu_counts = seu_sim.run(seu).counts();
+
+  MbuFaultSimulator mbu_sim(hardened.circuit, small_tb);
+  const auto pairs = adjacent_pair_fault_list(hardened.circuit.num_dffs(),
+                                              small_tb.num_cycles());
+  const MbuCampaignResult pair_result = mbu_sim.run(pairs);
+
+  TextTable tmr({"fault model on TMR'd circuit", "faults", "failure rate"});
+  tmr.add_row({"single SEU", format_grouped(seu_counts.total()),
+               format_percent(seu_counts.failure_fraction())});
+  tmr.add_row({"adjacent 2-bit MBU", format_grouped(pair_result.counts.total()),
+               format_percent(pair_result.counts.failure_fraction())});
+  std::cout << tmr.to_ascii();
+  std::cout << "\nreading: TMR masks 100% of single SEUs, but adjacent "
+               "double upsets can\ncorrupt two replicas of one original "
+               "flip-flop and outvote the third —\nwhy rad-hard layout "
+               "interleaves TMR replica placement.\n";
+
+  const bool ok = seu_counts.failure == 0 &&
+                  pair_result.counts.failure > 0;
+  std::cout << (ok ? "\nshape checks: PASS\n" : "\nshape checks: FAIL\n");
+  return ok ? 0 : 1;
+}

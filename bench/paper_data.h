@@ -1,0 +1,57 @@
+#pragma once
+
+// Numbers reported by the paper (DATE'05), printed by the bench harnesses
+// next to our measured values. Sources: Table 1 (synthesis), Table 2
+// (timing), and the in-text classification / baseline-speed statements.
+
+namespace femu::paper {
+
+// ---- experimental setup ----
+inline constexpr int kVectors = 160;
+inline constexpr int kFlipFlops = 215;
+inline constexpr int kFaults = 34'400;  // 215 x 160
+inline constexpr double kClockMhz = 25.0;
+
+// ---- Table 1: synthesis results for b14 (Leonardo Spectrum, Virtex-E) ----
+inline constexpr int kOrigLuts = 1'172;
+inline constexpr int kOrigFfs = 215;
+
+struct Table1Row {
+  const char* technique;
+  double board_ram_kbit;   // "Board/FPGA RAM" column, board part
+  double fpga_ram_kbit;    //                        FPGA part
+  int circuit_luts;        // modified circuit
+  int circuit_ffs;
+  int system_luts;         // complete emulator system
+  int system_ffs;
+};
+
+inline constexpr Table1Row kTable1[] = {
+    {"mask-scan", 33.0, 13.4, 1'657, 434, 2'040, 670},
+    {"state-scan", 7'289.0, 13.4, 1'644, 433, 1'728, 518},
+    {"time-multiplexed", 67.0, 5.3, 3'836, 859, 4'162, 1'032},
+};
+
+// ---- Table 2: emulation time for b14 @ 25 MHz ----
+struct Table2Row {
+  const char* technique;
+  double emulation_ms;
+  double us_per_fault;
+};
+
+inline constexpr Table2Row kTable2[] = {
+    {"mask-scan", 141.11, 4.1},
+    {"state-scan", 386.40, 11.2},
+    {"time-multiplexed", 19.95, 0.58},
+};
+
+// ---- in-text classification of the 34,400 faults ----
+inline constexpr double kFailurePercent = 49.2;
+inline constexpr double kLatentPercent = 4.4;
+inline constexpr double kSilentPercent = 46.4;
+
+// ---- in-text baseline speeds ----
+inline constexpr double kFaultSimUsPerFault = 1'300.0;  // software simulation
+inline constexpr double kHostEmulationUsPerFault = 100.0;  // emulation in [2]
+
+}  // namespace femu::paper

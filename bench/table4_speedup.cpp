@@ -1,0 +1,95 @@
+// Reproduces the paper's in-text speed comparison: "With a clock frequency
+// of 25 MHz the average speed obtained is some orders of magnitude better
+// than fault simulation (1300 us/fault) and emulation in [2] (100 us/fault)."
+//
+// Three comparison points on the same b14 campaign:
+//   1. software fault simulation — MEASURED here by running our serial
+//      event-driven fault simulator on the host over a fault sample
+//      (the paper's 1300 us/fault was their simulator on 2005 hardware;
+//      both are printed),
+//   2. host-controlled emulation [2] — modelled as FPGA run time plus two
+//      bus transactions per fault (DESIGN.md §2),
+//   3. the paper's autonomous techniques — exact cycle account @ 25 MHz.
+
+#include <iostream>
+
+#include "circuits/b14.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/autonomous_emulator.h"
+#include "core/host_link.h"
+#include "fault/serial_faultsim.h"
+#include "paper_data.h"
+#include "stim/generate.h"
+
+int main() {
+  using namespace femu;
+
+  const Circuit b14 = circuits::build_b14();
+  const Testbench tb =
+      random_testbench(b14.num_inputs(), paper::kVectors, /*seed=*/2005);
+  const auto all_faults = complete_fault_list(b14.num_dffs(), tb.num_cycles());
+
+  // ---- measured software fault simulation (serial, event-driven) ----
+  // A 4,000-fault sample keeps the harness snappy; speed is per fault.
+  const auto sample = sample_fault_list(b14.num_dffs(), tb.num_cycles(),
+                                        4'000, /*seed=*/77);
+  SerialFaultSimulator serial(b14, tb);
+  (void)serial.run(sample);  // warm-up: page in code + golden trace
+  const CampaignResult serial_result = serial.run(sample);
+  const double serial_us_per_fault =
+      serial.last_run_seconds() * 1e6 / static_cast<double>(sample.size());
+  (void)serial_result;
+
+  // ---- autonomous techniques (exact cycle account @ 25 MHz) ----
+  EmulatorOptions options;
+  options.compute_area = false;
+  AutonomousEmulator emulator(b14, tb, options);
+  const EmulationReport mask = emulator.run_complete(Technique::kMaskScan);
+  const EmulationReport state = emulator.run_complete(Technique::kStateScan);
+  const EmulationReport timemux = emulator.run_complete(Technique::kTimeMux);
+
+  // ---- host-controlled emulation [2]: mask-scan schedule + bus latency ----
+  const double host_link_s = host_link_campaign_seconds(
+      mask.cycles, all_faults.size(), HostLinkParams{});
+  const double host_link_us =
+      host_link_s * 1e6 / static_cast<double>(all_faults.size());
+
+  std::cout << "=== In-text comparison: average grading speed on b14 ("
+            << format_grouped(all_faults.size()) << " faults) ===\n\n";
+
+  TextTable table({"approach", "us/fault", "speedup vs fault sim",
+                   "paper reference"});
+  const auto speedup = [&](double us) {
+    return str_cat(format_fixed(serial_us_per_fault / us, 1), "x");
+  };
+  table.add_row({"fault simulation (measured, this host)",
+                 format_fixed(serial_us_per_fault, 2), "1.0x",
+                 str_cat(format_fixed(paper::kFaultSimUsPerFault, 0),
+                         " us/fault (2005 host)")});
+  table.add_row({"host-controlled emulation [2] (model)",
+                 format_fixed(host_link_us, 2), speedup(host_link_us),
+                 str_cat(format_fixed(paper::kHostEmulationUsPerFault, 0),
+                         " us/fault")});
+  table.add_row({"autonomous mask-scan", format_fixed(mask.us_per_fault, 2),
+                 speedup(mask.us_per_fault), "4.1 us/fault"});
+  table.add_row({"autonomous state-scan", format_fixed(state.us_per_fault, 2),
+                 speedup(state.us_per_fault), "11.2 us/fault"});
+  table.add_row({"autonomous time-mux", format_fixed(timemux.us_per_fault, 2),
+                 speedup(timemux.us_per_fault), "0.58 us/fault"});
+  std::cout << table.to_ascii();
+
+  std::cout << "\nnotes:\n"
+            << "  * our measured fault-sim speed reflects a modern host and "
+               "an event-driven engine,\n"
+            << "    so the absolute gap to 25 MHz emulation is smaller than "
+               "in 2005; the ordering\n"
+            << "    (simulation << host-linked emulation << autonomous "
+               "emulation) is the target.\n"
+            << "  * the [2] model charges "
+            << HostLinkParams{}.transactions_per_fault << " bus round trips ("
+            << HostLinkParams{}.per_transaction_us
+            << " us each) per fault on top of the same FPGA cycles;\n"
+            << "    removing exactly that term is the paper's contribution.\n";
+  return 0;
+}

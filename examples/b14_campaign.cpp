@@ -1,0 +1,87 @@
+// The paper's experiment, end to end: the b14-like Viper CPU (32 PI / 54 PO /
+// 215 FF), 160 stimulus vectors, the complete set of 34,400 single SEU
+// faults, graded with all three autonomous-emulation techniques.
+//
+// Prints a Table-1-style synthesis view and a Table-2-style timing view next
+// to the numbers the paper reports (see EXPERIMENTS.md for the comparison
+// discussion; bench/table*_* regenerate these as standalone harnesses).
+
+#include <iostream>
+
+#include "circuits/b14.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/autonomous_emulator.h"
+#include "stim/generate.h"
+
+int main() {
+  using namespace femu;
+
+  const Circuit b14 = circuits::build_b14();
+  const Testbench tb =
+      random_testbench(b14.num_inputs(), circuits::kB14Vectors, /*seed=*/2005);
+  AutonomousEmulator emulator(b14, tb);
+
+  std::cout << "b14-like Viper CPU: " << b14.num_inputs() << " PI, "
+            << b14.num_outputs() << " PO, " << b14.num_dffs() << " FF, "
+            << b14.num_gates() << " gates\n";
+  std::cout << "campaign: " << tb.num_cycles() << " vectors x "
+            << b14.num_dffs() << " FFs = "
+            << format_grouped(static_cast<long long>(tb.num_cycles()) *
+                              static_cast<long long>(b14.num_dffs()))
+            << " single faults\n\n";
+
+  TextTable synthesis({"technique", "circuit LUTs", "circuit FFs",
+                       "system LUTs", "system FFs", "FPGA RAM", "board RAM"});
+  TextTable timing({"technique", "cycles", "emulation time (ms)",
+                    "avg speed (us/fault)"});
+
+  for (const Technique technique : kAllTechniques) {
+    const EmulationReport report = emulator.run_complete(technique);
+    const AreaReport& area = *report.area;
+
+    synthesis.add_row(
+        {std::string(technique_name(technique)),
+         str_cat(area.instrumented.num_luts, " (+",
+                 format_percent(area.circuit_lut_overhead(), 0), ")"),
+         str_cat(area.instrumented.num_ffs, " (+",
+                 format_percent(area.circuit_ff_overhead(), 0), ")"),
+         str_cat(area.instrumented.num_luts + area.controller.luts, " (+",
+                 format_percent(area.system_lut_overhead(), 0), ")"),
+         str_cat(area.instrumented.num_ffs + area.controller.ffs, " (+",
+                 format_percent(area.system_ff_overhead(), 0), ")"),
+         str_cat(format_fixed(area.ram.fpga_bits() / 1024.0, 1), " kbit"),
+         str_cat(format_fixed(area.ram.board_bits() / 1024.0, 1), " kbit")});
+
+    timing.add_row({std::string(technique_name(technique)),
+                    format_grouped(static_cast<long long>(report.cycles.total())),
+                    format_fixed(report.emulation_seconds * 1e3, 2),
+                    format_fixed(report.us_per_fault, 2)});
+
+    if (technique == Technique::kTimeMux) {
+      const ClassCounts& counts = report.grading.counts();
+      std::cout << "fault classification (paper: 49.2% failure, 4.4% latent, "
+                   "46.4% silent):\n";
+      std::cout << "  failure: " << format_grouped(counts.failure) << " ("
+                << format_percent(counts.failure_fraction()) << ")  latent: "
+                << format_grouped(counts.latent) << " ("
+                << format_percent(counts.latent_fraction()) << ")  silent: "
+                << format_grouped(counts.silent) << " ("
+                << format_percent(counts.silent_fraction()) << ")\n\n";
+    }
+  }
+
+  std::cout << "synthesis view (paper Table 1: original b14 = 1,172 LUTs / "
+               "215 FFs):\n";
+  const LutMapper mapper;
+  const auto orig = mapper.map(b14);
+  std::cout << "  our original mapping: " << orig.num_luts << " LUTs / "
+            << orig.num_ffs << " FFs, depth " << orig.depth << "\n";
+  std::cout << synthesis.to_ascii() << "\n";
+
+  std::cout << "timing view @ 25 MHz (paper Table 2: mask-scan 141.11 ms / "
+               "4.1 us, state-scan 386.40 ms / 11.2 us, time-mux 19.95 ms / "
+               "0.58 us):\n";
+  std::cout << timing.to_ascii();
+  return 0;
+}

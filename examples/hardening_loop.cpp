@@ -1,0 +1,92 @@
+// The re-design loop the paper's introduction motivates: fast fault grading
+// exists so designers can find weak areas early and harden them cheaply.
+//
+// This example closes that loop on the serial-converter benchmark:
+//   1. grade the complete single-SEU fault set,
+//   2. rank flip-flops by failure count (the weak-area map),
+//   3. protect the worst third with TMR (harden::apply_tmr),
+//   4. re-grade the hardened circuit and compare.
+//
+// A TMR-protected flip-flop masks any single upset combinationally and
+// self-heals at the next clock edge, so its faults grade as silent; the
+// residual failures come from the unprotected flip-flops.
+
+#include <iostream>
+
+#include "circuits/small.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/autonomous_emulator.h"
+#include "harden/tmr.h"
+#include "map/lut_mapper.h"
+#include "stim/generate.h"
+
+int main() {
+  using namespace femu;
+
+  const Circuit circuit = circuits::build_b09_like();
+  const Testbench tb = random_testbench(circuit.num_inputs(), 192, /*seed=*/9);
+  EmulatorOptions options;
+  options.compute_area = false;
+
+  // ---- step 1: grade the baseline -----------------------------------------
+  AutonomousEmulator emulator(circuit, tb);
+  const EmulationReport before = emulator.run_complete(Technique::kTimeMux);
+  const ClassCounts& base = before.grading.counts();
+
+  std::cout << "baseline " << circuit.name() << ": "
+            << format_percent(base.failure_fraction()) << " failure / "
+            << format_percent(base.latent_fraction()) << " latent / "
+            << format_percent(base.silent_fraction()) << " silent over "
+            << format_grouped(base.total()) << " faults\n\n";
+
+  // ---- step 2: weak-area map ----------------------------------------------
+  const auto failures = before.grading.per_ff_failures();
+  const auto worst = before.grading.weakest_ffs(circuit.num_dffs() / 3);
+  std::cout << "weakest third of the flip-flops:\n";
+  for (const std::size_t ff : worst) {
+    std::cout << "  " << circuit.node_name(circuit.dffs()[ff]) << " — "
+              << failures[ff] << " failures\n";
+  }
+
+  // ---- step 3: selective TMR ----------------------------------------------
+  std::vector<bool> protect(circuit.num_dffs(), false);
+  for (const std::size_t ff : worst) {
+    protect[ff] = true;
+  }
+  const harden::TmrResult hardened = harden::apply_tmr(circuit, protect);
+
+  const LutMapper mapper;
+  const auto area_before = mapper.map(circuit);
+  const auto area_after = mapper.map(hardened.circuit);
+  std::cout << "\nTMR on " << hardened.num_protected << "/"
+            << circuit.num_dffs() << " FFs: " << area_before.num_luts
+            << " -> " << area_after.num_luts << " LUTs, "
+            << area_before.num_ffs << " -> " << area_after.num_ffs
+            << " FFs\n\n";
+
+  // ---- step 4: re-grade -----------------------------------------------------
+  AutonomousEmulator hardened_emulator(hardened.circuit, tb, options);
+  const EmulationReport after =
+      hardened_emulator.run_complete(Technique::kTimeMux);
+  const ClassCounts& hard = after.grading.counts();
+
+  TextTable table({"metric", "baseline", "hardened"});
+  table.add_row({"fault sites (FF x cycle)", format_grouped(base.total()),
+                 format_grouped(hard.total())});
+  table.add_row({"failure", format_percent(base.failure_fraction()),
+                 format_percent(hard.failure_fraction())});
+  table.add_row({"latent", format_percent(base.latent_fraction()),
+                 format_percent(hard.latent_fraction())});
+  table.add_row({"silent", format_percent(base.silent_fraction()),
+                 format_percent(hard.silent_fraction())});
+  std::cout << table.to_ascii();
+
+  const double reduction =
+      1.0 - hard.failure_fraction() / base.failure_fraction();
+  std::cout << "\nfailure-rate reduction: " << format_percent(reduction)
+            << " (grading time: "
+            << format_fixed(after.emulation_seconds * 1e3, 2)
+            << " ms emulated — cheap enough to sit inside the design loop)\n";
+  return 0;
+}

@@ -1,0 +1,275 @@
+#include "circuits/b14.h"
+
+#include <bit>
+
+#include "circuits/viper.h"
+#include "common/error.h"
+#include "rtl/builder.h"
+
+namespace femu::circuits {
+
+namespace {
+
+using rtl::Builder;
+using rtl::Bus;
+
+// FSM state encodings (4 bits; 6 used, the rest recover to FETCH).
+constexpr std::uint64_t kInit = 0;
+constexpr std::uint64_t kFetch = 1;
+constexpr std::uint64_t kDecode = 2;
+constexpr std::uint64_t kExec = 3;
+constexpr std::uint64_t kLoad = 4;
+constexpr std::uint64_t kStore = 5;
+
+// Opcodes (top 4 bits of IR).
+enum Op : std::uint64_t {
+  kNop = 0,
+  kLda = 1,
+  kSta = 2,
+  kAdd = 3,
+  kSub = 4,
+  kAnd = 5,
+  kOr = 6,
+  kXor = 7,
+  kLdb = 8,
+  kSwp = 9,
+  kShl = 10,
+  kShr = 11,
+  kJmp = 12,
+  kJz = 13,
+  kJc = 14,
+  kCmp = 15,
+};
+
+}  // namespace
+
+Circuit build_viper(const ViperParams& p, std::string name) {
+  FEMU_CHECK(p.data_width >= 8 && p.data_width <= 64,
+             "viper data_width out of range");
+  FEMU_CHECK(p.addr_width >= 2 && p.addr_width + 5 <= p.data_width,
+             "viper: need addr_width + 5 <= data_width for the IR fields");
+  FEMU_CHECK(p.tmp_width >= 1 && p.tmp_width <= p.data_width,
+             "viper tmp_width out of range");
+  const std::size_t aw = p.addr_width;
+  const std::size_t dw = p.data_width;
+  const std::size_t tw = p.tmp_width;
+  const std::size_t shamt_width =
+      static_cast<std::size_t>(std::bit_width(dw - 1));
+  const std::size_t imm_width = dw / 2;
+
+  Circuit circuit(std::move(name));
+  Builder b(circuit);
+
+  // ---- primary inputs -----------------------------------------------------
+  const Bus datai = b.input_bus("datai", dw);
+
+  // ---- architectural registers (declaration order = FF/fault-site order) --
+  const Bus state = b.register_bus("state", 4);
+  const Bus pc = b.register_bus("pc", aw);
+  const Bus acc = b.register_bus("acc", dw);
+  const Bus breg = b.register_bus("b", dw);
+  const Bus ir = b.register_bus("ir", dw);
+  const Bus mar = b.register_bus("mar", aw);
+  const Bus mdr = b.register_bus("mdr", dw);
+  const NodeId flag_c = circuit.add_dff("flag_c");
+  const NodeId flag_z = circuit.add_dff("flag_z");
+  const NodeId flag_n = circuit.add_dff("flag_n");
+  const NodeId rd = circuit.add_dff("rd");
+  const NodeId wr = circuit.add_dff("wr");
+  const Bus lnk = b.register_bus("lnk", aw);
+  const Bus tmp = b.register_bus("tmp", tw);
+
+  // ---- decode ---------------------------------------------------------------
+  const NodeId s_init = b.eq_const(state, kInit);
+  const NodeId s_fetch = b.eq_const(state, kFetch);
+  const NodeId s_decode = b.eq_const(state, kDecode);
+  const NodeId s_exec = b.eq_const(state, kExec);
+  const NodeId s_load = b.eq_const(state, kLoad);
+  const NodeId s_store = b.eq_const(state, kStore);
+
+  const Bus opcode = b.slice(ir, dw - 4, 4);
+  const NodeId mode = ir[dw - 5];
+  const Bus ir_addr = b.slice(ir, 0, aw);
+  const Bus imm = b.resize(b.slice(ir, 0, imm_width), dw);
+  const Bus shamt = b.slice(ir, 0, shamt_width);
+
+  const NodeId op_nop = b.eq_const(opcode, kNop);
+  const NodeId op_lda = b.eq_const(opcode, kLda);
+  const NodeId op_sta = b.eq_const(opcode, kSta);
+  const NodeId op_add = b.eq_const(opcode, kAdd);
+  const NodeId op_sub = b.eq_const(opcode, kSub);
+  const NodeId op_and = b.eq_const(opcode, kAnd);
+  const NodeId op_or = b.eq_const(opcode, kOr);
+  const NodeId op_xor = b.eq_const(opcode, kXor);
+  const NodeId op_ldb = b.eq_const(opcode, kLdb);
+  const NodeId op_swp = b.eq_const(opcode, kSwp);
+  const NodeId op_shl = b.eq_const(opcode, kShl);
+  const NodeId op_shr = b.eq_const(opcode, kShr);
+  const NodeId op_jmp = b.eq_const(opcode, kJmp);
+  const NodeId op_jz = b.eq_const(opcode, kJz);
+  const NodeId op_jc = b.eq_const(opcode, kJc);
+  const NodeId op_cmp = b.eq_const(opcode, kCmp);
+
+  // Instructions that fetch a memory operand when mode == 0.
+  const NodeId needs_operand =
+      b.lor(b.lor(b.lor(op_lda, op_add), b.lor(op_sub, op_and)),
+            b.lor(b.lor(op_or, op_xor), b.lor(op_ldb, op_cmp)));
+  const NodeId mode_mem = b.lnot(mode);
+  const NodeId exec_to_load = b.land(s_exec, b.land(needs_operand, mode_mem));
+  const NodeId exec_to_store = b.land(s_exec, op_sta);
+
+  // Operand consumed by the ALU: immediate during EXEC, memory bus in LOAD.
+  const Bus operand = b.mux_bus(s_load, imm, datai);
+
+  // "Perform the data operation now": immediate ops retire in EXEC, memory
+  // ops retire in LOAD.
+  const NodeId do_op =
+      b.lor(b.land(s_exec, b.land(needs_operand, mode)), s_load);
+
+  // ---- ALU ------------------------------------------------------------------
+  const auto [sum, carry_out] = b.add_with_carry(acc, operand, b.zero());
+  const Bus diff = b.sub(acc, operand);
+  const NodeId borrow = b.ult(acc, operand);
+  const Bus and_r = b.and_bus(acc, operand);
+  const Bus or_r = b.or_bus(acc, operand);
+  const Bus xor_r = b.xor_bus(acc, operand);
+  const Bus shl_r = b.shl_var(acc, shamt);
+  const Bus shr_r = b.shr_var(acc, shamt);
+
+  // ---- ACC next value ---------------------------------------------------------
+  Bus acc_next = acc;
+  acc_next = b.mux_bus(b.land(do_op, op_lda), acc_next, operand);
+  acc_next = b.mux_bus(b.land(do_op, op_add), acc_next, sum);
+  acc_next = b.mux_bus(b.land(do_op, op_sub), acc_next, diff);
+  acc_next = b.mux_bus(b.land(do_op, op_and), acc_next, and_r);
+  acc_next = b.mux_bus(b.land(do_op, op_or), acc_next, or_r);
+  acc_next = b.mux_bus(b.land(do_op, op_xor), acc_next, xor_r);
+  const NodeId ex_swp = b.land(s_exec, op_swp);
+  acc_next = b.mux_bus(ex_swp, acc_next, breg);
+  const NodeId ex_shl = b.land(s_exec, op_shl);
+  acc_next = b.mux_bus(ex_shl, acc_next, shl_r);
+  const NodeId ex_shr = b.land(s_exec, op_shr);
+  acc_next = b.mux_bus(ex_shr, acc_next, shr_r);
+
+  // ---- B / TMP / LNK ----------------------------------------------------------
+  Bus b_next = breg;
+  b_next = b.mux_bus(b.land(do_op, op_ldb), b_next, operand);
+  b_next = b.mux_bus(ex_swp, b_next, acc);
+
+  Bus tmp_next = tmp;
+  tmp_next = b.mux_bus(b.land(do_op, op_cmp), tmp_next, b.slice(diff, 0, tw));
+  tmp_next = b.mux_bus(ex_swp, tmp_next, b.slice(acc, 0, tw));
+
+  Bus lnk_next = lnk;
+  const NodeId ex_jal = b.land(s_exec, b.land(op_jmp, mode));
+  lnk_next = b.mux_bus(ex_jal, lnk_next, pc);
+
+  // ---- flags --------------------------------------------------------------------
+  const NodeId alu_arith = b.lor(op_add, b.lor(op_sub, op_cmp));
+  const NodeId alu_logic = b.lor(b.lor(op_and, op_or), op_xor);
+  const NodeId alu_shift = b.lor(ex_shl, ex_shr);
+
+  const Bus flag_src = [&] {
+    Bus v = sum;
+    v = b.mux_bus(b.lor(op_sub, op_cmp), v, diff);
+    v = b.mux_bus(op_and, v, and_r);
+    v = b.mux_bus(op_or, v, or_r);
+    v = b.mux_bus(op_xor, v, xor_r);
+    v = b.mux_bus(op_shl, v, shl_r);
+    v = b.mux_bus(op_shr, v, shr_r);
+    return v;
+  }();
+
+  const NodeId set_zn =
+      b.lor(b.land(do_op, b.lor(alu_arith, alu_logic)), alu_shift);
+  const NodeId set_c = b.land(do_op, alu_arith);
+  const NodeId c_value = b.mux(b.lor(op_sub, op_cmp), carry_out, borrow);
+
+  const NodeId c_next = b.mux(set_c, flag_c, c_value);
+  const NodeId z_next = b.mux(set_zn, flag_z, b.is_zero(flag_src));
+  const NodeId n_next = b.mux(set_zn, flag_n, flag_src[dw - 1]);
+
+  // ---- PC --------------------------------------------------------------------
+  const Bus pc_inc = b.inc(pc);
+  Bus pc_next = pc;
+  pc_next = b.mux_bus(s_decode, pc_next, pc_inc);
+  const NodeId ex_jmp = b.land(s_exec, op_jmp);
+  pc_next = b.mux_bus(ex_jmp, pc_next, ir_addr);
+  const NodeId ex_jz_taken = b.land(b.land(s_exec, op_jz), flag_z);
+  pc_next = b.mux_bus(ex_jz_taken, pc_next, ir_addr);
+  const NodeId ex_jc_taken = b.land(b.land(s_exec, op_jc), flag_c);
+  const Bus jc_target = b.mux_bus(mode, ir_addr, b.resize(tmp, aw));
+  pc_next = b.mux_bus(ex_jc_taken, pc_next, jc_target);
+  const NodeId ex_ret = b.land(s_exec, b.land(op_nop, mode));
+  pc_next = b.mux_bus(ex_ret, pc_next, lnk);
+
+  // ---- MAR / MDR / memory strobes -------------------------------------------
+  Bus mar_next = mar;
+  mar_next = b.mux_bus(s_fetch, mar_next, pc);
+  mar_next = b.mux_bus(b.lor(exec_to_load, exec_to_store), mar_next, ir_addr);
+
+  Bus mdr_next = mdr;
+  mdr_next = b.mux_bus(exec_to_store, mdr_next, acc);
+
+  // rd pulses during FETCH (instruction read) and EXEC->LOAD (operand read);
+  // wr pulses during EXEC->STORE. Cleared otherwise.
+  const NodeId rd_next = b.lor(s_fetch, exec_to_load);
+  const NodeId wr_next = exec_to_store;
+
+  // ---- IR ---------------------------------------------------------------------
+  Bus ir_next = ir;
+  ir_next = b.mux_bus(s_decode, ir_next, datai);
+
+  // ---- FSM next state ---------------------------------------------------------
+  // Default for every encoding (including the 10 unused ones) is FETCH, so
+  // SEUs in the state register always re-converge to a live machine.
+  Bus state_next = b.constant(kFetch, 4);
+  state_next = b.mux_bus(s_fetch, state_next, b.constant(kDecode, 4));
+  state_next = b.mux_bus(s_decode, state_next, b.constant(kExec, 4));
+  state_next = b.mux_bus(exec_to_load, state_next, b.constant(kLoad, 4));
+  state_next = b.mux_bus(exec_to_store, state_next, b.constant(kStore, 4));
+  // INIT behaves like "go to FETCH", which is already the default.
+  (void)s_init;
+  (void)s_store;
+
+  // ---- register connections ----------------------------------------------------
+  b.connect(state, state_next);
+  b.connect(pc, pc_next);
+  b.connect(acc, acc_next);
+  b.connect(breg, b_next);
+  b.connect(ir, ir_next);
+  b.connect(mar, mar_next);
+  b.connect(mdr, mdr_next);
+  circuit.connect_dff(flag_c, c_next);
+  circuit.connect_dff(flag_z, z_next);
+  circuit.connect_dff(flag_n, n_next);
+  circuit.connect_dff(rd, rd_next);
+  circuit.connect_dff(wr, wr_next);
+  b.connect(lnk, lnk_next);
+  b.connect(tmp, tmp_next);
+
+  // ---- primary outputs -----------------------------------------------------------
+  b.output_bus("addr", mar);
+  b.output_bus("datao", mdr);
+  circuit.add_output("rd_o", rd);
+  circuit.add_output("wr_o", wr);
+
+  circuit.validate();
+  FEMU_CHECK(circuit.num_dffs() == p.expected_dffs(),
+             "viper FF count drifted: ", circuit.num_dffs(), " vs ",
+             p.expected_dffs());
+  return circuit;
+}
+
+Circuit build_b14() {
+  Circuit circuit = build_viper(ViperParams{20, 32, 18}, "b14");
+  FEMU_CHECK(circuit.num_inputs() == kB14Inputs, "b14 PI count drifted: ",
+             circuit.num_inputs());
+  FEMU_CHECK(circuit.num_outputs() == kB14Outputs, "b14 PO count drifted: ",
+             circuit.num_outputs());
+  FEMU_CHECK(circuit.num_dffs() == kB14Dffs, "b14 FF count drifted: ",
+             circuit.num_dffs());
+  return circuit;
+}
+
+}  // namespace femu::circuits

@@ -1,0 +1,50 @@
+#pragma once
+
+#include "netlist/circuit.h"
+
+namespace femu::circuits {
+
+/// From-scratch reconstruction of the ITC'99 `b14` benchmark profile
+/// (a subset of the Viper processor) used in the paper's evaluation.
+///
+/// The original RT-level source is not redistributable, so this is an
+/// independent accumulator CPU engineered to the paper's exact interface:
+///
+///   32 primary inputs   — datai[31:0], the memory read bus
+///   54 primary outputs  — addr[19:0], datao[31:0], rd, wr
+///   215 flip-flops      — state(4) PC(20) ACC(32) B(32) IR(32) MAR(20)
+///                         MDR(32) C Z N rd wr LNK(20) TMP(18)
+///
+/// With these counts, the paper's campaign dimensions reproduce exactly:
+/// 160 vectors x 215 FFs = 34,400 single SEU faults, and the controller /
+/// RAM-layout formulas (Table 1) see the same PI/PO/FF/cycle parameters.
+///
+/// Micro-architecture (multi-cycle, fetch/decode/execute):
+///   opcode = IR[31:28], mode = IR[27] (0 = memory operand, 1 = immediate
+///   IR[15:0] zero-extended), addr = IR[19:0].
+///
+///   0 NOP  (mode 1: RET    PC <- LNK)
+///   1 LDA  ACC <- op        8 LDB  B <- op
+///   2 STA  mem <- ACC       9 SWP  ACC <-> B, TMP <- ACC[17:0]
+///   3 ADD  ACC,C,Z,N       10 SHL  ACC <<= IR[4:0], Z,N
+///   4 SUB  ACC,C,Z,N       11 SHR  ACC >>= IR[4:0], Z,N
+///   5 AND  ACC,Z,N         12 JMP  PC <- addr (mode 1: LNK <- PC first)
+///   6 OR   ACC,Z,N         13 JZ   if Z
+///   7 XOR  ACC,Z,N         14 JC   if C (mode 1: PC <- TMP zero-extended)
+///                          15 CMP  C,Z,N <- ACC - op, TMP <- diff[17:0]
+///
+/// All 16 opcodes are defined and the FSM maps unreachable state encodings
+/// back to FETCH, so SEUs never dead-lock the machine; random stimuli act as
+/// a random instruction/data stream, exercising every datapath.
+[[nodiscard]] Circuit build_b14();
+
+/// Interface constants (pinned by tests and used by the benches).
+inline constexpr std::size_t kB14Inputs = 32;
+inline constexpr std::size_t kB14Outputs = 54;
+inline constexpr std::size_t kB14Dffs = 215;
+
+/// The paper's campaign parameters for b14.
+inline constexpr std::size_t kB14Vectors = 160;
+inline constexpr std::size_t kB14Faults = kB14Dffs * kB14Vectors;  // 34,400
+
+}  // namespace femu::circuits

@@ -1,0 +1,147 @@
+#include "circuits/generators.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "rtl/builder.h"
+
+namespace femu::circuits {
+
+using rtl::Builder;
+using rtl::Bus;
+
+Circuit build_counter(std::size_t width) {
+  FEMU_CHECK(width >= 1, "counter width must be >= 1");
+  Circuit circuit(str_cat("counter", width));
+  Builder b(circuit);
+  const NodeId enable = circuit.add_input("en");
+  const Bus count = b.register_bus("q", width);
+  const auto [inc, carry] =
+      b.add_with_carry(count, b.constant(0, width), b.one());
+  const Bus next = b.mux_bus(enable, count, inc);
+  b.connect(count, next);
+  b.output_bus("count", count);
+  circuit.add_output("carry", b.land(enable, carry));
+  circuit.validate();
+  return circuit;
+}
+
+Circuit build_lfsr(std::size_t width) {
+  FEMU_CHECK(width >= 2, "lfsr width must be >= 2");
+  Circuit circuit(str_cat("lfsr", width));
+  Builder b(circuit);
+  const NodeId serial_in = circuit.add_input("sin");
+  const Bus state = b.register_bus("q", width);
+
+  // Feedback = xor of a few taps plus the serial input; the input injection
+  // means the all-zero reset state still produces activity.
+  Bus taps{state[width - 1], state[0]};
+  if (width >= 4) {
+    taps.push_back(state[width / 2]);
+  }
+  taps.push_back(serial_in);
+  const NodeId feedback = b.xor_reduce(taps);
+
+  Bus next = b.concat(Bus{feedback}, b.slice(state, 0, width - 1));
+  b.connect(state, next);
+  circuit.add_output("msb", state[width - 1]);
+  circuit.add_output("parity", b.xor_reduce(state));
+  circuit.validate();
+  return circuit;
+}
+
+Circuit build_shift_register(std::size_t width) {
+  FEMU_CHECK(width >= 1, "shift register width must be >= 1");
+  Circuit circuit(str_cat("shiftreg", width));
+  Builder b(circuit);
+  const NodeId serial_in = circuit.add_input("sin");
+  const Bus state = b.register_bus("q", width);
+  const Bus next = b.concat(Bus{serial_in}, b.slice(state, 0, width - 1));
+  b.connect(state, next);
+  circuit.add_output("sout", state[width - 1]);
+  circuit.validate();
+  return circuit;
+}
+
+Circuit build_pipeline(std::size_t stages, std::size_t width) {
+  FEMU_CHECK(stages >= 1 && width >= 2, "pipeline needs stages>=1, width>=2");
+  Circuit circuit(str_cat("pipe", stages, "x", width));
+  Builder b(circuit);
+  const Bus in = b.input_bus("din", width);
+
+  std::vector<Bus> regs;
+  regs.reserve(stages);
+  for (std::size_t s = 0; s < stages; ++s) {
+    regs.push_back(b.register_bus(str_cat("s", s, "_"), width));
+  }
+
+  b.connect(regs[0], in);
+  for (std::size_t s = 1; s < stages; ++s) {
+    const Bus& prev = regs[s - 1];
+    Bus mixed;
+    if (s % 2 == 1) {
+      // rotate-by-1 then add: diffuses single-bit upsets across the word.
+      Bus rot = b.concat(b.slice(prev, 1, width - 1), Bus{prev[0]});
+      mixed = b.add(prev, rot);
+    } else {
+      Bus rot = b.concat(b.slice(prev, width - 1, 1),
+                         b.slice(prev, 0, width - 1));
+      mixed = b.xor_bus(prev, rot);
+    }
+    b.connect(regs[s], mixed);
+  }
+  b.output_bus("dout", regs.back());
+  circuit.add_output("parity", b.xor_reduce(regs.back()));
+  circuit.validate();
+  return circuit;
+}
+
+Circuit build_random(const RandomCircuitSpec& spec, std::uint64_t seed) {
+  FEMU_CHECK(spec.num_inputs >= 1 && spec.num_gates >= 1,
+             "random circuit needs inputs and gates");
+  Rng rng(seed);
+  Circuit circuit(str_cat("random_s", seed));
+
+  std::vector<NodeId> pool;
+  for (std::size_t i = 0; i < spec.num_inputs; ++i) {
+    pool.push_back(circuit.add_input(str_cat("in", i)));
+  }
+  std::vector<NodeId> dffs;
+  for (std::size_t i = 0; i < spec.num_dffs; ++i) {
+    const NodeId ff = circuit.add_dff(str_cat("ff", i));
+    dffs.push_back(ff);
+    pool.push_back(ff);
+  }
+
+  constexpr CellType kGateTypes[] = {
+      CellType::kAnd, CellType::kOr,  CellType::kNand, CellType::kNor,
+      CellType::kXor, CellType::kXnor, CellType::kNot, CellType::kMux};
+  for (std::size_t g = 0; g < spec.num_gates; ++g) {
+    const CellType type = kGateTypes[rng.below(std::size(kGateTypes))];
+    const auto pick = [&] { return pool[rng.below(pool.size())]; };
+    NodeId node = kInvalidNode;
+    switch (cell_arity(type)) {
+      case 1:
+        node = circuit.add_unary(type, pick());
+        break;
+      case 3:
+        node = circuit.add_mux(pick(), pick(), pick());
+        break;
+      default:
+        node = circuit.add_gate(type, pick(), pick());
+        break;
+    }
+    pool.push_back(node);
+  }
+
+  for (const NodeId ff : dffs) {
+    circuit.connect_dff(ff, pool[rng.below(pool.size())]);
+  }
+  for (std::size_t o = 0; o < spec.num_outputs; ++o) {
+    circuit.add_output(str_cat("out", o), pool[rng.below(pool.size())]);
+  }
+  circuit.validate();
+  return circuit;
+}
+
+}  // namespace femu::circuits

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/circuit.h"
+
+namespace femu::circuits {
+
+/// Parametric circuit generators. These exist for the paper's scaling claims:
+/// the state-scan/mask-scan crossover (E5) needs circuits whose FF count can
+/// be swept independently of the testbench length, and the property tests
+/// need endless structurally-diverse machines.
+
+/// `width`-bit counter with enable input; outputs the count and the carry.
+/// FFs = width.
+[[nodiscard]] Circuit build_counter(std::size_t width);
+
+/// Fibonacci LFSR with XOR-injected serial input (so the all-zero reset state
+/// still evolves). Outputs the MSB and the parity. FFs = width.
+[[nodiscard]] Circuit build_lfsr(std::size_t width);
+
+/// Serial-in/serial-out shift register. FFs = width.
+[[nodiscard]] Circuit build_shift_register(std::size_t width);
+
+/// Registered datapath pipeline: `stages` stages of `width` bits; stage 0
+/// loads the input bus, stage i computes a mixing function (add/xor/rotate)
+/// of stage i-1. FFs = stages * width — the knob for the crossover sweep.
+[[nodiscard]] Circuit build_pipeline(std::size_t stages, std::size_t width);
+
+/// Specification for random sequential circuits (property-test fodder).
+struct RandomCircuitSpec {
+  std::size_t num_inputs = 4;
+  std::size_t num_outputs = 4;
+  std::size_t num_dffs = 8;
+  std::size_t num_gates = 64;
+};
+
+/// Random well-formed sequential circuit: gates draw random types and random
+/// fanins from earlier nodes; every DFF D-pin and output driver is sampled
+/// from the full node set. Same seed => identical circuit.
+[[nodiscard]] Circuit build_random(const RandomCircuitSpec& spec,
+                                   std::uint64_t seed);
+
+}  // namespace femu::circuits

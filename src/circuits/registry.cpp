@@ -1,0 +1,62 @@
+#include "circuits/registry.h"
+
+#include "circuits/b14.h"
+#include "circuits/generators.h"
+#include "circuits/small.h"
+#include "circuits/small2.h"
+#include "circuits/viper.h"
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace femu::circuits {
+
+const std::vector<RegistryEntry>& circuit_registry() {
+  static const std::vector<RegistryEntry> entries = {
+      {"b14", "Viper-like CPU, the paper's benchmark (32 PI / 54 PO / 215 FF)",
+       [] { return build_b14(); }},
+      {"b01_like", "serial adder/comparator FSM (2/2/5)",
+       [] { return build_b01_like(); }},
+      {"b02_like", "serial BCD recognizer (1/1/4)",
+       [] { return build_b02_like(); }},
+      {"b03_like", "round-robin arbiter (4/4/30)",
+       [] { return build_b03_like(); }},
+      {"b06_like", "interrupt acknowledge FSM (2/6/9)",
+       [] { return build_b06_like(); }},
+      {"b09_like", "serial converter with checksum (1/1/28)",
+       [] { return build_b09_like(); }},
+      {"b04_like", "min/max/sum tracker (11/8/66)",
+       [] { return build_b04_like(); }},
+      {"b08_like", "serial pattern matcher (9/4/21)",
+       [] { return build_b08_like(); }},
+      {"b10_like", "two-channel voter (11/6/17)",
+       [] { return build_b10_like(); }},
+      {"b13_like", "weather-station telemetry (10/10/53)",
+       [] { return build_b13_like(); }},
+      {"viper8", "scaled-down Viper CPU (8-bit addr, 16-bit data, 103 FF)",
+       [] { return build_viper(ViperParams{8, 16, 6}, "viper8"); }},
+      {"viper40", "scaled-up Viper CPU (24-bit addr, 40-bit data, 259 FF)",
+       [] { return build_viper(ViperParams{24, 40, 18}, "viper40"); }},
+      {"counter16", "16-bit enabled counter",
+       [] { return build_counter(16); }},
+      {"lfsr32", "32-bit LFSR with serial injection",
+       [] { return build_lfsr(32); }},
+      {"pipe4x16", "4-stage 16-bit mixing pipeline",
+       [] { return build_pipeline(4, 16); }},
+  };
+  return entries;
+}
+
+Circuit build_by_name(const std::string& name) {
+  for (const auto& entry : circuit_registry()) {
+    if (entry.name == name) {
+      return entry.factory();
+    }
+  }
+  std::string known;
+  for (const auto& entry : circuit_registry()) {
+    known += known.empty() ? entry.name : (", " + entry.name);
+  }
+  throw Error(str_cat("unknown circuit '", name, "'; known circuits: ", known));
+}
+
+}  // namespace femu::circuits

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace femu::circuits {
+
+/// Catalogue entry for a named benchmark circuit.
+struct RegistryEntry {
+  std::string name;
+  std::string description;
+  std::function<Circuit()> factory;
+};
+
+/// All built-in benchmark circuits (b14-like CPU, small FSMs, and a few
+/// fixed-parameter generator instances). Examples and benches look circuits
+/// up here so users can select workloads by name.
+[[nodiscard]] const std::vector<RegistryEntry>& circuit_registry();
+
+/// Builds a registered circuit by name; throws Error with the list of known
+/// names when `name` is unknown.
+[[nodiscard]] Circuit build_by_name(const std::string& name);
+
+}  // namespace femu::circuits

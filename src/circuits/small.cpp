@@ -1,0 +1,224 @@
+#include "circuits/small.h"
+
+#include "common/error.h"
+#include "rtl/builder.h"
+
+namespace femu::circuits {
+
+using rtl::Builder;
+using rtl::Bus;
+
+Circuit build_b01_like() {
+  Circuit circuit("b01_like");
+  Builder b(circuit);
+  const NodeId line1 = circuit.add_input("line1");
+  const NodeId line2 = circuit.add_input("line2");
+
+  const Bus state = b.register_bus("st", 2);
+  const NodeId carry = circuit.add_dff("carry");
+  const NodeId outp = circuit.add_dff("outp");
+  const NodeId overflw = circuit.add_dff("overflw");
+
+  // Serial addition with a carry bit; the 2-bit FSM tracks whether the last
+  // two sums agreed (a tiny protocol checker that keeps the state live).
+  const NodeId sum = b.lxor(b.lxor(line1, line2), carry);
+  const NodeId carry_next =
+      b.lor(b.land(line1, line2), b.land(carry, b.lxor(line1, line2)));
+
+  const NodeId s0 = b.eq_const(state, 0);
+  const NodeId s1 = b.eq_const(state, 1);
+  const NodeId s2 = b.eq_const(state, 2);
+  Bus state_next = b.constant(0, 2);
+  state_next = b.mux_bus(b.land(s0, sum), state_next, b.constant(1, 2));
+  state_next = b.mux_bus(b.land(s1, sum), state_next, b.constant(2, 2));
+  state_next = b.mux_bus(b.land(s2, sum), state_next, b.constant(3, 2));
+
+  circuit.connect_dff(carry, carry_next);
+  circuit.connect_dff(outp, sum);
+  circuit.connect_dff(overflw, b.land(carry_next, b.eq_const(state, 3)));
+  b.connect(state, state_next);
+
+  circuit.add_output("outp_o", outp);
+  circuit.add_output("overflw_o", overflw);
+  circuit.validate();
+  return circuit;
+}
+
+Circuit build_b02_like() {
+  Circuit circuit("b02_like");
+  Builder b(circuit);
+  const NodeId linea = circuit.add_input("linea");
+
+  const Bus state = b.register_bus("st", 3);
+  const NodeId u = circuit.add_dff("u");
+
+  // Serial BCD recognizer: walks a 5-state chain keyed by the input bit and
+  // raises `u` when the collected digit would exceed 9.
+  const NodeId s0 = b.eq_const(state, 0);
+  const NodeId s1 = b.eq_const(state, 1);
+  const NodeId s2 = b.eq_const(state, 2);
+  const NodeId s3 = b.eq_const(state, 3);
+  const NodeId s4 = b.eq_const(state, 4);
+
+  Bus state_next = b.constant(0, 3);
+  state_next = b.mux_bus(s0, state_next, b.constant(1, 3));
+  state_next = b.mux_bus(b.land(s1, linea), state_next, b.constant(2, 3));
+  state_next =
+      b.mux_bus(b.land(s1, b.lnot(linea)), state_next, b.constant(3, 3));
+  state_next = b.mux_bus(s2, state_next, b.constant(4, 3));
+  state_next = b.mux_bus(s3, state_next, b.constant(4, 3));
+  state_next = b.mux_bus(s4, state_next, b.constant(0, 3));
+
+  circuit.connect_dff(u, b.land(s4, linea));
+  b.connect(state, state_next);
+
+  circuit.add_output("u_o", u);
+  circuit.validate();
+  return circuit;
+}
+
+Circuit build_b03_like() {
+  Circuit circuit("b03_like");
+  Builder b(circuit);
+  const Bus req = b.input_bus("req", 4);
+
+  const Bus grant = b.register_bus("grant", 4);
+  const Bus ptr = b.register_bus("ptr", 2);
+  const Bus latched = b.register_bus("lat", 4);
+  const Bus usage = b.register_bus("usage", 16);
+  const Bus timeout = b.register_bus("tmo", 4);
+
+  // Latch requests; a granted requester is cleared.
+  const Bus latched_next = b.and_bus(b.or_bus(latched, req), b.not_bus(grant));
+
+  // Round-robin: the pointer advances every cycle; the pointed requester wins
+  // when pending, otherwise the grant is empty this cycle.
+  const Bus ptr_next = b.inc(ptr);
+  Bus grant_next;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const NodeId sel = b.eq_const(ptr, i);
+    grant_next.push_back(b.land(sel, latched[i]));
+  }
+
+  // Usage counter saturates instead of wrapping (keeps high bits meaningful).
+  const NodeId any_grant = b.or_reduce(grant_next);
+  const Bus usage_inc = b.inc(usage);
+  const NodeId usage_full = b.and_reduce(usage);
+  const Bus usage_next =
+      b.mux_bus(b.land(any_grant, b.lnot(usage_full)), usage, usage_inc);
+
+  // Timeout counts cycles with pending-but-ungranted work.
+  const NodeId pending = b.or_reduce(latched);
+  const Bus timeout_next =
+      b.mux_bus(b.land(pending, b.lnot(any_grant)), b.constant(0, 4),
+                b.inc(timeout));
+
+  b.connect(grant, grant_next);
+  b.connect(ptr, ptr_next);
+  b.connect(latched, latched_next);
+  b.connect(usage, usage_next);
+  b.connect(timeout, timeout_next);
+
+  b.output_bus("grant", grant);
+  circuit.validate();
+  FEMU_CHECK(circuit.num_dffs() == 30, "b03_like FF count drifted");
+  return circuit;
+}
+
+Circuit build_b06_like() {
+  Circuit circuit("b06_like");
+  Builder b(circuit);
+  const NodeId eql = circuit.add_input("cont_eql");
+  const NodeId cs = circuit.add_input("cs");
+
+  const Bus state = b.register_bus("st", 3);
+  const Bus outs = b.register_bus("outr", 6);
+
+  const NodeId s_idle = b.eq_const(state, 0);
+  const NodeId s_req = b.eq_const(state, 1);
+  const NodeId s_ack = b.eq_const(state, 2);
+  const NodeId s_serve = b.eq_const(state, 3);
+
+  Bus state_next = b.constant(0, 3);
+  state_next = b.mux_bus(b.land(s_idle, cs), state_next, b.constant(1, 3));
+  state_next = b.mux_bus(b.land(s_req, eql), state_next, b.constant(2, 3));
+  state_next =
+      b.mux_bus(b.land(s_req, b.lnot(eql)), state_next, b.constant(1, 3));
+  state_next = b.mux_bus(s_ack, state_next, b.constant(3, 3));
+  state_next = b.mux_bus(b.land(s_serve, cs), state_next, b.constant(3, 3));
+
+  Bus outs_next;
+  outs_next.push_back(s_idle);
+  outs_next.push_back(s_req);
+  outs_next.push_back(s_ack);
+  outs_next.push_back(s_serve);
+  outs_next.push_back(b.land(s_serve, eql));
+  outs_next.push_back(b.lor(s_ack, b.land(s_req, cs)));
+
+  b.connect(state, state_next);
+  b.connect(outs, outs_next);
+  b.output_bus("o", outs);
+  circuit.validate();
+  FEMU_CHECK(circuit.num_dffs() == 9, "b06_like FF count drifted");
+  return circuit;
+}
+
+Circuit build_b09_like() {
+  Circuit circuit("b09_like");
+  Builder b(circuit);
+  const NodeId x = circuit.add_input("x");
+
+  const Bus shift_in = b.register_bus("sin", 8);
+  const Bus shift_out = b.register_bus("sout", 8);
+  const Bus count = b.register_bus("cnt", 4);
+  const Bus state = b.register_bus("st", 2);
+  const NodeId y = circuit.add_dff("y");
+  const Bus checksum = b.register_bus("chk", 5);
+
+  const NodeId s_recv = b.eq_const(state, 0);
+  const NodeId s_copy = b.eq_const(state, 1);
+  const NodeId s_send = b.eq_const(state, 2);
+
+  // Receive 8 bits MSB-first, copy the inverted word to the output shifter,
+  // then send it while accumulating a 5-bit checksum of transmitted bits.
+  const Bus recv_shifted = b.concat(Bus{x}, b.slice(shift_in, 0, 7));
+  const Bus shift_in_next = b.mux_bus(s_recv, shift_in, recv_shifted);
+
+  Bus shift_out_next = shift_out;
+  shift_out_next = b.mux_bus(s_copy, shift_out_next, b.not_bus(shift_in));
+  const Bus send_shifted = b.concat(b.slice(shift_out, 1, 7), Bus{b.zero()});
+  shift_out_next = b.mux_bus(s_send, shift_out_next, send_shifted);
+
+  const NodeId cnt_done = b.eq_const(count, 7);
+  const Bus count_next =
+      b.mux_bus(b.lor(s_recv, s_send),
+                b.constant(0, 4),
+                b.mux_bus(cnt_done, b.inc(count), b.constant(0, 4)));
+
+  Bus state_next = b.constant(0, 2);
+  state_next =
+      b.mux_bus(b.land(s_recv, b.lnot(cnt_done)), state_next, b.constant(0, 2));
+  state_next = b.mux_bus(b.land(s_recv, cnt_done), state_next, b.constant(1, 2));
+  state_next = b.mux_bus(s_copy, state_next, b.constant(2, 2));
+  state_next =
+      b.mux_bus(b.land(s_send, b.lnot(cnt_done)), state_next, b.constant(2, 2));
+
+  const NodeId tx_bit = shift_out[0];
+  const Bus checksum_next =
+      b.mux_bus(s_send, checksum,
+                b.add(checksum, b.resize(Bus{tx_bit}, 5)));
+
+  b.connect(shift_in, shift_in_next);
+  b.connect(shift_out, shift_out_next);
+  b.connect(count, count_next);
+  b.connect(state, state_next);
+  circuit.connect_dff(y, b.land(s_send, tx_bit));
+  b.connect(checksum, checksum_next);
+
+  circuit.add_output("y_o", y);
+  circuit.validate();
+  FEMU_CHECK(circuit.num_dffs() == 28, "b09_like FF count drifted");
+  return circuit;
+}
+
+}  // namespace femu::circuits

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "netlist/circuit.h"
+
+namespace femu::circuits {
+
+/// Small sequential benchmarks shaped after the ITC'99 b01..b09 profiles
+/// (the originals are not redistributable; these are independent FSMs with
+/// matching interface sizes). They are the primary vehicles for the
+/// integration tests — small enough that the literal instrumented-netlist
+/// engine can be cross-checked against the fast campaign engine exhaustively.
+
+/// b01-like: serial adder/comparator FSM. 2 PI, 2 PO, 5 FF.
+[[nodiscard]] Circuit build_b01_like();
+
+/// b02-like: serial BCD-digit recognizer. 1 PI, 1 PO, 4 FF.
+[[nodiscard]] Circuit build_b02_like();
+
+/// b03-like: round-robin resource arbiter with usage counters.
+/// 4 PI, 4 PO, 30 FF.
+[[nodiscard]] Circuit build_b03_like();
+
+/// b06-like: interrupt acknowledge FSM. 2 PI, 6 PO, 9 FF.
+[[nodiscard]] Circuit build_b06_like();
+
+/// b09-like: serial-to-serial converter with checksum. 1 PI, 1 PO, 28 FF.
+[[nodiscard]] Circuit build_b09_like();
+
+}  // namespace femu::circuits

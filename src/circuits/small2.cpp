@@ -1,0 +1,225 @@
+#include "circuits/small2.h"
+
+#include "common/error.h"
+#include "rtl/builder.h"
+
+namespace femu::circuits {
+
+using rtl::Builder;
+using rtl::Bus;
+
+Circuit build_b04_like() {
+  Circuit circuit("b04_like");
+  Builder b(circuit);
+  const Bus data = b.input_bus("data", 8);
+  const NodeId start = circuit.add_input("start");
+  const NodeId ena = circuit.add_input("ena");
+  const NodeId sign = circuit.add_input("sign");
+
+  const Bus reg_min = b.register_bus("rmin", 8);
+  const Bus reg_max = b.register_bus("rmax", 8);
+  const Bus reg_last = b.register_bus("rlast", 8);
+  const Bus sum = b.register_bus("sum", 16);
+  const Bus state = b.register_bus("st", 2);
+  const Bus out_reg = b.register_bus("outr", 8);
+  const Bus count = b.register_bus("cnt", 16);
+
+  const NodeId s_idle = b.eq_const(state, 0);
+  const NodeId s_run = b.eq_const(state, 1);
+
+  // IDLE: start -> RUN (capturing data as both min and max seed).
+  // RUN: every enabled beat updates min/max/sum/count; start returns to IDLE
+  // and publishes (max - min) or (max + min) depending on `sign`.
+  Bus state_next = state;
+  state_next = b.mux_bus(b.land(s_idle, start), state_next, b.constant(1, 2));
+  state_next = b.mux_bus(b.land(s_run, start), state_next, b.constant(0, 2));
+
+  const NodeId seed = b.land(s_idle, start);
+  const NodeId beat = b.land(s_run, ena);
+
+  const NodeId lt_min = b.ult(data, reg_min);
+  Bus min_next = b.mux_bus(b.land(beat, lt_min), reg_min, data);
+  min_next = b.mux_bus(seed, min_next, data);
+
+  const NodeId gt_max = b.ult(reg_max, data);
+  Bus max_next = b.mux_bus(b.land(beat, gt_max), reg_max, data);
+  max_next = b.mux_bus(seed, max_next, data);
+
+  const Bus data16 = b.resize(data, 16);
+  Bus sum_next = b.mux_bus(beat, sum, b.add(sum, data16));
+  sum_next = b.mux_bus(seed, sum_next, data16);
+
+  const Bus last_next = b.mux_bus(b.lor(seed, beat), reg_last, data);
+  const Bus count_next =
+      b.mux_bus(seed, b.mux_bus(beat, count, b.inc(count)),
+                b.constant(0, 16));
+
+  const Bus diff = b.sub(reg_max, reg_min);
+  const Bus plus = b.add(reg_max, reg_min);
+  const Bus published = b.mux_bus(sign, diff, plus);
+  const Bus out_next =
+      b.mux_bus(b.land(s_run, start), out_reg, published);
+
+  b.connect(state, state_next);
+  b.connect(reg_min, min_next);
+  b.connect(reg_max, max_next);
+  b.connect(reg_last, last_next);
+  b.connect(sum, sum_next);
+  b.connect(out_reg, out_next);
+  b.connect(count, count_next);
+
+  b.output_bus("o", out_reg);
+  circuit.validate();
+  FEMU_CHECK(circuit.num_inputs() == 11 && circuit.num_outputs() == 8 &&
+                 circuit.num_dffs() == 66,
+             "b04_like interface drifted");
+  return circuit;
+}
+
+Circuit build_b08_like() {
+  Circuit circuit("b08_like");
+  Builder b(circuit);
+  const Bus data = b.input_bus("d", 8);
+  const NodeId load = circuit.add_input("load");
+
+  const Bus window = b.register_bus("win", 8);
+  const Bus pattern = b.register_bus("pat", 8);
+  const Bus match_cnt = b.register_bus("mc", 4);
+  const NodeId found = circuit.add_dff("found");
+
+  // `load` captures a reference pattern; afterwards the window shifts in
+  // data LSB-first and the counter tracks (saturating) how many times the
+  // window equalled the pattern.
+  const Bus pattern_next = b.mux_bus(load, pattern, data);
+  const Bus window_next =
+      b.mux_bus(load, b.concat(Bus{data[0]}, b.slice(window, 0, 7)),
+                b.constant(0, 8));
+
+  const NodeId hit = b.land(b.lnot(load), b.eq(window, pattern));
+  const NodeId cnt_full = b.and_reduce(match_cnt);
+  const Bus cnt_next =
+      b.mux_bus(b.land(hit, b.lnot(cnt_full)), match_cnt, b.inc(match_cnt));
+
+  b.connect(window, window_next);
+  b.connect(pattern, pattern_next);
+  b.connect(match_cnt, cnt_next);
+  circuit.connect_dff(found, b.lor(found, hit));
+
+  b.output_bus("mc_o", match_cnt);
+  circuit.validate();
+  FEMU_CHECK(circuit.num_inputs() == 9 && circuit.num_outputs() == 4 &&
+                 circuit.num_dffs() == 21,
+             "b08_like interface drifted");
+  return circuit;
+}
+
+Circuit build_b10_like() {
+  Circuit circuit("b10_like");
+  Builder b(circuit);
+  const Bus cha = b.input_bus("cha", 4);
+  const Bus chb = b.input_bus("chb", 4);
+  const Bus mode = b.input_bus("mode", 2);
+  const NodeId vote = circuit.add_input("vote");
+
+  const Bus rega = b.register_bus("ra", 4);
+  const Bus regb = b.register_bus("rb", 4);
+  const Bus sel = b.register_bus("sel", 2);
+  const Bus result = b.register_bus("res", 6);
+  const NodeId armed = circuit.add_dff("armed");
+
+  // Channels register continuously; `vote` latches the mode and publishes a
+  // registered combination of both channels.
+  const Bus sum = b.add(b.resize(rega, 6), b.resize(regb, 6));
+  const Bus diff = b.sub(b.resize(rega, 6), b.resize(regb, 6));
+  const Bus both = b.concat(b.and_bus(rega, regb), b.constant(0, 2));
+  Bus published = sum;
+  published = b.mux_bus(b.eq_const(sel, 1), published, diff);
+  published = b.mux_bus(b.eq_const(sel, 2), published, both);
+  published = b.mux_bus(b.eq_const(sel, 3), published,
+                        b.resize(b.xor_bus(rega, regb), 6));
+
+  b.connect(rega, cha);
+  b.connect(regb, chb);
+  b.connect(sel, b.mux_bus(vote, sel, mode));
+  b.connect(result, b.mux_bus(b.land(vote, armed), result, published));
+  circuit.connect_dff(armed, b.lor(armed, vote));
+
+  b.output_bus("res_o", result);
+  circuit.validate();
+  FEMU_CHECK(circuit.num_inputs() == 11 && circuit.num_outputs() == 6 &&
+                 circuit.num_dffs() == 17,
+             "b10_like interface drifted");
+  return circuit;
+}
+
+Circuit build_b13_like() {
+  Circuit circuit("b13_like");
+  Builder b(circuit);
+  const Bus sensor = b.input_bus("s", 8);
+  const NodeId strobe = circuit.add_input("strobe");
+  const NodeId chan = circuit.add_input("chan_hi");
+
+  const Bus temp = b.register_bus("temp", 8);
+  const Bus pressure = b.register_bus("pres", 8);
+  const Bus wind = b.register_bus("wind", 8);
+  const Bus checksum = b.register_bus("chk", 8);
+  const Bus shift = b.register_bus("shr", 8);
+  const Bus count = b.register_bus("cnt", 4);
+  const Bus state = b.register_bus("st", 3);
+  const Bus out_reg = b.register_bus("outr", 6);
+
+  const NodeId s_capture = b.eq_const(state, 0);
+  const NodeId s_chk = b.eq_const(state, 1);
+  const NodeId s_tx = b.eq_const(state, 2);
+
+  // CAPTURE: a strobe stores the sensor word into temp or pressure (by
+  // channel), wind integrates continuously. CHK: fold the three readings
+  // into a checksum. TX: serialise checksum bits through the shifter into
+  // the output register.
+  const Bus temp_next =
+      b.mux_bus(b.land(s_capture, b.land(strobe, b.lnot(chan))), temp, sensor);
+  const Bus pres_next =
+      b.mux_bus(b.land(s_capture, b.land(strobe, chan)), pressure, sensor);
+  const Bus wind_next = b.mux_bus(s_capture, wind, b.add(wind, sensor));
+
+  const Bus folded = b.xor_bus(b.add(temp, pressure), wind);
+  const Bus chk_next = b.mux_bus(s_chk, checksum, folded);
+
+  const Bus shift_next = b.mux_bus(
+      s_tx, b.mux_bus(s_chk, shift, checksum),
+      b.concat(b.slice(shift, 1, 7), Bus{b.zero()}));
+  const Bus out_next = b.mux_bus(
+      s_tx, out_reg,
+      b.concat(Bus{shift[0]}, b.slice(out_reg, 0, 5)));
+
+  const NodeId cnt_done = b.eq_const(count, 11);
+  const Bus count_next = b.mux_bus(
+      s_tx, b.constant(0, 4), b.mux_bus(cnt_done, b.inc(count),
+                                        b.constant(0, 4)));
+
+  Bus state_next = b.constant(0, 3);
+  state_next =
+      b.mux_bus(b.land(s_capture, strobe), state_next, b.constant(1, 3));
+  state_next = b.mux_bus(s_chk, state_next, b.constant(2, 3));
+  state_next =
+      b.mux_bus(b.land(s_tx, b.lnot(cnt_done)), state_next, b.constant(2, 3));
+
+  b.connect(temp, temp_next);
+  b.connect(pressure, pres_next);
+  b.connect(wind, wind_next);
+  b.connect(checksum, chk_next);
+  b.connect(shift, shift_next);
+  b.connect(count, count_next);
+  b.connect(state, state_next);
+  b.connect(out_reg, out_next);
+
+  b.output_bus("tx", out_reg);
+  b.output_bus("chk_o", rtl::Bus(checksum.begin(), checksum.begin() + 4));
+  circuit.validate();
+  FEMU_CHECK(circuit.num_inputs() == 10 && circuit.num_outputs() == 10 &&
+                 circuit.num_dffs() == 53,
+             "b13_like interface drifted");
+  return circuit;
+}
+
+}  // namespace femu::circuits

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "netlist/circuit.h"
+
+namespace femu::circuits {
+
+/// Second batch of ITC'99-profile benchmarks (independent designs matching
+/// the published interface shapes), extending workload diversity for the
+/// sweeps: datapath-heavy, matcher-style, voter-style and telemetry-style
+/// machines behave differently under SEUs than the pure FSMs in small.h.
+
+/// b04-like: min/max/sum tracker over a streamed operand. 11 PI, 8 PO, 66 FF.
+[[nodiscard]] Circuit build_b04_like();
+
+/// b08-like: serial pattern matcher with match counter. 9 PI, 4 PO, 21 FF.
+[[nodiscard]] Circuit build_b08_like();
+
+/// b10-like: two-channel voter with registered result. 11 PI, 6 PO, 17 FF.
+[[nodiscard]] Circuit build_b10_like();
+
+/// b13-like: weather-station telemetry interface. 10 PI, 10 PO, 53 FF.
+[[nodiscard]] Circuit build_b13_like();
+
+}  // namespace femu::circuits

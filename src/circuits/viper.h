@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+
+#include "netlist/circuit.h"
+
+namespace femu::circuits {
+
+/// Parameters of the Viper-like accumulator CPU (see b14.h for the ISA).
+/// Flip-flop count = 4 (FSM) + 3*addr_width + 4*data_width + tmp_width + 5
+/// (flags C/Z/N + rd + wr); primary inputs = data_width; primary outputs =
+/// addr_width + data_width + 2.
+struct ViperParams {
+  std::size_t addr_width = 20;
+  std::size_t data_width = 32;
+  std::size_t tmp_width = 18;
+
+  [[nodiscard]] std::size_t expected_dffs() const {
+    return 4 + 3 * addr_width + 4 * data_width + tmp_width + 5;
+  }
+};
+
+/// Builds the CPU with arbitrary datapath widths (data_width must cover the
+/// instruction fields: data_width >= addr_width and data_width >= 8).
+/// The scaling bench uses this to sweep CPU-shaped circuits; build_b14() is
+/// the paper-profile instance (20/32/18 -> exactly 215 FFs).
+[[nodiscard]] Circuit build_viper(const ViperParams& params,
+                                  std::string name);
+
+}  // namespace femu::circuits

@@ -1,0 +1,158 @@
+#include "common/bitvec.h"
+
+#include <bit>
+
+#include "common/error.h"
+
+namespace femu {
+
+namespace {
+
+constexpr std::size_t word_index(std::size_t bit) { return bit / 64; }
+constexpr std::uint64_t bit_mask(std::size_t bit) {
+  return std::uint64_t{1} << (bit % 64);
+}
+constexpr std::size_t words_for(std::size_t bits) { return (bits + 63) / 64; }
+
+}  // namespace
+
+BitVec::BitVec(std::size_t size, bool value)
+    : size_(size),
+      words_(words_for(size), value ? ~std::uint64_t{0} : std::uint64_t{0}) {
+  mask_tail();
+}
+
+void BitVec::resize(std::size_t size, bool value) {
+  const std::size_t old_size = size_;
+  size_ = size;
+  words_.resize(words_for(size), std::uint64_t{0});
+  if (value && size > old_size) {
+    for (std::size_t i = old_size; i < size; ++i) {
+      set(i, true);
+    }
+  }
+  mask_tail();
+}
+
+bool BitVec::get(std::size_t index) const {
+  FEMU_CHECK(index < size_, "BitVec::get index ", index, " size ", size_);
+  return (words_[word_index(index)] & bit_mask(index)) != 0;
+}
+
+void BitVec::set(std::size_t index, bool value) {
+  FEMU_CHECK(index < size_, "BitVec::set index ", index, " size ", size_);
+  if (value) {
+    words_[word_index(index)] |= bit_mask(index);
+  } else {
+    words_[word_index(index)] &= ~bit_mask(index);
+  }
+}
+
+void BitVec::flip(std::size_t index) {
+  FEMU_CHECK(index < size_, "BitVec::flip index ", index, " size ", size_);
+  words_[word_index(index)] ^= bit_mask(index);
+}
+
+void BitVec::set_all() {
+  for (auto& word : words_) {
+    word = ~std::uint64_t{0};
+  }
+  mask_tail();
+}
+
+void BitVec::clear_all() {
+  for (auto& word : words_) {
+    word = 0;
+  }
+}
+
+std::size_t BitVec::popcount() const noexcept {
+  std::size_t count = 0;
+  for (const auto word : words_) {
+    count += static_cast<std::size_t>(std::popcount(word));
+  }
+  return count;
+}
+
+bool BitVec::any() const noexcept {
+  for (const auto word : words_) {
+    if (word != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t BitVec::find_first() const noexcept {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return w * 64 + static_cast<std::size_t>(std::countr_zero(words_[w]));
+    }
+  }
+  return size_;
+}
+
+BitVec& BitVec::operator^=(const BitVec& other) {
+  FEMU_CHECK(size_ == other.size_, "BitVec size mismatch: ", size_, " vs ",
+             other.size_);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    words_[w] ^= other.words_[w];
+  }
+  return *this;
+}
+
+BitVec& BitVec::operator|=(const BitVec& other) {
+  FEMU_CHECK(size_ == other.size_, "BitVec size mismatch: ", size_, " vs ",
+             other.size_);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    words_[w] |= other.words_[w];
+  }
+  return *this;
+}
+
+BitVec& BitVec::operator&=(const BitVec& other) {
+  FEMU_CHECK(size_ == other.size_, "BitVec size mismatch: ", size_, " vs ",
+             other.size_);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    words_[w] &= other.words_[w];
+  }
+  return *this;
+}
+
+std::string BitVec::to_string() const {
+  std::string out;
+  out.reserve(size_);
+  for (std::size_t i = size_; i-- > 0;) {
+    out.push_back(get(i) ? '1' : '0');
+  }
+  return out;
+}
+
+BitVec BitVec::from_string(std::string_view text) {
+  BitVec out(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[text.size() - 1 - i];
+    FEMU_CHECK(c == '0' || c == '1', "BitVec::from_string bad char '", c, "'");
+    out.set(i, c == '1');
+  }
+  return out;
+}
+
+std::uint64_t BitVec::hash() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ size_;
+  for (const auto word : words_) {
+    h ^= word;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+void BitVec::mask_tail() noexcept {
+  const std::size_t tail = size_ % 64;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+}
+
+}  // namespace femu

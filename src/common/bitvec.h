@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace femu {
+
+/// Dynamically sized bit vector stored in 64-bit words.
+///
+/// This is the core value type of the fault-grading stack: circuit states,
+/// output snapshots and fault masks are all BitVecs. The word storage is
+/// exposed read-only so the 64-way parallel simulator can compare whole
+/// machine states with word operations.
+class BitVec {
+ public:
+  static constexpr std::size_t kWordBits = 64;
+
+  BitVec() = default;
+
+  /// Creates a vector of `size` bits, all initialised to `value`.
+  explicit BitVec(std::size_t size, bool value = false);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Resizes to `size` bits; new bits are `value`.
+  void resize(std::size_t size, bool value = false);
+
+  [[nodiscard]] bool get(std::size_t index) const;
+  void set(std::size_t index, bool value);
+  void flip(std::size_t index);
+
+  void set_all();
+  void clear_all();
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t popcount() const noexcept;
+
+  [[nodiscard]] bool any() const noexcept;
+  [[nodiscard]] bool none() const noexcept { return !any(); }
+
+  /// Index of the first set bit, or size() when none is set.
+  [[nodiscard]] std::size_t find_first() const noexcept;
+
+  BitVec& operator^=(const BitVec& other);
+  BitVec& operator|=(const BitVec& other);
+  BitVec& operator&=(const BitVec& other);
+
+  friend bool operator==(const BitVec& a, const BitVec& b) noexcept {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  /// Read-only view of the backing words (tail bits beyond size() are zero).
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
+
+  /// Bits rendered most-significant-first, e.g. BitVec of {1,0,1} -> "101".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses a string of '0'/'1' characters (most-significant-first).
+  [[nodiscard]] static BitVec from_string(std::string_view text);
+
+  /// FNV-style hash of size and contents, for golden-trace fingerprints.
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
+ private:
+  void mask_tail() noexcept;
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace femu

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "common/strings.h"
+
+namespace femu {
+
+/// Base exception for all library failures. Carries the source location of the
+/// failed check so campaign drivers can report actionable diagnostics.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// Thrown when a netlist fails structural validation (combinational loop,
+/// dangling input, multiple drivers, ...).
+class NetlistError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when parsing an external file (.bench, vector files) fails.
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when a design does not fit the target board resources.
+class CapacityError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* file, int line,
+                                             const char* expr,
+                                             const std::string& message) {
+  throw Error(str_cat(file, ":", line, ": check failed: ", expr,
+                      message.empty() ? "" : " — ", message));
+}
+
+}  // namespace detail
+
+}  // namespace femu
+
+/// Invariant check that throws femu::Error with file/line context.
+/// Used for API misuse and internal invariants alike; campaigns are long-lived
+/// batch jobs, so we prefer an exception with context over abort().
+#define FEMU_CHECK(cond, ...)                                      \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::femu::detail::throw_check_failure(__FILE__, __LINE__,      \
+                                          #cond,                   \
+                                          ::femu::str_cat(__VA_ARGS__)); \
+    }                                                              \
+  } while (false)

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+
+namespace femu {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded via splitmix64).
+///
+/// The standard library distributions are implementation-defined, so fault
+/// campaigns seeded through <random> would not reproduce across toolchains.
+/// Everything in this library that needs randomness (stimulus vectors, random
+/// circuits, fault sampling) goes through this generator, which produces the
+/// same stream on every platform.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next 64 uniformly random bits.
+  [[nodiscard]] std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound); bound must be nonzero.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept {
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability `p` (clamped to [0, 1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept {
+    return next_double() < p;
+  }
+
+  /// Random single bit.
+  [[nodiscard]] bool next_bit() noexcept { return (next_u64() & 1) != 0; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace femu

@@ -1,0 +1,173 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace femu {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  FEMU_CHECK(!headers_.empty(), "TextTable needs at least one column");
+  align_.assign(headers_.size(), Align::kRight);
+  align_[0] = Align::kLeft;
+}
+
+void TextTable::set_align(std::vector<Align> align) {
+  FEMU_CHECK(align.size() == headers_.size(),
+             "alignment arity ", align.size(), " != ", headers_.size());
+  align_ = std::move(align);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  FEMU_CHECK(cells.size() == headers_.size(), "row arity ", cells.size(),
+             " != header arity ", headers_.size());
+  rows_.push_back(Row{std::move(cells), /*separator=*/false});
+}
+
+void TextTable::add_separator() {
+  rows_.push_back(Row{{}, /*separator=*/true});
+}
+
+std::vector<std::size_t> TextTable::column_widths() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      continue;
+    }
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+  return widths;
+}
+
+namespace {
+
+void append_cell(std::string& line, const std::string& text, std::size_t width,
+                 Align align) {
+  const std::size_t pad = width - std::min(width, text.size());
+  if (align == Align::kRight) {
+    line.append(pad, ' ');
+    line.append(text);
+  } else {
+    line.append(text);
+    line.append(pad, ' ');
+  }
+}
+
+}  // namespace
+
+std::string TextTable::to_ascii() const {
+  const auto widths = column_widths();
+  const auto rule = [&widths]() {
+    std::string line = "+";
+    for (const auto w : widths) {
+      line.append(w + 2, '-');
+      line.push_back('+');
+    }
+    line.push_back('\n');
+    return line;
+  };
+
+  std::string out = rule();
+  {
+    std::string line = "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      line.push_back(' ');
+      append_cell(line, headers_[c], widths[c], Align::kLeft);
+      line.append(" |");
+    }
+    line.push_back('\n');
+    out += line;
+  }
+  out += rule();
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      out += rule();
+      continue;
+    }
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      line.push_back(' ');
+      append_cell(line, row.cells[c], widths[c], align_[c]);
+      line.append(" |");
+    }
+    line.push_back('\n');
+    out += line;
+  }
+  out += rule();
+  return out;
+}
+
+std::string TextTable::to_markdown() const {
+  const auto widths = column_widths();
+  std::string out = "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out.push_back(' ');
+    append_cell(out, headers_[c], widths[c], Align::kLeft);
+    out.append(" |");
+  }
+  out.push_back('\n');
+  out.push_back('|');
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out.push_back(align_[c] == Align::kRight ? '-' : ':');
+    out.append(widths[c], '-');
+    out.push_back(align_[c] == Align::kRight ? ':' : '-');
+    out.push_back('|');
+  }
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      continue;
+    }
+    out.push_back('|');
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      out.push_back(' ');
+      append_cell(out, row.cells[c], widths[c], align_[c]);
+      out.append(" |");
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string TextTable::to_csv() const {
+  const auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      return cell;
+    }
+    std::string quoted = "\"";
+    for (const char c : cell) {
+      if (c == '"') {
+        quoted += "\"\"";
+      } else {
+        quoted.push_back(c);
+      }
+    }
+    quoted.push_back('"');
+    return quoted;
+  };
+
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "" : ",") << escape(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      continue;
+    }
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      os << (c == 0 ? "" : ",") << escape(row.cells[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace femu

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace femu {
+
+/// Column alignment for TextTable rendering.
+enum class Align { kLeft, kRight };
+
+/// Small report-table builder used by the benches to print paper-style tables
+/// (ASCII for the terminal, Markdown for EXPERIMENTS.md, CSV for scripts).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Overrides the default alignment (first column left, rest right).
+  void set_align(std::vector<Align> align);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator (ASCII rendering only).
+  void add_separator();
+
+  [[nodiscard]] std::string to_ascii() const;
+  [[nodiscard]] std::string to_markdown() const;
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  [[nodiscard]] std::vector<std::size_t> column_widths() const;
+
+  std::vector<std::string> headers_;
+  std::vector<Align> align_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace femu

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <chrono>
+
+namespace femu {
+
+/// Monotonic wall-clock stopwatch, used to time the software baselines
+/// (serial fault simulation) so benches can report measured µs/fault.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_micros() const noexcept {
+    return elapsed_seconds() * 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace femu

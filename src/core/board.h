@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace femu {
+
+/// Emulation board resource model. Defaults describe the paper's platform:
+/// a Celoxica RC1000 carrying a Xilinx Virtex-2000E (XCV2000E: 19,200 slices
+/// = 38,400 4-LUTs + 38,400 FFs, 160 block RAMs x 4 kbit) and 8 MB of
+/// on-board SRAM.
+struct Board {
+  std::string name = "RC1000 (Virtex-2000E)";
+  std::size_t fpga_luts = 38'400;
+  std::size_t fpga_ffs = 38'400;
+  std::uint64_t fpga_bram_bits = 160ull * 4096;      // 655,360
+  std::uint64_t board_ram_bits = 8ull * 1024 * 1024 * 8;  // 8 MB
+  double clock_mhz = 25.0;
+};
+
+/// Resource demand of a complete emulator system (instrumented circuit +
+/// controller + memories).
+struct SystemResources {
+  std::size_t luts = 0;
+  std::size_t ffs = 0;
+  std::uint64_t fpga_ram_bits = 0;
+  std::uint64_t board_ram_bits = 0;
+};
+
+/// Fit check result with utilisation fractions (1.0 = full).
+struct FitReport {
+  bool fits = true;
+  double lut_util = 0.0;
+  double ff_util = 0.0;
+  double fpga_ram_util = 0.0;
+  double board_ram_util = 0.0;
+};
+
+[[nodiscard]] inline FitReport check_fit(const Board& board,
+                                         const SystemResources& need) {
+  FitReport report;
+  report.lut_util = static_cast<double>(need.luts) /
+                    static_cast<double>(board.fpga_luts);
+  report.ff_util =
+      static_cast<double>(need.ffs) / static_cast<double>(board.fpga_ffs);
+  report.fpga_ram_util = static_cast<double>(need.fpga_ram_bits) /
+                         static_cast<double>(board.fpga_bram_bits);
+  report.board_ram_util = static_cast<double>(need.board_ram_bits) /
+                          static_cast<double>(board.board_ram_bits);
+  report.fits = report.lut_util <= 1.0 && report.ff_util <= 1.0 &&
+                report.fpga_ram_util <= 1.0 && report.board_ram_util <= 1.0;
+  return report;
+}
+
+}  // namespace femu

@@ -1,0 +1,64 @@
+#include "core/controller_cost.h"
+
+#include <bit>
+
+namespace femu {
+
+namespace {
+
+/// Width of a counter able to hold values in [0, n].
+std::size_t counter_width(std::size_t n) {
+  return static_cast<std::size_t>(std::bit_width(n));
+}
+
+}  // namespace
+
+ControllerCost estimate_controller(Technique technique,
+                                   const ControllerCostParams& p) {
+  const std::size_t w_cycle = counter_width(p.num_cycles);
+  const std::size_t w_fault = counter_width(p.num_faults);
+  const std::size_t w_pos = counter_width(p.num_ffs);
+
+  ControllerCost cost;
+
+  // Common sequencing machinery.
+  // Counters: ~1 LUT/bit for increment, ~1/4 LUT/bit for terminal compare.
+  const std::size_t counter_bits = w_cycle + w_fault + w_pos;
+  cost.ffs += counter_bits;
+  cost.luts += counter_bits + counter_bits / 4;
+  // RAM data register + addressing glue (the fault counter doubles as the
+  // result address, so no separate address register).
+  cost.ffs += p.ram_word;
+  cost.luts += p.ram_word / 2 + 16;
+  // Sequencing FSM (~12 states) + classification buffer.
+  cost.ffs += 4 + 2;
+  cost.luts += 28;
+
+  switch (technique) {
+    case Technique::kMaskScan:
+      // Output comparator against golden responses from RAM: PO XOR + OR
+      // tree. Golden-final-state register (N bits, written once after the
+      // golden run) + full-width comparator for the latent/silent split.
+      cost.luts += p.num_outputs + p.num_outputs / 2;
+      cost.ffs += p.num_ffs;
+      cost.luts += p.num_ffs + p.num_ffs / 2;
+      break;
+    case Technique::kStateScan:
+      // Output comparator + a 1-bit serial comparator on the ejected state
+      // (the shared scan makes the final-state check almost free).
+      cost.luts += p.num_outputs + p.num_outputs / 2;
+      cost.ffs += 2;
+      cost.luts += 6;
+      break;
+    case Technique::kTimeMux:
+      // No output comparator (detect/state_equal live in the instrument);
+      // instead: two-phase sequencing, checkpoint-advance control, and a
+      // result prefetch buffer that batches classifications to board RAM.
+      cost.ffs += p.ram_word + 8;
+      cost.luts += p.ram_word + 24;
+      break;
+  }
+  return cost;
+}
+
+}  // namespace femu

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/technique.h"
+
+namespace femu {
+
+/// FPGA area of the autonomous emulation controller (the block that replaces
+/// the host: sequencing FSM, cycle/fault/position counters, RAM interface,
+/// response comparators).
+struct ControllerCost {
+  std::size_t luts = 0;
+  std::size_t ffs = 0;
+};
+
+struct ControllerCostParams {
+  std::size_t num_inputs = 0;   ///< PI — response-comparator width driver
+  std::size_t num_outputs = 0;  ///< PO
+  std::size_t num_ffs = 0;      ///< N — golden-final-state register width
+  std::size_t num_cycles = 0;   ///< T — cycle-counter width driver
+  std::size_t num_faults = 0;   ///< F — fault-counter width driver
+  std::size_t ram_word = 32;    ///< board RAM data width
+};
+
+/// Parametric area model, matching the paper's observation that "control
+/// block overhead depends on the flip-flop number, test bench cycles and
+/// circuit inputs and outputs". Terms (documented in the .cpp):
+/// counters sized by log2(T), log2(F), log2(N); a RAM data register; the
+/// sequencing FSM; per-technique comparators (mask-scan carries an N-bit
+/// golden-final-state register + comparator, state-scan compares serially,
+/// time-mux samples its in-circuit comparators and sequences two phases).
+[[nodiscard]] ControllerCost estimate_controller(
+    Technique technique, const ControllerCostParams& params);
+
+}  // namespace femu

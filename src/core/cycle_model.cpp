@@ -1,0 +1,123 @@
+#include "core/cycle_model.h"
+
+#include "common/error.h"
+
+namespace femu {
+
+std::uint64_t mask_ring_cost(std::size_t prev, std::size_t ff,
+                             std::size_t num_ffs) {
+  FEMU_CHECK(ff < num_ffs, "mask ring: ff ", ff, " out of ", num_ffs);
+  if (prev == static_cast<std::size_t>(-1)) {
+    return static_cast<std::uint64_t>(ff) + 1;  // insert + rotate into place
+  }
+  FEMU_CHECK(prev < num_ffs, "mask ring: prev ", prev, " out of ", num_ffs);
+  return static_cast<std::uint64_t>((ff + num_ffs - prev) % num_ffs);
+}
+
+std::uint64_t fault_emulation_cycles(Technique technique,
+                                     const CycleModelParams& p,
+                                     const Fault& fault,
+                                     const FaultOutcome& outcome) {
+  const std::uint64_t t_end = p.num_cycles;
+  const std::uint64_t c = fault.cycle;
+  FEMU_CHECK(c < t_end, "fault cycle ", c, " beyond testbench ", t_end);
+
+  switch (technique) {
+    case Technique::kMaskScan: {
+      // One init cycle establishes the (possibly pre-flipped) reset state,
+      // then the whole testbench replays from cycle 0 because mask-scan has
+      // no state restore. Early exit on output mismatch only; latent/silent
+      // are separated by the controller's golden-final-state comparator at
+      // no extra cycle cost.
+      const std::uint64_t run = outcome.cls == FaultClass::kFailure
+                                    ? outcome.detect_cycle + 1
+                                    : t_end;
+      return 1 + run;
+    }
+    case Technique::kStateScan: {
+      // save (1) + scan N (next image in / previous final state out, the
+      // ejected bits are compared serially against the golden final state)
+      // + load (1) + run from the injection cycle.
+      const std::uint64_t run = outcome.cls == FaultClass::kFailure
+                                    ? outcome.detect_cycle - c + 1
+                                    : t_end - c;
+      return 2 + p.num_ffs + run;
+    }
+    case Technique::kTimeMux: {
+      // load-with-inject (1) + two clocks per emulated testbench cycle
+      // (golden phase, faulty phase). Runs until output mismatch (failure),
+      // state re-convergence (silent — the on-chip comparator's early exit),
+      // or the end of the testbench (latent).
+      std::uint64_t len = 0;
+      switch (outcome.cls) {
+        case FaultClass::kFailure:
+          len = outcome.detect_cycle - c + 1;
+          break;
+        case FaultClass::kSilent:
+          len = outcome.converge_cycle - c;
+          break;
+        case FaultClass::kLatent:
+          len = t_end - c;
+          break;
+      }
+      return 1 + 2 * len;
+    }
+  }
+  FEMU_CHECK(false, "unknown technique");
+  return 0;
+}
+
+CampaignCycles campaign_cycles(Technique technique, const CycleModelParams& p,
+                               std::span<const Fault> faults,
+                               std::span<const FaultOutcome> outcomes) {
+  FEMU_CHECK(faults.size() == outcomes.size(), "campaign_cycles: ",
+             faults.size(), " faults vs ", outcomes.size(), " outcomes");
+  CampaignCycles cycles;
+
+  // ---- per-fault work + mask-ring movement ----
+  std::size_t mask_pos = static_cast<std::size_t>(-1);
+  std::uint32_t max_cycle = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    std::uint64_t ring = 0;
+    if (technique != Technique::kStateScan) {
+      ring = mask_ring_cost(mask_pos, faults[i].ff_index, p.num_ffs);
+      mask_pos = faults[i].ff_index;
+    }
+    cycles.fault_cycles +=
+        ring + fault_emulation_cycles(technique, p, faults[i], outcomes[i]);
+    max_cycle = std::max(max_cycle, faults[i].cycle);
+  }
+
+  // ---- setup / teardown ----
+  switch (technique) {
+    case Technique::kMaskScan:
+      // Golden run (records outputs + final state into RAM / the
+      // golden-final-state register).
+      cycles.setup_cycles += p.num_cycles;
+      break;
+    case Technique::kStateScan: {
+      // Golden run + faulty-image preparation (one RAM image per fault,
+      // ceil(N/word) writes each) + the final save+scan that drains the last
+      // fault's state for classification.
+      cycles.setup_cycles += p.num_cycles;
+      const std::uint64_t words_per_image =
+          (p.num_ffs + p.ram_word - 1) / p.ram_word;
+      cycles.setup_cycles += faults.size() * words_per_image;
+      if (!faults.empty()) {
+        cycles.setup_cycles += 1 + p.num_ffs;
+      }
+      break;
+    }
+    case Technique::kTimeMux:
+      // No golden pre-run (the golden machine lives on-chip); the checkpoint
+      // advances once per testbench cycle up to the last injection cycle,
+      // 3 clocks each (restore golden, step, save).
+      if (!faults.empty()) {
+        cycles.setup_cycles += 3ull * max_cycle;
+      }
+      break;
+  }
+  return cycles;
+}
+
+}  // namespace femu

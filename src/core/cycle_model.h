@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/technique.h"
+#include "fault/fault.h"
+
+namespace femu {
+
+/// Parameters of the emulation schedule that the controller protocol depends
+/// on (everything else comes from the per-fault outcomes).
+struct CycleModelParams {
+  std::size_t num_ffs = 0;     ///< N — flip-flops of the circuit under test
+  std::size_t num_cycles = 0;  ///< T — testbench length
+  std::size_t ram_word = 32;   ///< on-board RAM word width (state-scan prep)
+};
+
+/// Exact clock-cycle account of one emulation campaign, split the way the
+/// paper discusses it (setup = golden run + chain fills + state-image prep +
+/// checkpoint advances; the rest is per-fault work).
+struct CampaignCycles {
+  std::uint64_t setup_cycles = 0;
+  std::uint64_t fault_cycles = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return setup_cycles + fault_cycles;
+  }
+  [[nodiscard]] double seconds_at_mhz(double mhz) const noexcept {
+    return static_cast<double>(total()) / (mhz * 1e6);
+  }
+  [[nodiscard]] double us_per_fault(std::size_t faults,
+                                    double mhz) const noexcept {
+    return faults == 0 ? 0.0
+                       : seconds_at_mhz(mhz) * 1e6 / static_cast<double>(faults);
+  }
+};
+
+/// Cycles the mask ring needs to move the one-hot from `prev` to `ff`
+/// (kNoCycle-style sentinel: pass prev = SIZE_MAX for the initial fill, which
+/// costs ff+1 cycles — one to insert the '1', ff to rotate it into place).
+[[nodiscard]] std::uint64_t mask_ring_cost(std::size_t prev, std::size_t ff,
+                                           std::size_t num_ffs);
+
+/// Clock cycles one fault costs, excluding mask-ring movement (which depends
+/// on the previous fault — use campaign_cycles for whole schedules):
+///   mask-scan : 1 + (failure ? d+1 : T)           (init + full-prefix run)
+///   state-scan: 2 + N + (failure ? d-c+1 : T-c)   (save/load + scan + run)
+///   time-mux  : 1 + 2*(failure ? d-c+1 :
+///                      silent ? v-c : T-c)        (load + two-phase run)
+/// Derivations and the literal-engine cross-check are in DESIGN.md §5.
+[[nodiscard]] std::uint64_t fault_emulation_cycles(Technique technique,
+                                                   const CycleModelParams& p,
+                                                   const Fault& fault,
+                                                   const FaultOutcome& outcome);
+
+/// Whole-campaign account for a fault schedule and its outcomes (aligned
+/// spans). Includes per-technique setup:
+///   mask-scan : T (golden run) + initial mask fill
+///   state-scan: T + F*ceil(N/ram_word) (faulty-image prep, Table 1's
+///               7.2 Mbit) + N+1 (final eject drain)
+///   time-mux  : initial mask fill + 3*max_inject_cycle (checkpoint advances)
+[[nodiscard]] CampaignCycles campaign_cycles(
+    Technique technique, const CycleModelParams& p,
+    std::span<const Fault> faults, std::span<const FaultOutcome> outcomes);
+
+}  // namespace femu

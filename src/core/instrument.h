@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/technique.h"
+#include "netlist/circuit.h"
+
+namespace femu {
+
+/// Index sentinel for control ports that a technique does not use.
+inline constexpr std::size_t kNoPort = static_cast<std::size_t>(-1);
+
+/// Locations of the controller-facing ports an instrumentation transform
+/// adds. Input entries index circuit.inputs() (original PIs come first),
+/// output entries index circuit.outputs() (original POs come first).
+struct ControlPorts {
+  // ---- inputs ----
+  std::size_t init = kNoPort;        ///< mask-scan: synchronous state init
+  std::size_t inject = kNoPort;      ///< mask/time-mux: fire the masked flip
+  std::size_t mask_shift = kNoPort;  ///< advance the one-hot mask chain
+  std::size_t mask_in = kNoPort;     ///< serial data into the mask chain
+  std::size_t scan_en = kNoPort;     ///< state-scan: shift the shadow chain
+  std::size_t scan_in = kNoPort;     ///< serial data into the shadow chain
+  std::size_t run_en = kNoPort;      ///< state-scan: functional-run enable
+  std::size_t save_state = kNoPort;  ///< shadow<-main / checkpoint<-golden
+  std::size_t load_state = kNoPort;  ///< main<-shadow / golden,faulty<-ckpt
+  std::size_t ena_golden = kNoPort;  ///< time-mux: golden phase enable
+  std::size_t ena_faulty = kNoPort;  ///< time-mux: faulty phase enable
+  // ---- outputs ----
+  std::size_t mask_out = kNoPort;     ///< end of the mask chain
+  std::size_t scan_out = kNoPort;     ///< end of the shadow chain
+  std::size_t detect = kNoPort;       ///< time-mux: output mismatch (faulty phase)
+  std::size_t state_equal = kNoPort;  ///< time-mux: golden == faulty state
+};
+
+/// A circuit rewritten by one of the paper's injection techniques, together
+/// with everything the emulation controller (and the literal engine) needs to
+/// drive it. The original primary inputs/outputs keep their positions, so the
+/// testbench applies unchanged.
+struct InstrumentedCircuit {
+  Circuit circuit{"uninstrumented"};
+  Technique technique = Technique::kMaskScan;
+
+  std::size_t num_orig_inputs = 0;
+  std::size_t num_orig_outputs = 0;
+  std::size_t num_orig_dffs = 0;
+
+  ControlPorts ports;
+
+  // Flip-flop index maps (positions in circuit.dffs() order), each sized
+  // num_orig_dffs. Which vectors are populated depends on the technique.
+  std::vector<std::size_t> main_ffs;    ///< faulty/functional FF per orig FF
+  std::vector<std::size_t> golden_ffs;  ///< time-mux golden FF
+  std::vector<std::size_t> mask_ffs;    ///< mask chain FF
+  std::vector<std::size_t> shadow_ffs;  ///< state-scan shadow FF
+  std::vector<std::size_t> state_ffs;   ///< time-mux checkpoint FF
+  std::vector<std::size_t> outreg_ffs;  ///< time-mux golden-output capture
+                                        ///< (sized num_orig_outputs)
+};
+
+/// Mask-scan instrumentation (paper technique 1, derived from [2] plus the
+/// autonomy machinery). Adds per FF: a mask FF (one-hot ring chain) and an
+/// inject/init network on the D pin.
+[[nodiscard]] InstrumentedCircuit instrument_mask_scan(const Circuit& circuit);
+
+/// State-scan instrumentation (paper technique 2). Adds per FF: a shadow
+/// scan FF plus load/save/hold steering on the D pins.
+[[nodiscard]] InstrumentedCircuit instrument_state_scan(const Circuit& circuit);
+
+/// Time-multiplexed instrumentation (paper technique 3, Figure 1). Replaces
+/// every FF with the 4-FF instrument (golden/faulty/mask/state), shares the
+/// combinational logic between the two machines via DataOut muxes, and adds
+/// the on-chip convergence and output-mismatch comparators. Also adds a
+/// golden-output capture register (one bit per original PO) so outputs can be
+/// compared across the two phases; DESIGN.md documents this as our concrete
+/// reading of the paper's DetectadoN/EnaDetect signals.
+[[nodiscard]] InstrumentedCircuit instrument_time_mux(const Circuit& circuit);
+
+/// Dispatches on `technique`.
+[[nodiscard]] InstrumentedCircuit instrument(const Circuit& circuit,
+                                             Technique technique);
+
+}  // namespace femu

@@ -1,0 +1,84 @@
+#include "common/error.h"
+#include "common/strings.h"
+#include "core/instrument.h"
+#include "netlist/rewrite.h"
+
+namespace femu {
+
+InstrumentedCircuit instrument_mask_scan(const Circuit& src) {
+  src.validate();
+  const std::size_t n = src.num_dffs();
+  FEMU_CHECK(n > 0, "mask-scan: circuit has no flip-flops to instrument");
+
+  InstrumentedCircuit inst;
+  inst.technique = Technique::kMaskScan;
+  inst.num_orig_inputs = src.num_inputs();
+  inst.num_orig_outputs = src.num_outputs();
+  inst.num_orig_dffs = n;
+  inst.circuit = Circuit(src.name() + "_maskscan");
+  Circuit& dst = inst.circuit;
+
+  NodeMap map(src.node_count());
+  for (const NodeId pi : src.inputs()) {
+    map.bind(pi, dst.add_input(src.node_name(pi)));
+  }
+  // Control inputs come after the functional ones so the original testbench
+  // bits keep their positions.
+  inst.ports.init = dst.num_inputs();
+  const NodeId init = dst.add_input("ctl_init");
+  inst.ports.inject = dst.num_inputs();
+  const NodeId inject = dst.add_input("ctl_inject");
+  inst.ports.mask_shift = dst.num_inputs();
+  const NodeId mask_shift = dst.add_input("ctl_mask_shift");
+  inst.ports.mask_in = dst.num_inputs();
+  const NodeId mask_in = dst.add_input("ctl_mask_in");
+
+  // Main flip-flops first (indices 0..n-1 mirror the original state order),
+  // then the mask chain.
+  std::vector<NodeId> main_ffs;
+  std::vector<NodeId> mask_ffs;
+  main_ffs.reserve(n);
+  mask_ffs.reserve(n);
+  for (const NodeId ff : src.dffs()) {
+    const NodeId main = dst.add_dff(src.node_name(ff));
+    inst.main_ffs.push_back(dst.dff_index(main));
+    main_ffs.push_back(main);
+    map.bind(ff, main);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId mask = dst.add_dff(str_cat("mask", i));
+    inst.mask_ffs.push_back(dst.dff_index(mask));
+    mask_ffs.push_back(mask);
+  }
+
+  copy_combinational(src, dst, map);
+
+  // Injection network per FF: D = init ? inj : (D_orig ^ inj), with
+  // inj = inject & mask. The init path lets the controller establish the
+  // reset state (optionally pre-flipped, for cycle-0 faults) in one cycle.
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId d_orig = map.at(src.dff_d(src.dffs()[i]));
+    const NodeId inj = dst.add_and(inject, mask_ffs[i]);
+    const NodeId flipped = dst.add_xor(d_orig, inj);
+    dst.connect_dff(main_ffs[i], dst.add_mux(init, flipped, inj));
+  }
+
+  // Mask chain: holds unless ctl_mask_shift; the controller closes the ring
+  // by feeding mask_out back into mask_in (one cycle advances the one-hot).
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId from = (i == 0) ? mask_in : mask_ffs[i - 1];
+    dst.connect_dff(mask_ffs[i],
+                    dst.add_mux(mask_shift, mask_ffs[i], from));
+  }
+
+  for (const auto& port : src.outputs()) {
+    dst.add_output(port.name, map.at(port.driver));
+  }
+  inst.ports.mask_out = dst.num_outputs();
+  dst.add_output("ctl_mask_out", mask_ffs[n - 1]);
+
+  dst.validate();
+  return inst;
+}
+
+}  // namespace femu

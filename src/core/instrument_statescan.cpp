@@ -1,0 +1,82 @@
+#include "common/error.h"
+#include "common/strings.h"
+#include "core/instrument.h"
+#include "netlist/rewrite.h"
+
+namespace femu {
+
+InstrumentedCircuit instrument_state_scan(const Circuit& src) {
+  src.validate();
+  const std::size_t n = src.num_dffs();
+  FEMU_CHECK(n > 0, "state-scan: circuit has no flip-flops to instrument");
+
+  InstrumentedCircuit inst;
+  inst.technique = Technique::kStateScan;
+  inst.num_orig_inputs = src.num_inputs();
+  inst.num_orig_outputs = src.num_outputs();
+  inst.num_orig_dffs = n;
+  inst.circuit = Circuit(src.name() + "_statescan");
+  Circuit& dst = inst.circuit;
+
+  NodeMap map(src.node_count());
+  for (const NodeId pi : src.inputs()) {
+    map.bind(pi, dst.add_input(src.node_name(pi)));
+  }
+  inst.ports.scan_en = dst.num_inputs();
+  const NodeId scan_en = dst.add_input("ctl_scan_en");
+  inst.ports.scan_in = dst.num_inputs();
+  const NodeId scan_in = dst.add_input("ctl_scan_in");
+  inst.ports.save_state = dst.num_inputs();
+  const NodeId save_state = dst.add_input("ctl_save");
+  inst.ports.load_state = dst.num_inputs();
+  const NodeId load_state = dst.add_input("ctl_load");
+  inst.ports.run_en = dst.num_inputs();
+  const NodeId run_en = dst.add_input("ctl_run");
+
+  std::vector<NodeId> main_ffs;
+  std::vector<NodeId> shadow_ffs;
+  main_ffs.reserve(n);
+  shadow_ffs.reserve(n);
+  for (const NodeId ff : src.dffs()) {
+    const NodeId main = dst.add_dff(src.node_name(ff));
+    inst.main_ffs.push_back(dst.dff_index(main));
+    main_ffs.push_back(main);
+    map.bind(ff, main);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId shadow = dst.add_dff(str_cat("shadow", i));
+    inst.shadow_ffs.push_back(dst.dff_index(shadow));
+    shadow_ffs.push_back(shadow);
+  }
+
+  copy_combinational(src, dst, map);
+
+  // Main FF: load ? shadow : (run ? D_orig : hold). The hold leg keeps the
+  // machine frozen while the shadow chain is shifting the next faulty image.
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId d_orig = map.at(src.dff_d(src.dffs()[i]));
+    const NodeId run_mux = dst.add_mux(run_en, main_ffs[i], d_orig);
+    dst.connect_dff(main_ffs[i],
+                    dst.add_mux(load_state, run_mux, shadow_ffs[i]));
+  }
+
+  // Shadow FF: scan ? previous-in-chain : (save ? main : hold). The save leg
+  // parks the final faulty state so it can be ejected (and compared against
+  // the golden final state) while the next image shifts in.
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId from = (i == 0) ? scan_in : shadow_ffs[i - 1];
+    const NodeId save_mux = dst.add_mux(save_state, shadow_ffs[i], main_ffs[i]);
+    dst.connect_dff(shadow_ffs[i], dst.add_mux(scan_en, save_mux, from));
+  }
+
+  for (const auto& port : src.outputs()) {
+    dst.add_output(port.name, map.at(port.driver));
+  }
+  inst.ports.scan_out = dst.num_outputs();
+  dst.add_output("ctl_scan_out", shadow_ffs[n - 1]);
+
+  dst.validate();
+  return inst;
+}
+
+}  // namespace femu

@@ -1,0 +1,140 @@
+#include "common/error.h"
+#include "common/strings.h"
+#include "core/instrument.h"
+#include "netlist/rewrite.h"
+#include "rtl/builder.h"
+
+namespace femu {
+
+InstrumentedCircuit instrument_time_mux(const Circuit& src) {
+  src.validate();
+  const std::size_t n = src.num_dffs();
+  FEMU_CHECK(n > 0, "time-mux: circuit has no flip-flops to instrument");
+
+  InstrumentedCircuit inst;
+  inst.technique = Technique::kTimeMux;
+  inst.num_orig_inputs = src.num_inputs();
+  inst.num_orig_outputs = src.num_outputs();
+  inst.num_orig_dffs = n;
+  inst.circuit = Circuit(src.name() + "_timemux");
+  Circuit& dst = inst.circuit;
+  rtl::Builder b(dst);
+
+  NodeMap map(src.node_count());
+  for (const NodeId pi : src.inputs()) {
+    map.bind(pi, dst.add_input(src.node_name(pi)));
+  }
+  inst.ports.inject = dst.num_inputs();
+  const NodeId inject = dst.add_input("ctl_inject");
+  inst.ports.mask_shift = dst.num_inputs();
+  const NodeId mask_shift = dst.add_input("ctl_mask_shift");
+  inst.ports.mask_in = dst.num_inputs();
+  const NodeId mask_in = dst.add_input("ctl_mask_in");
+  inst.ports.save_state = dst.num_inputs();
+  const NodeId save_state = dst.add_input("ctl_save");
+  inst.ports.load_state = dst.num_inputs();
+  const NodeId load_state = dst.add_input("ctl_load");
+  inst.ports.ena_golden = dst.num_inputs();
+  const NodeId ena_golden = dst.add_input("ctl_ena_golden");
+  inst.ports.ena_faulty = dst.num_inputs();
+  const NodeId ena_faulty = dst.add_input("ctl_ena_faulty");
+
+  // Figure-1 instrument: four FFs per original FF.
+  std::vector<NodeId> golden_ffs(n), faulty_ffs(n), mask_ffs(n), state_ffs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string base = src.node_name(src.dffs()[i]);
+    golden_ffs[i] = dst.add_dff(base);  // keeps the original name
+    faulty_ffs[i] = dst.add_dff(str_cat("faulty_", base));
+    mask_ffs[i] = dst.add_dff(str_cat("mask", i));
+    state_ffs[i] = dst.add_dff(str_cat("ckpt", i));
+    inst.golden_ffs.push_back(dst.dff_index(golden_ffs[i]));
+    inst.main_ffs.push_back(dst.dff_index(faulty_ffs[i]));
+    inst.mask_ffs.push_back(dst.dff_index(mask_ffs[i]));
+    inst.state_ffs.push_back(dst.dff_index(state_ffs[i]));
+  }
+
+  // The combinational network is shared between the two machines: each
+  // original FF output becomes DataOut = ena_faulty ? FaultyQ : GoldenQ.
+  for (std::size_t i = 0; i < n; ++i) {
+    map.bind(src.dffs()[i],
+             dst.add_mux(ena_faulty, golden_ffs[i], faulty_ffs[i]));
+  }
+  copy_combinational(src, dst, map);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId d_orig = map.at(src.dff_d(src.dffs()[i]));
+    // Golden FF: load ? checkpoint : (ena_golden ? D : hold).
+    const NodeId g_run = dst.add_mux(ena_golden, golden_ffs[i], d_orig);
+    dst.connect_dff(golden_ffs[i],
+                    dst.add_mux(load_state, g_run, state_ffs[i]));
+    // Faulty FF: load ? checkpoint ^ (inject & mask) : (ena_faulty ? D : hold)
+    // — the SEU is applied while restoring the injection-cycle state.
+    const NodeId inj = dst.add_and(inject, mask_ffs[i]);
+    const NodeId loaded = dst.add_xor(state_ffs[i], inj);
+    const NodeId f_run = dst.add_mux(ena_faulty, faulty_ffs[i], d_orig);
+    dst.connect_dff(faulty_ffs[i], dst.add_mux(load_state, f_run, loaded));
+    // Checkpoint FF: save ? GoldenQ : hold.
+    dst.connect_dff(state_ffs[i],
+                    dst.add_mux(save_state, state_ffs[i], golden_ffs[i]));
+    // Mask FF: one-hot ring chain, as in mask-scan.
+    const NodeId from = (i == 0) ? mask_in : mask_ffs[i - 1];
+    dst.connect_dff(mask_ffs[i], dst.add_mux(mask_shift, mask_ffs[i], from));
+  }
+
+  // Golden-output capture: during the golden phase the shared network shows
+  // golden values; out_reg latches them so the faulty phase can compare.
+  std::vector<NodeId> outreg_ffs;
+  outreg_ffs.reserve(src.num_outputs());
+  for (std::size_t j = 0; j < src.num_outputs(); ++j) {
+    const NodeId reg = dst.add_dff(str_cat("outreg", j));
+    inst.outreg_ffs.push_back(dst.dff_index(reg));
+    outreg_ffs.push_back(reg);
+    const NodeId po = map.at(src.outputs()[j].driver);
+    dst.connect_dff(reg, dst.add_mux(ena_golden, reg, po));
+  }
+
+  // detect: some primary output of the faulty machine deviates from the
+  // captured golden outputs (sample during the faulty phase).
+  rtl::Bus diffs;
+  diffs.reserve(src.num_outputs());
+  for (std::size_t j = 0; j < src.num_outputs(); ++j) {
+    diffs.push_back(
+        dst.add_xor(map.at(src.outputs()[j].driver), outreg_ffs[j]));
+  }
+  const NodeId detect = b.or_reduce(diffs);
+
+  // state_equal: the fault effect has disappeared (golden == faulty on every
+  // FF) — the early-exit signal that makes time-mux the fastest technique.
+  rtl::Bus equals;
+  equals.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    equals.push_back(
+        dst.add_gate(CellType::kXnor, golden_ffs[i], faulty_ffs[i]));
+  }
+  const NodeId state_equal = b.and_reduce(equals);
+
+  for (const auto& port : src.outputs()) {
+    dst.add_output(port.name, map.at(port.driver));
+  }
+  inst.ports.mask_out = dst.num_outputs();
+  dst.add_output("ctl_mask_out", mask_ffs[n - 1]);
+  inst.ports.detect = dst.num_outputs();
+  dst.add_output("ctl_detect", detect);
+  inst.ports.state_equal = dst.num_outputs();
+  dst.add_output("ctl_state_equal", state_equal);
+
+  dst.validate();
+  return inst;
+}
+
+InstrumentedCircuit instrument(const Circuit& circuit, Technique technique) {
+  switch (technique) {
+    case Technique::kMaskScan: return instrument_mask_scan(circuit);
+    case Technique::kStateScan: return instrument_state_scan(circuit);
+    case Technique::kTimeMux: return instrument_time_mux(circuit);
+  }
+  FEMU_CHECK(false, "unknown technique");
+  return {};
+}
+
+}  // namespace femu

@@ -1,0 +1,382 @@
+#include "core/literal_engine.h"
+
+#include "common/error.h"
+
+namespace femu {
+
+LiteralEngine::LiteralEngine(const Circuit& original,
+                             const Testbench& testbench, Technique technique)
+    : original_(original),
+      testbench_(testbench),
+      inst_(instrument(original, technique)),
+      golden_(capture_golden(original, testbench.vectors())) {
+  FEMU_CHECK(testbench.input_width() == original.num_inputs(),
+             "testbench width ", testbench.input_width(), " != circuit PI ",
+             original.num_inputs());
+}
+
+BitVec LiteralEngine::frame(const BitVec& orig_inputs) const {
+  BitVec in(inst_.circuit.num_inputs());
+  for (std::size_t i = 0; i < inst_.num_orig_inputs; ++i) {
+    in.set(i, orig_inputs.get(i));
+  }
+  return in;
+}
+
+BitVec LiteralEngine::idle_frame() const {
+  return BitVec(inst_.circuit.num_inputs());
+}
+
+bool LiteralEngine::orig_outputs_differ(const BitVec& got, const BitVec& want,
+                                        std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (got.get(i) != want.get(i)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LiteralEngine::mask_out_bit(const LevelizedSimulator& sim) const {
+  return sim.state_bit(inst_.mask_ffs[inst_.num_orig_dffs - 1]);
+}
+
+std::uint64_t LiteralEngine::position_mask(LevelizedSimulator& sim,
+                                           std::size_t ff) {
+  const std::uint64_t cost =
+      mask_ring_cost(mask_pos_, ff, inst_.num_orig_dffs);
+  const bool filling = mask_pos_ == static_cast<std::size_t>(-1);
+  for (std::uint64_t k = 0; k < cost; ++k) {
+    BitVec in = idle_frame();
+    in.set(inst_.ports.mask_shift, true);
+    // First fill cycle inserts the '1'; afterwards the controller closes the
+    // ring by feeding mask_out back into mask_in.
+    in.set(inst_.ports.mask_in,
+           (filling && k == 0) ? true : mask_out_bit(sim));
+    sim.eval(in);
+    sim.step();
+  }
+  mask_pos_ = ff;
+  return cost;
+}
+
+LiteralEngine::Result LiteralEngine::run(std::span<const Fault> faults) {
+  mask_pos_ = static_cast<std::size_t>(-1);
+  for (const Fault& fault : faults) {
+    FEMU_CHECK(fault.cycle < testbench_.num_cycles(), "fault cycle ",
+               fault.cycle, " beyond testbench");
+    FEMU_CHECK(fault.ff_index < inst_.num_orig_dffs, "fault FF ",
+               fault.ff_index, " out of range");
+  }
+  switch (inst_.technique) {
+    case Technique::kMaskScan: return run_mask_scan(faults);
+    case Technique::kStateScan: return run_state_scan(faults);
+    case Technique::kTimeMux: return run_time_mux(faults);
+  }
+  FEMU_CHECK(false, "unknown technique");
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// mask-scan
+// ---------------------------------------------------------------------------
+
+LiteralEngine::Result LiteralEngine::run_mask_scan(
+    std::span<const Fault> faults) {
+  const std::size_t t_end = testbench_.num_cycles();
+  const std::size_t n = inst_.num_orig_dffs;
+  LevelizedSimulator sim(inst_.circuit);
+  Result res;
+  std::vector<FaultOutcome> outcomes(faults.size());
+
+  // Golden run on the instrumented circuit (controls idle): fills the
+  // response RAM and the golden-final-state register. The equality checks
+  // double as instrumentation-transparency assertions.
+  for (std::size_t t = 0; t < t_end; ++t) {
+    const BitVec out = sim.eval(frame(testbench_.vector(t)));
+    FEMU_CHECK(!orig_outputs_differ(out, golden_.outputs[t],
+                                    inst_.num_orig_outputs),
+               "mask-scan golden run diverges at cycle ", t);
+    sim.step();
+    ++res.cycles.setup_cycles;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    FEMU_CHECK(sim.state_bit(inst_.main_ffs[i]) ==
+                   golden_.final_state().get(i),
+               "mask-scan golden final state diverges at FF ", i);
+  }
+
+  for (std::size_t k = 0; k < faults.size(); ++k) {
+    const Fault fault = faults[k];
+    res.cycles.fault_cycles += position_mask(sim, fault.ff_index);
+
+    // Init cycle: establish the reset state; cycle-0 faults are flipped
+    // right here (state(0) = reset ^ one-hot).
+    {
+      BitVec in = idle_frame();
+      in.set(inst_.ports.init, true);
+      if (fault.cycle == 0) {
+        in.set(inst_.ports.inject, true);
+      }
+      sim.eval(in);
+      sim.step();
+      ++res.cycles.fault_cycles;
+    }
+
+    FaultOutcome outcome{FaultClass::kLatent, kNoCycle, kNoCycle};
+    bool failed = false;
+    for (std::size_t t = 0; t < t_end; ++t) {
+      BitVec in = frame(testbench_.vector(t));
+      // The D-path XOR asserted during cycle c-1 flips the value captured
+      // into state(c).
+      if (fault.cycle >= 1 && t == fault.cycle - 1) {
+        in.set(inst_.ports.inject, true);
+      }
+      const BitVec out = sim.eval(in);
+      ++res.cycles.fault_cycles;
+      if (orig_outputs_differ(out, golden_.outputs[t],
+                              inst_.num_orig_outputs)) {
+        FEMU_CHECK(t >= fault.cycle,
+                   "mask-scan: output mismatch before injection (cycle ", t,
+                   " < ", fault.cycle, ")");
+        outcome.cls = FaultClass::kFailure;
+        outcome.detect_cycle = static_cast<std::uint32_t>(t);
+        failed = true;
+        break;
+      }
+      sim.step();
+    }
+    if (!failed) {
+      // Latent/silent split via the controller's golden-final-state
+      // comparator (combinational, no extra cycles). "Converged at some
+      // point" and "equal at the end" coincide for deterministic machines.
+      bool equal = true;
+      for (std::size_t i = 0; i < n && equal; ++i) {
+        equal = sim.state_bit(inst_.main_ffs[i]) ==
+                golden_.final_state().get(i);
+      }
+      outcome.cls = equal ? FaultClass::kSilent : FaultClass::kLatent;
+    }
+    outcomes[k] = outcome;
+  }
+
+  res.grading = CampaignResult(std::vector<Fault>(faults.begin(), faults.end()),
+                               std::move(outcomes));
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// state-scan
+// ---------------------------------------------------------------------------
+
+LiteralEngine::Result LiteralEngine::run_state_scan(
+    std::span<const Fault> faults) {
+  const std::size_t t_end = testbench_.num_cycles();
+  const std::size_t n = inst_.num_orig_dffs;
+  LevelizedSimulator sim(inst_.circuit);
+  Result res;
+  std::vector<FaultOutcome> outcomes(faults.size());
+
+  // Golden run (functional mode).
+  for (std::size_t t = 0; t < t_end; ++t) {
+    BitVec in = frame(testbench_.vector(t));
+    in.set(inst_.ports.run_en, true);
+    const BitVec out = sim.eval(in);
+    FEMU_CHECK(!orig_outputs_differ(out, golden_.outputs[t],
+                                    inst_.num_orig_outputs),
+               "state-scan golden run diverges at cycle ", t);
+    sim.step();
+    ++res.cycles.setup_cycles;
+  }
+  // Faulty-image preparation: the controller writes one N-bit image per
+  // fault into board RAM, ceil(N/word) words each. Pure cycle accounting —
+  // the images themselves are golden.states[c] ^ one-hot(f).
+  const std::uint64_t words_per_image = (n + 31) / 32;
+  res.cycles.setup_cycles += faults.size() * words_per_image;
+
+  // Runs one scan pass: shifts `image` in (when provided) while comparing the
+  // ejected bits against the golden final state; returns that comparison.
+  const auto scan_pass = [&](const BitVec* image) {
+    bool eject_equal = true;
+    for (std::size_t j = 0; j < n; ++j) {
+      const bool ejected = sim.state_bit(inst_.shadow_ffs[n - 1]);
+      if (ejected != golden_.final_state().get(n - 1 - j)) {
+        eject_equal = false;
+      }
+      BitVec in = idle_frame();
+      in.set(inst_.ports.scan_en, true);
+      if (image != nullptr) {
+        in.set(inst_.ports.scan_in, image->get(n - 1 - j));
+      }
+      sim.eval(in);
+      sim.step();
+    }
+    return eject_equal;
+  };
+  const auto one_control_cycle = [&](std::size_t port) {
+    BitVec in = idle_frame();
+    in.set(port, true);
+    sim.eval(in);
+    sim.step();
+  };
+
+  // Index of the fault whose latent/silent verdict rides on the next eject.
+  std::size_t pending = static_cast<std::size_t>(-1);
+
+  for (std::size_t k = 0; k < faults.size(); ++k) {
+    const Fault fault = faults[k];
+    // save: shadow <- main (parks the previous fault's final state).
+    one_control_cycle(inst_.ports.save_state);
+    ++res.cycles.fault_cycles;
+
+    // Shared scan: next image in, previous final state out.
+    BitVec image = golden_.states[fault.cycle];
+    image.flip(fault.ff_index);
+    const bool eject_equal = scan_pass(&image);
+    res.cycles.fault_cycles += n;
+    if (pending != static_cast<std::size_t>(-1)) {
+      outcomes[pending].cls =
+          eject_equal ? FaultClass::kSilent : FaultClass::kLatent;
+      pending = static_cast<std::size_t>(-1);
+    }
+
+    // load: main <- shadow (the faulty state, injection included).
+    one_control_cycle(inst_.ports.load_state);
+    ++res.cycles.fault_cycles;
+
+    FaultOutcome outcome{FaultClass::kLatent, kNoCycle, kNoCycle};
+    bool failed = false;
+    for (std::size_t t = fault.cycle; t < t_end; ++t) {
+      BitVec in = frame(testbench_.vector(t));
+      in.set(inst_.ports.run_en, true);
+      const BitVec out = sim.eval(in);
+      ++res.cycles.fault_cycles;
+      if (orig_outputs_differ(out, golden_.outputs[t],
+                              inst_.num_orig_outputs)) {
+        outcome.cls = FaultClass::kFailure;
+        outcome.detect_cycle = static_cast<std::uint32_t>(t);
+        failed = true;
+        break;
+      }
+      sim.step();
+    }
+    outcomes[k] = outcome;
+    if (!failed) {
+      pending = k;  // verdict arrives with the next eject
+    }
+  }
+
+  // Drain: one last save+scan ejects the final fault's state.
+  if (!faults.empty()) {
+    one_control_cycle(inst_.ports.save_state);
+    const bool eject_equal = scan_pass(nullptr);
+    res.cycles.setup_cycles += 1 + n;
+    if (pending != static_cast<std::size_t>(-1)) {
+      outcomes[pending].cls =
+          eject_equal ? FaultClass::kSilent : FaultClass::kLatent;
+    }
+  }
+
+  res.grading = CampaignResult(std::vector<Fault>(faults.begin(), faults.end()),
+                               std::move(outcomes));
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// time-multiplexed
+// ---------------------------------------------------------------------------
+
+LiteralEngine::Result LiteralEngine::run_time_mux(
+    std::span<const Fault> faults) {
+  const std::size_t t_end = testbench_.num_cycles();
+  LevelizedSimulator sim(inst_.circuit);
+  Result res;
+  std::vector<FaultOutcome> outcomes(faults.size());
+
+  const auto one_control_cycle = [&](std::size_t port) {
+    BitVec in = idle_frame();
+    in.set(port, true);
+    sim.eval(in);
+    sim.step();
+  };
+
+  // Power-on: every FF is 0, so the checkpoint already holds golden state 0.
+  std::size_t ckpt_cycle = 0;
+  std::uint32_t prev_cycle = 0;
+
+  for (std::size_t k = 0; k < faults.size(); ++k) {
+    const Fault fault = faults[k];
+    FEMU_CHECK(fault.cycle >= prev_cycle,
+               "time-mux engine requires a cycle-sorted schedule");
+    prev_cycle = fault.cycle;
+
+    // Advance the on-chip checkpoint to the injection cycle: restore golden,
+    // step it one testbench cycle, save. 3 clocks per cycle advanced.
+    while (ckpt_cycle < fault.cycle) {
+      one_control_cycle(inst_.ports.load_state);
+      BitVec in = frame(testbench_.vector(ckpt_cycle));
+      in.set(inst_.ports.ena_golden, true);
+      sim.eval(in);
+      sim.step();
+      one_control_cycle(inst_.ports.save_state);
+      res.cycles.setup_cycles += 3;
+      ++ckpt_cycle;
+    }
+
+    res.cycles.fault_cycles += position_mask(sim, fault.ff_index);
+
+    // Load with injection: golden <- checkpoint, faulty <- checkpoint ^ mask.
+    {
+      BitVec in = idle_frame();
+      in.set(inst_.ports.load_state, true);
+      in.set(inst_.ports.inject, true);
+      sim.eval(in);
+      sim.step();
+      ++res.cycles.fault_cycles;
+    }
+
+    FaultOutcome outcome{FaultClass::kLatent, kNoCycle, kNoCycle};
+    for (std::size_t t = fault.cycle; t < t_end; ++t) {
+      // Golden phase: the shared network sees golden state; out_reg captures
+      // the golden outputs; the golden FFs step.
+      {
+        BitVec in = frame(testbench_.vector(t));
+        in.set(inst_.ports.ena_golden, true);
+        sim.eval(in);
+        sim.step();
+        ++res.cycles.fault_cycles;
+      }
+      // Faulty phase: the network sees faulty state; the on-chip comparator
+      // raises `detect` on any output deviation; the faulty FFs step.
+      bool detect = false;
+      {
+        BitVec in = frame(testbench_.vector(t));
+        in.set(inst_.ports.ena_faulty, true);
+        const BitVec out = sim.eval(in);
+        detect = out.get(inst_.ports.detect);
+        sim.step();
+        ++res.cycles.fault_cycles;
+      }
+      if (detect) {
+        outcome.cls = FaultClass::kFailure;
+        outcome.detect_cycle = static_cast<std::uint32_t>(t);
+        break;
+      }
+      // state_equal is combinational on the FF outputs; the controller
+      // samples it continuously, so probing costs no clock.
+      const BitVec probe = sim.eval(idle_frame());
+      if (probe.get(inst_.ports.state_equal)) {
+        outcome.cls = FaultClass::kSilent;
+        outcome.converge_cycle = static_cast<std::uint32_t>(t + 1);
+        break;
+      }
+    }
+    outcomes[k] = outcome;
+  }
+
+  res.grading = CampaignResult(std::vector<Fault>(faults.begin(), faults.end()),
+                               std::move(outcomes));
+  return res;
+}
+
+}  // namespace femu

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <span>
+
+#include "core/cycle_model.h"
+#include "core/instrument.h"
+#include "fault/campaign_result.h"
+#include "sim/golden.h"
+#include "sim/levelized_sim.h"
+#include "stim/testbench.h"
+
+namespace femu {
+
+/// Gate-level execution of the actual instrumented netlist under the
+/// autonomous controller protocol — "the FPGA in software".
+///
+/// Where the fast path (AutonomousEmulator) derives emulation time from the
+/// analytic controller account, this engine clocks the instrumented circuit
+/// cycle by cycle: it shifts the mask ring bit-serially, scans state images
+/// through the shadow chain, interleaves golden/faulty phases, and samples
+/// the on-chip detect/state_equal comparators. Every clock is counted.
+///
+/// Its contract, enforced by the integration tests:
+///   * classifications  == ParallelFaultSimulator's (and the serial sim's)
+///   * cycle counts     == campaign_cycles()'s analytic account
+/// which is what justifies using the fast path for b14-scale campaigns.
+class LiteralEngine {
+ public:
+  LiteralEngine(const Circuit& original, const Testbench& testbench,
+                Technique technique);
+
+  struct Result {
+    CampaignResult grading;
+    CampaignCycles cycles;  ///< measured by counting simulated clocks
+  };
+
+  /// Runs the campaign. Time-mux requires a cycle-sorted schedule (the
+  /// canonical cycle-major order satisfies this).
+  [[nodiscard]] Result run(std::span<const Fault> faults);
+
+  [[nodiscard]] const InstrumentedCircuit& instrumented() const noexcept {
+    return inst_;
+  }
+  [[nodiscard]] const GoldenTrace& golden() const noexcept { return golden_; }
+
+ private:
+  Result run_mask_scan(std::span<const Fault> faults);
+  Result run_state_scan(std::span<const Fault> faults);
+  Result run_time_mux(std::span<const Fault> faults);
+
+  // ---- shared plumbing ----
+  /// Builds an instrumented-circuit input vector: original stimulus bits in
+  /// place, all control bits 0.
+  [[nodiscard]] BitVec frame(const BitVec& orig_inputs) const;
+  [[nodiscard]] BitVec idle_frame() const;
+  /// True when the original (first num_orig_outputs) PO bits differ.
+  [[nodiscard]] static bool orig_outputs_differ(const BitVec& got,
+                                                const BitVec& want,
+                                                std::size_t count);
+  /// Q of the last mask-chain FF (the ring feedback value).
+  [[nodiscard]] bool mask_out_bit(const LevelizedSimulator& sim) const;
+  /// Moves the mask ring one-hot to `ff`; returns clock cycles spent.
+  std::uint64_t position_mask(LevelizedSimulator& sim, std::size_t ff);
+
+  const Circuit& original_;
+  const Testbench& testbench_;
+  InstrumentedCircuit inst_;
+  GoldenTrace golden_;
+  std::size_t mask_pos_ = static_cast<std::size_t>(-1);
+};
+
+}  // namespace femu

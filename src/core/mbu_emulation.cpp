@@ -1,0 +1,86 @@
+#include "core/mbu_emulation.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace femu {
+
+CampaignCycles mbu_campaign_cycles(Technique technique,
+                                   const CycleModelParams& p,
+                                   std::span<const MbuFault> faults,
+                                   std::span<const FaultOutcome> outcomes) {
+  FEMU_CHECK(faults.size() == outcomes.size(), "mbu_campaign_cycles: ",
+             faults.size(), " faults vs ", outcomes.size(), " outcomes");
+  const std::uint64_t t_end = p.num_cycles;
+  CampaignCycles cycles;
+  std::uint32_t max_cycle = 0;
+
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const MbuFault& fault = faults[i];
+    const FaultOutcome& outcome = outcomes[i];
+    FEMU_CHECK(fault.cycle < t_end, "MBU cycle ", fault.cycle,
+               " beyond testbench ", t_end);
+    max_cycle = std::max(max_cycle, fault.cycle);
+    const std::uint64_t c = fault.cycle;
+
+    switch (technique) {
+      case Technique::kMaskScan: {
+        // Full serial mask reload (k-hot pattern) + init + prefix replay.
+        const std::uint64_t run = outcome.cls == FaultClass::kFailure
+                                      ? outcome.detect_cycle + 1
+                                      : t_end;
+        cycles.fault_cycles += p.num_ffs + 1 + run;
+        break;
+      }
+      case Technique::kStateScan: {
+        // The scanned image carries the flips — cost identical to SEU.
+        const std::uint64_t run = outcome.cls == FaultClass::kFailure
+                                      ? outcome.detect_cycle - c + 1
+                                      : t_end - c;
+        cycles.fault_cycles += 2 + p.num_ffs + run;
+        break;
+      }
+      case Technique::kTimeMux: {
+        std::uint64_t len = 0;
+        switch (outcome.cls) {
+          case FaultClass::kFailure:
+            len = outcome.detect_cycle - c + 1;
+            break;
+          case FaultClass::kSilent:
+            len = outcome.converge_cycle - c;
+            break;
+          case FaultClass::kLatent:
+            len = t_end - c;
+            break;
+        }
+        cycles.fault_cycles += p.num_ffs + 1 + 2 * len;
+        break;
+      }
+    }
+  }
+
+  switch (technique) {
+    case Technique::kMaskScan:
+      cycles.setup_cycles += t_end;
+      break;
+    case Technique::kStateScan: {
+      cycles.setup_cycles += t_end;
+      const std::uint64_t words_per_image =
+          (p.num_ffs + p.ram_word - 1) / p.ram_word;
+      cycles.setup_cycles += faults.size() * words_per_image;
+      if (!faults.empty()) {
+        cycles.setup_cycles += 1 + p.num_ffs;
+      }
+      break;
+    }
+    case Technique::kTimeMux:
+      if (!faults.empty()) {
+        cycles.setup_cycles += 3ull * max_cycle;
+      }
+      break;
+  }
+  return cycles;
+}
+
+}  // namespace femu

@@ -1,0 +1,36 @@
+#include "core/ram_layout.h"
+
+namespace femu {
+
+RamLayout compute_ram_layout(Technique technique,
+                             const RamLayoutParams& p) {
+  RamLayout layout;
+  layout.stimuli_bits =
+      static_cast<std::uint64_t>(p.num_cycles) * p.num_inputs;
+  layout.classification_bits =
+      static_cast<std::uint64_t>(p.num_faults) * p.class_bits;
+
+  switch (technique) {
+    case Technique::kMaskScan:
+      // Compares live outputs against stored golden responses; the golden
+      // final state sits in controller registers (an FF cost, not RAM).
+      layout.golden_output_bits =
+          static_cast<std::uint64_t>(p.num_cycles) * p.num_outputs;
+      break;
+    case Technique::kStateScan:
+      layout.golden_output_bits =
+          static_cast<std::uint64_t>(p.num_cycles) * p.num_outputs;
+      // Streamed against the ejected faulty state during the shared scan.
+      layout.golden_final_state_bits = p.num_ffs;
+      // One pre-computed faulty image per fault — the dominant term.
+      layout.state_image_bits =
+          static_cast<std::uint64_t>(p.num_faults) * p.num_ffs;
+      break;
+    case Technique::kTimeMux:
+      // Golden machine runs on-chip: stimuli are the only FPGA-RAM content.
+      break;
+  }
+  return layout;
+}
+
+}  // namespace femu

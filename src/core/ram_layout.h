@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/technique.h"
+
+namespace femu {
+
+/// Memory budget of an autonomous emulation campaign, split between on-chip
+/// FPGA block RAM and on-board SRAM the way the paper's Table 1 reports it
+/// ("Board / FPGA RAM" column).
+///
+/// What lives where (and why):
+///   FPGA RAM  — stimuli (T x PI bits; every technique replays them at full
+///               clock rate), golden output responses (T x PO; mask/state-
+///               scan compare against them — time-mux computes the golden
+///               machine on-chip and needs no stored responses, which is why
+///               its FPGA figure is the smallest), and for state-scan the
+///               golden final state (N bits, streamed against the ejected
+///               faulty state).
+///   Board RAM — per-fault classification results (2 bits: failure/latent/
+///               silent) and, for state-scan only, the pre-computed faulty
+///               state images (F x N bits — the dominant term, the paper's
+///               7.2 Mbit).
+struct RamLayout {
+  // FPGA block RAM
+  std::uint64_t stimuli_bits = 0;
+  std::uint64_t golden_output_bits = 0;
+  std::uint64_t golden_final_state_bits = 0;
+  // Board SRAM
+  std::uint64_t state_image_bits = 0;
+  std::uint64_t classification_bits = 0;
+
+  [[nodiscard]] std::uint64_t fpga_bits() const noexcept {
+    return stimuli_bits + golden_output_bits + golden_final_state_bits;
+  }
+  [[nodiscard]] std::uint64_t board_bits() const noexcept {
+    return state_image_bits + classification_bits;
+  }
+};
+
+struct RamLayoutParams {
+  std::size_t num_inputs = 0;   ///< PI of the circuit under test
+  std::size_t num_outputs = 0;  ///< PO
+  std::size_t num_ffs = 0;      ///< N
+  std::size_t num_cycles = 0;   ///< T
+  std::size_t num_faults = 0;   ///< F
+  std::size_t class_bits = 2;   ///< bits per recorded classification
+};
+
+[[nodiscard]] RamLayout compute_ram_layout(Technique technique,
+                                           const RamLayoutParams& params);
+
+}  // namespace femu

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace femu {
+
+/// The three autonomous fault-injection techniques proposed by the paper.
+enum class Technique : std::uint8_t {
+  /// One mask flip-flop per circuit flip-flop selects the injection target;
+  /// a global strobe flips the masked bit. No state restore: every fault
+  /// re-runs the testbench from cycle 0; early exit on failure only.
+  kMaskScan,
+  /// A shadow scan chain inserts the pre-computed faulty state image, so
+  /// emulation starts directly at the injection cycle. Costs ~N_ff scan
+  /// cycles per fault; wins when the testbench is much longer than the
+  /// flip-flop count.
+  kStateScan,
+  /// Figure-1 instrument: golden + faulty + mask + state flip-flops per
+  /// circuit flip-flop. Golden and faulty runs interleave on alternate
+  /// clocks; an on-chip comparator detects fault-effect disappearance, so
+  /// silent faults (often the plurality) retire within a few cycles.
+  kTimeMux,
+};
+
+[[nodiscard]] constexpr std::string_view technique_name(
+    Technique technique) noexcept {
+  switch (technique) {
+    case Technique::kMaskScan: return "mask-scan";
+    case Technique::kStateScan: return "state-scan";
+    case Technique::kTimeMux: return "time-multiplexed";
+  }
+  return "?";
+}
+
+/// All techniques, for sweeps.
+inline constexpr std::array<Technique, 3> kAllTechniques = {
+    Technique::kMaskScan, Technique::kStateScan, Technique::kTimeMux};
+
+}  // namespace femu

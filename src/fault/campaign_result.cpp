@@ -1,0 +1,93 @@
+#include "fault/campaign_result.h"
+
+#include <algorithm>
+#include <numeric>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace femu {
+
+CampaignResult::CampaignResult(std::vector<Fault> faults,
+                               std::vector<FaultOutcome> outcomes)
+    : faults_(std::move(faults)), outcomes_(std::move(outcomes)) {
+  FEMU_CHECK(faults_.size() == outcomes_.size(), "campaign: ", faults_.size(),
+             " faults vs ", outcomes_.size(), " outcomes");
+  for (const auto& outcome : outcomes_) {
+    switch (outcome.cls) {
+      case FaultClass::kFailure: ++counts_.failure; break;
+      case FaultClass::kLatent:  ++counts_.latent;  break;
+      case FaultClass::kSilent:  ++counts_.silent;  break;
+    }
+  }
+}
+
+double CampaignResult::mean_detection_latency() const {
+  std::size_t n = 0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+    if (outcomes_[i].cls == FaultClass::kFailure) {
+      sum += static_cast<double>(outcomes_[i].detect_cycle -
+                                 faults_[i].cycle);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double CampaignResult::mean_convergence_latency() const {
+  std::size_t n = 0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+    if (outcomes_[i].cls == FaultClass::kSilent) {
+      sum += static_cast<double>(outcomes_[i].converge_cycle -
+                                 faults_[i].cycle);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+std::vector<std::size_t> CampaignResult::per_ff_failures() const {
+  std::size_t max_ff = 0;
+  for (const auto& fault : faults_) {
+    max_ff = std::max(max_ff, static_cast<std::size_t>(fault.ff_index));
+  }
+  std::vector<std::size_t> failures(faults_.empty() ? 0 : max_ff + 1, 0);
+  for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+    if (outcomes_[i].cls == FaultClass::kFailure) {
+      failures[faults_[i].ff_index]++;
+    }
+  }
+  return failures;
+}
+
+std::vector<std::size_t> CampaignResult::weakest_ffs(std::size_t top_n) const {
+  const auto failures = per_ff_failures();
+  std::vector<std::size_t> order(failures.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&failures](std::size_t a, std::size_t b) {
+                     return failures[a] > failures[b];
+                   });
+  order.resize(std::min(top_n, order.size()));
+  return order;
+}
+
+void CampaignResult::write_csv(std::ostream& out) const {
+  out << "ff,cycle,class,detect_cycle,converge_cycle\n";
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    out << faults_[i].ff_index << ',' << faults_[i].cycle << ','
+        << fault_class_name(outcomes_[i].cls) << ',';
+    if (outcomes_[i].detect_cycle != kNoCycle) {
+      out << outcomes_[i].detect_cycle;
+    }
+    out << ',';
+    if (outcomes_[i].converge_cycle != kNoCycle) {
+      out << outcomes_[i].converge_cycle;
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace femu

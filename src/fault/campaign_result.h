@@ -1,0 +1,73 @@
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "fault/fault.h"
+
+namespace femu {
+
+/// Aggregate counts of a fault-grading campaign (the paper's in-text result:
+/// 49.2% failure, 4.4% latent, 46.4% silent for b14).
+struct ClassCounts {
+  std::size_t failure = 0;
+  std::size_t latent = 0;
+  std::size_t silent = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return failure + latent + silent;
+  }
+  [[nodiscard]] double failure_fraction() const noexcept {
+    return total() == 0 ? 0.0 : static_cast<double>(failure) / total();
+  }
+  [[nodiscard]] double latent_fraction() const noexcept {
+    return total() == 0 ? 0.0 : static_cast<double>(latent) / total();
+  }
+  [[nodiscard]] double silent_fraction() const noexcept {
+    return total() == 0 ? 0.0 : static_cast<double>(silent) / total();
+  }
+};
+
+/// Full record of a campaign: the fault schedule and one outcome per fault,
+/// plus derived statistics. Produced identically by every engine, which is
+/// how the tests cross-validate the emulation model against plain fault
+/// simulation.
+class CampaignResult {
+ public:
+  CampaignResult() = default;
+  CampaignResult(std::vector<Fault> faults, std::vector<FaultOutcome> outcomes);
+
+  [[nodiscard]] const std::vector<Fault>& faults() const noexcept {
+    return faults_;
+  }
+  [[nodiscard]] const std::vector<FaultOutcome>& outcomes() const noexcept {
+    return outcomes_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return faults_.size(); }
+
+  [[nodiscard]] const ClassCounts& counts() const noexcept { return counts_; }
+
+  /// Mean cycles from injection to output detection, over failure faults.
+  [[nodiscard]] double mean_detection_latency() const;
+
+  /// Mean cycles from injection to state re-convergence, over silent faults.
+  [[nodiscard]] double mean_convergence_latency() const;
+
+  /// Failure count per flip-flop — the weak-area map the paper's intro
+  /// motivates (re-design cost shrinks when weak FFs are found early).
+  /// Indexed by ff_index; size = max ff_index + 1.
+  [[nodiscard]] std::vector<std::size_t> per_ff_failures() const;
+
+  /// Flip-flops ordered by descending failure count (worst first).
+  [[nodiscard]] std::vector<std::size_t> weakest_ffs(std::size_t top_n) const;
+
+  /// One line per fault: ff,cycle,class,detect_cycle,converge_cycle.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::vector<Fault> faults_;
+  std::vector<FaultOutcome> outcomes_;
+  ClassCounts counts_;
+};
+
+}  // namespace femu

@@ -1,0 +1,91 @@
+#include "fault/dictionary.h"
+
+#include "common/error.h"
+#include "fault/parallel_faultsim.h"
+#include "sim/event_sim.h"
+
+namespace femu {
+
+namespace {
+
+std::uint64_t fault_key(const Fault& fault) {
+  return (static_cast<std::uint64_t>(fault.cycle) << 32) | fault.ff_index;
+}
+
+}  // namespace
+
+FaultDictionary FaultDictionary::build(const Circuit& circuit,
+                                       const Testbench& testbench,
+                                       std::span<const Fault> faults) {
+  FaultDictionary dict;
+
+  // Grade everything in bulk first; only failures need syndromes.
+  ParallelFaultSimulator grader(circuit, testbench);
+  const CampaignResult graded = grader.run(faults);
+  dict.golden_outputs_ = grader.golden().outputs;
+
+  // Re-simulate each failure up to its detection cycle to capture the
+  // syndrome (event-driven: the disturbed cone is small).
+  EventSimulator sim(circuit);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const FaultOutcome& outcome = graded.outcomes()[i];
+    if (outcome.cls != FaultClass::kFailure) {
+      continue;
+    }
+    const Fault& fault = faults[i];
+    sim.set_state(grader.golden().states[fault.cycle]);
+    sim.flip_state_bit(fault.ff_index);
+    BitVec syndrome;
+    for (std::size_t t = fault.cycle; t <= outcome.detect_cycle; ++t) {
+      BitVec out = sim.eval(testbench.vector(t));
+      if (t == outcome.detect_cycle) {
+        out ^= dict.golden_outputs_[t];
+        syndrome = std::move(out);
+        break;
+      }
+      sim.step();
+    }
+    FEMU_CHECK(syndrome.any(), "dictionary: empty syndrome for failure at ff=",
+               fault.ff_index, " c=", fault.cycle);
+    const FaultSignature sig{outcome.detect_cycle, syndrome.hash()};
+    dict.index_[Key{sig.detect_cycle, sig.syndrome_hash}].push_back(fault);
+    dict.per_fault_[fault_key(fault)] = sig;
+    ++dict.entries_;
+  }
+  return dict;
+}
+
+std::vector<Fault> FaultDictionary::lookup(const FaultSignature& sig) const {
+  const auto it = index_.find(Key{sig.detect_cycle, sig.syndrome_hash});
+  return it == index_.end() ? std::vector<Fault>{} : it->second;
+}
+
+std::vector<Fault> FaultDictionary::diagnose(
+    std::span<const BitVec> observed_outputs) const {
+  const std::size_t cycles =
+      std::min(observed_outputs.size(), golden_outputs_.size());
+  for (std::size_t t = 0; t < cycles; ++t) {
+    if (observed_outputs[t] == golden_outputs_[t]) {
+      continue;
+    }
+    BitVec syndrome = observed_outputs[t];
+    syndrome ^= golden_outputs_[t];
+    return lookup(
+        FaultSignature{static_cast<std::uint32_t>(t), syndrome.hash()});
+  }
+  return {};
+}
+
+FaultSignature FaultDictionary::signature_of(const Fault& fault) const {
+  const auto it = per_fault_.find(fault_key(fault));
+  return it == per_fault_.end() ? FaultSignature{} : it->second;
+}
+
+double FaultDictionary::resolution() const {
+  if (entries_ == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(index_.size()) / static_cast<double>(entries_);
+}
+
+}  // namespace femu

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault.h"
+#include "netlist/circuit.h"
+#include "stim/testbench.h"
+
+namespace femu {
+
+/// Observable signature of a failure fault: the first cycle whose outputs
+/// deviate and the syndrome (faulty XOR golden output vector) at that cycle.
+struct FaultSignature {
+  std::uint32_t detect_cycle = kNoCycle;
+  std::uint64_t syndrome_hash = 0;
+
+  friend bool operator==(const FaultSignature&,
+                         const FaultSignature&) = default;
+};
+
+/// Fault dictionary: signature -> candidate SEUs.
+///
+/// The classic companion of fault grading — once the campaign knows every
+/// fault's first-failure behaviour, an anomaly observed in the field (or on
+/// the tester) can be mapped back to the flip-flop/cycle upsets that explain
+/// it. Ambiguity is inherent: equivalent faults share signatures, so lookups
+/// return candidate sets.
+class FaultDictionary {
+ public:
+  /// Grades `faults` and records a signature for every failure. Non-failure
+  /// faults produce no output anomaly and are not indexed.
+  [[nodiscard]] static FaultDictionary build(const Circuit& circuit,
+                                             const Testbench& testbench,
+                                             std::span<const Fault> faults);
+
+  /// Faults whose failure signature matches exactly (empty when unknown).
+  [[nodiscard]] std::vector<Fault> lookup(const FaultSignature& sig) const;
+
+  /// Diagnoses an observed output trace: finds its first deviation from the
+  /// golden run, forms the signature, and returns the candidate faults.
+  /// Returns empty when the trace never deviates or nothing matches.
+  [[nodiscard]] std::vector<Fault> diagnose(
+      std::span<const BitVec> observed_outputs) const;
+
+  /// Signature computed for one fault (kNoCycle detect_cycle when the fault
+  /// is not a failure).
+  [[nodiscard]] FaultSignature signature_of(const Fault& fault) const;
+
+  [[nodiscard]] std::size_t num_entries() const noexcept { return entries_; }
+
+  /// Distinct signatures / indexed failures: 1.0 means every failure is
+  /// uniquely diagnosable.
+  [[nodiscard]] double resolution() const;
+
+ private:
+  struct Key {
+    std::uint32_t cycle;
+    std::uint64_t hash;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return static_cast<std::size_t>(k.hash ^ (k.hash >> 32) ^
+                                      (std::uint64_t{k.cycle} * 0x9e3779b9u));
+    }
+  };
+
+  std::vector<BitVec> golden_outputs_;
+  std::unordered_map<Key, std::vector<Fault>, KeyHash> index_;
+  std::unordered_map<std::uint64_t, FaultSignature> per_fault_;
+  std::size_t entries_ = 0;
+};
+
+}  // namespace femu

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace femu {
+
+/// A single SEU: flip-flop `ff_index` has its value inverted at the start of
+/// testbench cycle `cycle` (bit-flip fault model — the paper's model for
+/// single-event upsets; only memory elements are affected).
+struct Fault {
+  std::uint32_t ff_index = 0;
+  std::uint32_t cycle = 0;
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+/// The paper's three-way fault grading.
+enum class FaultClass : std::uint8_t {
+  kFailure,  ///< a primary output deviated from the golden run
+  kLatent,   ///< outputs never deviated but the final state differs
+  kSilent,   ///< the fault effect disappeared (states re-converged)
+};
+
+[[nodiscard]] constexpr std::string_view fault_class_name(
+    FaultClass cls) noexcept {
+  switch (cls) {
+    case FaultClass::kFailure: return "failure";
+    case FaultClass::kLatent:  return "latent";
+    case FaultClass::kSilent:  return "silent";
+  }
+  return "?";
+}
+
+/// Sentinel for "event never happened" cycle fields.
+inline constexpr std::uint32_t kNoCycle = 0xffffffffu;
+
+/// Grading of one fault, as produced by any of the engines (serial sim,
+/// parallel sim, autonomous-emulation model). The cycle fields drive the
+/// controller time accounting:
+///   detect_cycle   — first cycle with an output mismatch (failures only)
+///   converge_cycle — first cycle whose START state matches golden again
+///                    (silent faults only; in (cycle, T])
+struct FaultOutcome {
+  FaultClass cls = FaultClass::kSilent;
+  std::uint32_t detect_cycle = kNoCycle;
+  std::uint32_t converge_cycle = kNoCycle;
+
+  friend bool operator==(const FaultOutcome&, const FaultOutcome&) = default;
+};
+
+}  // namespace femu

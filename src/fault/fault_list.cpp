@@ -1,0 +1,58 @@
+#include "fault/fault_list.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace femu {
+
+std::vector<Fault> complete_fault_list(std::size_t num_ffs,
+                                       std::size_t num_cycles) {
+  std::vector<Fault> faults;
+  faults.reserve(num_ffs * num_cycles);
+  for (std::uint32_t cycle = 0; cycle < num_cycles; ++cycle) {
+    for (std::uint32_t ff = 0; ff < num_ffs; ++ff) {
+      faults.push_back(Fault{ff, cycle});
+    }
+  }
+  return faults;
+}
+
+std::vector<Fault> sample_fault_list(std::size_t num_ffs,
+                                     std::size_t num_cycles, std::size_t count,
+                                     std::uint64_t seed) {
+  const std::size_t total = num_ffs * num_cycles;
+  FEMU_CHECK(count <= total, "sample of ", count, " from ", total, " faults");
+  // Floyd's algorithm for a uniform sample without replacement, then sort
+  // back into schedule (cycle-major) order.
+  Rng rng(seed);
+  std::vector<std::uint64_t> chosen;
+  chosen.reserve(count);
+  for (std::uint64_t j = total - count; j < total; ++j) {
+    const std::uint64_t t = rng.below(j + 1);
+    const bool present = std::find(chosen.begin(), chosen.end(), t) !=
+                         chosen.end();
+    chosen.push_back(present ? j : t);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  std::vector<Fault> faults;
+  faults.reserve(count);
+  for (const std::uint64_t index : chosen) {
+    faults.push_back(Fault{static_cast<std::uint32_t>(index % num_ffs),
+                           static_cast<std::uint32_t>(index / num_ffs)});
+  }
+  return faults;
+}
+
+std::vector<Fault> single_ff_fault_list(std::size_t ff_index,
+                                        std::size_t num_cycles) {
+  std::vector<Fault> faults;
+  faults.reserve(num_cycles);
+  for (std::uint32_t cycle = 0; cycle < num_cycles; ++cycle) {
+    faults.push_back(Fault{static_cast<std::uint32_t>(ff_index), cycle});
+  }
+  return faults;
+}
+
+}  // namespace femu

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.h"
+
+namespace femu {
+
+/// The complete single-SEU fault list: every flip-flop x every cycle,
+/// ordered cycle-major (all faults of cycle 0, then cycle 1, ...).
+///
+/// Cycle-major order is the autonomous controller's schedule: state-scan
+/// reuses the golden state image of the current cycle and time-mux advances
+/// its on-chip checkpoint monotonically, so both depend on this order. For
+/// b14 with 160 vectors this is the paper's 215 x 160 = 34,400 fault set.
+[[nodiscard]] std::vector<Fault> complete_fault_list(std::size_t num_ffs,
+                                                     std::size_t num_cycles);
+
+/// Uniform random sample (without replacement) of `count` faults from the
+/// complete list, in schedule order. Used for quick-look campaigns on large
+/// designs; statistical fault grading samples exactly like this.
+[[nodiscard]] std::vector<Fault> sample_fault_list(std::size_t num_ffs,
+                                                   std::size_t num_cycles,
+                                                   std::size_t count,
+                                                   std::uint64_t seed);
+
+/// All faults targeting one flip-flop (per-FF sensitivity studies).
+[[nodiscard]] std::vector<Fault> single_ff_fault_list(std::size_t ff_index,
+                                                      std::size_t num_cycles);
+
+}  // namespace femu

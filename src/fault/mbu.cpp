@@ -1,0 +1,154 @@
+#include "fault/mbu.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace femu {
+
+std::vector<MbuFault> adjacent_pair_fault_list(std::size_t num_ffs,
+                                               std::size_t num_cycles) {
+  FEMU_CHECK(num_ffs >= 2, "adjacent pairs need at least 2 FFs");
+  std::vector<MbuFault> faults;
+  faults.reserve((num_ffs - 1) * num_cycles);
+  for (std::uint32_t cycle = 0; cycle < num_cycles; ++cycle) {
+    for (std::uint32_t ff = 0; ff + 1 < num_ffs; ++ff) {
+      faults.push_back(MbuFault{{ff, ff + 1}, cycle});
+    }
+  }
+  return faults;
+}
+
+std::vector<MbuFault> random_cluster_fault_list(
+    std::size_t num_ffs, std::size_t num_cycles, std::size_t cluster_size,
+    std::size_t window, std::size_t count, std::uint64_t seed) {
+  FEMU_CHECK(cluster_size >= 1 && cluster_size <= num_ffs,
+             "cluster size out of range");
+  FEMU_CHECK(window >= cluster_size, "window smaller than cluster");
+  Rng rng(seed);
+  std::vector<MbuFault> faults;
+  faults.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    MbuFault fault;
+    fault.cycle = static_cast<std::uint32_t>(rng.below(num_cycles));
+    const std::size_t span = std::min(window, num_ffs);
+    const std::size_t base = rng.below(num_ffs - span + 1);
+    // Sample distinct offsets within the locality window.
+    while (fault.ff_indices.size() < cluster_size) {
+      const std::uint32_t ff =
+          static_cast<std::uint32_t>(base + rng.below(span));
+      if (std::find(fault.ff_indices.begin(), fault.ff_indices.end(), ff) ==
+          fault.ff_indices.end()) {
+        fault.ff_indices.push_back(ff);
+      }
+    }
+    std::sort(fault.ff_indices.begin(), fault.ff_indices.end());
+    faults.push_back(std::move(fault));
+  }
+  // Schedule order keeps the grouped engine fast.
+  std::stable_sort(faults.begin(), faults.end(),
+                   [](const MbuFault& a, const MbuFault& b) {
+                     return a.cycle < b.cycle;
+                   });
+  return faults;
+}
+
+MbuFaultSimulator::MbuFaultSimulator(const Circuit& circuit,
+                                     const Testbench& testbench)
+    : circuit_(circuit),
+      testbench_(testbench),
+      golden_(capture_golden(circuit, testbench.vectors())),
+      sim_(circuit) {
+  FEMU_CHECK(testbench.input_width() == circuit.num_inputs(),
+             "testbench width ", testbench.input_width(), " != circuit PI ",
+             circuit.num_inputs());
+}
+
+MbuCampaignResult MbuFaultSimulator::run(std::span<const MbuFault> faults) {
+  MbuCampaignResult result;
+  result.faults.assign(faults.begin(), faults.end());
+  result.outcomes.resize(faults.size());
+  for (std::size_t begin = 0; begin < faults.size(); begin += 64) {
+    const std::size_t count = std::min<std::size_t>(64, faults.size() - begin);
+    run_group(faults.subspan(begin, count),
+              std::span<FaultOutcome>(result.outcomes).subspan(begin, count));
+  }
+  for (const auto& outcome : result.outcomes) {
+    switch (outcome.cls) {
+      case FaultClass::kFailure: ++result.counts.failure; break;
+      case FaultClass::kLatent:  ++result.counts.latent;  break;
+      case FaultClass::kSilent:  ++result.counts.silent;  break;
+    }
+  }
+  return result;
+}
+
+void MbuFaultSimulator::run_group(std::span<const MbuFault> faults,
+                                  std::span<FaultOutcome> outcomes) {
+  const std::size_t num_cycles = testbench_.num_cycles();
+  const std::uint64_t group_mask =
+      faults.size() == 64 ? ~std::uint64_t{0}
+                          : ((std::uint64_t{1} << faults.size()) - 1);
+
+  std::uint32_t first_cycle = kNoCycle;
+  for (const MbuFault& fault : faults) {
+    FEMU_CHECK(fault.cycle < num_cycles, "MBU cycle ", fault.cycle,
+               " beyond testbench length ", num_cycles);
+    FEMU_CHECK(!fault.ff_indices.empty(), "MBU with no flip-flops");
+    for (const std::uint32_t ff : fault.ff_indices) {
+      FEMU_CHECK(ff < circuit_.num_dffs(), "MBU FF ", ff, " out of range");
+    }
+    first_cycle = std::min(first_cycle, fault.cycle);
+  }
+  for (auto& outcome : outcomes) {
+    outcome = FaultOutcome{FaultClass::kLatent, kNoCycle, kNoCycle};
+  }
+
+  sim_.broadcast_state(golden_.states[first_cycle]);
+  std::uint64_t injected = 0;
+  std::uint64_t classified = 0;
+
+  for (std::size_t t = first_cycle; t < num_cycles; ++t) {
+    for (std::size_t lane = 0; lane < faults.size(); ++lane) {
+      if (faults[lane].cycle == t) {
+        for (const std::uint32_t ff : faults[lane].ff_indices) {
+          sim_.flip_state_bit(ff, static_cast<unsigned>(lane));
+        }
+        injected |= std::uint64_t{1} << lane;
+      }
+    }
+
+    sim_.eval(testbench_.vector(t));
+    const std::uint64_t mismatch =
+        sim_.output_mismatch_lanes(golden_.outputs[t]) & injected &
+        ~classified;
+    for (std::size_t lane = 0; mismatch != 0 && lane < faults.size();
+         ++lane) {
+      if ((mismatch >> lane) & 1) {
+        outcomes[lane].cls = FaultClass::kFailure;
+        outcomes[lane].detect_cycle = static_cast<std::uint32_t>(t);
+      }
+    }
+    classified |= mismatch;
+
+    sim_.step();
+    const std::uint64_t differs =
+        sim_.state_mismatch_lanes(golden_.states[t + 1]);
+    const std::uint64_t converged = injected & ~classified & ~differs;
+    for (std::size_t lane = 0; converged != 0 && lane < faults.size();
+         ++lane) {
+      if ((converged >> lane) & 1) {
+        outcomes[lane].cls = FaultClass::kSilent;
+        outcomes[lane].converge_cycle = static_cast<std::uint32_t>(t + 1);
+      }
+    }
+    classified |= converged;
+
+    if (classified == group_mask) {
+      return;
+    }
+  }
+}
+
+}  // namespace femu

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/campaign_result.h"
+#include "netlist/circuit.h"
+#include "sim/golden.h"
+#include "sim/parallel_sim.h"
+#include "stim/testbench.h"
+
+namespace femu {
+
+/// Multi-bit upset: several flip-flops inverted in the same cycle. As
+/// feature sizes shrank after the paper's publication, single events began
+/// upsetting physically adjacent cells together; grading MBUs is the
+/// standard extension of the paper's single-SEU campaign (its fault model
+/// section: "Commonly, bit-flip is the fault model adopted for SEU
+/// effects" — MBUs generalise exactly that).
+struct MbuFault {
+  std::vector<std::uint32_t> ff_indices;  ///< distinct, flipped together
+  std::uint32_t cycle = 0;
+};
+
+/// All adjacent pairs (i, i+1) x all cycles — the dominant physical MBU
+/// pattern when layout adjacency follows index order.
+[[nodiscard]] std::vector<MbuFault> adjacent_pair_fault_list(
+    std::size_t num_ffs, std::size_t num_cycles);
+
+/// Random clusters of `cluster_size` distinct flip-flops within an index
+/// window of `window` (layout-locality model), sampled `count` times.
+[[nodiscard]] std::vector<MbuFault> random_cluster_fault_list(
+    std::size_t num_ffs, std::size_t num_cycles, std::size_t cluster_size,
+    std::size_t window, std::size_t count, std::uint64_t seed);
+
+/// Result of an MBU campaign (same classification semantics as the
+/// single-SEU CampaignResult; the fault identity is an MbuFault).
+struct MbuCampaignResult {
+  std::vector<MbuFault> faults;
+  std::vector<FaultOutcome> outcomes;
+  ClassCounts counts;
+};
+
+/// 64-lane bit-parallel MBU grading — same engine shape as
+/// ParallelFaultSimulator with k flips per lane.
+class MbuFaultSimulator {
+ public:
+  MbuFaultSimulator(const Circuit& circuit, const Testbench& testbench);
+
+  [[nodiscard]] MbuCampaignResult run(std::span<const MbuFault> faults);
+
+  [[nodiscard]] const GoldenTrace& golden() const noexcept { return golden_; }
+
+ private:
+  void run_group(std::span<const MbuFault> faults,
+                 std::span<FaultOutcome> outcomes);
+
+  const Circuit& circuit_;
+  const Testbench& testbench_;
+  GoldenTrace golden_;
+  ParallelSimulator sim_;
+};
+
+}  // namespace femu

@@ -1,0 +1,125 @@
+#include "fault/parallel_faultsim.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/timer.h"
+
+namespace femu {
+
+ParallelFaultSimulator::ParallelFaultSimulator(const Circuit& circuit,
+                                               const Testbench& testbench)
+    : circuit_(circuit),
+      testbench_(testbench),
+      golden_(capture_golden(circuit, testbench.vectors())),
+      sim_(circuit) {
+  FEMU_CHECK(testbench.input_width() == circuit.num_inputs(),
+             "testbench width ", testbench.input_width(), " != circuit PI ",
+             circuit.num_inputs());
+}
+
+CampaignResult ParallelFaultSimulator::run(std::span<const Fault> faults) {
+  WallTimer timer;
+  last_run_eval_cycles_ = 0;
+  std::vector<FaultOutcome> outcomes(faults.size());
+  for (std::size_t begin = 0; begin < faults.size(); begin += 64) {
+    const std::size_t count = std::min<std::size_t>(64, faults.size() - begin);
+    run_group(faults.subspan(begin, count),
+              std::span<FaultOutcome>(outcomes).subspan(begin, count));
+  }
+  last_run_seconds_ = timer.elapsed_seconds();
+  return CampaignResult(std::vector<Fault>(faults.begin(), faults.end()),
+                        std::move(outcomes));
+}
+
+void ParallelFaultSimulator::run_group(std::span<const Fault> faults,
+                                       std::span<FaultOutcome> outcomes) {
+  const std::size_t num_cycles = testbench_.num_cycles();
+  const std::uint64_t group_mask =
+      faults.size() == 64 ? ~std::uint64_t{0}
+                          : ((std::uint64_t{1} << faults.size()) - 1);
+
+  std::uint32_t first_cycle = kNoCycle;
+  for (const Fault& fault : faults) {
+    FEMU_CHECK(fault.cycle < num_cycles, "fault cycle ", fault.cycle,
+               " beyond testbench length ", num_cycles);
+    FEMU_CHECK(fault.ff_index < circuit_.num_dffs(), "fault FF ",
+               fault.ff_index, " out of range");
+    first_cycle = std::min(first_cycle, fault.cycle);
+  }
+
+  // Default: latent (overwritten on detection/convergence below).
+  for (auto& outcome : outcomes) {
+    outcome = FaultOutcome{FaultClass::kLatent, kNoCycle, kNoCycle};
+  }
+
+  sim_.broadcast_state(golden_.states[first_cycle]);
+  std::uint64_t injected = 0;
+  std::uint64_t classified = 0;
+
+  for (std::size_t t = first_cycle; t < num_cycles; ++t) {
+    // Inject the lanes whose cycle has arrived (flip happens in state(t),
+    // before cycle t evaluates — the SEU hits the new state).
+    for (std::size_t lane = 0; lane < faults.size(); ++lane) {
+      if (faults[lane].cycle == t) {
+        sim_.flip_state_bit(faults[lane].ff_index,
+                            static_cast<unsigned>(lane));
+        injected |= std::uint64_t{1} << lane;
+      }
+    }
+
+    sim_.eval(testbench_.vector(t));
+    ++last_run_eval_cycles_;
+
+    const std::uint64_t mismatch =
+        sim_.output_mismatch_lanes(golden_.outputs[t]) & injected &
+        ~classified;
+    if (mismatch != 0) {
+      for (std::size_t lane = 0; lane < faults.size(); ++lane) {
+        if ((mismatch >> lane) & 1) {
+          outcomes[lane].cls = FaultClass::kFailure;
+          outcomes[lane].detect_cycle = static_cast<std::uint32_t>(t);
+        }
+      }
+      classified |= mismatch;
+    }
+
+    sim_.step();
+
+    const std::uint64_t differs = sim_.state_mismatch_lanes(golden_.states[t + 1]);
+    const std::uint64_t converged = injected & ~classified & ~differs;
+    if (converged != 0) {
+      for (std::size_t lane = 0; lane < faults.size(); ++lane) {
+        if ((converged >> lane) & 1) {
+          outcomes[lane].cls = FaultClass::kSilent;
+          outcomes[lane].converge_cycle = static_cast<std::uint32_t>(t + 1);
+        }
+      }
+      classified |= converged;
+    }
+
+    if (classified == group_mask) {
+      return;  // every lane graded — skip the testbench tail entirely
+    }
+
+    // Fast-forward: when every already-injected lane is graded, the pending
+    // lanes are bit-identical to the golden machine, so jump straight to the
+    // next injection cycle from the golden state image.
+    if ((injected & ~classified) == 0 && injected != group_mask) {
+      std::uint32_t next_cycle = kNoCycle;
+      for (std::size_t lane = 0; lane < faults.size(); ++lane) {
+        if (((injected >> lane) & 1) == 0) {
+          next_cycle = std::min(next_cycle, faults[lane].cycle);
+        }
+      }
+      if (next_cycle > t + 1) {
+        sim_.broadcast_state(golden_.states[next_cycle]);
+        t = next_cycle - 1;  // loop increment lands on next_cycle
+      }
+    }
+  }
+  // Lanes never classified stay latent (their final state differs and no
+  // output ever deviated).
+}
+
+}  // namespace femu

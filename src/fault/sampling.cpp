@@ -1,0 +1,49 @@
+#include "fault/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace femu {
+
+ProportionEstimate estimate_proportion(std::size_t hits, std::size_t n,
+                                       double z) {
+  FEMU_CHECK(hits <= n, "estimate_proportion: ", hits, " hits out of ", n);
+  FEMU_CHECK(z > 0.0, "z must be positive");
+  ProportionEstimate est;
+  if (n == 0) {
+    est.high = 1.0;
+    return est;
+  }
+  const double nd = static_cast<double>(n);
+  const double p = static_cast<double>(hits) / nd;
+  est.fraction = p;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nd;
+  const double centre = p + z2 / (2.0 * nd);
+  const double spread =
+      z * std::sqrt(p * (1.0 - p) / nd + z2 / (4.0 * nd * nd));
+  est.low = std::max(0.0, (centre - spread) / denom);
+  est.high = std::min(1.0, (centre + spread) / denom);
+  return est;
+}
+
+std::size_t required_sample_size(double margin, double z) {
+  FEMU_CHECK(margin > 0.0 && margin < 1.0, "margin must be in (0, 1)");
+  FEMU_CHECK(z > 0.0, "z must be positive");
+  return static_cast<std::size_t>(
+      std::ceil(z * z / (4.0 * margin * margin)));
+}
+
+SampledGrading estimate_grading(const CampaignResult& result, double z) {
+  const ClassCounts& counts = result.counts();
+  SampledGrading grading;
+  grading.sample_size = counts.total();
+  grading.failure = estimate_proportion(counts.failure, counts.total(), z);
+  grading.latent = estimate_proportion(counts.latent, counts.total(), z);
+  grading.silent = estimate_proportion(counts.silent, counts.total(), z);
+  return grading;
+}
+
+}  // namespace femu

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+
+#include "fault/campaign_result.h"
+
+namespace femu {
+
+/// Interval estimate of a fault-class proportion from a sampled campaign.
+/// Statistical fault injection is the standard way to grade designs whose
+/// complete fault list (N_ff x T) is too large even for emulation; these
+/// helpers quantify what a sample buys.
+struct ProportionEstimate {
+  double fraction = 0.0;  ///< point estimate (hits / n)
+  double low = 0.0;       ///< Wilson score interval lower bound
+  double high = 0.0;      ///< Wilson score interval upper bound
+
+  [[nodiscard]] double half_width() const { return (high - low) / 2.0; }
+};
+
+/// Wilson score interval for `hits` successes out of `n` trials at the given
+/// normal quantile (1.96 = 95% confidence). Well-behaved near 0 and 1,
+/// unlike the naive normal approximation.
+[[nodiscard]] ProportionEstimate estimate_proportion(std::size_t hits,
+                                                     std::size_t n,
+                                                     double z = 1.96);
+
+/// Smallest sample size guaranteeing a +-`margin` confidence interval for
+/// any true proportion (worst case p = 0.5): n = z^2 / (4 margin^2).
+[[nodiscard]] std::size_t required_sample_size(double margin,
+                                               double z = 1.96);
+
+/// Interval estimates for all three fault classes of a (sampled) campaign.
+struct SampledGrading {
+  ProportionEstimate failure;
+  ProportionEstimate latent;
+  ProportionEstimate silent;
+  std::size_t sample_size = 0;
+};
+
+[[nodiscard]] SampledGrading estimate_grading(const CampaignResult& result,
+                                              double z = 1.96);
+
+}  // namespace femu

@@ -1,0 +1,58 @@
+#include "fault/serial_faultsim.h"
+
+#include "common/error.h"
+#include "common/timer.h"
+
+namespace femu {
+
+SerialFaultSimulator::SerialFaultSimulator(const Circuit& circuit,
+                                           const Testbench& testbench)
+    : circuit_(circuit),
+      testbench_(testbench),
+      golden_(capture_golden(circuit, testbench.vectors())),
+      sim_(circuit) {
+  FEMU_CHECK(testbench.input_width() == circuit.num_inputs(),
+             "testbench width ", testbench.input_width(), " != circuit PI ",
+             circuit.num_inputs());
+}
+
+CampaignResult SerialFaultSimulator::run(std::span<const Fault> faults) {
+  const std::size_t num_cycles = testbench_.num_cycles();
+  WallTimer timer;
+  std::vector<FaultOutcome> outcomes;
+  outcomes.reserve(faults.size());
+
+  for (const Fault& fault : faults) {
+    FEMU_CHECK(fault.cycle < num_cycles, "fault cycle ", fault.cycle,
+               " beyond testbench length ", num_cycles);
+    FEMU_CHECK(fault.ff_index < circuit_.num_dffs(), "fault FF ",
+               fault.ff_index, " out of range");
+
+    sim_.set_state(golden_.states[fault.cycle]);
+    sim_.flip_state_bit(fault.ff_index);
+
+    FaultOutcome outcome;
+    outcome.cls = FaultClass::kLatent;  // default when never classified below
+    for (std::size_t t = fault.cycle; t < num_cycles; ++t) {
+      const BitVec outputs = sim_.eval(testbench_.vector(t));
+      if (outputs != golden_.outputs[t]) {
+        outcome.cls = FaultClass::kFailure;
+        outcome.detect_cycle = static_cast<std::uint32_t>(t);
+        break;
+      }
+      sim_.step();
+      if (sim_.state() == golden_.states[t + 1]) {
+        outcome.cls = FaultClass::kSilent;
+        outcome.converge_cycle = static_cast<std::uint32_t>(t + 1);
+        break;
+      }
+    }
+    outcomes.push_back(outcome);
+  }
+
+  last_run_seconds_ = timer.elapsed_seconds();
+  return CampaignResult(std::vector<Fault>(faults.begin(), faults.end()),
+                        std::move(outcomes));
+}
+
+}  // namespace femu

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <span>
+
+#include "fault/campaign_result.h"
+#include "netlist/circuit.h"
+#include "sim/event_sim.h"
+#include "sim/golden.h"
+#include "stim/testbench.h"
+
+namespace femu {
+
+/// Serial software fault simulation — the paper's slow baseline
+/// (~1300 µs/fault in the authors' setup).
+///
+/// One fault at a time: restore the golden state at the injection cycle, flip
+/// the target bit, and event-simulate forward until the fault is classified
+/// (output mismatch -> failure, state re-convergence -> silent, end of
+/// testbench -> latent). Event-driven evaluation keeps per-cycle work
+/// proportional to the disturbed cone, which is the classic optimisation for
+/// single-fault simulation.
+class SerialFaultSimulator {
+ public:
+  SerialFaultSimulator(const Circuit& circuit, const Testbench& testbench);
+
+  /// Grades every fault in `faults`; outcomes align with the input order.
+  [[nodiscard]] CampaignResult run(std::span<const Fault> faults);
+
+  [[nodiscard]] const GoldenTrace& golden() const noexcept { return golden_; }
+
+  /// Wall-clock duration of the last run() (reported as µs/fault by the
+  /// speed-comparison bench).
+  [[nodiscard]] double last_run_seconds() const noexcept {
+    return last_run_seconds_;
+  }
+
+ private:
+  const Circuit& circuit_;
+  const Testbench& testbench_;
+  GoldenTrace golden_;
+  EventSimulator sim_;
+  double last_run_seconds_ = 0.0;
+};
+
+}  // namespace femu

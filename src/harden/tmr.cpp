@@ -1,0 +1,75 @@
+#include "harden/tmr.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "netlist/rewrite.h"
+
+namespace femu::harden {
+
+TmrResult apply_tmr(const Circuit& src, const std::vector<bool>& protect) {
+  src.validate();
+  const std::size_t n = src.num_dffs();
+  FEMU_CHECK(protect.empty() || protect.size() == n,
+             "protect mask size ", protect.size(), " != FF count ", n);
+  const auto is_protected = [&protect](std::size_t i) {
+    return protect.empty() || protect[i];
+  };
+
+  TmrResult result;
+  result.circuit = Circuit(src.name() + "_tmr");
+  Circuit& dst = result.circuit;
+  NodeMap map(src.node_count());
+
+  for (const NodeId pi : src.inputs()) {
+    map.bind(pi, dst.add_input(src.node_name(pi)));
+  }
+
+  struct Replica {
+    NodeId a = kInvalidNode;
+    NodeId b = kInvalidNode;
+    NodeId c = kInvalidNode;
+  };
+  std::vector<Replica> replicas(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string base = src.node_name(src.dffs()[i]);
+    if (is_protected(i)) {
+      Replica& r = replicas[i];
+      r.a = dst.add_dff(base);
+      r.b = dst.add_dff(str_cat(base, "_tmrB"));
+      r.c = dst.add_dff(str_cat(base, "_tmrC"));
+      result.origin.push_back(i);
+      result.origin.push_back(i);
+      result.origin.push_back(i);
+      ++result.num_protected;
+      // Majority voter: (a&b) | (a&c) | (b&c).
+      const NodeId ab = dst.add_and(r.a, r.b);
+      const NodeId ac = dst.add_and(r.a, r.c);
+      const NodeId bc = dst.add_and(r.b, r.c);
+      map.bind(src.dffs()[i], dst.add_or(dst.add_or(ab, ac), bc));
+    } else {
+      const NodeId ff = dst.add_dff(base);
+      replicas[i].a = ff;
+      result.origin.push_back(i);
+      map.bind(src.dffs()[i], ff);
+    }
+  }
+
+  copy_combinational(src, dst, map);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId d = map.at(src.dff_d(src.dffs()[i]));
+    dst.connect_dff(replicas[i].a, d);
+    if (is_protected(i)) {
+      dst.connect_dff(replicas[i].b, d);
+      dst.connect_dff(replicas[i].c, d);
+    }
+  }
+  for (const auto& port : src.outputs()) {
+    dst.add_output(port.name, map.at(port.driver));
+  }
+  dst.validate();
+  return result;
+}
+
+}  // namespace femu::harden

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace femu::harden {
+
+/// Result of a triple-modular-redundancy transform.
+struct TmrResult {
+  Circuit circuit{"tmr"};
+  /// For every flip-flop of the hardened circuit (dffs() order), the index of
+  /// the original flip-flop it implements. Protected FFs appear three times.
+  std::vector<std::size_t> origin;
+  std::size_t num_protected = 0;
+};
+
+/// Hardens the selected flip-flops with TMR: each protected FF becomes three
+/// replicas whose outputs feed a majority voter; all replicas capture the
+/// same (voter-corrected) next-state, so a single SEU in any replica is
+/// masked combinationally and self-heals at the next clock edge — such
+/// faults grade as silent with one-cycle convergence (a property test pins
+/// this). `protect` is indexed by original FF position; an empty vector
+/// protects everything.
+///
+/// This is the re-design loop the paper's introduction motivates: grade,
+/// locate weak flip-flops (CampaignResult::weakest_ffs), protect them,
+/// re-grade.
+[[nodiscard]] TmrResult apply_tmr(const Circuit& circuit,
+                                  const std::vector<bool>& protect = {});
+
+}  // namespace femu::harden

@@ -1,0 +1,225 @@
+#include "map/lut_mapper.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace femu {
+
+namespace {
+
+/// A cut: sorted unique leaf set (absorbed constants excluded) plus the LUT
+/// depth it would realise at its root and its area flow (the classic
+/// sharing-aware area estimate: one LUT here plus the discounted area of
+/// every leaf's best implementation).
+struct Cut {
+  std::vector<NodeId> leaves;
+  std::uint32_t depth = 0;
+  double area_flow = 0.0;
+
+  [[nodiscard]] bool same_leaves(const Cut& other) const {
+    return leaves == other.leaves;
+  }
+};
+
+/// Area-flow ranking: lower flow first (fewer LUTs for the whole cone once
+/// sharing is accounted for), then lower depth, then fewer leaves.
+bool better(const Cut& a, const Cut& b) {
+  if (a.area_flow != b.area_flow) {
+    return a.area_flow < b.area_flow;
+  }
+  if (a.depth != b.depth) {
+    return a.depth < b.depth;
+  }
+  return a.leaves.size() < b.leaves.size();
+}
+
+/// Merges two sorted leaf sets; returns false when the union exceeds k.
+bool merge_leaves(const std::vector<NodeId>& a, const std::vector<NodeId>& b,
+                  std::size_t k, std::vector<NodeId>& out) {
+  out.clear();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    NodeId next = 0;
+    if (j >= b.size() || (i < a.size() && a[i] <= b[j])) {
+      next = a[i];
+      if (j < b.size() && b[j] == next) {
+        ++j;
+      }
+      ++i;
+    } else {
+      next = b[j];
+      ++j;
+    }
+    if (out.size() == k) {
+      return false;
+    }
+    out.push_back(next);
+  }
+  return true;
+}
+
+}  // namespace
+
+LutMapper::Result LutMapper::map(const Circuit& circuit) const {
+  const std::size_t k = static_cast<std::size_t>(options_.lut_size);
+  const std::size_t max_cuts = static_cast<std::size_t>(options_.cuts_per_node);
+  FEMU_CHECK(k >= 2 && k <= 8, "lut_size must be in [2, 8]");
+  FEMU_CHECK(max_cuts >= 1, "cuts_per_node must be >= 1");
+
+  const std::size_t n = circuit.node_count();
+
+  // Fanout counts feed the area-flow sharing discount: a node referenced by
+  // many consumers amortises its LUT across them.
+  std::vector<std::uint32_t> fanouts(n, 0);
+  for (NodeId id = 0; id < n; ++id) {
+    if (is_comb_cell(circuit.type(id))) {
+      for (const NodeId fanin : circuit.fanins(id)) {
+        fanouts[fanin]++;
+      }
+    } else if (circuit.type(id) == CellType::kDff) {
+      const NodeId d = circuit.dff_d(id);
+      if (d != kInvalidNode) {
+        fanouts[d]++;
+      }
+    }
+  }
+  for (const auto& port : circuit.outputs()) {
+    fanouts[port.driver]++;
+  }
+
+  std::vector<std::vector<Cut>> cuts(n);
+  std::vector<std::uint32_t> best_depth(n, 0);
+  std::vector<double> best_flow(n, 0.0);
+
+  // ---- enumeration (forward topological = id order) ----
+  for (NodeId id = 0; id < n; ++id) {
+    const CellType type = circuit.type(id);
+    if (type == CellType::kConst0 || type == CellType::kConst1) {
+      // Constants are absorbed into LUT masks: empty leaf set, free.
+      cuts[id].push_back(Cut{{}, 0, 0.0});
+      continue;
+    }
+    if (type == CellType::kInput || type == CellType::kDff) {
+      cuts[id].push_back(Cut{{id}, 0, 0.0});
+      continue;
+    }
+    if (type == CellType::kBuf) {
+      // A BUF is a wire: inherit the child's cuts verbatim.
+      cuts[id] = cuts[circuit.fanins(id)[0]];
+      best_depth[id] = best_depth[circuit.fanins(id)[0]];
+      best_flow[id] = best_flow[circuit.fanins(id)[0]];
+      continue;
+    }
+
+    const auto fanins = circuit.fanins(id);
+    std::vector<Cut> candidates;
+    std::vector<NodeId> scratch;
+    const auto add_candidate = [&](std::vector<NodeId> leaves) {
+      for (const Cut& existing : candidates) {
+        if (existing.leaves == leaves) {
+          return;
+        }
+      }
+      candidates.push_back(Cut{std::move(leaves), 0, 0.0});
+    };
+
+    if (fanins.size() == 1) {
+      for (const Cut& c : cuts[fanins[0]]) {
+        add_candidate(c.leaves);
+      }
+    } else if (fanins.size() == 2) {
+      for (const Cut& ca : cuts[fanins[0]]) {
+        for (const Cut& cb : cuts[fanins[1]]) {
+          if (merge_leaves(ca.leaves, cb.leaves, k, scratch)) {
+            add_candidate(scratch);
+          }
+        }
+      }
+    } else {  // MUX
+      for (const Cut& ca : cuts[fanins[0]]) {
+        for (const Cut& cb : cuts[fanins[1]]) {
+          std::vector<NodeId> ab;
+          if (!merge_leaves(ca.leaves, cb.leaves, k, ab)) {
+            continue;
+          }
+          for (const Cut& cc : cuts[fanins[2]]) {
+            if (merge_leaves(ab, cc.leaves, k, scratch)) {
+              add_candidate(scratch);
+            }
+          }
+        }
+      }
+    }
+
+    // Cost each cut: depth = one level above the deepest leaf; area flow =
+    // one LUT plus the leaves' discounted best flows.
+    for (Cut& cut : candidates) {
+      std::uint32_t leaf_depth = 0;
+      double flow = 1.0;
+      for (const NodeId leaf : cut.leaves) {
+        leaf_depth = std::max(leaf_depth, best_depth[leaf]);
+        flow += best_flow[leaf];
+      }
+      cut.depth = leaf_depth + 1;
+      cut.area_flow = flow;
+    }
+    std::sort(candidates.begin(), candidates.end(), better);
+    if (candidates.size() > max_cuts) {
+      candidates.resize(max_cuts);
+    }
+    FEMU_CHECK(!candidates.empty(), "no cut for node ", circuit.node_name(id),
+               " — fanin wider than LUT?");
+    best_depth[id] = candidates.front().depth;
+    best_flow[id] = candidates.front().area_flow /
+                    std::max<std::uint32_t>(1, fanouts[id]);
+    // Trivial cut last so consumers can always cut here; the node's own
+    // implementation never chooses it (it is not in the ranked prefix).
+    candidates.push_back(Cut{{id}, best_depth[id], best_flow[id]});
+    cuts[id] = std::move(candidates);
+  }
+
+  // ---- cover extraction ----
+  // Roots: primary-output drivers and DFF D drivers, with BUF chains skipped
+  // (a BUF root is just a wire to its source).
+  const auto effective = [&circuit](NodeId id) {
+    while (circuit.type(id) == CellType::kBuf) {
+      id = circuit.fanins(id)[0];
+    }
+    return id;
+  };
+
+  std::vector<std::uint8_t> required(n, 0);
+  std::vector<NodeId> worklist;
+  const auto require = [&](NodeId id) {
+    id = effective(id);
+    if (is_comb_cell(circuit.type(id)) && required[id] == 0) {
+      required[id] = 1;
+      worklist.push_back(id);
+    }
+  };
+  for (const auto& port : circuit.outputs()) {
+    require(port.driver);
+  }
+  for (const NodeId ff : circuit.dffs()) {
+    require(circuit.dff_d(ff));
+  }
+
+  Result result;
+  result.num_ffs = circuit.num_dffs();
+  while (!worklist.empty()) {
+    const NodeId id = worklist.back();
+    worklist.pop_back();
+    result.roots.push_back(id);
+    const Cut& chosen = cuts[id].front();
+    result.depth = std::max(result.depth, chosen.depth);
+    for (const NodeId leaf : chosen.leaves) {
+      require(leaf);
+    }
+  }
+  result.num_luts = result.roots.size();
+  return result;
+}
+
+}  // namespace femu

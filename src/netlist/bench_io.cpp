@@ -1,0 +1,418 @@
+#include "netlist/bench_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace femu {
+
+namespace {
+
+struct Definition {
+  std::string op;                 // upper/lower-case free gate keyword
+  std::vector<std::string> args;  // operand signal names
+  int line = 0;
+};
+
+struct ParsedFile {
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::unordered_map<std::string, Definition> defs;
+  std::vector<std::string> def_order;
+};
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw ParseError(str_cat("bench parse error at line ", line, ": ", message));
+}
+
+/// Parses "HEAD(arg1, arg2)" into head and args; returns false when the text
+/// does not have call shape.
+bool parse_call(std::string_view text, std::string& head,
+                std::vector<std::string>& args) {
+  const std::size_t open = text.find('(');
+  const std::size_t close = text.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    return false;
+  }
+  head = std::string(trim(text.substr(0, open)));
+  args.clear();
+  const std::string_view inner = text.substr(open + 1, close - open - 1);
+  for (const auto& piece : split(inner, ',')) {
+    const auto arg = trim(piece);
+    if (!arg.empty()) {
+      args.emplace_back(arg);
+    }
+  }
+  return true;
+}
+
+ParsedFile parse_lines(std::istream& in) {
+  ParsedFile file;
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      std::string head;
+      std::vector<std::string> args;
+      if (!parse_call(line, head, args) || args.size() != 1) {
+        fail(line_no, str_cat("expected INPUT(x)/OUTPUT(x), got '", line, "'"));
+      }
+      const std::string keyword = to_lower(head);
+      if (keyword == "input") {
+        file.inputs.push_back(args[0]);
+      } else if (keyword == "output") {
+        file.outputs.push_back(args[0]);
+      } else {
+        fail(line_no, str_cat("unknown directive '", head, "'"));
+      }
+      continue;
+    }
+    const std::string target(trim(line.substr(0, eq)));
+    if (target.empty()) {
+      fail(line_no, "missing assignment target");
+    }
+    Definition def;
+    def.line = line_no;
+    if (!parse_call(line.substr(eq + 1), def.op, def.args)) {
+      fail(line_no, str_cat("malformed gate expression '", line, "'"));
+    }
+    if (!file.defs.emplace(target, std::move(def)).second) {
+      fail(line_no, str_cat("signal '", target, "' defined twice"));
+    }
+    file.def_order.push_back(target);
+  }
+  return file;
+}
+
+/// Reduces `operands` with the binary gate `type` as a balanced tree
+/// (keeps mapped LUT depth logarithmic for wide reductions).
+NodeId reduce_tree(Circuit& circuit, CellType type,
+                   std::vector<NodeId> operands) {
+  FEMU_CHECK(!operands.empty(), "reduce_tree needs operands");
+  while (operands.size() > 1) {
+    std::vector<NodeId> next;
+    next.reserve((operands.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < operands.size(); i += 2) {
+      next.push_back(circuit.add_gate(type, operands[i], operands[i + 1]));
+    }
+    if (operands.size() % 2 == 1) {
+      next.push_back(operands.back());
+    }
+    operands = std::move(next);
+  }
+  return operands[0];
+}
+
+class BenchBuilder {
+ public:
+  BenchBuilder(const ParsedFile& file, std::string circuit_name)
+      : file_(file), circuit_(std::move(circuit_name)) {}
+
+  Circuit build() {
+    for (const auto& name : file_.inputs) {
+      nodes_[name] = circuit_.add_input(name);
+    }
+    // Create all DFFs up front so combinational logic can reference their Q
+    // pins regardless of textual order.
+    for (const auto& target : file_.def_order) {
+      const auto& def = file_.defs.at(target);
+      if (to_lower(def.op) == "dff") {
+        if (def.args.size() != 1) {
+          fail(def.line, "DFF takes exactly one operand");
+        }
+        nodes_[target] = circuit_.add_dff(target);
+      }
+    }
+    for (const auto& target : file_.def_order) {
+      resolve(target);
+    }
+    for (const auto& target : file_.def_order) {
+      const auto& def = file_.defs.at(target);
+      if (to_lower(def.op) == "dff") {
+        circuit_.connect_dff(nodes_.at(target), resolve(def.args[0]));
+      }
+    }
+    for (const auto& name : file_.outputs) {
+      circuit_.add_output(name, resolve(name));
+    }
+    circuit_.validate();
+    return std::move(circuit_);
+  }
+
+ private:
+  /// Emits the definition of `name` (and, recursively, its operands) into the
+  /// circuit. Iterative DFS with an on-stack set for comb-loop detection.
+  NodeId resolve(const std::string& name) {
+    const auto ready = nodes_.find(name);
+    if (ready != nodes_.end()) {
+      return ready->second;
+    }
+    std::vector<std::string> stack{name};
+    while (!stack.empty()) {
+      const std::string current = stack.back();
+      if (nodes_.count(current) != 0) {
+        stack.pop_back();
+        on_stack_.erase(current);
+        continue;
+      }
+      const auto it = file_.defs.find(current);
+      if (it == file_.defs.end()) {
+        throw ParseError(str_cat("bench: signal '", current,
+                                 "' is used but never defined"));
+      }
+      const Definition& def = it->second;
+      on_stack_.insert(current);
+      bool operands_ready = true;
+      for (const auto& arg : def.args) {
+        if (nodes_.count(arg) != 0) {
+          continue;
+        }
+        const auto arg_def = file_.defs.find(arg);
+        if (arg_def != file_.defs.end() &&
+            to_lower(arg_def->second.op) == "dff") {
+          continue;  // DFF Q pins were pre-created
+        }
+        if (on_stack_.count(arg) != 0) {
+          throw NetlistError(str_cat("bench: combinational loop through '",
+                                     arg, "' (line ", def.line, ")"));
+        }
+        stack.push_back(arg);
+        operands_ready = false;
+      }
+      if (!operands_ready) {
+        continue;
+      }
+      nodes_[current] = emit(current, def);
+      stack.pop_back();
+      on_stack_.erase(current);
+    }
+    return nodes_.at(name);
+  }
+
+  NodeId emit(const std::string& target, const Definition& def) {
+    const std::string op = to_lower(def.op);
+    std::vector<NodeId> args;
+    args.reserve(def.args.size());
+    for (const auto& arg : def.args) {
+      args.push_back(nodes_.at(arg));
+    }
+    const auto want = [&](std::size_t n) {
+      if (args.size() != n) {
+        fail(def.line, str_cat(def.op, " takes ", n, " operand(s), got ",
+                               args.size()));
+      }
+    };
+    NodeId node = kInvalidNode;
+    if (op == "not") {
+      want(1);
+      node = circuit_.add_not(args[0]);
+    } else if (op == "buf" || op == "buff") {
+      want(1);
+      node = circuit_.add_buf(args[0]);
+    } else if (op == "mux") {
+      want(3);
+      node = circuit_.add_mux(args[0], args[1], args[2]);
+    } else if (op == "const0" || op == "gnd") {
+      want(0);
+      node = circuit_.add_buf(circuit_.add_const(false));
+    } else if (op == "const1" || op == "vcc" || op == "vdd") {
+      want(0);
+      node = circuit_.add_buf(circuit_.add_const(true));
+    } else if (op == "and" || op == "or" || op == "xor" || op == "nand" ||
+               op == "nor" || op == "xnor") {
+      if (args.size() < 2) {
+        fail(def.line, str_cat(def.op, " needs at least 2 operands"));
+      }
+      if (args.size() == 2) {
+        const CellType type = op == "and"    ? CellType::kAnd
+                              : op == "or"   ? CellType::kOr
+                              : op == "xor"  ? CellType::kXor
+                              : op == "nand" ? CellType::kNand
+                              : op == "nor"  ? CellType::kNor
+                                             : CellType::kXnor;
+        node = circuit_.add_gate(type, args[0], args[1]);
+      } else {
+        // n-ary: reduce with the positive gate, invert when needed.
+        const CellType base = (op == "and" || op == "nand") ? CellType::kAnd
+                              : (op == "or" || op == "nor") ? CellType::kOr
+                                                            : CellType::kXor;
+        node = reduce_tree(circuit_, base, args);
+        if (op == "nand" || op == "nor" || op == "xnor") {
+          node = circuit_.add_not(node);
+        }
+      }
+    } else if (op == "dff") {
+      FEMU_CHECK(false, "dff reached emit — handled in build()");
+    } else {
+      fail(def.line, str_cat("unknown gate type '", def.op, "'"));
+    }
+    // Give the target signal its bench name unless it collides with the node
+    // auto-name space; names make DOT dumps and error messages readable.
+    if (!circuit_.find(target).has_value()) {
+      circuit_.set_name(node, target);
+    }
+    return node;
+  }
+
+  const ParsedFile& file_;
+  Circuit circuit_;
+  std::unordered_map<std::string, NodeId> nodes_;
+  std::unordered_set<std::string> on_stack_;
+};
+
+}  // namespace
+
+Circuit read_bench(std::istream& in, std::string circuit_name) {
+  const ParsedFile file = parse_lines(in);
+  return BenchBuilder(file, std::move(circuit_name)).build();
+}
+
+Circuit read_bench_string(const std::string& text, std::string circuit_name) {
+  std::istringstream in(text);
+  return read_bench(in, std::move(circuit_name));
+}
+
+Circuit load_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ParseError(str_cat("cannot open bench file '", path, "'"));
+  }
+  std::string name = path;
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) {
+    name = name.substr(0, dot);
+  }
+  return read_bench(in, name);
+}
+
+namespace {
+
+/// Stable, collision-free textual names for every node the writer mentions.
+class WriterNames {
+ public:
+  explicit WriterNames(const Circuit& circuit) : circuit_(circuit) {
+    for (NodeId id = 0; id < circuit.node_count(); ++id) {
+      std::string base = circuit.node_name(id);
+      while (used_.count(base) != 0) {
+        base += "_w";
+      }
+      used_.insert(base);
+      names_.push_back(std::move(base));
+    }
+  }
+
+  [[nodiscard]] const std::string& of(NodeId id) const { return names_[id]; }
+
+  [[nodiscard]] std::string fresh(std::string base) {
+    while (used_.count(base) != 0) {
+      base += "_w";
+    }
+    used_.insert(base);
+    return base;
+  }
+
+ private:
+  const Circuit& circuit_;
+  std::vector<std::string> names_;
+  std::unordered_set<std::string> used_;
+};
+
+}  // namespace
+
+void write_bench(const Circuit& circuit, std::ostream& out) {
+  WriterNames names(circuit);
+  out << "# " << circuit.name() << " — written by femu\n";
+  out << "# " << circuit.num_inputs() << " inputs, " << circuit.num_outputs()
+      << " outputs, " << circuit.num_dffs() << " flip-flops, "
+      << circuit.num_gates() << " gates\n";
+  for (const NodeId pi : circuit.inputs()) {
+    out << "INPUT(" << names.of(pi) << ")\n";
+  }
+
+  // Output ports may carry names that differ from their driver node; emit an
+  // alias BUFF in that case so OUTPUT() always references a defined signal.
+  std::vector<std::pair<std::string, std::string>> aliases;  // name -> driver
+  std::vector<std::string> output_names;
+  for (const auto& port : circuit.outputs()) {
+    const std::string& driver_name = names.of(port.driver);
+    if (driver_name == port.name) {
+      output_names.push_back(driver_name);
+    } else {
+      std::string alias = names.fresh(port.name);
+      aliases.emplace_back(alias, driver_name);
+      output_names.push_back(std::move(alias));
+    }
+  }
+  for (const auto& name : output_names) {
+    out << "OUTPUT(" << name << ")\n";
+  }
+  out << "\n";
+
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    const CellType type = circuit.type(id);
+    const auto fanins = circuit.fanins(id);
+    switch (type) {
+      case CellType::kInput:
+        break;
+      case CellType::kConst0:
+        out << names.of(id) << " = CONST0()\n";
+        break;
+      case CellType::kConst1:
+        out << names.of(id) << " = CONST1()\n";
+        break;
+      case CellType::kDff:
+        out << names.of(id) << " = DFF(" << names.of(fanins[0]) << ")\n";
+        break;
+      case CellType::kBuf:
+        out << names.of(id) << " = BUFF(" << names.of(fanins[0]) << ")\n";
+        break;
+      case CellType::kNot:
+        out << names.of(id) << " = NOT(" << names.of(fanins[0]) << ")\n";
+        break;
+      case CellType::kMux:
+        out << names.of(id) << " = MUX(" << names.of(fanins[0]) << ", "
+            << names.of(fanins[1]) << ", " << names.of(fanins[2]) << ")\n";
+        break;
+      default:
+        out << names.of(id) << " = " << cell_name(type) << "("
+            << names.of(fanins[0]) << ", " << names.of(fanins[1]) << ")\n";
+        break;
+    }
+  }
+  for (const auto& [alias, driver] : aliases) {
+    out << alias << " = BUFF(" << driver << ")\n";
+  }
+}
+
+std::string write_bench_string(const Circuit& circuit) {
+  std::ostringstream out;
+  write_bench(circuit, out);
+  return out.str();
+}
+
+void save_bench_file(const Circuit& circuit, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw Error(str_cat("cannot open '", path, "' for writing"));
+  }
+  write_bench(circuit, out);
+}
+
+}  // namespace femu

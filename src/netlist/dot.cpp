@@ -1,0 +1,43 @@
+#include "netlist/dot.h"
+
+#include <sstream>
+
+namespace femu {
+
+std::string to_dot(const Circuit& circuit) {
+  std::ostringstream os;
+  os << "digraph \"" << circuit.name() << "\" {\n";
+  os << "  rankdir=LR;\n";
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    const CellType type = circuit.type(id);
+    const char* shape = "ellipse";
+    if (type == CellType::kDff) {
+      shape = "box";
+    } else if (type == CellType::kInput) {
+      shape = "invtriangle";
+    }
+    os << "  n" << id << " [label=\"" << circuit.node_name(id) << "\\n"
+       << cell_name(type) << "\" shape=" << shape << "];\n";
+    const auto fanins = circuit.fanins(id);
+    for (std::size_t i = 0; i < fanins.size(); ++i) {
+      if (fanins[i] == kInvalidNode) {
+        continue;
+      }
+      os << "  n" << fanins[i] << " -> n" << id;
+      if (type == CellType::kDff) {
+        os << " [style=dashed]";
+      }
+      os << ";\n";
+    }
+  }
+  for (std::size_t p = 0; p < circuit.outputs().size(); ++p) {
+    const auto& port = circuit.outputs()[p];
+    os << "  out" << p << " [label=\"" << port.name
+       << "\" shape=triangle];\n";
+    os << "  n" << port.driver << " -> out" << p << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace femu

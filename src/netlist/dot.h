@@ -1,0 +1,13 @@
+#pragma once
+
+#include <string>
+
+#include "netlist/circuit.h"
+
+namespace femu {
+
+/// Renders the circuit as a Graphviz digraph (debug aid; flip-flops are drawn
+/// as boxes, gates as ellipses, dashed edges mark DFF D-pin back-edges).
+[[nodiscard]] std::string to_dot(const Circuit& circuit);
+
+}  // namespace femu

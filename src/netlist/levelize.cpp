@@ -1,0 +1,27 @@
+#include "netlist/levelize.h"
+
+#include <algorithm>
+
+namespace femu {
+
+Levelization levelize(const Circuit& circuit) {
+  Levelization out;
+  out.level.assign(circuit.node_count(), 0);
+  // Node-id order is a valid topological order of the combinational network
+  // (builder invariant, re-checked by Circuit::validate), so one forward
+  // sweep suffices.
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    if (!is_comb_cell(circuit.type(id))) {
+      continue;  // sources and DFFs stay at level 0
+    }
+    std::uint32_t level = 0;
+    for (const NodeId fanin : circuit.fanins(id)) {
+      level = std::max(level, out.level[fanin] + 1);
+    }
+    out.level[id] = level;
+    out.depth = std::max(out.depth, level);
+  }
+  return out;
+}
+
+}  // namespace femu

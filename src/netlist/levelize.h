@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace femu {
+
+/// Topological levels of a circuit's combinational network.
+///
+/// Sources (primary inputs, constants, flip-flop outputs) are level 0; a gate
+/// is one level above its deepest fanin. The maximum level is the circuit's
+/// combinational depth — a proxy for the critical path used by the resource
+/// reports and by the LUT mapper's depth-oriented cut selection.
+struct Levelization {
+  std::vector<std::uint32_t> level;  ///< per node id
+  std::uint32_t depth = 0;           ///< max level over all nodes
+};
+
+[[nodiscard]] Levelization levelize(const Circuit& circuit);
+
+}  // namespace femu

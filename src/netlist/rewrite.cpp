@@ -1,0 +1,77 @@
+#include "netlist/rewrite.h"
+
+#include "common/error.h"
+
+namespace femu {
+
+NodeId NodeMap::at(NodeId src) const {
+  FEMU_CHECK(src < map_.size(), "NodeMap: source id ", src, " out of range");
+  FEMU_CHECK(map_[src] != kInvalidNode, "NodeMap: source id ", src,
+             " not mapped");
+  return map_[src];
+}
+
+void NodeMap::bind(NodeId src, NodeId dst) {
+  FEMU_CHECK(src < map_.size(), "NodeMap: source id ", src, " out of range");
+  FEMU_CHECK(map_[src] == kInvalidNode, "NodeMap: source id ", src,
+             " bound twice");
+  map_[src] = dst;
+}
+
+void copy_combinational(const Circuit& src, Circuit& dst, NodeMap& map) {
+  for (NodeId id = 0; id < src.node_count(); ++id) {
+    const CellType type = src.type(id);
+    switch (type) {
+      case CellType::kConst0:
+        if (!map.mapped(id)) map.bind(id, dst.add_const(false));
+        break;
+      case CellType::kConst1:
+        if (!map.mapped(id)) map.bind(id, dst.add_const(true));
+        break;
+      case CellType::kInput:
+      case CellType::kDff:
+        // Must have been pre-bound by the caller.
+        FEMU_CHECK(map.mapped(id), "copy_combinational: source ",
+                   cell_name(type), " node ", src.node_name(id),
+                   " not pre-bound");
+        break;
+      case CellType::kBuf:
+      case CellType::kNot: {
+        const auto fi = src.fanins(id);
+        map.bind(id, dst.add_unary(type, map.at(fi[0])));
+        break;
+      }
+      case CellType::kMux: {
+        const auto fi = src.fanins(id);
+        map.bind(id, dst.add_mux(map.at(fi[0]), map.at(fi[1]), map.at(fi[2])));
+        break;
+      }
+      default: {
+        const auto fi = src.fanins(id);
+        map.bind(id, dst.add_gate(type, map.at(fi[0]), map.at(fi[1])));
+        break;
+      }
+    }
+  }
+}
+
+Circuit clone(const Circuit& src) {
+  Circuit dst(src.name());
+  NodeMap map(src.node_count());
+  for (const NodeId pi : src.inputs()) {
+    map.bind(pi, dst.add_input(src.node_name(pi)));
+  }
+  for (const NodeId ff : src.dffs()) {
+    map.bind(ff, dst.add_dff(src.node_name(ff)));
+  }
+  copy_combinational(src, dst, map);
+  for (const NodeId ff : src.dffs()) {
+    dst.connect_dff(map.at(ff), map.at(src.dff_d(ff)));
+  }
+  for (const auto& port : src.outputs()) {
+    dst.add_output(port.name, map.at(port.driver));
+  }
+  return dst;
+}
+
+}  // namespace femu

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace femu {
+
+/// Translation table from source-circuit node ids to destination-circuit node
+/// ids. Entries default to kInvalidNode (= not mapped yet).
+class NodeMap {
+ public:
+  explicit NodeMap(std::size_t source_nodes)
+      : map_(source_nodes, kInvalidNode) {}
+
+  [[nodiscard]] NodeId at(NodeId src) const;
+  [[nodiscard]] bool mapped(NodeId src) const {
+    return src < map_.size() && map_[src] != kInvalidNode;
+  }
+  void bind(NodeId src, NodeId dst);
+
+ private:
+  std::vector<NodeId> map_;
+};
+
+/// Copies every combinational gate and constant of `src` into `dst` in
+/// topological order, translating fanins through `map`. The caller must have
+/// pre-bound every source node (primary inputs and DFFs) — this is how the
+/// instrumentation transforms substitute their own structures for the original
+/// flip-flops while reusing the combinational logic verbatim.
+void copy_combinational(const Circuit& src, Circuit& dst, NodeMap& map);
+
+/// Deep structural copy (same interface, same node ordering semantics).
+[[nodiscard]] Circuit clone(const Circuit& src);
+
+}  // namespace femu

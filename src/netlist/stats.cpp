@@ -1,0 +1,39 @@
+#include "netlist/stats.h"
+
+#include <sstream>
+
+#include "netlist/levelize.h"
+
+namespace femu {
+
+CircuitStats compute_stats(const Circuit& circuit) {
+  CircuitStats stats;
+  stats.name = circuit.name();
+  stats.num_nodes = circuit.node_count();
+  stats.num_inputs = circuit.num_inputs();
+  stats.num_outputs = circuit.num_outputs();
+  stats.num_dffs = circuit.num_dffs();
+  stats.num_gates = circuit.num_gates();
+  stats.depth = levelize(circuit).depth;
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    stats.per_type[static_cast<std::size_t>(circuit.type(id))]++;
+  }
+  return stats;
+}
+
+std::string to_string(const CircuitStats& stats) {
+  std::ostringstream os;
+  os << "circuit " << stats.name << ": " << stats.num_inputs << " PI, "
+     << stats.num_outputs << " PO, " << stats.num_dffs << " FF, "
+     << stats.num_gates << " gates, depth " << stats.depth << "\n";
+  for (std::size_t t = 0; t < stats.per_type.size(); ++t) {
+    if (stats.per_type[t] == 0) {
+      continue;
+    }
+    os << "  " << cell_name(static_cast<CellType>(t)) << ": "
+       << stats.per_type[t] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace femu

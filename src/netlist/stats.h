@@ -1,0 +1,31 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "netlist/circuit.h"
+
+namespace femu {
+
+/// Structural summary of a circuit, printed by examples and used by tests to
+/// pin the b14-like benchmark to the paper's interface (32 PI / 54 PO /
+/// 215 FF).
+struct CircuitStats {
+  std::string name;
+  std::size_t num_nodes = 0;
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  std::size_t num_dffs = 0;
+  std::size_t num_gates = 0;
+  std::uint32_t depth = 0;
+  /// Gate population indexed by CellType.
+  std::array<std::size_t, 13> per_type{};
+};
+
+[[nodiscard]] CircuitStats compute_stats(const Circuit& circuit);
+
+/// Multi-line human-readable rendering.
+[[nodiscard]] std::string to_string(const CircuitStats& stats);
+
+}  // namespace femu

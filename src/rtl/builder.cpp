@@ -1,0 +1,280 @@
+#include "rtl/builder.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace femu::rtl {
+
+namespace {
+
+NodeId reduce(Circuit& circuit, CellType type, Bus bus) {
+  FEMU_CHECK(!bus.empty(), "reduction over empty bus");
+  while (bus.size() > 1) {
+    Bus next;
+    next.reserve((bus.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < bus.size(); i += 2) {
+      next.push_back(circuit.add_gate(type, bus[i], bus[i + 1]));
+    }
+    if (bus.size() % 2 == 1) {
+      next.push_back(bus.back());
+    }
+    bus = std::move(next);
+  }
+  return bus[0];
+}
+
+void check_same_width(const Bus& a, const Bus& b, const char* op) {
+  FEMU_CHECK(a.size() == b.size(), op, ": width mismatch ", a.size(), " vs ",
+             b.size());
+}
+
+}  // namespace
+
+Bus Builder::input_bus(const std::string& prefix, std::size_t width) {
+  Bus bus;
+  bus.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    bus.push_back(circuit_.add_input(str_cat(prefix, i)));
+  }
+  return bus;
+}
+
+Bus Builder::constant(std::uint64_t value, std::size_t width) {
+  FEMU_CHECK(width <= 64, "constant wider than 64 bits");
+  Bus bus;
+  bus.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    bus.push_back(circuit_.add_const(((value >> i) & 1) != 0));
+  }
+  return bus;
+}
+
+Bus Builder::register_bus(const std::string& prefix, std::size_t width) {
+  Bus bus;
+  bus.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    bus.push_back(circuit_.add_dff(str_cat(prefix, i)));
+  }
+  return bus;
+}
+
+void Builder::connect(const Bus& regs, const Bus& next) {
+  check_same_width(regs, next, "connect");
+  for (std::size_t i = 0; i < regs.size(); ++i) {
+    circuit_.connect_dff(regs[i], next[i]);
+  }
+}
+
+void Builder::output_bus(const std::string& prefix, const Bus& bus) {
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    circuit_.add_output(str_cat(prefix, i), bus[i]);
+  }
+}
+
+NodeId Builder::and_reduce(const Bus& bus) {
+  return reduce(circuit_, CellType::kAnd, bus);
+}
+
+NodeId Builder::or_reduce(const Bus& bus) {
+  return reduce(circuit_, CellType::kOr, bus);
+}
+
+NodeId Builder::xor_reduce(const Bus& bus) {
+  return reduce(circuit_, CellType::kXor, bus);
+}
+
+Bus Builder::not_bus(const Bus& a) {
+  Bus out;
+  out.reserve(a.size());
+  for (const NodeId bit : a) {
+    out.push_back(circuit_.add_not(bit));
+  }
+  return out;
+}
+
+Bus Builder::and_bus(const Bus& a, const Bus& b) {
+  check_same_width(a, b, "and_bus");
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(circuit_.add_and(a[i], b[i]));
+  }
+  return out;
+}
+
+Bus Builder::or_bus(const Bus& a, const Bus& b) {
+  check_same_width(a, b, "or_bus");
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(circuit_.add_or(a[i], b[i]));
+  }
+  return out;
+}
+
+Bus Builder::xor_bus(const Bus& a, const Bus& b) {
+  check_same_width(a, b, "xor_bus");
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(circuit_.add_xor(a[i], b[i]));
+  }
+  return out;
+}
+
+Bus Builder::gate_bus(NodeId enable, const Bus& a) {
+  Bus out;
+  out.reserve(a.size());
+  for (const NodeId bit : a) {
+    out.push_back(circuit_.add_and(enable, bit));
+  }
+  return out;
+}
+
+Bus Builder::mux_bus(NodeId sel, const Bus& when0, const Bus& when1) {
+  check_same_width(when0, when1, "mux_bus");
+  Bus out;
+  out.reserve(when0.size());
+  for (std::size_t i = 0; i < when0.size(); ++i) {
+    out.push_back(circuit_.add_mux(sel, when0[i], when1[i]));
+  }
+  return out;
+}
+
+std::pair<Bus, NodeId> Builder::add_with_carry(const Bus& a, const Bus& b,
+                                               NodeId carry_in) {
+  check_same_width(a, b, "add");
+  Bus sum;
+  sum.reserve(a.size());
+  NodeId carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const NodeId axb = circuit_.add_xor(a[i], b[i]);
+    sum.push_back(circuit_.add_xor(axb, carry));
+    const NodeId and_ab = circuit_.add_and(a[i], b[i]);
+    const NodeId and_cx = circuit_.add_and(carry, axb);
+    carry = circuit_.add_or(and_ab, and_cx);
+  }
+  return {std::move(sum), carry};
+}
+
+Bus Builder::add(const Bus& a, const Bus& b) {
+  return add_with_carry(a, b, zero()).first;
+}
+
+Bus Builder::sub(const Bus& a, const Bus& b) {
+  // a - b = a + ~b + 1
+  return add_with_carry(a, not_bus(b), one()).first;
+}
+
+Bus Builder::inc(const Bus& a) {
+  return add_with_carry(a, constant(0, a.size()), one()).first;
+}
+
+NodeId Builder::eq(const Bus& a, const Bus& b) {
+  check_same_width(a, b, "eq");
+  Bus bits;
+  bits.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    bits.push_back(circuit_.add_gate(CellType::kXnor, a[i], b[i]));
+  }
+  return and_reduce(bits);
+}
+
+NodeId Builder::eq_const(const Bus& a, std::uint64_t value) {
+  FEMU_CHECK(a.size() <= 64, "eq_const bus wider than 64 bits");
+  Bus bits;
+  bits.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const bool bit = ((value >> i) & 1) != 0;
+    bits.push_back(bit ? a[i] : circuit_.add_not(a[i]));
+  }
+  return and_reduce(bits);
+}
+
+NodeId Builder::ult(const Bus& a, const Bus& b) {
+  check_same_width(a, b, "ult");
+  // Ripple borrow of a - b; final borrow set <=> a < b.
+  NodeId borrow = zero();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const NodeId not_a = circuit_.add_not(a[i]);
+    const NodeId diff = circuit_.add_xor(a[i], b[i]);
+    const NodeId not_diff = circuit_.add_not(diff);
+    const NodeId term1 = circuit_.add_and(not_a, b[i]);
+    const NodeId term2 = circuit_.add_and(borrow, not_diff);
+    borrow = circuit_.add_or(term1, term2);
+  }
+  return borrow;
+}
+
+NodeId Builder::is_zero(const Bus& a) {
+  return circuit_.add_not(or_reduce(a));
+}
+
+Bus Builder::shl_const(const Bus& a, std::size_t amount) {
+  Bus out(a.size(), kInvalidNode);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = (i < amount) ? zero() : a[i - amount];
+  }
+  return out;
+}
+
+Bus Builder::shr_const(const Bus& a, std::size_t amount) {
+  Bus out(a.size(), kInvalidNode);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = (i + amount < a.size()) ? a[i + amount] : zero();
+  }
+  return out;
+}
+
+Bus Builder::shl_var(const Bus& a, const Bus& amount) {
+  Bus value = a;
+  for (std::size_t stage = 0; stage < amount.size(); ++stage) {
+    const std::size_t step = std::size_t{1} << stage;
+    if (step >= a.size()) {
+      // Shifting by >= width yields zero; select it when the bit is set.
+      value = mux_bus(amount[stage], value, constant(0, a.size()));
+      continue;
+    }
+    value = mux_bus(amount[stage], value, shl_const(value, step));
+  }
+  return value;
+}
+
+Bus Builder::shr_var(const Bus& a, const Bus& amount) {
+  Bus value = a;
+  for (std::size_t stage = 0; stage < amount.size(); ++stage) {
+    const std::size_t step = std::size_t{1} << stage;
+    if (step >= a.size()) {
+      value = mux_bus(amount[stage], value, constant(0, a.size()));
+      continue;
+    }
+    value = mux_bus(amount[stage], value, shr_const(value, step));
+  }
+  return value;
+}
+
+Bus Builder::resize(const Bus& a, std::size_t width) {
+  Bus out = a;
+  if (out.size() > width) {
+    out.resize(width);
+  }
+  while (out.size() < width) {
+    out.push_back(zero());
+  }
+  return out;
+}
+
+Bus Builder::slice(const Bus& a, std::size_t lo, std::size_t width) {
+  FEMU_CHECK(lo + width <= a.size(), "slice [", lo, ", ", lo + width,
+             ") out of bus width ", a.size());
+  return Bus(a.begin() + static_cast<std::ptrdiff_t>(lo),
+             a.begin() + static_cast<std::ptrdiff_t>(lo + width));
+}
+
+Bus Builder::concat(const Bus& low, const Bus& high) {
+  Bus out = low;
+  out.insert(out.end(), high.begin(), high.end());
+  return out;
+}
+
+}  // namespace femu::rtl

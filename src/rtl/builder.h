@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace femu::rtl {
+
+/// A word-level signal: node ids ordered LSB-first.
+using Bus = std::vector<NodeId>;
+
+/// Word-level construction layer over the gate-level Circuit IR.
+///
+/// Everything expands to the primitive cell set immediately (ripple-carry
+/// adders, mux trees, reduction trees), so circuits written with the builder
+/// are ordinary gate-level netlists to every downstream consumer (simulators,
+/// mapper, instrumentation transforms). Used to implement the benchmark CPUs
+/// in src/circuits/.
+class Builder {
+ public:
+  explicit Builder(Circuit& circuit) : circuit_(circuit) {}
+
+  [[nodiscard]] Circuit& circuit() noexcept { return circuit_; }
+
+  // ---- sources ------------------------------------------------------------
+
+  /// Adds `width` primary inputs named `<prefix>0 .. <prefix>{width-1}`.
+  Bus input_bus(const std::string& prefix, std::size_t width);
+
+  /// Constant bus holding `value` (LSB-first, truncated to `width`).
+  Bus constant(std::uint64_t value, std::size_t width);
+
+  /// Adds `width` flip-flops named `<prefix>0..`; connect with connect().
+  Bus register_bus(const std::string& prefix, std::size_t width);
+
+  /// Connects register D-pins: regs[i].D = next[i].
+  void connect(const Bus& regs, const Bus& next);
+
+  /// Declares outputs `<prefix>0..` driven by `bus`.
+  void output_bus(const std::string& prefix, const Bus& bus);
+
+  // ---- single-bit helpers --------------------------------------------------
+
+  NodeId lnot(NodeId a) { return circuit_.add_not(a); }
+  NodeId land(NodeId a, NodeId b) { return circuit_.add_and(a, b); }
+  NodeId lor(NodeId a, NodeId b) { return circuit_.add_or(a, b); }
+  NodeId lxor(NodeId a, NodeId b) { return circuit_.add_xor(a, b); }
+  NodeId mux(NodeId sel, NodeId when0, NodeId when1) {
+    return circuit_.add_mux(sel, when0, when1);
+  }
+  NodeId zero() { return circuit_.add_const(false); }
+  NodeId one() { return circuit_.add_const(true); }
+
+  /// Balanced reduction over a bus (bus must be non-empty).
+  NodeId and_reduce(const Bus& bus);
+  NodeId or_reduce(const Bus& bus);
+  NodeId xor_reduce(const Bus& bus);
+
+  // ---- word-level combinational ops (widths must match where binary) -------
+
+  Bus not_bus(const Bus& a);
+  Bus and_bus(const Bus& a, const Bus& b);
+  Bus or_bus(const Bus& a, const Bus& b);
+  Bus xor_bus(const Bus& a, const Bus& b);
+
+  /// Bitwise AND of every lane of `a` with the single bit `enable`.
+  Bus gate_bus(NodeId enable, const Bus& a);
+
+  /// Word mux: sel ? when1 : when0.
+  Bus mux_bus(NodeId sel, const Bus& when0, const Bus& when1);
+
+  /// Ripple-carry addition; result width = a width; carry-out discarded.
+  Bus add(const Bus& a, const Bus& b);
+
+  /// Ripple-carry addition returning {sum, carry_out}.
+  std::pair<Bus, NodeId> add_with_carry(const Bus& a, const Bus& b,
+                                        NodeId carry_in);
+
+  /// Two's-complement subtraction a - b (borrow discarded).
+  Bus sub(const Bus& a, const Bus& b);
+
+  /// a + 1.
+  Bus inc(const Bus& a);
+
+  /// Equality comparator.
+  NodeId eq(const Bus& a, const Bus& b);
+
+  /// Compares a bus against a constant.
+  NodeId eq_const(const Bus& a, std::uint64_t value);
+
+  /// Unsigned a < b.
+  NodeId ult(const Bus& a, const Bus& b);
+
+  /// True when every bit of `a` is 0.
+  NodeId is_zero(const Bus& a);
+
+  // ---- shifts / structure ---------------------------------------------------
+
+  /// Logical shift by a compile-time amount (fills with 0).
+  Bus shl_const(const Bus& a, std::size_t amount);
+  Bus shr_const(const Bus& a, std::size_t amount);
+
+  /// Barrel shifter: logical shift of `a` by the unsigned value of `amount`.
+  Bus shl_var(const Bus& a, const Bus& amount);
+  Bus shr_var(const Bus& a, const Bus& amount);
+
+  /// Least-significant `width` bits, zero-extended when `a` is narrower.
+  Bus resize(const Bus& a, std::size_t width);
+
+  /// bits [lo, lo+width) of `a`.
+  Bus slice(const Bus& a, std::size_t lo, std::size_t width);
+
+  /// {low, high} concatenation (low holds the LSBs).
+  Bus concat(const Bus& low, const Bus& high);
+
+ private:
+  Circuit& circuit_;
+};
+
+}  // namespace femu::rtl

@@ -1,0 +1,170 @@
+#include "sim/event_sim.h"
+
+#include "common/error.h"
+#include "netlist/levelize.h"
+
+namespace femu {
+
+EventSimulator::EventSimulator(const Circuit& circuit)
+    : circuit_(circuit),
+      values_(circuit.node_count(), 0),
+      state_(circuit.num_dffs(), 0),
+      pending_(circuit.node_count(), 0) {
+  circuit.validate();
+  Levelization lv = levelize(circuit);
+  level_ = std::move(lv.level);
+  buckets_.resize(lv.depth + 1);
+
+  // CSR fanout adjacency (combinational consumers only; DFF D-pins are read
+  // at step() time and never scheduled).
+  std::vector<std::uint32_t> counts(circuit.node_count() + 1, 0);
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    if (!is_comb_cell(circuit.type(id))) {
+      continue;
+    }
+    for (const NodeId fanin : circuit.fanins(id)) {
+      counts[fanin + 1]++;
+    }
+  }
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    counts[i] += counts[i - 1];
+  }
+  fanout_begin_ = counts;
+  fanouts_.resize(fanout_begin_.back());
+  std::vector<std::uint32_t> cursor(fanout_begin_.begin(),
+                                    fanout_begin_.end() - 1);
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    if (!is_comb_cell(circuit.type(id))) {
+      continue;
+    }
+    for (const NodeId fanin : circuit.fanins(id)) {
+      fanouts_[cursor[fanin]++] = id;
+    }
+  }
+}
+
+void EventSimulator::reset() {
+  std::fill(values_.begin(), values_.end(), std::uint8_t{0});
+  std::fill(state_.begin(), state_.end(), std::uint8_t{0});
+  std::fill(pending_.begin(), pending_.end(), std::uint8_t{0});
+  for (auto& bucket : buckets_) {
+    bucket.clear();
+  }
+  full_eval_needed_ = true;
+  eval_count_ = 0;
+}
+
+BitVec EventSimulator::state() const {
+  BitVec out(state_.size());
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    out.set(i, state_[i] != 0);
+  }
+  return out;
+}
+
+void EventSimulator::set_state(const BitVec& state) {
+  FEMU_CHECK(state.size() == state_.size(), "state width ", state.size(),
+             " != ", state_.size());
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    state_[i] = state.get(i) ? 1 : 0;
+  }
+}
+
+void EventSimulator::flip_state_bit(std::size_t ff_index) {
+  FEMU_CHECK(ff_index < state_.size(), "ff index ", ff_index, " out of range");
+  state_[ff_index] ^= 1;
+}
+
+void EventSimulator::schedule_fanouts(NodeId id) {
+  for (std::uint32_t k = fanout_begin_[id]; k < fanout_begin_[id + 1]; ++k) {
+    const NodeId consumer = fanouts_[k];
+    if (pending_[consumer] == 0) {
+      pending_[consumer] = 1;
+      buckets_[level_[consumer]].push_back(consumer);
+    }
+  }
+}
+
+void EventSimulator::settle() {
+  for (auto& bucket : buckets_) {
+    // Fanouts always have strictly greater level, so a single pass over the
+    // buckets in level order settles the network.
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const NodeId id = bucket[i];
+      pending_[id] = 0;
+      const CellType type = circuit_.type(id);
+      const auto fanins = circuit_.fanins(id);
+      const bool a = fanins.size() > 0 && values_[fanins[0]] != 0;
+      const bool b = fanins.size() > 1 && values_[fanins[1]] != 0;
+      const bool c = fanins.size() > 2 && values_[fanins[2]] != 0;
+      const std::uint8_t next = eval_cell_bool(type, a, b, c) ? 1 : 0;
+      ++eval_count_;
+      if (next != values_[id]) {
+        values_[id] = next;
+        schedule_fanouts(id);
+      }
+    }
+    bucket.clear();
+  }
+}
+
+BitVec EventSimulator::eval(const BitVec& inputs) {
+  FEMU_CHECK(inputs.size() == circuit_.num_inputs(), "input width ",
+             inputs.size(), " != ", circuit_.num_inputs());
+  if (full_eval_needed_) {
+    // First evaluation: initialise constants and force-evaluate everything by
+    // scheduling all gates.
+    for (NodeId id = 0; id < circuit_.node_count(); ++id) {
+      const CellType type = circuit_.type(id);
+      if (type == CellType::kConst1) {
+        values_[id] = 1;
+      } else if (is_comb_cell(type) && pending_[id] == 0) {
+        pending_[id] = 1;
+        buckets_[level_[id]].push_back(id);
+      }
+    }
+    full_eval_needed_ = false;
+  }
+  const auto& pis = circuit_.inputs();
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    const std::uint8_t next = inputs.get(i) ? 1 : 0;
+    if (values_[pis[i]] != next) {
+      values_[pis[i]] = next;
+      schedule_fanouts(pis[i]);
+    }
+  }
+  const auto& dffs = circuit_.dffs();
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    if (values_[dffs[i]] != state_[i]) {
+      values_[dffs[i]] = state_[i];
+      schedule_fanouts(dffs[i]);
+    }
+  }
+  settle();
+  const auto& outputs = circuit_.outputs();
+  BitVec out(outputs.size());
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    out.set(i, values_[outputs[i].driver] != 0);
+  }
+  return out;
+}
+
+void EventSimulator::step() {
+  const auto& dffs = circuit_.dffs();
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    state_[i] = values_[circuit_.dff_d(dffs[i])];
+  }
+}
+
+BitVec EventSimulator::cycle(const BitVec& inputs) {
+  BitVec out = eval(inputs);
+  step();
+  return out;
+}
+
+bool EventSimulator::value(NodeId id) const {
+  FEMU_CHECK(id < values_.size(), "node id ", id, " out of range");
+  return values_[id] != 0;
+}
+
+}  // namespace femu

@@ -1,0 +1,21 @@
+#include "sim/golden.h"
+
+#include "sim/levelized_sim.h"
+
+namespace femu {
+
+GoldenTrace capture_golden(const Circuit& circuit,
+                           std::span<const BitVec> vectors) {
+  GoldenTrace trace;
+  trace.states.reserve(vectors.size() + 1);
+  trace.outputs.reserve(vectors.size());
+  LevelizedSimulator sim(circuit);
+  trace.states.push_back(sim.state());
+  for (const BitVec& vector : vectors) {
+    trace.outputs.push_back(sim.cycle(vector));
+    trace.states.push_back(sim.state());
+  }
+  return trace;
+}
+
+}  // namespace femu

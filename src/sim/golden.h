@@ -1,0 +1,36 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "netlist/circuit.h"
+
+namespace femu {
+
+/// Fault-free reference run of a circuit over a testbench.
+///
+/// In the paper's autonomous system the golden responses live in on-board RAM
+/// (mask-scan / state-scan) or are computed concurrently on-chip (time-mux);
+/// here they are the reference every fault classification compares against.
+///
+/// Index conventions (T = number of vectors):
+///   states[t]  — flip-flop state at the START of cycle t, t in [0, T]
+///                (states[0] is the reset state, states[T] the final state)
+///   outputs[t] — primary outputs observed during cycle t, t in [0, T)
+struct GoldenTrace {
+  std::vector<BitVec> states;
+  std::vector<BitVec> outputs;
+
+  [[nodiscard]] std::size_t num_cycles() const noexcept {
+    return outputs.size();
+  }
+
+  [[nodiscard]] const BitVec& final_state() const { return states.back(); }
+};
+
+/// Runs the fault-free machine over `vectors` and records the full trace.
+[[nodiscard]] GoldenTrace capture_golden(const Circuit& circuit,
+                                         std::span<const BitVec> vectors);
+
+}  // namespace femu

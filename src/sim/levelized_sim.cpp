@@ -1,0 +1,94 @@
+#include "sim/levelized_sim.h"
+
+#include "common/error.h"
+
+namespace femu {
+
+LevelizedSimulator::LevelizedSimulator(const Circuit& circuit)
+    : circuit_(circuit),
+      values_(circuit.node_count(), 0),
+      state_(circuit.num_dffs(), 0) {
+  circuit.validate();
+}
+
+void LevelizedSimulator::reset() {
+  std::fill(values_.begin(), values_.end(), std::uint8_t{0});
+  std::fill(state_.begin(), state_.end(), std::uint8_t{0});
+}
+
+BitVec LevelizedSimulator::state() const {
+  BitVec out(state_.size());
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    out.set(i, state_[i] != 0);
+  }
+  return out;
+}
+
+bool LevelizedSimulator::state_bit(std::size_t ff_index) const {
+  FEMU_CHECK(ff_index < state_.size(), "ff index ", ff_index, " out of range");
+  return state_[ff_index] != 0;
+}
+
+void LevelizedSimulator::set_state(const BitVec& state) {
+  FEMU_CHECK(state.size() == state_.size(), "state width ", state.size(),
+             " != ", state_.size());
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    state_[i] = state.get(i) ? 1 : 0;
+  }
+}
+
+void LevelizedSimulator::flip_state_bit(std::size_t ff_index) {
+  FEMU_CHECK(ff_index < state_.size(), "ff index ", ff_index, " out of range");
+  state_[ff_index] ^= 1;
+}
+
+BitVec LevelizedSimulator::eval(const BitVec& inputs) {
+  FEMU_CHECK(inputs.size() == circuit_.num_inputs(), "input width ",
+             inputs.size(), " != ", circuit_.num_inputs());
+  const auto& pis = circuit_.inputs();
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    values_[pis[i]] = inputs.get(i) ? 1 : 0;
+  }
+  const auto& dffs = circuit_.dffs();
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    values_[dffs[i]] = state_[i];
+  }
+  for (NodeId id = 0; id < circuit_.node_count(); ++id) {
+    const CellType type = circuit_.type(id);
+    if (!is_comb_cell(type) && type != CellType::kConst0 &&
+        type != CellType::kConst1) {
+      continue;
+    }
+    const auto fanins = circuit_.fanins(id);
+    const bool a = fanins.size() > 0 && values_[fanins[0]] != 0;
+    const bool b = fanins.size() > 1 && values_[fanins[1]] != 0;
+    const bool c = fanins.size() > 2 && values_[fanins[2]] != 0;
+    values_[id] = eval_cell_bool(type, a, b, c) ? 1 : 0;
+  }
+  const auto& outputs = circuit_.outputs();
+  BitVec out(outputs.size());
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    out.set(i, values_[outputs[i].driver] != 0);
+  }
+  return out;
+}
+
+void LevelizedSimulator::step() {
+  const auto& dffs = circuit_.dffs();
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    state_[i] = values_[circuit_.dff_d(dffs[i])];
+  }
+}
+
+BitVec LevelizedSimulator::cycle(const BitVec& inputs) {
+  BitVec out = eval(inputs);
+  step();
+  return out;
+}
+
+bool LevelizedSimulator::value(NodeId id) const {
+  FEMU_CHECK(id < values_.size(), "node id ", id, " out of range");
+  return values_[id] != 0;
+}
+
+}  // namespace femu

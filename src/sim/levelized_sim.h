@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "netlist/circuit.h"
+
+namespace femu {
+
+/// Cycle-based single-machine logic simulator.
+///
+/// Evaluates the combinational network in node-id order (a valid topological
+/// order by construction), then captures flip-flop next-state on step().
+/// This is the reference engine: the event-driven and 64-way parallel
+/// simulators are checked against it by property tests.
+///
+/// Cycle protocol (matches DESIGN.md):
+///   eval(inputs)  -- combinational settle, outputs observable
+///   step()        -- clock edge: state <- D
+class LevelizedSimulator {
+ public:
+  explicit LevelizedSimulator(const Circuit& circuit);
+
+  /// Returns to the reset state (all flip-flops 0). Input values are cleared.
+  void reset();
+
+  /// Current flip-flop state in dffs() order.
+  [[nodiscard]] BitVec state() const;
+
+  /// One state bit without materialising the whole vector.
+  [[nodiscard]] bool state_bit(std::size_t ff_index) const;
+
+  /// Overwrites the flip-flop state (used for fault injection).
+  void set_state(const BitVec& state);
+
+  /// Flips one state bit (SEU injection shortcut).
+  void flip_state_bit(std::size_t ff_index);
+
+  /// Combinational evaluation for one vector; returns the primary outputs.
+  /// `inputs` bit i drives inputs()[i].
+  BitVec eval(const BitVec& inputs);
+
+  /// Clock edge: captures DFF D values into the state. Requires a preceding
+  /// eval() for meaningful D values.
+  void step();
+
+  /// eval() + step() in one call; returns the outputs observed before the
+  /// clock edge.
+  BitVec cycle(const BitVec& inputs);
+
+  /// Value of an arbitrary node after the last eval() (debug/probing).
+  [[nodiscard]] bool value(NodeId id) const;
+
+  [[nodiscard]] const Circuit& circuit() const noexcept { return circuit_; }
+
+ private:
+  const Circuit& circuit_;
+  std::vector<std::uint8_t> values_;  // per node, 0/1
+  std::vector<std::uint8_t> state_;   // per DFF, 0/1
+};
+
+}  // namespace femu

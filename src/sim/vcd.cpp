@@ -1,0 +1,101 @@
+#include "sim/vcd.h"
+
+#include <ostream>
+
+#include "common/error.h"
+#include "sim/levelized_sim.h"
+
+namespace femu {
+
+namespace {
+
+/// Sanitises a netlist name for VCD (no whitespace or '$').
+std::string vcd_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == ' ' || c == '$' || c == '\t') {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string VcdWriter::id_code(std::size_t index) {
+  // Printable identifier alphabet '!'..'~' (94 symbols), little-endian.
+  std::string code;
+  do {
+    code.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return code;
+}
+
+VcdWriter::VcdWriter(std::ostream& out, const Circuit& circuit,
+                     std::string timescale)
+    : out_(out), circuit_(circuit) {
+  out_ << "$date femu trace $end\n";
+  out_ << "$version femu 1.0 $end\n";
+  out_ << "$timescale " << timescale << " $end\n";
+  out_ << "$scope module " << vcd_name(circuit.name()) << " $end\n";
+
+  std::size_t index = 0;
+  const auto declare = [&](const std::string& name) {
+    ids_.push_back(id_code(index++));
+    out_ << "$var wire 1 " << ids_.back() << " " << vcd_name(name)
+         << " $end\n";
+  };
+  for (const NodeId pi : circuit.inputs()) {
+    declare("pi_" + circuit.node_name(pi));
+  }
+  for (std::size_t p = 0; p < circuit.outputs().size(); ++p) {
+    declare("po_" + circuit.outputs()[p].name);
+  }
+  for (const NodeId ff : circuit.dffs()) {
+    declare("ff_" + circuit.node_name(ff));
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  last_.assign(ids_.size(), 0xff);  // force first emission
+}
+
+void VcdWriter::sample(std::uint64_t time, const LevelizedSimulator& sim,
+                       const BitVec& inputs) {
+  FEMU_CHECK(&sim.circuit() == &circuit_,
+             "VcdWriter: simulator drives a different circuit");
+  FEMU_CHECK(inputs.size() == circuit_.num_inputs(), "VCD: input width ",
+             inputs.size(), " != ", circuit_.num_inputs());
+  out_ << '#' << time << '\n';
+  std::size_t index = 0;
+  const auto emit = [&](bool value) {
+    const std::uint8_t v = value ? 1 : 0;
+    if (first_sample_ || last_[index] != v) {
+      out_ << (value ? '1' : '0') << ids_[index] << '\n';
+      last_[index] = v;
+    }
+    ++index;
+  };
+  for (std::size_t i = 0; i < circuit_.num_inputs(); ++i) {
+    emit(inputs.get(i));
+  }
+  for (const auto& port : circuit_.outputs()) {
+    emit(sim.value(port.driver));
+  }
+  for (std::size_t i = 0; i < circuit_.num_dffs(); ++i) {
+    emit(sim.state_bit(i));
+  }
+  first_sample_ = false;
+}
+
+void write_golden_vcd(std::ostream& out, const Circuit& circuit,
+                      std::span<const BitVec> vectors) {
+  VcdWriter writer(out, circuit);
+  LevelizedSimulator sim(circuit);
+  for (std::size_t t = 0; t < vectors.size(); ++t) {
+    sim.eval(vectors[t]);
+    writer.sample(t, sim, vectors[t]);
+    sim.step();
+  }
+}
+
+}  // namespace femu

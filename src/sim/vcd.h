@@ -1,0 +1,50 @@
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "netlist/circuit.h"
+
+namespace femu {
+
+class LevelizedSimulator;
+
+/// Value-change-dump (VCD) writer for simulator traces.
+///
+/// The paper's introduction motivates emulation partly by observability —
+/// "identification of weak areas is difficult in the circuit prototype, due
+/// to the limited observability at the chip pins". On the simulation
+/// substrate we have full observability; this writer exports it in the
+/// format every waveform viewer reads. Records primary inputs, primary
+/// outputs and every flip-flop.
+class VcdWriter {
+ public:
+  /// Writes the header (signal declarations) immediately.
+  VcdWriter(std::ostream& out, const Circuit& circuit,
+            std::string timescale = "1ns");
+
+  /// Emits value changes for the current simulator state/inputs at
+  /// timestamp `time` (only signals that changed since the last sample).
+  /// Call after eval() so combinational outputs are coherent.
+  void sample(std::uint64_t time, const LevelizedSimulator& sim,
+              const BitVec& inputs);
+
+ private:
+  [[nodiscard]] static std::string id_code(std::size_t index);
+
+  std::ostream& out_;
+  const Circuit& circuit_;
+  std::vector<std::string> ids_;     // per tracked signal
+  std::vector<std::uint8_t> last_;   // last emitted value per signal
+  bool first_sample_ = true;
+};
+
+/// Convenience: runs `vectors` through the fault-free circuit and dumps the
+/// whole golden run as VCD.
+void write_golden_vcd(std::ostream& out, const Circuit& circuit,
+                      std::span<const BitVec> vectors);
+
+}  // namespace femu

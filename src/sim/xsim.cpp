@@ -1,0 +1,160 @@
+#include "sim/xsim.h"
+
+#include "common/error.h"
+
+namespace femu {
+
+namespace {
+
+Tri tri_not(Tri a) {
+  if (a == Tri::kX) {
+    return Tri::kX;
+  }
+  return a == Tri::kZero ? Tri::kOne : Tri::kZero;
+}
+
+Tri tri_and(Tri a, Tri b) {
+  if (a == Tri::kZero || b == Tri::kZero) {
+    return Tri::kZero;  // controlling value dominates X
+  }
+  if (a == Tri::kX || b == Tri::kX) {
+    return Tri::kX;
+  }
+  return Tri::kOne;
+}
+
+Tri tri_or(Tri a, Tri b) {
+  if (a == Tri::kOne || b == Tri::kOne) {
+    return Tri::kOne;
+  }
+  if (a == Tri::kX || b == Tri::kX) {
+    return Tri::kX;
+  }
+  return Tri::kZero;
+}
+
+Tri tri_xor(Tri a, Tri b) {
+  if (a == Tri::kX || b == Tri::kX) {
+    return Tri::kX;
+  }
+  return a == b ? Tri::kZero : Tri::kOne;
+}
+
+Tri tri_mux(Tri sel, Tri d0, Tri d1) {
+  if (sel == Tri::kZero) {
+    return d0;
+  }
+  if (sel == Tri::kOne) {
+    return d1;
+  }
+  // X select: known only when both branches agree.
+  return (d0 == d1 && d0 != Tri::kX) ? d0 : Tri::kX;
+}
+
+Tri eval_tri(CellType type, Tri a, Tri b, Tri c) {
+  switch (type) {
+    case CellType::kConst0: return Tri::kZero;
+    case CellType::kConst1: return Tri::kOne;
+    case CellType::kBuf:    return a;
+    case CellType::kNot:    return tri_not(a);
+    case CellType::kAnd:    return tri_and(a, b);
+    case CellType::kOr:     return tri_or(a, b);
+    case CellType::kNand:   return tri_not(tri_and(a, b));
+    case CellType::kNor:    return tri_not(tri_or(a, b));
+    case CellType::kXor:    return tri_xor(a, b);
+    case CellType::kXnor:   return tri_not(tri_xor(a, b));
+    case CellType::kMux:    return tri_mux(a, b, c);
+    default:                return Tri::kX;
+  }
+}
+
+}  // namespace
+
+XSimulator::XSimulator(const Circuit& circuit)
+    : circuit_(circuit),
+      values_(circuit.node_count(), Tri::kX),
+      state_(circuit.num_dffs(), Tri::kX) {
+  circuit.validate();
+}
+
+void XSimulator::reset_to_unknown() {
+  std::fill(values_.begin(), values_.end(), Tri::kX);
+  std::fill(state_.begin(), state_.end(), Tri::kX);
+}
+
+void XSimulator::set_state(const BitVec& state) {
+  FEMU_CHECK(state.size() == state_.size(), "state width ", state.size(),
+             " != ", state_.size());
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    state_[i] = state.get(i) ? Tri::kOne : Tri::kZero;
+  }
+}
+
+XSimulator::TriVec XSimulator::eval(const BitVec& inputs) {
+  FEMU_CHECK(inputs.size() == circuit_.num_inputs(), "input width ",
+             inputs.size(), " != ", circuit_.num_inputs());
+  const auto& pis = circuit_.inputs();
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    values_[pis[i]] = inputs.get(i) ? Tri::kOne : Tri::kZero;
+  }
+  const auto& dffs = circuit_.dffs();
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    values_[dffs[i]] = state_[i];
+  }
+  for (NodeId id = 0; id < circuit_.node_count(); ++id) {
+    const CellType type = circuit_.type(id);
+    if (!is_comb_cell(type) && type != CellType::kConst0 &&
+        type != CellType::kConst1) {
+      continue;
+    }
+    const auto fanins = circuit_.fanins(id);
+    const Tri a = fanins.size() > 0 ? values_[fanins[0]] : Tri::kX;
+    const Tri b = fanins.size() > 1 ? values_[fanins[1]] : Tri::kX;
+    const Tri c = fanins.size() > 2 ? values_[fanins[2]] : Tri::kX;
+    values_[id] = eval_tri(type, a, b, c);
+  }
+  const auto& outputs = circuit_.outputs();
+  TriVec out{BitVec(outputs.size()), BitVec(outputs.size())};
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    const Tri v = values_[outputs[i].driver];
+    if (v != Tri::kX) {
+      out.known.set(i, true);
+      out.values.set(i, v == Tri::kOne);
+    }
+  }
+  return out;
+}
+
+void XSimulator::step() {
+  const auto& dffs = circuit_.dffs();
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    state_[i] = values_[circuit_.dff_d(dffs[i])];
+  }
+}
+
+Tri XSimulator::state_tri(std::size_t ff_index) const {
+  FEMU_CHECK(ff_index < state_.size(), "ff index ", ff_index, " out of range");
+  return state_[ff_index];
+}
+
+std::size_t XSimulator::unknown_state_count() const {
+  std::size_t count = 0;
+  for (const Tri v : state_) {
+    count += v == Tri::kX ? 1 : 0;
+  }
+  return count;
+}
+
+std::optional<std::size_t> cycles_to_initialise(
+    const Circuit& circuit, std::span<const BitVec> vectors) {
+  XSimulator sim(circuit);
+  for (std::size_t t = 0; t < vectors.size(); ++t) {
+    sim.cycle(vectors[t]);
+    if (sim.fully_initialised()) {
+      return t + 1;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace femu

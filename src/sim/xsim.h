@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "netlist/circuit.h"
+
+namespace femu {
+
+/// Three-valued logic level: 0, 1 or unknown.
+enum class Tri : std::uint8_t { kZero = 0, kOne = 1, kX = 2 };
+
+/// Three-valued (0/1/X) cycle simulator.
+///
+/// The emulation system assumes the FPGA's global set/reset brings every
+/// flip-flop to 0 before a campaign (DESIGN.md's reset-state convention).
+/// This simulator answers the complementary design question: *without* that
+/// reset, starting from an all-X power-on state, does the circuit
+/// self-initialise under its stimuli? Pessimistic X-propagation (an X input
+/// taints a gate unless a controlling value dominates: 0 on AND, 1 on OR, a
+/// known select on MUX) makes "every FF known" a safe initialisation proof.
+class XSimulator {
+ public:
+  explicit XSimulator(const Circuit& circuit);
+
+  /// All flip-flops back to X (the power-on state).
+  void reset_to_unknown();
+
+  /// All flip-flops to known values (useful for equivalence tests).
+  void set_state(const BitVec& state);
+
+  /// Combinational evaluation; inputs are fully known two-valued vectors.
+  /// Returns outputs as {values, known} — bit i of `known` clear means
+  /// output i is X this cycle.
+  struct TriVec {
+    BitVec values;  ///< defined only where known
+    BitVec known;
+  };
+  TriVec eval(const BitVec& inputs);
+
+  /// Clock edge.
+  void step();
+
+  TriVec cycle(const BitVec& inputs) {
+    TriVec out = eval(inputs);
+    step();
+    return out;
+  }
+
+  [[nodiscard]] Tri state_tri(std::size_t ff_index) const;
+
+  /// Number of flip-flops currently holding X.
+  [[nodiscard]] std::size_t unknown_state_count() const;
+
+  [[nodiscard]] bool fully_initialised() const {
+    return unknown_state_count() == 0;
+  }
+
+  [[nodiscard]] const Circuit& circuit() const noexcept { return circuit_; }
+
+ private:
+  const Circuit& circuit_;
+  std::vector<Tri> values_;  // per node
+  std::vector<Tri> state_;   // per DFF
+};
+
+/// Runs `vectors` from the all-X power-on state; returns the first cycle
+/// index after which every flip-flop is known, or nullopt if the circuit
+/// never fully initialises within the testbench. Circuits that need the
+/// global reset (like the b14 CPU's binary-encoded FSM) return nullopt —
+/// exactly why the emulation controller asserts GSR before every run.
+[[nodiscard]] std::optional<std::size_t> cycles_to_initialise(
+    const Circuit& circuit, std::span<const BitVec> vectors);
+
+}  // namespace femu

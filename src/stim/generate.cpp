@@ -1,0 +1,65 @@
+#include "stim/generate.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace femu {
+
+Testbench random_testbench(std::size_t input_width, std::size_t cycles,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  Testbench tb(input_width);
+  for (std::size_t t = 0; t < cycles; ++t) {
+    BitVec vector(input_width);
+    for (std::size_t i = 0; i < input_width; ++i) {
+      vector.set(i, rng.next_bit());
+    }
+    tb.add_vector(std::move(vector));
+  }
+  return tb;
+}
+
+Testbench weighted_testbench(std::size_t input_width, std::size_t cycles,
+                             double p_one, std::uint64_t seed) {
+  Rng rng(seed);
+  Testbench tb(input_width);
+  for (std::size_t t = 0; t < cycles; ++t) {
+    BitVec vector(input_width);
+    for (std::size_t i = 0; i < input_width; ++i) {
+      vector.set(i, rng.bernoulli(p_one));
+    }
+    tb.add_vector(std::move(vector));
+  }
+  return tb;
+}
+
+Testbench burst_testbench(std::size_t input_width, std::size_t cycles,
+                          std::size_t mean_hold, std::uint64_t seed) {
+  FEMU_CHECK(mean_hold > 0, "mean_hold must be positive");
+  Rng rng(seed);
+  const double p_flip = 1.0 / static_cast<double>(mean_hold);
+  BitVec current(input_width);
+  for (std::size_t i = 0; i < input_width; ++i) {
+    current.set(i, rng.next_bit());
+  }
+  Testbench tb(input_width);
+  for (std::size_t t = 0; t < cycles; ++t) {
+    for (std::size_t i = 0; i < input_width; ++i) {
+      if (rng.bernoulli(p_flip)) {
+        current.flip(i);
+      }
+    }
+    tb.add_vector(current);
+  }
+  return tb;
+}
+
+Testbench zero_testbench(std::size_t input_width, std::size_t cycles) {
+  Testbench tb(input_width);
+  for (std::size_t t = 0; t < cycles; ++t) {
+    tb.add_vector(BitVec(input_width));
+  }
+  return tb;
+}
+
+}  // namespace femu

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+#include "stim/testbench.h"
+
+namespace femu {
+
+/// Uniform random stimuli: every input bit is an independent fair coin.
+/// The paper's 160-vector set is not published; this is the substitute
+/// documented in DESIGN.md (any fixed vector set of the same length drives
+/// the same controller schedule).
+[[nodiscard]] Testbench random_testbench(std::size_t input_width,
+                                         std::size_t cycles,
+                                         std::uint64_t seed);
+
+/// Biased random stimuli: each bit is 1 with probability `p_one`. Useful for
+/// control-dominated circuits whose enables should stay mostly inactive.
+[[nodiscard]] Testbench weighted_testbench(std::size_t input_width,
+                                           std::size_t cycles, double p_one,
+                                           std::uint64_t seed);
+
+/// Burst stimuli: each input holds its value for a geometrically distributed
+/// number of cycles (mean `mean_hold`), modelling bus-like activity where
+/// signals are stable for several cycles.
+[[nodiscard]] Testbench burst_testbench(std::size_t input_width,
+                                        std::size_t cycles,
+                                        std::size_t mean_hold,
+                                        std::uint64_t seed);
+
+/// All-zero stimuli (quiescent baseline; useful in tests).
+[[nodiscard]] Testbench zero_testbench(std::size_t input_width,
+                                       std::size_t cycles);
+
+}  // namespace femu

@@ -1,0 +1,73 @@
+#include "stim/testbench.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace femu {
+
+void Testbench::add_vector(BitVec vector) {
+  FEMU_CHECK(vector.size() == input_width_, "vector width ", vector.size(),
+             " != testbench width ", input_width_);
+  vectors_.push_back(std::move(vector));
+}
+
+const BitVec& Testbench::vector(std::size_t cycle) const {
+  FEMU_CHECK(cycle < vectors_.size(), "cycle ", cycle, " out of range ",
+             vectors_.size());
+  return vectors_[cycle];
+}
+
+void Testbench::save(std::ostream& out) const {
+  out << "femu-vectors " << input_width_ << " " << vectors_.size() << "\n";
+  for (const auto& vector : vectors_) {
+    out << vector.to_string() << "\n";
+  }
+}
+
+void Testbench::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw Error(str_cat("cannot open '", path, "' for writing"));
+  }
+  save(out);
+}
+
+Testbench Testbench::load(std::istream& in) {
+  std::string magic;
+  std::size_t width = 0;
+  std::size_t cycles = 0;
+  in >> magic >> width >> cycles;
+  if (!in || magic != "femu-vectors") {
+    throw ParseError("testbench file: bad header");
+  }
+  Testbench tb(width);
+  std::string line;
+  std::getline(in, line);  // consume header newline
+  for (std::size_t t = 0; t < cycles; ++t) {
+    if (!std::getline(in, line)) {
+      throw ParseError(str_cat("testbench file: expected ", cycles,
+                               " vectors, got ", t));
+    }
+    const auto text = trim(line);
+    if (text.size() != width) {
+      throw ParseError(str_cat("testbench file: vector ", t, " has width ",
+                               text.size(), ", expected ", width));
+    }
+    tb.add_vector(BitVec::from_string(text));
+  }
+  return tb;
+}
+
+Testbench Testbench::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ParseError(str_cat("cannot open vector file '", path, "'"));
+  }
+  return load(in);
+}
+
+}  // namespace femu

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace femu {
+
+/// Ordered input-vector sequence applied to a circuit, one vector per clock
+/// cycle. In the paper's system the testbench is downloaded into on-board RAM
+/// once and replayed by the emulation controller for every fault.
+class Testbench {
+ public:
+  explicit Testbench(std::size_t input_width) : input_width_(input_width) {}
+
+  /// Appends one cycle's input vector (width must match).
+  void add_vector(BitVec vector);
+
+  [[nodiscard]] std::size_t input_width() const noexcept {
+    return input_width_;
+  }
+  [[nodiscard]] std::size_t num_cycles() const noexcept {
+    return vectors_.size();
+  }
+
+  [[nodiscard]] std::span<const BitVec> vectors() const noexcept {
+    return vectors_;
+  }
+
+  [[nodiscard]] const BitVec& vector(std::size_t cycle) const;
+
+  /// RAM bits needed to store the stimuli (T x PI), Table 1's stimulus term.
+  [[nodiscard]] std::size_t storage_bits() const noexcept {
+    return num_cycles() * input_width_;
+  }
+
+  // ---- persistence (plain text: header line, then one vector per line) ----
+
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+  [[nodiscard]] static Testbench load(std::istream& in);
+  [[nodiscard]] static Testbench load_file(const std::string& path);
+
+ private:
+  std::size_t input_width_;
+  std::vector<BitVec> vectors_;
+};
+
+}  // namespace femu

@@ -1,0 +1,225 @@
+// Campaign analysis companions: sampling statistics (Wilson intervals),
+// the fault dictionary (failure diagnosis), and the VCD trace writer.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuits/generators.h"
+#include "circuits/registry.h"
+#include "circuits/small.h"
+#include "common/error.h"
+#include "fault/dictionary.h"
+#include "fault/fault_list.h"
+#include "fault/parallel_faultsim.h"
+#include "fault/sampling.h"
+#include "sim/event_sim.h"
+#include "sim/levelized_sim.h"
+#include "sim/vcd.h"
+#include "stim/generate.h"
+
+namespace femu {
+namespace {
+
+// ---- sampling statistics ----
+
+TEST(SamplingTest, WilsonIntervalBasics) {
+  const ProportionEstimate est = estimate_proportion(50, 100);
+  EXPECT_NEAR(est.fraction, 0.5, 1e-12);
+  EXPECT_LT(est.low, 0.5);
+  EXPECT_GT(est.high, 0.5);
+  EXPECT_NEAR(est.half_width(), 0.097, 0.01);  // ~±9.7% at n=100
+}
+
+TEST(SamplingTest, IntervalShrinksWithSampleSize) {
+  const auto small = estimate_proportion(50, 100);
+  const auto large = estimate_proportion(5'000, 10'000);
+  EXPECT_LT(large.half_width(), small.half_width() / 5);
+}
+
+TEST(SamplingTest, BoundaryProportionsStayInRange) {
+  const auto zero = estimate_proportion(0, 40);
+  EXPECT_EQ(zero.fraction, 0.0);
+  EXPECT_EQ(zero.low, 0.0);
+  EXPECT_GT(zero.high, 0.0);  // Wilson: zero hits still admit nonzero p
+  const auto all = estimate_proportion(40, 40);
+  EXPECT_EQ(all.fraction, 1.0);
+  EXPECT_LT(all.low, 1.0);
+  EXPECT_EQ(all.high, 1.0);
+}
+
+TEST(SamplingTest, EmptySampleIsVacuous) {
+  const auto est = estimate_proportion(0, 0);
+  EXPECT_EQ(est.low, 0.0);
+  EXPECT_EQ(est.high, 1.0);
+}
+
+TEST(SamplingTest, RequiredSampleSizeMatchesTextbook) {
+  // 95%, ±1%: n = 1.96^2/(4*0.0001) = 9604.
+  EXPECT_EQ(required_sample_size(0.01), 9'604u);
+  // ±5%: 385 (ceil of 384.16).
+  EXPECT_EQ(required_sample_size(0.05), 385u);
+  EXPECT_THROW((void)required_sample_size(0.0), Error);
+}
+
+TEST(SamplingTest, SampledCampaignIntervalCoversFullResult) {
+  // Grade a sample and the complete list; the complete-fault fractions must
+  // fall inside the sample's 95% interval (deterministic check — the seed is
+  // fixed, this guards the plumbing, not the statistics).
+  const Circuit circuit = circuits::build_b09_like();
+  const Testbench tb = random_testbench(circuit.num_inputs(), 64, 5);
+  ParallelFaultSimulator sim(circuit, tb);
+
+  const auto sample =
+      sample_fault_list(circuit.num_dffs(), tb.num_cycles(), 400, 9);
+  const SampledGrading est = estimate_grading(sim.run(sample));
+
+  const auto complete = complete_fault_list(circuit.num_dffs(),
+                                            tb.num_cycles());
+  const ClassCounts full = sim.run(complete).counts();
+
+  EXPECT_GE(full.failure_fraction(), est.failure.low);
+  EXPECT_LE(full.failure_fraction(), est.failure.high);
+  EXPECT_GE(full.silent_fraction(), est.silent.low);
+  EXPECT_LE(full.silent_fraction(), est.silent.high);
+  EXPECT_EQ(est.sample_size, 400u);
+}
+
+// ---- fault dictionary ----
+
+TEST(DictionaryTest, IndexesExactlyTheFailures) {
+  const Circuit circuit = circuits::build_b06_like();
+  const Testbench tb = random_testbench(circuit.num_inputs(), 24, 3);
+  const auto faults = complete_fault_list(circuit.num_dffs(), tb.num_cycles());
+
+  ParallelFaultSimulator sim(circuit, tb);
+  const std::size_t failures = sim.run(faults).counts().failure;
+
+  const FaultDictionary dict =
+      FaultDictionary::build(circuit, tb, faults);
+  EXPECT_EQ(dict.num_entries(), failures);
+  EXPECT_GT(dict.resolution(), 0.0);
+  EXPECT_LE(dict.resolution(), 1.0);
+}
+
+TEST(DictionaryTest, DiagnosesInjectedFaultFromItsTrace) {
+  const Circuit circuit = circuits::build_b09_like();
+  const Testbench tb = random_testbench(circuit.num_inputs(), 40, 7);
+  const auto faults = complete_fault_list(circuit.num_dffs(), tb.num_cycles());
+  const FaultDictionary dict = FaultDictionary::build(circuit, tb, faults);
+
+  ParallelFaultSimulator grader(circuit, tb);
+  const CampaignResult graded = grader.run(faults);
+
+  // Pick a handful of failure faults, replay their faulty traces, and check
+  // the dictionary returns a candidate set containing the injected fault.
+  EventSimulator sim(circuit);
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < faults.size() && checked < 10; ++i) {
+    if (graded.outcomes()[i].cls != FaultClass::kFailure) {
+      continue;
+    }
+    ++checked;
+    // Full observed output trace of the faulty machine.
+    std::vector<BitVec> observed;
+    sim.set_state(grader.golden().states[faults[i].cycle]);
+    sim.flip_state_bit(faults[i].ff_index);
+    for (std::size_t t = 0; t < tb.num_cycles(); ++t) {
+      if (t < faults[i].cycle) {
+        observed.push_back(grader.golden().outputs[t]);  // pre-injection
+        continue;
+      }
+      observed.push_back(sim.eval(tb.vector(t)));
+      sim.step();
+    }
+    const std::vector<Fault> candidates = dict.diagnose(observed);
+    ASSERT_FALSE(candidates.empty()) << "fault index " << i;
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(), faults[i]),
+              candidates.end())
+        << "dictionary missed the injected fault (ff=" << faults[i].ff_index
+        << ", c=" << faults[i].cycle << ")";
+  }
+  EXPECT_EQ(checked, 10u);
+}
+
+TEST(DictionaryTest, CleanTraceDiagnosesToNothing) {
+  const Circuit circuit = circuits::build_b06_like();
+  const Testbench tb = random_testbench(circuit.num_inputs(), 20, 2);
+  const auto faults = complete_fault_list(circuit.num_dffs(), tb.num_cycles());
+  const FaultDictionary dict = FaultDictionary::build(circuit, tb, faults);
+
+  ParallelFaultSimulator grader(circuit, tb);
+  (void)grader.run(std::span<const Fault>(faults.data(), 1));
+  EXPECT_TRUE(dict.diagnose(grader.golden().outputs).empty());
+}
+
+TEST(DictionaryTest, SignatureOfNonFailureIsEmpty) {
+  const Circuit circuit = circuits::build_b06_like();
+  const Testbench tb = random_testbench(circuit.num_inputs(), 20, 2);
+  const auto faults = complete_fault_list(circuit.num_dffs(), tb.num_cycles());
+  const FaultDictionary dict = FaultDictionary::build(circuit, tb, faults);
+
+  ParallelFaultSimulator grader(circuit, tb);
+  const CampaignResult graded = grader.run(faults);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const FaultSignature sig = dict.signature_of(faults[i]);
+    if (graded.outcomes()[i].cls == FaultClass::kFailure) {
+      EXPECT_EQ(sig.detect_cycle, graded.outcomes()[i].detect_cycle);
+    } else {
+      EXPECT_EQ(sig.detect_cycle, kNoCycle);
+    }
+  }
+}
+
+// ---- VCD writer ----
+
+TEST(VcdTest, HeaderAndChangesWellFormed) {
+  const Circuit circuit = circuits::build_b01_like();
+  const Testbench tb = random_testbench(circuit.num_inputs(), 12, 4);
+  std::ostringstream out;
+  write_golden_vcd(out, circuit, tb.vectors());
+  const std::string vcd = out.str();
+
+  EXPECT_NE(vcd.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  // 2 PI + 2 PO + 5 FF = 9 signal declarations.
+  std::size_t vars = 0;
+  for (std::size_t pos = 0; (pos = vcd.find("$var wire 1 ", pos)) !=
+                            std::string::npos;
+       ++pos) {
+    ++vars;
+  }
+  EXPECT_EQ(vars, 9u);
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+  EXPECT_NE(vcd.find("#11"), std::string::npos);
+  EXPECT_NE(vcd.find("ff_carry"), std::string::npos);
+}
+
+TEST(VcdTest, OnlyChangesAfterFirstSample) {
+  // Constant-zero stimuli on a quiescent circuit: after timestamp 0 the dump
+  // must contain no value-change lines (a '#' line per cycle only).
+  const Circuit circuit = circuits::build_shift_register(4);
+  const Testbench tb = zero_testbench(1, 6);
+  std::ostringstream out;
+  write_golden_vcd(out, circuit, tb.vectors());
+  const std::string vcd = out.str();
+  const std::size_t t1 = vcd.find("#1\n");
+  ASSERT_NE(t1, std::string::npos);
+  for (std::size_t pos = t1; pos < vcd.size(); ++pos) {
+    if (vcd[pos] == '\n' && pos + 1 < vcd.size()) {
+      EXPECT_EQ(vcd[pos + 1], '#') << "unexpected change after quiescence";
+    }
+  }
+}
+
+TEST(VcdTest, MismatchedSimulatorRejected) {
+  const Circuit a = circuits::build_b01_like();
+  const Circuit b = circuits::build_b02_like();
+  std::ostringstream out;
+  VcdWriter writer(out, a);
+  LevelizedSimulator sim(b);
+  EXPECT_THROW(writer.sample(0, sim, BitVec(a.num_inputs())), Error);
+}
+
+}  // namespace
+}  // namespace femu

@@ -1,0 +1,172 @@
+#include "common/bitvec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace femu {
+namespace {
+
+TEST(BitVecTest, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.none());
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVecTest, ConstructAllZero) {
+  BitVec v(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.popcount(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(v.get(i));
+  }
+}
+
+TEST(BitVecTest, ConstructAllOne) {
+  BitVec v(67, true);
+  EXPECT_EQ(v.popcount(), 67u);
+  // Tail bits beyond size() must be masked so word-level equality works.
+  EXPECT_EQ(v.words().back() >> (67 % 64), 0u);
+}
+
+TEST(BitVecTest, SetGetFlip) {
+  BitVec v(130);
+  v.set(0, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_EQ(v.popcount(), 3u);
+  v.flip(64);
+  EXPECT_FALSE(v.get(64));
+  v.flip(64);
+  EXPECT_TRUE(v.get(64));
+  v.set(0, false);
+  EXPECT_FALSE(v.get(0));
+}
+
+TEST(BitVecTest, OutOfRangeThrows) {
+  BitVec v(8);
+  EXPECT_THROW((void)v.get(8), Error);
+  EXPECT_THROW(v.set(8, true), Error);
+  EXPECT_THROW(v.flip(100), Error);
+}
+
+TEST(BitVecTest, EqualityIncludesSize) {
+  BitVec a(10);
+  BitVec b(11);
+  EXPECT_FALSE(a == b);
+  BitVec c(10);
+  EXPECT_TRUE(a == c);
+  c.set(3, true);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(BitVecTest, XorAndOrOperators) {
+  BitVec a = BitVec::from_string("1100");
+  BitVec b = BitVec::from_string("1010");
+  BitVec x = a;
+  x ^= b;
+  EXPECT_EQ(x.to_string(), "0110");
+  BitVec o = a;
+  o |= b;
+  EXPECT_EQ(o.to_string(), "1110");
+  BitVec n = a;
+  n &= b;
+  EXPECT_EQ(n.to_string(), "1000");
+}
+
+TEST(BitVecTest, MismatchedSizesThrow) {
+  BitVec a(4);
+  BitVec b(5);
+  EXPECT_THROW(a ^= b, Error);
+  EXPECT_THROW(a |= b, Error);
+  EXPECT_THROW(a &= b, Error);
+}
+
+TEST(BitVecTest, StringRoundTrip) {
+  const std::string text = "10110010011010111001";
+  const BitVec v = BitVec::from_string(text);
+  EXPECT_EQ(v.size(), text.size());
+  EXPECT_EQ(v.to_string(), text);
+  // MSB-first convention: leftmost char is the highest index, rightmost the
+  // lowest.
+  EXPECT_EQ(v.get(text.size() - 1), text.front() == '1');
+  EXPECT_EQ(v.get(0), text.back() == '1');
+}
+
+TEST(BitVecTest, FromStringRejectsJunk) {
+  EXPECT_THROW(BitVec::from_string("10x1"), Error);
+}
+
+TEST(BitVecTest, FindFirst) {
+  BitVec v(200);
+  EXPECT_EQ(v.find_first(), 200u);
+  v.set(130, true);
+  EXPECT_EQ(v.find_first(), 130u);
+  v.set(5, true);
+  EXPECT_EQ(v.find_first(), 5u);
+}
+
+TEST(BitVecTest, ResizeGrowsWithValue) {
+  BitVec v(3);
+  v.set(1, true);
+  v.resize(70, true);
+  EXPECT_TRUE(v.get(1));
+  EXPECT_FALSE(v.get(0));
+  for (std::size_t i = 3; i < 70; ++i) {
+    EXPECT_TRUE(v.get(i));
+  }
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(BitVecTest, SetAllClearAll) {
+  BitVec v(77);
+  v.set_all();
+  EXPECT_EQ(v.popcount(), 77u);
+  v.clear_all();
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVecTest, HashDistinguishesContentAndSize) {
+  BitVec a(64);
+  BitVec b(65);
+  EXPECT_NE(a.hash(), b.hash());
+  BitVec c(64);
+  c.set(0, true);
+  EXPECT_NE(a.hash(), c.hash());
+  EXPECT_EQ(a.hash(), BitVec(64).hash());
+}
+
+// Property: popcount equals the number of set() calls on distinct indices,
+// across random patterns and sizes that straddle word boundaries.
+class BitVecProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVecProperty, PopcountMatchesModel) {
+  const std::size_t size = GetParam();
+  Rng rng(size * 977 + 1);
+  BitVec v(size);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    if (rng.next_bit()) {
+      v.set(i, true);
+      ++expected;
+    }
+  }
+  EXPECT_EQ(v.popcount(), expected);
+  EXPECT_EQ(v.any(), expected != 0);
+  // Round-trip through the string form preserves everything.
+  EXPECT_TRUE(BitVec::from_string(v.to_string()) == v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVecProperty,
+                         ::testing::Values(1, 7, 63, 64, 65, 127, 128, 129,
+                                           215, 1000));
+
+}  // namespace
+}  // namespace femu

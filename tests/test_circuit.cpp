@@ -1,0 +1,196 @@
+#include "netlist/circuit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "netlist/dot.h"
+#include "netlist/levelize.h"
+#include "netlist/rewrite.h"
+#include "netlist/stats.h"
+#include "sim/levelized_sim.h"
+#include "stim/generate.h"
+
+namespace femu {
+namespace {
+
+TEST(CircuitTest, BuildSmallSequential) {
+  Circuit c("toggle");
+  const NodeId en = c.add_input("en");
+  const NodeId q = c.add_dff("q");
+  const NodeId next = c.add_mux(en, q, c.add_not(q));
+  c.connect_dff(q, next);
+  c.add_output("q_o", q);
+
+  EXPECT_EQ(c.num_inputs(), 1u);
+  EXPECT_EQ(c.num_outputs(), 1u);
+  EXPECT_EQ(c.num_dffs(), 1u);
+  EXPECT_EQ(c.num_gates(), 2u);  // not + mux
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_EQ(c.type(q), CellType::kDff);
+  EXPECT_EQ(c.dff_d(q), next);
+  EXPECT_EQ(c.dff_index(q), 0u);
+  EXPECT_EQ(c.node_name(en), "en");
+  EXPECT_EQ(c.find("q"), q);
+  EXPECT_FALSE(c.find("missing").has_value());
+}
+
+TEST(CircuitTest, ConstIsShared) {
+  Circuit c("consts");
+  const NodeId z1 = c.add_const(false);
+  const NodeId z2 = c.add_const(false);
+  const NodeId o1 = c.add_const(true);
+  EXPECT_EQ(z1, z2);
+  EXPECT_NE(z1, o1);
+}
+
+TEST(CircuitTest, UnconnectedDffFailsValidation) {
+  Circuit c("bad");
+  c.add_input("a");
+  c.add_dff("q");
+  EXPECT_THROW(c.validate(), NetlistError);
+}
+
+TEST(CircuitTest, DoubleConnectThrows) {
+  Circuit c("bad2");
+  const NodeId a = c.add_input("a");
+  const NodeId q = c.add_dff("q");
+  c.connect_dff(q, a);
+  EXPECT_THROW(c.connect_dff(q, a), Error);
+}
+
+TEST(CircuitTest, DuplicateNamesRejected) {
+  Circuit c("names");
+  c.add_input("x");
+  EXPECT_THROW(c.add_input("x"), Error);
+}
+
+TEST(CircuitTest, GateArityEnforced) {
+  Circuit c("arity");
+  const NodeId a = c.add_input("a");
+  EXPECT_THROW(c.add_gate(CellType::kNot, a, a), Error);
+  EXPECT_THROW(c.add_unary(CellType::kAnd, a), Error);
+  EXPECT_THROW(c.add_gate(CellType::kAnd, a, 999), Error);
+}
+
+TEST(CircuitTest, FaninSpansMatchArity) {
+  Circuit c("spans");
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  const NodeId g = c.add_and(a, b);
+  const NodeId m = c.add_mux(a, b, g);
+  EXPECT_EQ(c.fanins(a).size(), 0u);
+  ASSERT_EQ(c.fanins(g).size(), 2u);
+  EXPECT_EQ(c.fanins(g)[0], a);
+  ASSERT_EQ(c.fanins(m).size(), 3u);
+  EXPECT_EQ(c.fanins(m)[2], g);
+}
+
+// ---- levelize ----
+
+TEST(LevelizeTest, DepthOfChain) {
+  Circuit c("chain");
+  NodeId n = c.add_input("a");
+  for (int i = 0; i < 5; ++i) {
+    n = c.add_not(n);
+  }
+  c.add_output("y", n);
+  const Levelization lv = levelize(c);
+  EXPECT_EQ(lv.depth, 5u);
+  EXPECT_EQ(lv.level[n], 5u);
+}
+
+TEST(LevelizeTest, DffBreaksLevels) {
+  Circuit c("seq");
+  const NodeId a = c.add_input("a");
+  const NodeId q = c.add_dff("q");
+  const NodeId g = c.add_and(a, q);  // level 1 (q is a level-0 source)
+  c.connect_dff(q, g);
+  c.add_output("y", g);
+  const Levelization lv = levelize(c);
+  EXPECT_EQ(lv.level[q], 0u);
+  EXPECT_EQ(lv.level[g], 1u);
+  EXPECT_EQ(lv.depth, 1u);
+}
+
+// ---- stats ----
+
+TEST(StatsTest, CountsPerType) {
+  Circuit c("stats");
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  c.add_output("y", c.add_xor(c.add_and(a, b), c.add_or(a, b)));
+  const CircuitStats stats = compute_stats(c);
+  EXPECT_EQ(stats.num_inputs, 2u);
+  EXPECT_EQ(stats.num_gates, 3u);
+  EXPECT_EQ(stats.per_type[static_cast<std::size_t>(CellType::kAnd)], 1u);
+  EXPECT_EQ(stats.per_type[static_cast<std::size_t>(CellType::kXor)], 1u);
+  const std::string text = to_string(stats);
+  EXPECT_NE(text.find("2 PI"), std::string::npos);
+}
+
+// ---- rewrite / clone ----
+
+TEST(RewriteTest, CloneIsBehaviourallyIdentical) {
+  Circuit c("orig");
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  const NodeId q = c.add_dff("q");
+  const NodeId sum = c.add_xor(c.add_xor(a, b), q);
+  c.connect_dff(q, c.add_or(c.add_and(a, b), c.add_and(q, c.add_xor(a, b))));
+  c.add_output("s", sum);
+
+  const Circuit copy = clone(c);
+  EXPECT_EQ(copy.num_inputs(), c.num_inputs());
+  EXPECT_EQ(copy.num_outputs(), c.num_outputs());
+  EXPECT_EQ(copy.num_dffs(), c.num_dffs());
+
+  const Testbench tb = random_testbench(2, 64, 5);
+  LevelizedSimulator sim_a(c);
+  LevelizedSimulator sim_b(copy);
+  for (std::size_t t = 0; t < tb.num_cycles(); ++t) {
+    ASSERT_TRUE(sim_a.cycle(tb.vector(t)) == sim_b.cycle(tb.vector(t)))
+        << "cycle " << t;
+  }
+}
+
+TEST(RewriteTest, NodeMapRejectsDoubleBindAndUnmapped) {
+  NodeMap map(4);
+  map.bind(1, 10);
+  EXPECT_EQ(map.at(1), 10u);
+  EXPECT_THROW(map.bind(1, 11), Error);
+  EXPECT_THROW((void)map.at(0), Error);
+  EXPECT_THROW((void)map.at(9), Error);
+  EXPECT_TRUE(map.mapped(1));
+  EXPECT_FALSE(map.mapped(2));
+}
+
+TEST(RewriteTest, CopyCombinationalNeedsPreboundSources) {
+  Circuit src("src");
+  const NodeId a = src.add_input("a");
+  src.add_output("y", src.add_not(a));
+
+  Circuit dst("dst");
+  NodeMap map(src.node_count());
+  // Input not pre-bound: must throw.
+  EXPECT_THROW(copy_combinational(src, dst, map), Error);
+}
+
+// ---- dot ----
+
+TEST(DotTest, MentionsNodesAndShapes) {
+  Circuit c("dot");
+  const NodeId a = c.add_input("in_a");
+  const NodeId q = c.add_dff("reg_q");
+  c.connect_dff(q, c.add_not(a));
+  c.add_output("out_y", q);
+  const std::string dot = to_dot(c);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("in_a"), std::string::npos);
+  EXPECT_NE(dot.find("reg_q"), std::string::npos);
+  EXPECT_NE(dot.find("out_y"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // DFF back edge
+}
+
+}  // namespace
+}  // namespace femu

@@ -1,0 +1,180 @@
+// Closed-form checks of the controller cycle account (the literal engine
+// cross-checks it end-to-end in test_emulation; here each formula is pinned
+// directly against DESIGN.md §5).
+
+#include "core/cycle_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace femu {
+namespace {
+
+constexpr CycleModelParams kParams{/*num_ffs=*/10, /*num_cycles=*/100,
+                                   /*ram_word=*/32};
+
+TEST(MaskRingTest, InitialFillCostsPositionPlusOne) {
+  EXPECT_EQ(mask_ring_cost(static_cast<std::size_t>(-1), 0, 10), 1u);
+  EXPECT_EQ(mask_ring_cost(static_cast<std::size_t>(-1), 7, 10), 8u);
+}
+
+TEST(MaskRingTest, RingDistance) {
+  EXPECT_EQ(mask_ring_cost(3, 4, 10), 1u);
+  EXPECT_EQ(mask_ring_cost(3, 3, 10), 0u);
+  EXPECT_EQ(mask_ring_cost(9, 0, 10), 1u);  // wraps
+  EXPECT_EQ(mask_ring_cost(4, 3, 10), 9u);  // nearly all the way round
+  EXPECT_THROW((void)mask_ring_cost(3, 10, 10), Error);
+}
+
+TEST(FaultCyclesTest, MaskScanFormulas) {
+  // failure at d: 1 (init) + d + 1 cycles of replay.
+  const Fault fault{2, 30};
+  const FaultOutcome failure{FaultClass::kFailure, 45, kNoCycle};
+  EXPECT_EQ(fault_emulation_cycles(Technique::kMaskScan, kParams, fault,
+                                   failure),
+            1u + 46u);
+  // silent/latent: full testbench (T = 100).
+  const FaultOutcome silent{FaultClass::kSilent, kNoCycle, 33};
+  EXPECT_EQ(fault_emulation_cycles(Technique::kMaskScan, kParams, fault,
+                                   silent),
+            1u + 100u);
+  const FaultOutcome latent{FaultClass::kLatent, kNoCycle, kNoCycle};
+  EXPECT_EQ(fault_emulation_cycles(Technique::kMaskScan, kParams, fault,
+                                   latent),
+            1u + 100u);
+}
+
+TEST(FaultCyclesTest, StateScanFormulas) {
+  // save+load (2) + scan (N=10) + run from injection cycle.
+  const Fault fault{2, 30};
+  const FaultOutcome failure{FaultClass::kFailure, 45, kNoCycle};
+  EXPECT_EQ(fault_emulation_cycles(Technique::kStateScan, kParams, fault,
+                                   failure),
+            2u + 10u + (45 - 30 + 1));
+  const FaultOutcome latent{FaultClass::kLatent, kNoCycle, kNoCycle};
+  EXPECT_EQ(fault_emulation_cycles(Technique::kStateScan, kParams, fault,
+                                   latent),
+            2u + 10u + (100 - 30));
+}
+
+TEST(FaultCyclesTest, TimeMuxFormulas) {
+  const Fault fault{2, 30};
+  // Two clocks per emulated testbench cycle + 1 load.
+  const FaultOutcome failure{FaultClass::kFailure, 45, kNoCycle};
+  EXPECT_EQ(fault_emulation_cycles(Technique::kTimeMux, kParams, fault,
+                                   failure),
+            1u + 2u * (45 - 30 + 1));
+  const FaultOutcome silent{FaultClass::kSilent, kNoCycle, 33};
+  EXPECT_EQ(fault_emulation_cycles(Technique::kTimeMux, kParams, fault,
+                                   silent),
+            1u + 2u * (33 - 30));
+  const FaultOutcome latent{FaultClass::kLatent, kNoCycle, kNoCycle};
+  EXPECT_EQ(fault_emulation_cycles(Technique::kTimeMux, kParams, fault,
+                                   latent),
+            1u + 2u * (100 - 30));
+}
+
+TEST(FaultCyclesTest, RejectsOutOfRangeCycle) {
+  const Fault fault{0, 100};
+  const FaultOutcome outcome{FaultClass::kLatent, kNoCycle, kNoCycle};
+  EXPECT_THROW(
+      (void)fault_emulation_cycles(Technique::kMaskScan, kParams, fault, outcome),
+      Error);
+}
+
+TEST(CampaignCyclesTest, MaskScanSetupAndRingAccumulation) {
+  // Two faults on consecutive FFs at cycle 0: fill = ff0+1 = 1, then ring 1.
+  const std::vector<Fault> faults = {{0, 0}, {1, 0}};
+  const std::vector<FaultOutcome> outcomes = {
+      {FaultClass::kLatent, kNoCycle, kNoCycle},
+      {FaultClass::kLatent, kNoCycle, kNoCycle}};
+  const CampaignCycles cycles =
+      campaign_cycles(Technique::kMaskScan, kParams, faults, outcomes);
+  EXPECT_EQ(cycles.setup_cycles, 100u);               // golden run
+  EXPECT_EQ(cycles.fault_cycles, (1u + 101u) + (1u + 101u));
+  EXPECT_EQ(cycles.total(), cycles.setup_cycles + cycles.fault_cycles);
+}
+
+TEST(CampaignCyclesTest, StateScanSetupIncludesPrepAndDrain) {
+  const std::vector<Fault> faults = {{0, 0}, {1, 0}, {2, 1}};
+  const std::vector<FaultOutcome> outcomes(3,
+      FaultOutcome{FaultClass::kLatent, kNoCycle, kNoCycle});
+  const CampaignCycles cycles =
+      campaign_cycles(Technique::kStateScan, kParams, faults, outcomes);
+  // golden (100) + prep (3 faults x ceil(10/32)=1) + drain (1 + 10).
+  EXPECT_EQ(cycles.setup_cycles, 100u + 3u + 11u);
+  // per fault: 2 + 10 + (100 - c); no ring for state-scan.
+  EXPECT_EQ(cycles.fault_cycles, (12u + 100u) + (12u + 100u) + (12u + 99u));
+}
+
+TEST(CampaignCyclesTest, TimeMuxSetupIsCheckpointAdvances) {
+  const std::vector<Fault> faults = {{0, 0}, {0, 5}, {0, 7}};
+  const std::vector<FaultOutcome> outcomes(3,
+      FaultOutcome{FaultClass::kSilent, kNoCycle, 8});
+  // converge_cycle 8 must be > cycle for each fault; adjust per fault:
+  std::vector<FaultOutcome> fixed = outcomes;
+  fixed[0].converge_cycle = 2;
+  fixed[1].converge_cycle = 7;
+  fixed[2].converge_cycle = 9;
+  const CampaignCycles cycles =
+      campaign_cycles(Technique::kTimeMux, kParams, faults, fixed);
+  EXPECT_EQ(cycles.setup_cycles, 3u * 7u);  // advances to max cycle 7
+  // fills/rings: fill to ff0 = 1, then 0, 0; per fault 1 + 2*len.
+  EXPECT_EQ(cycles.fault_cycles,
+            (1u + 1u + 2u * 2u) + (0u + 1u + 2u * 2u) + (0u + 1u + 2u * 2u));
+}
+
+TEST(CampaignCyclesTest, EmptyCampaignIsSetupFree) {
+  const CampaignCycles cycles = campaign_cycles(
+      Technique::kTimeMux, kParams, {}, {});
+  EXPECT_EQ(cycles.fault_cycles, 0u);
+  EXPECT_EQ(cycles.setup_cycles, 0u);
+}
+
+TEST(CampaignCyclesTest, MismatchedSpansThrow) {
+  const std::vector<Fault> faults = {{0, 0}};
+  EXPECT_THROW(
+      (void)campaign_cycles(Technique::kMaskScan, kParams, faults, {}), Error);
+}
+
+TEST(CampaignCyclesTest, TimeConversions) {
+  CampaignCycles cycles;
+  cycles.setup_cycles = 1'000'000;
+  cycles.fault_cycles = 1'500'000;
+  // 2.5e6 cycles at 25 MHz = 0.1 s.
+  EXPECT_NEAR(cycles.seconds_at_mhz(25.0), 0.1, 1e-12);
+  EXPECT_NEAR(cycles.us_per_fault(1'000, 25.0), 100.0, 1e-9);
+  EXPECT_EQ(cycles.us_per_fault(0, 25.0), 0.0);
+}
+
+// The paper's qualitative inequality chain on a synthetic b14-shaped
+// campaign: time-mux < mask-scan < state-scan when N > T.
+TEST(CampaignCyclesTest, PaperOrderingWhenFfsExceedCycles) {
+  const CycleModelParams params{215, 160, 32};
+  std::vector<Fault> faults;
+  std::vector<FaultOutcome> outcomes;
+  for (std::uint32_t c = 0; c < 160; c += 4) {
+    for (std::uint32_t f = 0; f < 215; f += 5) {
+      faults.push_back({f, c});
+      // Mixed outcomes with quick detection/convergence.
+      if ((f + c) % 2 == 0) {
+        outcomes.push_back({FaultClass::kFailure,
+                            std::min(c + 3, 159u), kNoCycle});
+      } else {
+        outcomes.push_back({FaultClass::kSilent, kNoCycle, c + 2});
+      }
+    }
+  }
+  const auto mask = campaign_cycles(Technique::kMaskScan, params, faults,
+                                    outcomes);
+  const auto state = campaign_cycles(Technique::kStateScan, params, faults,
+                                     outcomes);
+  const auto timemux = campaign_cycles(Technique::kTimeMux, params, faults,
+                                       outcomes);
+  EXPECT_LT(timemux.total(), mask.total());
+  EXPECT_LT(mask.total(), state.total());
+}
+
+}  // namespace
+}  // namespace femu

@@ -1,0 +1,200 @@
+// Edge cases of the emulation stack: sparse/sampled fault schedules through
+// the literal engines (mask-ring long moves, time-mux checkpoint jumps),
+// board capacity enforcement, the host-link baseline, and a b14-scale shape
+// test pinning the paper's qualitative results.
+
+#include <gtest/gtest.h>
+
+#include "circuits/b14.h"
+#include "common/error.h"
+#include "circuits/registry.h"
+#include "circuits/small.h"
+#include "circuits/small2.h"
+#include "core/autonomous_emulator.h"
+#include "core/host_link.h"
+#include "core/literal_engine.h"
+#include "fault/fault_list.h"
+#include "fault/parallel_faultsim.h"
+#include "stim/generate.h"
+
+namespace femu {
+namespace {
+
+// Sparse sampled schedules exercise the controller paths complete lists
+// never hit: multi-step mask-ring moves, checkpoint advances across fault-
+// free cycles, groups with gaps.
+class SparseSchedule
+    : public ::testing::TestWithParam<std::tuple<std::string, Technique>> {};
+
+TEST_P(SparseSchedule, LiteralMatchesFastPathOnSampledFaults) {
+  const auto& [name, technique] = GetParam();
+  const Circuit circuit = circuits::build_by_name(name);
+  const Testbench tb = random_testbench(circuit.num_inputs(), 36, 11);
+  const std::size_t total = circuit.num_dffs() * tb.num_cycles();
+  const auto faults = sample_fault_list(circuit.num_dffs(), tb.num_cycles(),
+                                        std::min<std::size_t>(total / 3, 150),
+                                        23);
+
+  ParallelFaultSimulator fast(circuit, tb);
+  const CampaignResult fast_result = fast.run(faults);
+  const CycleModelParams params{circuit.num_dffs(), tb.num_cycles(), 32};
+  const CampaignCycles fast_cycles =
+      campaign_cycles(technique, params, faults, fast_result.outcomes());
+
+  LiteralEngine literal(circuit, tb, technique);
+  const LiteralEngine::Result lit = literal.run(faults);
+
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    ASSERT_EQ(lit.grading.outcomes()[i].cls, fast_result.outcomes()[i].cls)
+        << name << " fault (ff=" << faults[i].ff_index
+        << ", c=" << faults[i].cycle << ")";
+  }
+  EXPECT_EQ(lit.cycles.setup_cycles, fast_cycles.setup_cycles);
+  EXPECT_EQ(lit.cycles.fault_cycles, fast_cycles.fault_cycles);
+}
+
+std::string sparse_name(
+    const ::testing::TestParamInfo<std::tuple<std::string, Technique>>&
+        info) {
+  const auto& [name, technique] = info.param;
+  std::string label = name + "_";
+  label += technique == Technique::kMaskScan    ? "maskscan"
+           : technique == Technique::kStateScan ? "statescan"
+                                                : "timemux";
+  return label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sampled, SparseSchedule,
+    ::testing::Combine(::testing::Values("b06_like", "b09_like", "b08_like",
+                                         "b10_like"),
+                       ::testing::ValuesIn({Technique::kMaskScan,
+                                            Technique::kStateScan,
+                                            Technique::kTimeMux})),
+    sparse_name);
+
+TEST(EmulationEdge, SingleFaultCampaigns) {
+  const Circuit circuit = circuits::build_b06_like();
+  const Testbench tb = random_testbench(circuit.num_inputs(), 16, 5);
+  for (const Technique technique : kAllTechniques) {
+    LiteralEngine engine(circuit, tb, technique);
+    // First fault, a middle fault, and a last-cycle fault.
+    for (const Fault fault : {Fault{0, 0}, Fault{4, 7},
+                              Fault{8, 15}}) {
+      const auto result = engine.run(std::span<const Fault>(&fault, 1));
+      EXPECT_EQ(result.grading.size(), 1u);
+      EXPECT_GT(result.cycles.total(), 0u);
+    }
+  }
+}
+
+TEST(EmulationEdge, EmptyCampaign) {
+  const Circuit circuit = circuits::build_b01_like();
+  const Testbench tb = random_testbench(circuit.num_inputs(), 8, 1);
+  EmulatorOptions options;
+  options.compute_area = false;
+  AutonomousEmulator emulator(circuit, tb, options);
+  const EmulationReport report =
+      emulator.run(Technique::kTimeMux, std::span<const Fault>());
+  EXPECT_EQ(report.grading.size(), 0u);
+  EXPECT_EQ(report.us_per_fault, 0.0);
+}
+
+TEST(EmulationEdge, TimeMuxLiteralRejectsUnsortedSchedule) {
+  const Circuit circuit = circuits::build_b01_like();
+  const Testbench tb = random_testbench(circuit.num_inputs(), 8, 1);
+  LiteralEngine engine(circuit, tb, Technique::kTimeMux);
+  const std::vector<Fault> unsorted = {{0, 5}, {0, 2}};
+  EXPECT_THROW((void)engine.run(unsorted), Error);
+}
+
+TEST(EmulationEdge, EnforceFitThrowsOnTinyBoard) {
+  const Circuit circuit = circuits::build_b14();
+  const Testbench tb = random_testbench(circuit.num_inputs(), 20, 1);
+  EmulatorOptions options;
+  options.enforce_fit = true;
+  options.board.fpga_luts = 100;  // absurdly small FPGA
+  AutonomousEmulator emulator(circuit, tb, options);
+  const auto faults = sample_fault_list(circuit.num_dffs(), 20, 100, 1);
+  EXPECT_THROW((void)emulator.run(Technique::kTimeMux, faults),
+               CapacityError);
+}
+
+TEST(EmulationEdge, HostLinkModelIsDominatedByTransactions) {
+  // 34,400 faults x 2 transactions x 50 us = 3.44 s of pure communication;
+  // the FPGA cycles add little — reproducing the bottleneck shape of [2].
+  CampaignCycles cycles;
+  cycles.setup_cycles = 160;
+  cycles.fault_cycles = 3'400'000;  // ~100 cycles/fault at 25 MHz = 0.136 s
+  const double total =
+      host_link_campaign_seconds(cycles, 34'400, HostLinkParams{});
+  EXPECT_NEAR(total, 3.44 + 0.136, 0.01);
+  // Per-fault cost lands near the paper's 100 us figure for [2].
+  EXPECT_NEAR(total / 34'400 * 1e6, 104.0, 2.0);
+}
+
+TEST(EmulationEdge, NewCircuitsAgreeAcrossEngines) {
+  for (const char* name : {"b04_like", "b13_like", "viper8"}) {
+    const Circuit circuit = circuits::build_by_name(name);
+    const Testbench tb = random_testbench(circuit.num_inputs(), 20, 3);
+    const std::size_t total = circuit.num_dffs() * tb.num_cycles();
+    const auto faults = sample_fault_list(circuit.num_dffs(),
+                                          tb.num_cycles(),
+                                          std::min<std::size_t>(total, 120),
+                                          4);
+    ParallelFaultSimulator fast(circuit, tb);
+    const CampaignResult expected = fast.run(faults);
+    LiteralEngine literal(circuit, tb, Technique::kTimeMux);
+    const auto lit = literal.run(faults);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      ASSERT_EQ(lit.grading.outcomes()[i].cls, expected.outcomes()[i].cls)
+          << name << " fault " << i;
+    }
+  }
+}
+
+// b14 at paper scale: the qualitative results the reproduction must hold.
+// (~2 s with the fast engine; this is the one intentionally heavy test.)
+TEST(EmulationEdge, B14PaperScaleShape) {
+  const Circuit b14 = circuits::build_b14();
+  const Testbench tb =
+      random_testbench(b14.num_inputs(), circuits::kB14Vectors, 2005);
+  EmulatorOptions options;
+  options.compute_area = false;
+  AutonomousEmulator emulator(b14, tb, options);
+
+  const auto mask = emulator.run_complete(Technique::kMaskScan);
+  const auto state = emulator.run_complete(Technique::kStateScan);
+  const auto timemux = emulator.run_complete(Technique::kTimeMux);
+
+  // Campaign dimension.
+  ASSERT_EQ(mask.grading.size(), circuits::kB14Faults);
+
+  // Classification regime (paper: 49.2 / 4.4 / 46.4).
+  const ClassCounts& counts = timemux.grading.counts();
+  EXPECT_GT(counts.failure_fraction(), 0.30);
+  EXPECT_LT(counts.failure_fraction(), 0.60);
+  EXPECT_LT(counts.latent_fraction(), 0.15);
+  EXPECT_GT(counts.silent_fraction(), 0.30);
+  EXPECT_LT(counts.silent_fraction(), 0.60);
+
+  // Technique ordering on b14 (N_ff > cycles): time-mux < mask < state.
+  EXPECT_LT(timemux.cycles.total(), mask.cycles.total());
+  EXPECT_LT(mask.cycles.total(), state.cycles.total());
+
+  // Order-of-magnitude agreement with Table 2 (paper: 141 / 386 / 20 ms).
+  EXPECT_GT(mask.emulation_seconds, 0.05);
+  EXPECT_LT(mask.emulation_seconds, 0.5);
+  EXPECT_GT(state.emulation_seconds, 0.15);
+  EXPECT_LT(state.emulation_seconds, 1.0);
+  EXPECT_LT(timemux.emulation_seconds, 0.1);
+
+  // All three engines grade identically.
+  for (std::size_t i = 0; i < mask.grading.size(); ++i) {
+    ASSERT_EQ(mask.grading.outcomes()[i], state.grading.outcomes()[i]);
+    ASSERT_EQ(mask.grading.outcomes()[i], timemux.grading.outcomes()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace femu

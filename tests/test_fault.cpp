@@ -1,0 +1,153 @@
+// Fault model, fault lists and campaign aggregation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/error.h"
+#include "fault/campaign_result.h"
+#include "fault/fault_list.h"
+
+namespace femu {
+namespace {
+
+TEST(FaultListTest, CompleteListIsCycleMajor) {
+  const auto faults = complete_fault_list(3, 4);
+  ASSERT_EQ(faults.size(), 12u);
+  // Schedule order: all FFs of cycle 0 first.
+  EXPECT_EQ(faults[0], (Fault{0, 0}));
+  EXPECT_EQ(faults[1], (Fault{1, 0}));
+  EXPECT_EQ(faults[2], (Fault{2, 0}));
+  EXPECT_EQ(faults[3], (Fault{0, 1}));
+  EXPECT_EQ(faults.back(), (Fault{2, 3}));
+}
+
+TEST(FaultListTest, PaperCampaignSize) {
+  EXPECT_EQ(complete_fault_list(215, 160).size(), 34'400u);
+}
+
+TEST(FaultListTest, SampleIsUniqueSortedSubset) {
+  const auto sample = sample_fault_list(10, 20, 50, 3);
+  ASSERT_EQ(sample.size(), 50u);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  std::uint32_t prev_cycle = 0;
+  for (const Fault& fault : sample) {
+    EXPECT_LT(fault.ff_index, 10u);
+    EXPECT_LT(fault.cycle, 20u);
+    EXPECT_TRUE(seen.emplace(fault.cycle, fault.ff_index).second)
+        << "duplicate fault";
+    EXPECT_GE(fault.cycle, prev_cycle);  // schedule order
+    prev_cycle = fault.cycle;
+  }
+}
+
+TEST(FaultListTest, SampleIsDeterministicPerSeed) {
+  const auto a = sample_fault_list(10, 20, 30, 5);
+  const auto b = sample_fault_list(10, 20, 30, 5);
+  const auto c = sample_fault_list(10, 20, 30, 6);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(FaultListTest, SampleFullPopulationEqualsComplete) {
+  const auto sample = sample_fault_list(4, 5, 20, 1);
+  const auto complete = complete_fault_list(4, 5);
+  EXPECT_EQ(sample, complete);
+}
+
+TEST(FaultListTest, OversampleThrows) {
+  EXPECT_THROW(sample_fault_list(2, 3, 7, 1), Error);
+}
+
+TEST(FaultListTest, SingleFfList) {
+  const auto faults = single_ff_fault_list(5, 8);
+  ASSERT_EQ(faults.size(), 8u);
+  for (std::uint32_t t = 0; t < 8; ++t) {
+    EXPECT_EQ(faults[t], (Fault{5, t}));
+  }
+}
+
+// ---- campaign result ----
+
+CampaignResult make_result() {
+  std::vector<Fault> faults = {
+      {0, 0}, {1, 0}, {0, 1}, {1, 1}, {0, 2}, {1, 2}};
+  std::vector<FaultOutcome> outcomes = {
+      {FaultClass::kFailure, 2, kNoCycle},  // ff0: detected at cycle 2
+      {FaultClass::kSilent, kNoCycle, 1},
+      {FaultClass::kFailure, 1, kNoCycle},  // ff0 again
+      {FaultClass::kLatent, kNoCycle, kNoCycle},
+      {FaultClass::kSilent, kNoCycle, 4},
+      {FaultClass::kFailure, 5, kNoCycle},  // ff1
+  };
+  return CampaignResult(std::move(faults), std::move(outcomes));
+}
+
+TEST(CampaignResultTest, CountsPartitionTheFaultSet) {
+  const CampaignResult result = make_result();
+  const ClassCounts& counts = result.counts();
+  EXPECT_EQ(counts.failure, 3u);
+  EXPECT_EQ(counts.latent, 1u);
+  EXPECT_EQ(counts.silent, 2u);
+  EXPECT_EQ(counts.total(), result.size());
+  EXPECT_NEAR(counts.failure_fraction() + counts.latent_fraction() +
+                  counts.silent_fraction(),
+              1.0, 1e-12);
+}
+
+TEST(CampaignResultTest, LatencyMeans) {
+  const CampaignResult result = make_result();
+  // Detection latencies: (2-0), (1-1), (5-2) -> mean 5/3.
+  EXPECT_NEAR(result.mean_detection_latency(), 5.0 / 3.0, 1e-12);
+  // Convergence latencies: (1-0), (4-2) -> mean 1.5.
+  EXPECT_NEAR(result.mean_convergence_latency(), 1.5, 1e-12);
+}
+
+TEST(CampaignResultTest, PerFfFailuresAndWeakest) {
+  const CampaignResult result = make_result();
+  const auto failures = result.per_ff_failures();
+  ASSERT_EQ(failures.size(), 2u);
+  EXPECT_EQ(failures[0], 2u);
+  EXPECT_EQ(failures[1], 1u);
+  const auto weakest = result.weakest_ffs(2);
+  ASSERT_EQ(weakest.size(), 2u);
+  EXPECT_EQ(weakest[0], 0u);
+  EXPECT_EQ(weakest[1], 1u);
+}
+
+TEST(CampaignResultTest, CsvHasHeaderAndRows) {
+  const CampaignResult result = make_result();
+  std::ostringstream out;
+  result.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("ff,cycle,class,detect_cycle,converge_cycle"),
+            std::string::npos);
+  EXPECT_NE(csv.find("0,0,failure,2,"), std::string::npos);
+  EXPECT_NE(csv.find("1,1,latent,,"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 7);  // header + 6
+}
+
+TEST(CampaignResultTest, MismatchedArityThrows) {
+  std::vector<Fault> faults = {{0, 0}};
+  std::vector<FaultOutcome> outcomes;
+  EXPECT_THROW(CampaignResult(std::move(faults), std::move(outcomes)), Error);
+}
+
+TEST(CampaignResultTest, EmptyResultIsWellBehaved) {
+  const CampaignResult result;
+  EXPECT_EQ(result.size(), 0u);
+  EXPECT_EQ(result.counts().total(), 0u);
+  EXPECT_EQ(result.mean_detection_latency(), 0.0);
+  EXPECT_TRUE(result.per_ff_failures().empty());
+  EXPECT_TRUE(result.weakest_ffs(3).empty());
+}
+
+TEST(FaultTest, ClassNames) {
+  EXPECT_EQ(fault_class_name(FaultClass::kFailure), "failure");
+  EXPECT_EQ(fault_class_name(FaultClass::kLatent), "latent");
+  EXPECT_EQ(fault_class_name(FaultClass::kSilent), "silent");
+}
+
+}  // namespace
+}  // namespace femu

@@ -1,0 +1,232 @@
+// Fault-simulation engines: classification semantics, serial/parallel
+// agreement across diverse circuits (property test), and the grading
+// invariants every engine must uphold.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "circuits/generators.h"
+#include "circuits/registry.h"
+#include "circuits/small.h"
+#include "fault/fault_list.h"
+#include "fault/parallel_faultsim.h"
+#include "fault/serial_faultsim.h"
+#include "stim/generate.h"
+
+namespace femu {
+namespace {
+
+// A 4-bit shift register with the output tapped at the end makes every
+// classification hand-checkable.
+TEST(FaultSimSemantics, ShiftRegisterByHand) {
+  const Circuit c = circuits::build_shift_register(4);
+  const Testbench tb = zero_testbench(1, 8);
+  ParallelFaultSimulator sim(c, tb);
+
+  // FF3 feeds the output: flipping it at cycle 2 shows immediately.
+  {
+    const Fault fault{3, 2};
+    const auto result = sim.run(std::span<const Fault>(&fault, 1));
+    EXPECT_EQ(result.outcomes()[0].cls, FaultClass::kFailure);
+    EXPECT_EQ(result.outcomes()[0].detect_cycle, 2u);
+  }
+  // FF0 at cycle 2: the bubble must shift 3 times to reach the output ->
+  // detected at cycle 5.
+  {
+    const Fault fault{0, 2};
+    const auto result = sim.run(std::span<const Fault>(&fault, 1));
+    EXPECT_EQ(result.outcomes()[0].cls, FaultClass::kFailure);
+    EXPECT_EQ(result.outcomes()[0].detect_cycle, 5u);
+  }
+  // FF0 at cycle 7 (the last): the flip sits in state(7); output at cycle 7
+  // reads FF3 (still golden) -> no failure; final state differs -> latent.
+  {
+    const Fault fault{0, 7};
+    const auto result = sim.run(std::span<const Fault>(&fault, 1));
+    EXPECT_EQ(result.outcomes()[0].cls, FaultClass::kLatent);
+  }
+}
+
+TEST(FaultSimSemantics, SilentWhenEffectShiftsOutUnobserved) {
+  // Shift register whose output taps only FF1: flips in FF2/FF3 wash out of
+  // the register without ever reaching the observed tap... they *do* traverse
+  // FF3. Build instead: output taps FF0 only -> flips in later FFs shift out
+  // the far end unobserved and the state re-converges: silent.
+  Circuit c("tap0");
+  const NodeId sin = c.add_input("sin");
+  const NodeId f0 = c.add_dff("f0");
+  const NodeId f1 = c.add_dff("f1");
+  const NodeId f2 = c.add_dff("f2");
+  c.connect_dff(f0, sin);
+  c.connect_dff(f1, f0);
+  c.connect_dff(f2, f1);
+  c.add_output("y", f0);  // only the first stage is observable
+
+  const Testbench tb = zero_testbench(1, 10);
+  ParallelFaultSimulator sim(c, tb);
+  const Fault fault{1, 2};  // hits f1; drains via f2; never touches y
+  const auto result = sim.run(std::span<const Fault>(&fault, 1));
+  EXPECT_EQ(result.outcomes()[0].cls, FaultClass::kSilent);
+  // state(2) flipped f1; f1 propagates to f2 at state(3); gone by state(5):
+  // f1 cleared at 3, f2 cleared at 4 -> converged at cycle 4.
+  EXPECT_EQ(result.outcomes()[0].converge_cycle, 4u);
+}
+
+TEST(FaultSimSemantics, InjectionAtCycleZeroFlipsResetState) {
+  const Circuit c = circuits::build_shift_register(2);
+  const Testbench tb = zero_testbench(1, 4);
+  ParallelFaultSimulator sim(c, tb);
+  const Fault fault{1, 0};  // FF1 drives the output: mismatch at cycle 0
+  const auto result = sim.run(std::span<const Fault>(&fault, 1));
+  EXPECT_EQ(result.outcomes()[0].cls, FaultClass::kFailure);
+  EXPECT_EQ(result.outcomes()[0].detect_cycle, 0u);
+}
+
+// ---- invariants on whole campaigns ----
+
+void check_invariants(const CampaignResult& result, std::size_t num_cycles) {
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    const Fault& fault = result.faults()[i];
+    const FaultOutcome& outcome = result.outcomes()[i];
+    switch (outcome.cls) {
+      case FaultClass::kFailure:
+        ASSERT_NE(outcome.detect_cycle, kNoCycle);
+        ASSERT_GE(outcome.detect_cycle, fault.cycle);
+        ASSERT_LT(outcome.detect_cycle, num_cycles);
+        ASSERT_EQ(outcome.converge_cycle, kNoCycle);
+        break;
+      case FaultClass::kSilent:
+        ASSERT_NE(outcome.converge_cycle, kNoCycle);
+        ASSERT_GT(outcome.converge_cycle, fault.cycle);
+        ASSERT_LE(outcome.converge_cycle, num_cycles);
+        ASSERT_EQ(outcome.detect_cycle, kNoCycle);
+        break;
+      case FaultClass::kLatent:
+        ASSERT_EQ(outcome.detect_cycle, kNoCycle);
+        ASSERT_EQ(outcome.converge_cycle, kNoCycle);
+        break;
+    }
+  }
+}
+
+class FaultSimAgreement
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+};
+
+TEST_P(FaultSimAgreement, SerialEqualsParallelWithInvariants) {
+  const auto& [name, seed] = GetParam();
+  const Circuit circuit = circuits::build_by_name(name);
+  const Testbench tb = random_testbench(circuit.num_inputs(), 40, seed);
+  const auto faults = complete_fault_list(circuit.num_dffs(), tb.num_cycles());
+
+  SerialFaultSimulator serial(circuit, tb);
+  ParallelFaultSimulator parallel(circuit, tb);
+  const CampaignResult a = serial.run(faults);
+  const CampaignResult b = parallel.run(faults);
+
+  check_invariants(a, tb.num_cycles());
+  check_invariants(b, tb.num_cycles());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.outcomes()[i], b.outcomes()[i])
+        << name << " fault (ff=" << faults[i].ff_index
+        << ", c=" << faults[i].cycle << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registered, FaultSimAgreement,
+    ::testing::Combine(::testing::Values("b01_like", "b02_like", "b03_like",
+                                         "b06_like", "b09_like", "counter16",
+                                         "pipe4x16"),
+                       ::testing::Values(1u, 9u)));
+
+class RandomFaultSimAgreement
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomFaultSimAgreement, SerialEqualsParallelOnRandomCircuits) {
+  circuits::RandomCircuitSpec spec;
+  spec.num_inputs = 5;
+  spec.num_outputs = 4;
+  spec.num_dffs = 16;
+  spec.num_gates = 200;
+  const Circuit circuit = circuits::build_random(spec, GetParam());
+  const Testbench tb = random_testbench(spec.num_inputs, 32, GetParam() + 31);
+  const auto faults = complete_fault_list(spec.num_dffs, tb.num_cycles());
+
+  SerialFaultSimulator serial(circuit, tb);
+  ParallelFaultSimulator parallel(circuit, tb);
+  const CampaignResult a = serial.run(faults);
+  const CampaignResult b = parallel.run(faults);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.outcomes()[i], b.outcomes()[i]) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFaultSimAgreement,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+// ---- engine mechanics ----
+
+TEST(ParallelFaultSimTest, ArbitraryOrderMatchesScheduleOrder) {
+  const Circuit circuit = circuits::build_b06_like();
+  const Testbench tb = random_testbench(circuit.num_inputs(), 30, 2);
+  ParallelFaultSimulator sim(circuit, tb);
+
+  auto faults = complete_fault_list(circuit.num_dffs(), tb.num_cycles());
+  const CampaignResult ordered = sim.run(faults);
+
+  // Reverse the schedule; outcomes must be identical fault-for-fault.
+  std::vector<Fault> reversed(faults.rbegin(), faults.rend());
+  const CampaignResult rev = sim.run(reversed);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    ASSERT_EQ(ordered.outcomes()[i],
+              rev.outcomes()[faults.size() - 1 - i]);
+  }
+}
+
+TEST(ParallelFaultSimTest, PartialGroupsWork) {
+  // 1 fault, 63 faults, 65 faults: exercise group-mask edges around 64.
+  const Circuit circuit = circuits::build_b09_like();
+  const Testbench tb = random_testbench(circuit.num_inputs(), 20, 8);
+  ParallelFaultSimulator parallel(circuit, tb);
+  SerialFaultSimulator serial(circuit, tb);
+  const auto all = complete_fault_list(circuit.num_dffs(), tb.num_cycles());
+  for (const std::size_t count : {1u, 63u, 64u, 65u, 130u}) {
+    const std::span<const Fault> subset(all.data(), count);
+    const auto a = parallel.run(subset);
+    const auto b = serial.run(subset);
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(a.outcomes()[i], b.outcomes()[i]) << "count " << count;
+    }
+  }
+}
+
+TEST(ParallelFaultSimTest, RejectsOutOfRangeFaults) {
+  const Circuit circuit = circuits::build_b01_like();
+  const Testbench tb = random_testbench(circuit.num_inputs(), 10, 1);
+  ParallelFaultSimulator sim(circuit, tb);
+  const Fault bad_cycle{0, 10};
+  EXPECT_THROW((void)sim.run(std::span<const Fault>(&bad_cycle, 1)), Error);
+  const Fault bad_ff{5, 0};
+  EXPECT_THROW((void)sim.run(std::span<const Fault>(&bad_ff, 1)), Error);
+}
+
+TEST(SerialFaultSimTest, TracksWallTime) {
+  const Circuit circuit = circuits::build_b01_like();
+  const Testbench tb = random_testbench(circuit.num_inputs(), 16, 1);
+  SerialFaultSimulator sim(circuit, tb);
+  const auto faults = complete_fault_list(circuit.num_dffs(), tb.num_cycles());
+  (void)sim.run(faults);
+  EXPECT_GE(sim.last_run_seconds(), 0.0);
+}
+
+TEST(ParallelFaultSimTest, MismatchedTestbenchWidthThrows) {
+  const Circuit circuit = circuits::build_b01_like();
+  const Testbench tb = random_testbench(7, 10, 1);
+  EXPECT_THROW(ParallelFaultSimulator(circuit, tb), Error);
+}
+
+}  // namespace
+}  // namespace femu

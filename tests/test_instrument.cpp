@@ -1,0 +1,259 @@
+// Instrumentation-transform properties. The cardinal one is transparency:
+// with the control inputs idle (or in pure-golden mode for time-mux), the
+// instrumented circuit is cycle-exactly the original on the original I/O.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "circuits/generators.h"
+#include "circuits/small.h"
+#include "circuits/registry.h"
+#include "core/instrument.h"
+#include "netlist/bench_io.h"
+#include "sim/levelized_sim.h"
+#include "stim/generate.h"
+
+namespace femu {
+namespace {
+
+BitVec widen(const BitVec& orig, std::size_t total,
+             const std::vector<std::pair<std::size_t, bool>>& controls = {}) {
+  BitVec in(total);
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    in.set(i, orig.get(i));
+  }
+  for (const auto& [port, value] : controls) {
+    in.set(port, value);
+  }
+  return in;
+}
+
+bool orig_outputs_equal(const BitVec& inst_out, const BitVec& orig_out) {
+  for (std::size_t i = 0; i < orig_out.size(); ++i) {
+    if (inst_out.get(i) != orig_out.get(i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class Transparency : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Transparency, MaskScanIdleIsIdentity) {
+  const Circuit original = circuits::build_by_name(GetParam());
+  const InstrumentedCircuit inst = instrument_mask_scan(original);
+  const Testbench tb = random_testbench(original.num_inputs(), 48, 5);
+
+  LevelizedSimulator orig_sim(original);
+  LevelizedSimulator inst_sim(inst.circuit);
+  for (std::size_t t = 0; t < tb.num_cycles(); ++t) {
+    const BitVec orig_out = orig_sim.cycle(tb.vector(t));
+    const BitVec inst_out = inst_sim.eval(
+        widen(tb.vector(t), inst.circuit.num_inputs()));
+    inst_sim.step();
+    ASSERT_TRUE(orig_outputs_equal(inst_out, orig_out)) << "cycle " << t;
+  }
+}
+
+TEST_P(Transparency, StateScanRunModeIsIdentity) {
+  const Circuit original = circuits::build_by_name(GetParam());
+  const InstrumentedCircuit inst = instrument_state_scan(original);
+  const Testbench tb = random_testbench(original.num_inputs(), 48, 6);
+
+  LevelizedSimulator orig_sim(original);
+  LevelizedSimulator inst_sim(inst.circuit);
+  for (std::size_t t = 0; t < tb.num_cycles(); ++t) {
+    const BitVec orig_out = orig_sim.cycle(tb.vector(t));
+    const BitVec inst_out = inst_sim.eval(widen(
+        tb.vector(t), inst.circuit.num_inputs(),
+        {{inst.ports.run_en, true}}));
+    inst_sim.step();
+    ASSERT_TRUE(orig_outputs_equal(inst_out, orig_out)) << "cycle " << t;
+  }
+}
+
+TEST_P(Transparency, TimeMuxGoldenModeIsIdentity) {
+  const Circuit original = circuits::build_by_name(GetParam());
+  const InstrumentedCircuit inst = instrument_time_mux(original);
+  const Testbench tb = random_testbench(original.num_inputs(), 48, 7);
+
+  LevelizedSimulator orig_sim(original);
+  LevelizedSimulator inst_sim(inst.circuit);
+  for (std::size_t t = 0; t < tb.num_cycles(); ++t) {
+    const BitVec orig_out = orig_sim.cycle(tb.vector(t));
+    const BitVec inst_out = inst_sim.eval(widen(
+        tb.vector(t), inst.circuit.num_inputs(),
+        {{inst.ports.ena_golden, true}}));
+    inst_sim.step();
+    ASSERT_TRUE(orig_outputs_equal(inst_out, orig_out)) << "cycle " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Registered, Transparency,
+                         ::testing::Values("b01_like", "b02_like", "b03_like",
+                                           "b04_like", "b06_like", "b08_like",
+                                           "b09_like", "b10_like", "b13_like",
+                                           "counter16", "lfsr32", "pipe4x16",
+                                           "viper8"));
+
+// ---- structural expectations ----
+
+TEST(InstrumentStructure, MaskScanDoublesFfs) {
+  const Circuit original = circuits::build_b09_like();  // 28 FFs
+  const InstrumentedCircuit inst = instrument_mask_scan(original);
+  EXPECT_EQ(inst.circuit.num_dffs(), 2 * original.num_dffs());
+  EXPECT_EQ(inst.circuit.num_inputs(), original.num_inputs() + 4);
+  EXPECT_EQ(inst.circuit.num_outputs(), original.num_outputs() + 1);
+  EXPECT_EQ(inst.main_ffs.size(), original.num_dffs());
+  EXPECT_EQ(inst.mask_ffs.size(), original.num_dffs());
+  EXPECT_NE(inst.ports.init, kNoPort);
+  EXPECT_NE(inst.ports.inject, kNoPort);
+  EXPECT_NE(inst.ports.mask_shift, kNoPort);
+  EXPECT_NE(inst.ports.mask_out, kNoPort);
+  EXPECT_EQ(inst.ports.scan_en, kNoPort);
+}
+
+TEST(InstrumentStructure, StateScanDoublesFfs) {
+  const Circuit original = circuits::build_b09_like();
+  const InstrumentedCircuit inst = instrument_state_scan(original);
+  EXPECT_EQ(inst.circuit.num_dffs(), 2 * original.num_dffs());
+  EXPECT_EQ(inst.shadow_ffs.size(), original.num_dffs());
+  EXPECT_NE(inst.ports.scan_en, kNoPort);
+  EXPECT_NE(inst.ports.scan_in, kNoPort);
+  EXPECT_NE(inst.ports.scan_out, kNoPort);
+  EXPECT_NE(inst.ports.run_en, kNoPort);
+  EXPECT_NE(inst.ports.save_state, kNoPort);
+  EXPECT_NE(inst.ports.load_state, kNoPort);
+}
+
+TEST(InstrumentStructure, TimeMuxQuadruplesFfsPlusOutputCapture) {
+  // Figure 1: golden + faulty + mask + state per FF, plus one golden-output
+  // capture register per PO (our documented reading of DetectadoN).
+  const Circuit original = circuits::build_b09_like();
+  const InstrumentedCircuit inst = instrument_time_mux(original);
+  EXPECT_EQ(inst.circuit.num_dffs(),
+            4 * original.num_dffs() + original.num_outputs());
+  EXPECT_EQ(inst.golden_ffs.size(), original.num_dffs());
+  EXPECT_EQ(inst.state_ffs.size(), original.num_dffs());
+  EXPECT_EQ(inst.outreg_ffs.size(), original.num_outputs());
+  EXPECT_NE(inst.ports.detect, kNoPort);
+  EXPECT_NE(inst.ports.state_equal, kNoPort);
+  EXPECT_NE(inst.ports.ena_golden, kNoPort);
+  EXPECT_NE(inst.ports.ena_faulty, kNoPort);
+}
+
+TEST(InstrumentStructure, PaperFfOverheadsOnB14) {
+  // Table 1's FF column: mask-scan ~2x (434/215), state-scan ~2x (433/215),
+  // time-mux ~4x (859/215). Ours: exactly 2N, 2N, 4N + PO.
+  const Circuit b14 = circuits::build_by_name("b14");
+  EXPECT_EQ(instrument_mask_scan(b14).circuit.num_dffs(), 430u);
+  EXPECT_EQ(instrument_state_scan(b14).circuit.num_dffs(), 430u);
+  EXPECT_EQ(instrument_time_mux(b14).circuit.num_dffs(), 914u);  // 860 + 54
+}
+
+TEST(InstrumentStructure, DispatchMatchesDirectCalls) {
+  const Circuit original = circuits::build_b01_like();
+  EXPECT_EQ(instrument(original, Technique::kMaskScan).circuit.num_dffs(),
+            instrument_mask_scan(original).circuit.num_dffs());
+  EXPECT_EQ(instrument(original, Technique::kStateScan).technique,
+            Technique::kStateScan);
+  EXPECT_EQ(instrument(original, Technique::kTimeMux).technique,
+            Technique::kTimeMux);
+}
+
+TEST(InstrumentStructure, RejectsCircuitWithoutFfs) {
+  Circuit comb("comb");
+  const NodeId a = comb.add_input("a");
+  comb.add_output("y", comb.add_not(a));
+  EXPECT_THROW(instrument_mask_scan(comb), Error);
+  EXPECT_THROW(instrument_state_scan(comb), Error);
+  EXPECT_THROW(instrument_time_mux(comb), Error);
+}
+
+// ---- functional mechanics of the instruments ----
+
+TEST(InstrumentMechanics, MaskChainShiftsOneHot) {
+  const Circuit original = circuits::build_shift_register(4);
+  const InstrumentedCircuit inst = instrument_mask_scan(original);
+  LevelizedSimulator sim(inst.circuit);
+
+  // Insert a one and rotate it through the ring; watch it in the mask FFs.
+  const auto mask_state = [&](std::size_t i) {
+    return sim.state_bit(inst.mask_ffs[i]);
+  };
+  BitVec in(inst.circuit.num_inputs());
+  in.set(inst.ports.mask_shift, true);
+  in.set(inst.ports.mask_in, true);
+  sim.eval(in);
+  sim.step();  // one at position 0
+  EXPECT_TRUE(mask_state(0));
+  EXPECT_FALSE(mask_state(1));
+
+  in.set(inst.ports.mask_in, false);
+  sim.eval(in);
+  sim.step();  // shifted to position 1
+  EXPECT_FALSE(mask_state(0));
+  EXPECT_TRUE(mask_state(1));
+
+  // With mask_shift low the chain holds.
+  BitVec hold(inst.circuit.num_inputs());
+  sim.eval(hold);
+  sim.step();
+  EXPECT_TRUE(mask_state(1));
+}
+
+TEST(InstrumentMechanics, StateScanShadowLoadsImage) {
+  const Circuit original = circuits::build_shift_register(4);
+  const InstrumentedCircuit inst = instrument_state_scan(original);
+  LevelizedSimulator sim(inst.circuit);
+
+  // Scan in the image 1010 (bit i of the image lands in shadow FF i after 4
+  // shifts, MSB first), then pulse load and check the main FFs.
+  const BitVec image = BitVec::from_string("1010");
+  for (std::size_t j = 0; j < 4; ++j) {
+    BitVec in(inst.circuit.num_inputs());
+    in.set(inst.ports.scan_en, true);
+    in.set(inst.ports.scan_in, image.get(3 - j));
+    sim.eval(in);
+    sim.step();
+  }
+  BitVec load(inst.circuit.num_inputs());
+  load.set(inst.ports.load_state, true);
+  sim.eval(load);
+  sim.step();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(sim.state_bit(inst.main_ffs[i]), image.get(i)) << "FF " << i;
+  }
+}
+
+TEST(InstrumentMechanics, TimeMuxConvergenceComparatorWorks) {
+  const Circuit original = circuits::build_shift_register(3);
+  const InstrumentedCircuit inst = instrument_time_mux(original);
+  LevelizedSimulator sim(inst.circuit);
+
+  // All FFs reset to 0: golden == faulty -> state_equal high.
+  BitVec idle(inst.circuit.num_inputs());
+  EXPECT_TRUE(sim.eval(idle).get(inst.ports.state_equal));
+
+  // Flip one faulty FF directly: comparator must drop.
+  sim.flip_state_bit(inst.main_ffs[1]);
+  EXPECT_FALSE(sim.eval(idle).get(inst.ports.state_equal));
+}
+
+// ---- instrumented circuits survive .bench round trips ----
+
+TEST(InstrumentIo, InstrumentedNetlistsRoundTrip) {
+  const Circuit original = circuits::build_b06_like();
+  for (const Technique technique : kAllTechniques) {
+    const InstrumentedCircuit inst = instrument(original, technique);
+    const Circuit reloaded = read_bench_string(
+        write_bench_string(inst.circuit), inst.circuit.name());
+    EXPECT_EQ(reloaded.num_dffs(), inst.circuit.num_dffs());
+    EXPECT_EQ(reloaded.num_inputs(), inst.circuit.num_inputs());
+    EXPECT_EQ(reloaded.num_outputs(), inst.circuit.num_outputs());
+  }
+}
+
+}  // namespace
+}  // namespace femu

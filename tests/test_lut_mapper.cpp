@@ -1,0 +1,173 @@
+#include "map/lut_mapper.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "circuits/generators.h"
+#include "circuits/registry.h"
+#include "rtl/builder.h"
+
+namespace femu {
+namespace {
+
+TEST(LutMapperTest, SingleGateIsOneLut) {
+  Circuit c("g1");
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  c.add_output("y", c.add_and(a, b));
+  const auto result = LutMapper().map(c);
+  EXPECT_EQ(result.num_luts, 1u);
+  EXPECT_EQ(result.depth, 1u);
+}
+
+TEST(LutMapperTest, FourInputConeFitsOneLut4) {
+  // y = (a&b) | (c^d): 3 gates, 4 leaves -> exactly one LUT4.
+  Circuit c("cone4");
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  const NodeId d = c.add_input("d");
+  const NodeId e = c.add_input("e");
+  c.add_output("y", c.add_or(c.add_and(a, b), c.add_xor(d, e)));
+  const auto result = LutMapper().map(c);
+  EXPECT_EQ(result.num_luts, 1u);
+  EXPECT_EQ(result.depth, 1u);
+}
+
+TEST(LutMapperTest, SixInputAndNeedsTwoLut4) {
+  Circuit c("and6");
+  rtl::Builder b(c);
+  const auto in = b.input_bus("x", 6);
+  c.add_output("y", b.and_reduce(in));
+  const auto result = LutMapper().map(c);
+  EXPECT_EQ(result.num_luts, 2u);
+  EXPECT_EQ(result.depth, 2u);
+}
+
+TEST(LutMapperTest, InvertersAreAbsorbed) {
+  // y = !( !a & !b ): all three inverters melt into one LUT.
+  Circuit c("inv");
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  c.add_output("y", c.add_not(c.add_and(c.add_not(a), c.add_not(b))));
+  const auto result = LutMapper().map(c);
+  EXPECT_EQ(result.num_luts, 1u);
+}
+
+TEST(LutMapperTest, BufChainsAreFree) {
+  Circuit c("bufs");
+  const NodeId a = c.add_input("a");
+  NodeId n = a;
+  for (int i = 0; i < 4; ++i) {
+    n = c.add_buf(n);
+  }
+  c.add_output("y", n);
+  const auto result = LutMapper().map(c);
+  EXPECT_EQ(result.num_luts, 0u);
+}
+
+TEST(LutMapperTest, ConstantsNeverBecomeLeaves) {
+  // y = a & 1 -> single LUT whose only leaf is a (const absorbed).
+  Circuit c("konst");
+  const NodeId a = c.add_input("a");
+  c.add_output("y", c.add_and(a, c.add_const(true)));
+  const auto result = LutMapper().map(c);
+  EXPECT_EQ(result.num_luts, 1u);
+}
+
+TEST(LutMapperTest, DffBoundariesCountedAsFfs) {
+  const Circuit c = circuits::build_counter(8);
+  const auto result = LutMapper().map(c);
+  EXPECT_EQ(result.num_ffs, 8u);
+  EXPECT_GT(result.num_luts, 0u);
+}
+
+TEST(LutMapperTest, WiderLutsNeverIncreaseArea) {
+  for (const char* name : {"b03_like", "b09_like", "pipe4x16", "b14"}) {
+    const Circuit c = circuits::build_by_name(name);
+    LutMapper::Options k4;
+    k4.lut_size = 4;
+    LutMapper::Options k6;
+    k6.lut_size = 6;
+    const auto r4 = LutMapper(k4).map(c);
+    const auto r6 = LutMapper(k6).map(c);
+    EXPECT_LE(r6.num_luts, r4.num_luts) << name;
+    EXPECT_LE(r6.depth, r4.depth) << name;
+  }
+}
+
+TEST(LutMapperTest, MoreCutsNeverHurt) {
+  const Circuit c = circuits::build_by_name("b14");
+  LutMapper::Options few;
+  few.cuts_per_node = 2;
+  LutMapper::Options many;
+  many.cuts_per_node = 12;
+  EXPECT_LE(LutMapper(many).map(c).num_luts, LutMapper(few).map(c).num_luts);
+}
+
+TEST(LutMapperTest, RootsCoverEveryOutputCone) {
+  // Every PO/DFF-D driver (modulo BUF chains) must be a selected root or a
+  // source — spot-check on a mid-size circuit.
+  const Circuit c = circuits::build_by_name("b09_like");
+  const auto result = LutMapper().map(c);
+  std::vector<bool> is_root(c.node_count(), false);
+  for (const NodeId root : result.roots) {
+    is_root[root] = true;
+  }
+  const auto effective = [&c](NodeId id) {
+    while (c.type(id) == CellType::kBuf) {
+      id = c.fanins(id)[0];
+    }
+    return id;
+  };
+  const auto check = [&](NodeId driver) {
+    const NodeId eff = effective(driver);
+    if (is_comb_cell(c.type(eff))) {
+      EXPECT_TRUE(is_root[eff]) << "uncovered driver " << c.node_name(eff);
+    }
+  };
+  for (const auto& port : c.outputs()) {
+    check(port.driver);
+  }
+  for (const NodeId ff : c.dffs()) {
+    check(c.dff_d(ff));
+  }
+}
+
+TEST(LutMapperTest, DeterministicResults) {
+  const Circuit c = circuits::build_by_name("b14");
+  const auto a = LutMapper().map(c);
+  const auto b = LutMapper().map(c);
+  EXPECT_EQ(a.num_luts, b.num_luts);
+  EXPECT_EQ(a.depth, b.depth);
+  EXPECT_EQ(a.roots, b.roots);
+}
+
+TEST(LutMapperTest, RejectsBadOptions) {
+  LutMapper::Options bad;
+  bad.lut_size = 1;
+  Circuit c("x");
+  c.add_output("y", c.add_input("a"));
+  EXPECT_THROW(LutMapper(bad).map(c), Error);
+}
+
+// Area sanity across the registry: LUT count is bounded by gate count (every
+// gate could at worst get its own LUT) and at least gates/8 (a LUT4 covers a
+// bounded cone of 2-input gates).
+class MapperBounds : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MapperBounds, AreaWithinStructuralBounds) {
+  const Circuit c = circuits::build_by_name(GetParam());
+  const auto result = LutMapper().map(c);
+  EXPECT_LE(result.num_luts, c.num_gates());
+  EXPECT_GE(result.num_luts, c.num_gates() / 8);
+  EXPECT_GT(result.depth, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Registered, MapperBounds,
+                         ::testing::Values("b01_like", "b03_like", "b06_like",
+                                           "b09_like", "counter16", "lfsr32",
+                                           "pipe4x16", "b14"));
+
+}  // namespace
+}  // namespace femu

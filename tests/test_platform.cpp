@@ -1,0 +1,141 @@
+// RAM layout, controller cost model, board fit — the Table-1 machinery.
+
+#include <gtest/gtest.h>
+
+#include "core/board.h"
+#include "core/controller_cost.h"
+#include "core/ram_layout.h"
+
+namespace femu {
+namespace {
+
+// The paper's b14 configuration.
+constexpr RamLayoutParams kB14{/*num_inputs=*/32, /*num_outputs=*/54,
+                               /*num_ffs=*/215, /*num_cycles=*/160,
+                               /*num_faults=*/34'400, /*class_bits=*/2};
+
+TEST(RamLayoutTest, MaskScanMatchesPaperFpgaColumn) {
+  const RamLayout layout = compute_ram_layout(Technique::kMaskScan, kB14);
+  // stimuli 160x32 = 5,120; golden outputs 160x54 = 8,640 -> 13,760 bits =
+  // 13.4 kbit, exactly the paper's FPGA figure for mask/state-scan.
+  EXPECT_EQ(layout.stimuli_bits, 5'120u);
+  EXPECT_EQ(layout.golden_output_bits, 8'640u);
+  EXPECT_EQ(layout.fpga_bits(), 13'760u);
+  EXPECT_NEAR(layout.fpga_bits() / 1024.0, 13.4, 0.05);
+  // board: classifications only.
+  EXPECT_EQ(layout.board_bits(), 68'800u);
+  EXPECT_EQ(layout.state_image_bits, 0u);
+}
+
+TEST(RamLayoutTest, StateScanMatchesPaperBoardColumn) {
+  const RamLayout layout = compute_ram_layout(Technique::kStateScan, kB14);
+  // 34,400 images x 215 bits = 7,396,000 bits = 7,222.7 kbit; plus results
+  // 67.2 kbit -> 7,289.8 kbit. The paper prints 7,289.
+  EXPECT_EQ(layout.state_image_bits, 7'396'000u);
+  EXPECT_NEAR(layout.board_bits() / 1024.0, 7'289.8, 0.5);
+  EXPECT_EQ(layout.golden_final_state_bits, 215u);
+}
+
+TEST(RamLayoutTest, TimeMuxMatchesPaperBothColumns) {
+  const RamLayout layout = compute_ram_layout(Technique::kTimeMux, kB14);
+  // FPGA: stimuli only (golden computed on-chip) = 5.0 kbit (paper: 5.3).
+  EXPECT_EQ(layout.fpga_bits(), 5'120u);
+  // Board: classifications 67.2 kbit (paper: 67).
+  EXPECT_NEAR(layout.board_bits() / 1024.0, 67.2, 0.05);
+}
+
+TEST(RamLayoutTest, ScalesWithParameters) {
+  RamLayoutParams doubled = kB14;
+  doubled.num_cycles *= 2;
+  const auto base = compute_ram_layout(Technique::kMaskScan, kB14);
+  const auto big = compute_ram_layout(Technique::kMaskScan, doubled);
+  EXPECT_EQ(big.stimuli_bits, 2 * base.stimuli_bits);
+  EXPECT_EQ(big.golden_output_bits, 2 * base.golden_output_bits);
+  EXPECT_EQ(big.classification_bits, base.classification_bits);
+}
+
+// ---- controller cost ----
+
+constexpr ControllerCostParams kB14Controller{32, 54, 215, 160, 34'400, 32};
+
+TEST(ControllerCostTest, AllTechniquesArePositiveAndBounded) {
+  for (const Technique technique : kAllTechniques) {
+    const ControllerCost cost =
+        estimate_controller(technique, kB14Controller);
+    EXPECT_GT(cost.luts, 0u);
+    EXPECT_GT(cost.ffs, 0u);
+    // The paper's controllers are all in the hundreds, never thousands.
+    EXPECT_LT(cost.luts, 1'500u) << technique_name(technique);
+    EXPECT_LT(cost.ffs, 1'000u) << technique_name(technique);
+  }
+}
+
+TEST(ControllerCostTest, MaskScanCarriesGoldenStateRegister) {
+  // Mask-scan's controller holds an N-bit golden-final-state register, so
+  // its FF count must exceed state-scan's by roughly N (paper: 236 vs 85).
+  const auto mask = estimate_controller(Technique::kMaskScan, kB14Controller);
+  const auto state =
+      estimate_controller(Technique::kStateScan, kB14Controller);
+  EXPECT_GE(mask.ffs, state.ffs + 200);
+}
+
+TEST(ControllerCostTest, GrowsWithCampaignDimensions) {
+  ControllerCostParams big = kB14Controller;
+  big.num_ffs = 2'150;
+  big.num_cycles = 16'000;
+  big.num_faults = 3'440'000;
+  for (const Technique technique : kAllTechniques) {
+    const auto small_cost = estimate_controller(technique, kB14Controller);
+    const auto big_cost = estimate_controller(technique, big);
+    EXPECT_GE(big_cost.luts, small_cost.luts) << technique_name(technique);
+    EXPECT_GE(big_cost.ffs, small_cost.ffs) << technique_name(technique);
+  }
+}
+
+// ---- board fit ----
+
+TEST(BoardTest, DefaultsDescribeRc1000) {
+  const Board board;
+  EXPECT_EQ(board.fpga_luts, 38'400u);
+  EXPECT_EQ(board.fpga_ffs, 38'400u);
+  EXPECT_EQ(board.fpga_bram_bits, 655'360u);
+  EXPECT_EQ(board.board_ram_bits, 67'108'864u);  // 8 MB
+  EXPECT_EQ(board.clock_mhz, 25.0);
+}
+
+TEST(BoardTest, FitReportFlagsOverflow) {
+  const Board board;
+  SystemResources need;
+  need.luts = 10'000;
+  need.ffs = 5'000;
+  need.fpga_ram_bits = 100'000;
+  need.board_ram_bits = 1'000'000;
+  const FitReport ok = check_fit(board, need);
+  EXPECT_TRUE(ok.fits);
+  EXPECT_NEAR(ok.lut_util, 10'000.0 / 38'400.0, 1e-9);
+
+  need.luts = 50'000;
+  const FitReport bad = check_fit(board, need);
+  EXPECT_FALSE(bad.fits);
+  EXPECT_GT(bad.lut_util, 1.0);
+
+  need.luts = 100;
+  need.board_ram_bits = board.board_ram_bits + 1;
+  EXPECT_FALSE(check_fit(board, need).fits);
+}
+
+TEST(BoardTest, PaperCampaignFitsComfortably) {
+  // The whole point of the RC1000's 8 MB: even state-scan's 7.3 Mbit of
+  // images uses only ~11% of the SRAM.
+  const Board board;
+  const RamLayout layout = compute_ram_layout(Technique::kStateScan, kB14);
+  SystemResources need;
+  need.board_ram_bits = layout.board_bits();
+  need.fpga_ram_bits = layout.fpga_bits();
+  const FitReport fit = check_fit(board, need);
+  EXPECT_TRUE(fit.fits);
+  EXPECT_NEAR(fit.board_ram_util, 0.111, 0.01);
+}
+
+}  // namespace
+}  // namespace femu

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "stim/generate.h"
+#include "stim/testbench.h"
+
+namespace femu {
+namespace {
+
+TEST(TestbenchTest, WidthEnforced) {
+  Testbench tb(4);
+  tb.add_vector(BitVec(4));
+  EXPECT_THROW(tb.add_vector(BitVec(5)), Error);
+  EXPECT_EQ(tb.num_cycles(), 1u);
+  EXPECT_THROW((void)tb.vector(1), Error);
+}
+
+TEST(TestbenchTest, StorageBitsMatchesPaperFormula) {
+  // The paper's stimulus RAM term: T x PI = 160 x 32 = 5,120 bits.
+  Testbench tb(32);
+  for (int i = 0; i < 160; ++i) {
+    tb.add_vector(BitVec(32));
+  }
+  EXPECT_EQ(tb.storage_bits(), 5'120u);
+}
+
+TEST(TestbenchTest, SaveLoadRoundTrip) {
+  const Testbench original = random_testbench(13, 37, 99);
+  std::stringstream buffer;
+  original.save(buffer);
+  const Testbench reloaded = Testbench::load(buffer);
+  ASSERT_EQ(reloaded.input_width(), original.input_width());
+  ASSERT_EQ(reloaded.num_cycles(), original.num_cycles());
+  for (std::size_t t = 0; t < original.num_cycles(); ++t) {
+    EXPECT_TRUE(reloaded.vector(t) == original.vector(t)) << "cycle " << t;
+  }
+}
+
+TEST(TestbenchTest, LoadRejectsBadHeader) {
+  std::stringstream bad("wrong-magic 3 2\n000\n111\n");
+  EXPECT_THROW(Testbench::load(bad), ParseError);
+}
+
+TEST(TestbenchTest, LoadRejectsShortFile) {
+  std::stringstream bad("femu-vectors 3 2\n000\n");
+  EXPECT_THROW(Testbench::load(bad), ParseError);
+}
+
+TEST(TestbenchTest, LoadRejectsWrongWidth) {
+  std::stringstream bad("femu-vectors 3 1\n0000\n");
+  EXPECT_THROW(Testbench::load(bad), ParseError);
+}
+
+TEST(GenerateTest, RandomIsSeedDeterministic) {
+  const Testbench a = random_testbench(16, 40, 7);
+  const Testbench b = random_testbench(16, 40, 7);
+  const Testbench c = random_testbench(16, 40, 8);
+  std::size_t diff = 0;
+  for (std::size_t t = 0; t < 40; ++t) {
+    ASSERT_TRUE(a.vector(t) == b.vector(t));
+    diff += a.vector(t) == c.vector(t) ? 0 : 1;
+  }
+  EXPECT_GT(diff, 30u);  // different seeds give different streams
+}
+
+TEST(GenerateTest, RandomIsRoughlyBalanced) {
+  const Testbench tb = random_testbench(64, 200, 3);
+  std::size_t ones = 0;
+  for (std::size_t t = 0; t < tb.num_cycles(); ++t) {
+    ones += tb.vector(t).popcount();
+  }
+  const double fraction = static_cast<double>(ones) / (64.0 * 200.0);
+  EXPECT_NEAR(fraction, 0.5, 0.03);
+}
+
+TEST(GenerateTest, WeightedTracksProbability) {
+  const Testbench tb = weighted_testbench(64, 200, 0.2, 5);
+  std::size_t ones = 0;
+  for (std::size_t t = 0; t < tb.num_cycles(); ++t) {
+    ones += tb.vector(t).popcount();
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / (64.0 * 200.0), 0.2, 0.03);
+}
+
+TEST(GenerateTest, BurstHoldsValues) {
+  const std::size_t mean_hold = 16;
+  const Testbench tb = burst_testbench(32, 400, mean_hold, 11);
+  // Count transitions per input; with mean hold 16, expect ~400/16 = 25
+  // transitions per signal, far fewer than random's ~200.
+  std::size_t transitions = 0;
+  for (std::size_t t = 1; t < tb.num_cycles(); ++t) {
+    BitVec x = tb.vector(t);
+    x ^= tb.vector(t - 1);
+    transitions += x.popcount();
+  }
+  const double per_signal = static_cast<double>(transitions) / 32.0;
+  EXPECT_LT(per_signal, 60.0);
+  EXPECT_GT(per_signal, 5.0);
+}
+
+TEST(GenerateTest, ZeroTestbenchIsAllZero) {
+  const Testbench tb = zero_testbench(8, 10);
+  for (std::size_t t = 0; t < tb.num_cycles(); ++t) {
+    EXPECT_TRUE(tb.vector(t).none());
+  }
+}
+
+}  // namespace
+}  // namespace femu

@@ -1,0 +1,133 @@
+// Three-valued simulation: X-propagation pessimism, agreement with the
+// two-valued engine on known states, and the self-initialisation analysis
+// that justifies the emulation controller's global reset.
+
+#include "sim/xsim.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/b14.h"
+#include "circuits/generators.h"
+#include "circuits/small.h"
+#include "common/error.h"
+#include "sim/levelized_sim.h"
+#include "stim/generate.h"
+
+namespace femu {
+namespace {
+
+TEST(XSimTest, ControllingValuesDominateX) {
+  Circuit c("ctl");
+  const NodeId a = c.add_input("a");
+  const NodeId q = c.add_dff("q");  // starts X
+  c.connect_dff(q, q);              // stays X forever
+  c.add_output("and_ax", c.add_and(a, q));
+  c.add_output("or_ax", c.add_or(a, q));
+  c.add_output("xor_ax", c.add_xor(a, q));
+  c.add_output("mux_sel_a", c.add_mux(a, q, q));  // both branches X
+
+  XSimulator sim(c);
+  BitVec zero(1);
+  BitVec one(1);
+  one.set(0, true);
+
+  // a=0: AND is known 0, OR is X, XOR is X.
+  auto out = sim.eval(zero);
+  EXPECT_TRUE(out.known.get(0));
+  EXPECT_FALSE(out.values.get(0));
+  EXPECT_FALSE(out.known.get(1));
+  EXPECT_FALSE(out.known.get(2));
+
+  // a=1: AND is X, OR is known 1.
+  out = sim.eval(one);
+  EXPECT_FALSE(out.known.get(0));
+  EXPECT_TRUE(out.known.get(1));
+  EXPECT_TRUE(out.values.get(1));
+  // mux with known select but X branches stays X.
+  EXPECT_FALSE(out.known.get(3));
+}
+
+TEST(XSimTest, MuxWithAgreeingBranchesResolvesXSelect) {
+  Circuit c("muxx");
+  const NodeId a = c.add_input("a");
+  const NodeId q = c.add_dff("q");  // X select
+  c.connect_dff(q, q);
+  c.add_output("y", c.add_mux(q, a, a));  // branches agree -> known
+  XSimulator sim(c);
+  BitVec one(1);
+  one.set(0, true);
+  const auto out = sim.eval(one);
+  EXPECT_TRUE(out.known.get(0));
+  EXPECT_TRUE(out.values.get(0));
+}
+
+TEST(XSimTest, MatchesTwoValuedSimWhenFullyKnown) {
+  const Circuit c = circuits::build_b06_like();
+  const Testbench tb = random_testbench(c.num_inputs(), 60, 3);
+  XSimulator xsim(c);
+  LevelizedSimulator sim(c);
+  xsim.set_state(BitVec(c.num_dffs()));  // known all-zero = reset state
+  for (std::size_t t = 0; t < tb.num_cycles(); ++t) {
+    const auto xout = xsim.cycle(tb.vector(t));
+    const BitVec out = sim.cycle(tb.vector(t));
+    ASSERT_EQ(xout.known.popcount(), c.num_outputs()) << "cycle " << t;
+    ASSERT_TRUE(xout.values == out) << "cycle " << t;
+  }
+  EXPECT_TRUE(xsim.fully_initialised());
+}
+
+TEST(XSimTest, ShiftRegisterSelfInitialises) {
+  const Circuit c = circuits::build_shift_register(6);
+  const Testbench tb = random_testbench(1, 20, 1);
+  const auto cycles = cycles_to_initialise(c, tb.vectors());
+  ASSERT_TRUE(cycles.has_value());
+  // Every stage fills from the serial input after exactly 6 shifts.
+  EXPECT_EQ(*cycles, 6u);
+}
+
+TEST(XSimTest, PipelineSelfInitialisesAfterDepth) {
+  const Circuit c = circuits::build_pipeline(5, 8);
+  const Testbench tb = random_testbench(c.num_inputs(), 32, 2);
+  const auto cycles = cycles_to_initialise(c, tb.vectors());
+  ASSERT_TRUE(cycles.has_value());
+  EXPECT_EQ(*cycles, 5u);  // one stage per cycle
+}
+
+TEST(XSimTest, CounterNeverSelfInitialises) {
+  // count <- count + 1 can never resolve X without a reset.
+  const Circuit c = circuits::build_counter(8);
+  const Testbench tb = random_testbench(1, 64, 3);
+  EXPECT_FALSE(cycles_to_initialise(c, tb.vectors()).has_value());
+}
+
+TEST(XSimTest, B14NeedsTheGlobalReset) {
+  // The CPU's binary-encoded FSM cannot escape an all-X power-on state —
+  // exactly why the autonomous emulation controller asserts GSR before the
+  // golden run and every fault emulation.
+  const Circuit b14 = circuits::build_b14();
+  const Testbench tb = random_testbench(b14.num_inputs(), 64, 4);
+  EXPECT_FALSE(cycles_to_initialise(b14, tb.vectors()).has_value());
+}
+
+TEST(XSimTest, UnknownCountsAndReset) {
+  const Circuit c = circuits::build_shift_register(4);
+  XSimulator sim(c);
+  EXPECT_EQ(sim.unknown_state_count(), 4u);
+  EXPECT_EQ(sim.state_tri(0), Tri::kX);
+  BitVec one(1);
+  one.set(0, true);
+  sim.cycle(one);
+  EXPECT_EQ(sim.unknown_state_count(), 3u);  // stage 0 now known
+  EXPECT_EQ(sim.state_tri(0), Tri::kOne);
+  sim.reset_to_unknown();
+  EXPECT_EQ(sim.unknown_state_count(), 4u);
+}
+
+TEST(XSimTest, InputWidthChecked) {
+  const Circuit c = circuits::build_shift_register(4);
+  XSimulator sim(c);
+  EXPECT_THROW(sim.eval(BitVec(2)), Error);
+}
+
+}  // namespace
+}  // namespace femu
