@@ -1,0 +1,171 @@
+// Campaign-engine throughput bench with machine-readable JSON output.
+//
+// Runs the complete b14 SEU campaign (every FF x every cycle, the paper's
+// 34,400-fault set shape) through every engine configuration — interpreted
+// vs compiled backend, 64 vs 256 lanes, single- vs multi-threaded sharding —
+// and reports faults/sec and eval-cycles/sec per configuration plus the
+// speedup over the interpreted single-thread baseline. Classification counts
+// are cross-checked across all configurations; any disagreement is reported
+// in the JSON ("identical_classifications") and fails the process, so CI can
+// use this bench as a correctness smoke test as well as a perf trajectory.
+//
+// Usage: engine_throughput [--cycles N] [--repeat N] [--out FILE]
+//   --cycles N   testbench length (default 160, the paper's vector count)
+//   --repeat N   timed repetitions per config, best-of is reported (default 3)
+//   --out FILE   write the JSON to FILE instead of stdout
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuits/b14.h"
+#include "fault/fault_list.h"
+#include "fault/parallel_faultsim.h"
+#include "stim/generate.h"
+
+namespace {
+
+using namespace femu;
+
+struct BenchConfig {
+  const char* name;
+  CampaignConfig campaign;
+};
+
+struct BenchResult {
+  const char* name = "";
+  SimBackend backend = SimBackend::kCompiled;
+  std::size_t lanes = 64;
+  unsigned threads = 1;
+  std::size_t faults = 0;
+  double seconds = 0.0;
+  std::uint64_t eval_cycles = 0;
+  ClassCounts counts;
+
+  [[nodiscard]] double faults_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(faults) / seconds : 0.0;
+  }
+  [[nodiscard]] double eval_cycles_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(eval_cycles) / seconds : 0.0;
+  }
+};
+
+void write_json(std::ostream& out, const std::vector<BenchResult>& results,
+                std::size_t num_ffs, std::size_t num_cycles, bool identical) {
+  const double base = results.front().faults_per_sec();
+  out << "{\n";
+  out << "  \"circuit\": \"b14\",\n";
+  out << "  \"num_ffs\": " << num_ffs << ",\n";
+  out << "  \"num_cycles\": " << num_cycles << ",\n";
+  out << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"identical_classifications\": " << (identical ? "true" : "false")
+      << ",\n";
+  out << "  \"engines\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    out << "    {\"name\": \"" << r.name << "\", \"backend\": \""
+        << sim_backend_name(r.backend) << "\", \"lanes\": " << r.lanes
+        << ", \"threads\": " << r.threads << ", \"faults\": " << r.faults
+        << ", \"seconds\": " << r.seconds
+        << ", \"faults_per_sec\": " << r.faults_per_sec()
+        << ", \"eval_cycles\": " << r.eval_cycles
+        << ", \"eval_cycles_per_sec\": " << r.eval_cycles_per_sec()
+        << ", \"speedup_vs_interpreted\": "
+        << (base > 0.0 ? r.faults_per_sec() / base : 0.0)
+        << ", \"counts\": {\"failure\": " << r.counts.failure
+        << ", \"latent\": " << r.counts.latent
+        << ", \"silent\": " << r.counts.silent << "}}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t cycles = 160;
+  int repeat = 3;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc) {
+      cycles = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::stoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: engine_throughput [--cycles N] [--repeat N]"
+                   " [--out FILE]\n";
+      return 2;
+    }
+  }
+
+  const Circuit circuit = circuits::build_b14();
+  const Testbench tb = random_testbench(circuit.num_inputs(), cycles, 2005);
+  const auto faults = complete_fault_list(circuit.num_dffs(), tb.num_cycles());
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::vector<BenchConfig> configs = {
+      {"interpreted-64-1t", {SimBackend::kInterpreted, LaneWidth::k64, 1}},
+      {"compiled-64-1t", {SimBackend::kCompiled, LaneWidth::k64, 1}},
+      {"compiled-256-1t", {SimBackend::kCompiled, LaneWidth::k256, 1}},
+      {"compiled-64-mt", {SimBackend::kCompiled, LaneWidth::k64, hw}},
+      {"compiled-256-mt", {SimBackend::kCompiled, LaneWidth::k256, hw}},
+  };
+
+  std::vector<BenchResult> results;
+  for (const BenchConfig& config : configs) {
+    ParallelFaultSimulator sim(circuit, tb, config.campaign);
+    BenchResult r;
+    r.name = config.name;
+    r.backend = config.campaign.backend;
+    r.lanes = lane_count(config.campaign.lanes);
+    r.faults = faults.size();
+    r.seconds = -1.0;
+    for (int rep = 0; rep < repeat; ++rep) {
+      const CampaignResult result = sim.run(faults);
+      r.threads = sim.last_run_threads();  // actual workers, post-clamp
+      if (r.seconds < 0.0 || sim.last_run_seconds() < r.seconds) {
+        r.seconds = sim.last_run_seconds();
+        r.eval_cycles = sim.last_run_eval_cycles();
+      }
+      r.counts = result.counts();
+    }
+    results.push_back(r);
+    std::cerr << r.name << ": " << r.faults_per_sec() << " faults/s ("
+              << r.seconds << " s)\n";
+  }
+
+  bool identical = true;
+  for (const BenchResult& r : results) {
+    identical = identical && r.counts.failure == results[0].counts.failure &&
+                r.counts.latent == results[0].counts.latent &&
+                r.counts.silent == results[0].counts.silent;
+  }
+
+  if (out_path.empty()) {
+    write_json(std::cout, results, circuit.num_dffs(), tb.num_cycles(),
+               identical);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot open " << out_path << "\n";
+      return 2;
+    }
+    write_json(out, results, circuit.num_dffs(), tb.num_cycles(), identical);
+    std::cerr << "wrote " << out_path << "\n";
+  }
+
+  if (!identical) {
+    std::cerr << "ERROR: classification counts differ across engines\n";
+    return 1;
+  }
+  return 0;
+}

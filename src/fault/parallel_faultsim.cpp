@@ -1,82 +1,192 @@
 #include "fault/parallel_faultsim.h"
 
 #include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <thread>
 
 #include "common/error.h"
 #include "common/timer.h"
+#include "sim/parallel_sim.h"
 
 namespace femu {
 
 ParallelFaultSimulator::ParallelFaultSimulator(const Circuit& circuit,
-                                               const Testbench& testbench)
+                                               const Testbench& testbench,
+                                               CampaignConfig config)
     : circuit_(circuit),
       testbench_(testbench),
-      golden_(capture_golden(circuit, testbench.vectors())),
-      sim_(circuit) {
+      config_(config),
+      golden_(capture_golden(circuit, testbench.vectors())) {
   FEMU_CHECK(testbench.input_width() == circuit.num_inputs(),
              "testbench width ", testbench.input_width(), " != circuit PI ",
              circuit.num_inputs());
+  FEMU_CHECK(
+      config_.backend == SimBackend::kCompiled ||
+          config_.lanes == LaneWidth::k64,
+      "interpreted backend supports 64 lanes only");
+  if (config_.backend == SimBackend::kCompiled) {
+    kernel_ = compile_kernel(circuit);
+  }
+  // Golden trace pre-broadcast once per campaign engine; shared read-only by
+  // every worker thread.
+  if (config_.lanes == LaneWidth::k64) {
+    image64_ = GoldenWordImage<std::uint64_t>(golden_);
+  } else {
+    image256_ = GoldenWordImage<Word256>(golden_);
+  }
 }
 
 CampaignResult ParallelFaultSimulator::run(std::span<const Fault> faults) {
   WallTimer timer;
-  last_run_eval_cycles_ = 0;
-  std::vector<FaultOutcome> outcomes(faults.size());
-  for (std::size_t begin = 0; begin < faults.size(); begin += 64) {
-    const std::size_t count = std::min<std::size_t>(64, faults.size() - begin);
-    run_group(faults.subspan(begin, count),
-              std::span<FaultOutcome>(outcomes).subspan(begin, count));
-  }
-  last_run_seconds_ = timer.elapsed_seconds();
-  return CampaignResult(std::vector<Fault>(faults.begin(), faults.end()),
-                        std::move(outcomes));
-}
-
-void ParallelFaultSimulator::run_group(std::span<const Fault> faults,
-                                       std::span<FaultOutcome> outcomes) {
   const std::size_t num_cycles = testbench_.num_cycles();
-  const std::uint64_t group_mask =
-      faults.size() == 64 ? ~std::uint64_t{0}
-                          : ((std::uint64_t{1} << faults.size()) - 1);
-
-  std::uint32_t first_cycle = kNoCycle;
   for (const Fault& fault : faults) {
     FEMU_CHECK(fault.cycle < num_cycles, "fault cycle ", fault.cycle,
                " beyond testbench length ", num_cycles);
     FEMU_CHECK(fault.ff_index < circuit_.num_dffs(), "fault FF ",
                fault.ff_index, " out of range");
-    first_cycle = std::min(first_cycle, fault.cycle);
   }
+
+  std::vector<FaultOutcome> outcomes(faults.size());
+  const std::size_t width = lane_count(config_.lanes);
+  const std::size_t num_groups = (faults.size() + width - 1) / width;
+  unsigned workers = config_.num_threads != 0
+                         ? config_.num_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers, std::max<std::size_t>(num_groups, 1)));
+  last_run_threads_ = workers;
+
+  if (config_.lanes == LaneWidth::k64 && kernel_) {
+    const auto make_engine = [this] {
+      return LaneEngine<std::uint64_t>(kernel_);
+    };
+    last_run_eval_cycles_ = run_sharded<std::uint64_t>(
+        image64_, make_engine, faults, std::span<FaultOutcome>(outcomes),
+        workers);
+  } else if (config_.lanes == LaneWidth::k64) {
+    const auto make_engine = [this] {
+      return ParallelSimulator(circuit_, SimBackend::kInterpreted);
+    };
+    last_run_eval_cycles_ = run_sharded<std::uint64_t>(
+        image64_, make_engine, faults, std::span<FaultOutcome>(outcomes),
+        workers);
+  } else {
+    const auto make_engine = [this] { return LaneEngine<Word256>(kernel_); };
+    last_run_eval_cycles_ = run_sharded<Word256>(
+        image256_, make_engine, faults, std::span<FaultOutcome>(outcomes),
+        workers);
+  }
+
+  last_run_seconds_ = timer.elapsed_seconds();
+  return CampaignResult(std::vector<Fault>(faults.begin(), faults.end()),
+                        std::move(outcomes));
+}
+
+template <typename Word, typename MakeEngine>
+std::uint64_t ParallelFaultSimulator::run_sharded(
+    const GoldenWordImage<Word>& image, const MakeEngine& make_engine,
+    std::span<const Fault> faults, std::span<FaultOutcome> outcomes,
+    unsigned num_workers) {
+  const std::size_t width = LaneTraits<Word>::kLanes;
+  const std::size_t num_groups = (faults.size() + width - 1) / width;
+
+  const auto group_span = [&](std::size_t g) {
+    const std::size_t begin = g * width;
+    const std::size_t count = std::min(width, faults.size() - begin);
+    return std::pair{faults.subspan(begin, count),
+                     outcomes.subspan(begin, count)};
+  };
+
+  if (num_workers <= 1 || num_groups <= 1) {
+    auto engine = make_engine();
+    std::uint64_t eval_cycles = 0;
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      const auto [group_faults, group_outcomes] = group_span(g);
+      run_group(engine, image, group_faults, group_outcomes, eval_cycles);
+    }
+    return eval_cycles;
+  }
+
+  // Work-stealing pool: each worker owns one engine (sharing the read-only
+  // kernel + golden images) and pulls group indices from an atomic counter.
+  // Each group writes a disjoint outcome slice, so the result is identical
+  // for any worker count or scheduling order.
+  std::atomic<std::size_t> next_group{0};
+  std::atomic<std::uint64_t> total_eval_cycles{0};
+  const auto worker = [&] {
+    auto engine = make_engine();
+    std::uint64_t eval_cycles = 0;
+    for (std::size_t g = next_group.fetch_add(1, std::memory_order_relaxed);
+         g < num_groups;
+         g = next_group.fetch_add(1, std::memory_order_relaxed)) {
+      const auto [group_faults, group_outcomes] = group_span(g);
+      run_group(engine, image, group_faults, group_outcomes, eval_cycles);
+    }
+    total_eval_cycles.fetch_add(eval_cycles, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(num_workers - 1);
+  for (unsigned i = 1; i < num_workers; ++i) {
+    pool.emplace_back(worker);
+  }
+  worker();  // the calling thread is worker 0
+  for (auto& t : pool) {
+    t.join();
+  }
+  return total_eval_cycles.load();
+}
+
+template <typename Engine, typename Word>
+void ParallelFaultSimulator::run_group(Engine& engine,
+                                       const GoldenWordImage<Word>& image,
+                                       std::span<const Fault> faults,
+                                       std::span<FaultOutcome> outcomes,
+                                       std::uint64_t& eval_cycles) const {
+  using T = LaneTraits<Word>;
+  const std::size_t num_cycles = testbench_.num_cycles();
+  const Word group_mask = T::first_n(faults.size());
+
+  // Injection schedule sorted by cycle: injections then advance a cursor
+  // instead of rescanning all lanes per cycle, and the cursor's head is the
+  // next injection cycle the fast-forward path jumps to.
+  std::vector<std::uint32_t> order(faults.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t x, std::uint32_t y) {
+    return faults[x].cycle < faults[y].cycle;
+  });
+  std::size_t cursor = 0;
 
   // Default: latent (overwritten on detection/convergence below).
   for (auto& outcome : outcomes) {
     outcome = FaultOutcome{FaultClass::kLatent, kNoCycle, kNoCycle};
   }
 
-  sim_.broadcast_state(golden_.states[first_cycle]);
-  std::uint64_t injected = 0;
-  std::uint64_t classified = 0;
+  const std::uint32_t first_cycle = faults[order.front()].cycle;
+  engine.broadcast_state(golden_.states[first_cycle]);
+  Word injected = T::zero();
+  Word classified = T::zero();
 
   for (std::size_t t = first_cycle; t < num_cycles; ++t) {
     // Inject the lanes whose cycle has arrived (flip happens in state(t),
     // before cycle t evaluates — the SEU hits the new state).
-    for (std::size_t lane = 0; lane < faults.size(); ++lane) {
-      if (faults[lane].cycle == t) {
-        sim_.flip_state_bit(faults[lane].ff_index,
-                            static_cast<unsigned>(lane));
-        injected |= std::uint64_t{1} << lane;
-      }
+    while (cursor < order.size() && faults[order[cursor]].cycle == t) {
+      const std::uint32_t lane = order[cursor];
+      engine.flip_state_bit(faults[lane].ff_index, lane);
+      injected |= T::lane_bit(lane);
+      ++cursor;
     }
 
-    sim_.eval(testbench_.vector(t));
-    ++last_run_eval_cycles_;
+    engine.eval(testbench_.vector(t));
+    ++eval_cycles;
 
-    const std::uint64_t mismatch =
-        sim_.output_mismatch_lanes(golden_.outputs[t]) & injected &
+    const Word mismatch =
+        engine.output_mismatch_lanes(image.outputs(t)) & injected &
         ~classified;
-    if (mismatch != 0) {
+    if (T::any(mismatch)) {
       for (std::size_t lane = 0; lane < faults.size(); ++lane) {
-        if ((mismatch >> lane) & 1) {
+        if (T::test(mismatch, static_cast<unsigned>(lane))) {
           outcomes[lane].cls = FaultClass::kFailure;
           outcomes[lane].detect_cycle = static_cast<std::uint32_t>(t);
         }
@@ -84,13 +194,13 @@ void ParallelFaultSimulator::run_group(std::span<const Fault> faults,
       classified |= mismatch;
     }
 
-    sim_.step();
+    engine.step();
 
-    const std::uint64_t differs = sim_.state_mismatch_lanes(golden_.states[t + 1]);
-    const std::uint64_t converged = injected & ~classified & ~differs;
-    if (converged != 0) {
+    const Word differs = engine.state_mismatch_lanes(image.states(t + 1));
+    const Word converged = injected & ~classified & ~differs;
+    if (T::any(converged)) {
       for (std::size_t lane = 0; lane < faults.size(); ++lane) {
-        if ((converged >> lane) & 1) {
+        if (T::test(converged, static_cast<unsigned>(lane))) {
           outcomes[lane].cls = FaultClass::kSilent;
           outcomes[lane].converge_cycle = static_cast<std::uint32_t>(t + 1);
         }
@@ -104,16 +214,11 @@ void ParallelFaultSimulator::run_group(std::span<const Fault> faults,
 
     // Fast-forward: when every already-injected lane is graded, the pending
     // lanes are bit-identical to the golden machine, so jump straight to the
-    // next injection cycle from the golden state image.
-    if ((injected & ~classified) == 0 && injected != group_mask) {
-      std::uint32_t next_cycle = kNoCycle;
-      for (std::size_t lane = 0; lane < faults.size(); ++lane) {
-        if (((injected >> lane) & 1) == 0) {
-          next_cycle = std::min(next_cycle, faults[lane].cycle);
-        }
-      }
+    // next injection cycle (the cursor head) from the golden state image.
+    if (!T::any(injected & ~classified) && cursor < order.size()) {
+      const std::uint32_t next_cycle = faults[order[cursor]].cycle;
       if (next_cycle > t + 1) {
-        sim_.broadcast_state(golden_.states[next_cycle]);
+        engine.broadcast_state(golden_.states[next_cycle]);
         t = next_cycle - 1;  // loop increment lands on next_cycle
       }
     }

@@ -1,34 +1,65 @@
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <span>
 
 #include "fault/campaign_result.h"
 #include "netlist/circuit.h"
+#include "sim/compiled_kernel.h"
 #include "sim/golden.h"
-#include "sim/parallel_sim.h"
+#include "sim/golden_words.h"
 #include "stim/testbench.h"
 
 namespace femu {
 
-/// 64-way bit-parallel fault simulation.
+/// How many faulty machines one lane group carries.
+enum class LaneWidth : std::uint32_t {
+  k64 = 64,    ///< one uint64_t per signal (classic bit-parallel width)
+  k256 = 256,  ///< four uint64_t per signal — 4x faults per pass
+};
+
+[[nodiscard]] constexpr std::size_t lane_count(LaneWidth w) noexcept {
+  return static_cast<std::size_t>(w);
+}
+
+/// Campaign engine configuration.
 ///
-/// Faults are processed in groups of up to 64; lane k of every signal word
-/// carries faulty machine k. A lane whose injection cycle has not arrived yet
-/// simply tracks the golden machine (identical state + identical stimuli), so
-/// a group spanning several injection cycles needs no special casing: the
-/// group starts from the golden state at its earliest injection cycle and
-/// each lane is XOR-flipped when its cycle comes.
+/// The default — compiled kernel, 64 lanes, one worker per hardware thread —
+/// is the fastest portable setting. The interpreted backend (64-lane only)
+/// is the original engine, kept selectable so benches and cross-validation
+/// tests can measure and check the compiled path against it.
+struct CampaignConfig {
+  SimBackend backend = SimBackend::kCompiled;
+  LaneWidth lanes = LaneWidth::k64;
+  /// Worker threads for group sharding; 0 = std::thread::hardware_concurrency().
+  unsigned num_threads = 0;
+};
+
+/// Bit-parallel fault simulation with multi-threaded campaign sharding.
+///
+/// Faults are processed in groups of lane-width size; lane k of every signal
+/// word carries faulty machine k. A lane whose injection cycle has not
+/// arrived yet simply tracks the golden machine (identical state + identical
+/// stimuli), so a group spanning several injection cycles needs no special
+/// casing: the group starts from the golden state at its earliest injection
+/// cycle and each lane is XOR-flipped when its cycle comes.
 ///
 /// Early retirement: a lane is done at its first output mismatch (failure) or
 /// state re-convergence (silent); when every injected lane of a group is
 /// done, the group fast-forwards to the next injection cycle by reloading the
-/// golden state image. With the cycle-major schedule this makes whole-b14
-/// campaigns (34,400 faults) run in well under a second — this engine
-/// computes the per-fault (class, detect, converge) data that the autonomous
-/// emulation cost models consume.
+/// golden state image (the next injection cycle comes from the group's
+/// pre-sorted schedule — O(1) per fast-forward).
+///
+/// Groups are independent — they share only the read-only kernel, golden
+/// trace and pre-broadcast golden word images — so the campaign shards them
+/// across a pool of workers pulling group indices from an atomic counter.
+/// Every group writes its own outcome slice, so results are bit-identical
+/// for any thread count and any backend/lane width.
 class ParallelFaultSimulator {
  public:
-  ParallelFaultSimulator(const Circuit& circuit, const Testbench& testbench);
+  ParallelFaultSimulator(const Circuit& circuit, const Testbench& testbench,
+                         CampaignConfig config = {});
 
   /// Grades every fault; outcomes align with input order. Faults may be in
   /// any order, but schedule (cycle-major) order is fastest.
@@ -36,26 +67,50 @@ class ParallelFaultSimulator {
 
   [[nodiscard]] const GoldenTrace& golden() const noexcept { return golden_; }
 
+  [[nodiscard]] const CampaignConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Worker threads the last run() actually used.
+  [[nodiscard]] unsigned last_run_threads() const noexcept {
+    return last_run_threads_;
+  }
+
   [[nodiscard]] double last_run_seconds() const noexcept {
     return last_run_seconds_;
   }
 
-  /// Circuit-evaluation cycles spent in the last run (engine efficiency
-  /// metric used by the microbenches).
+  /// Circuit-evaluation cycles spent in the last run, summed over all lane
+  /// groups (engine efficiency metric used by the microbenches). One eval of
+  /// a 256-lane group counts as one cycle, like one eval of a 64-lane group.
   [[nodiscard]] std::uint64_t last_run_eval_cycles() const noexcept {
     return last_run_eval_cycles_;
   }
 
  private:
-  void run_group(std::span<const Fault> faults,
-                 std::span<FaultOutcome> outcomes);
+  template <typename Engine, typename Word>
+  void run_group(Engine& engine, const GoldenWordImage<Word>& image,
+                 std::span<const Fault> faults,
+                 std::span<FaultOutcome> outcomes,
+                 std::uint64_t& eval_cycles) const;
+
+  template <typename Word, typename MakeEngine>
+  std::uint64_t run_sharded(const GoldenWordImage<Word>& image,
+                            const MakeEngine& make_engine,
+                            std::span<const Fault> faults,
+                            std::span<FaultOutcome> outcomes,
+                            unsigned num_workers);
 
   const Circuit& circuit_;
   const Testbench& testbench_;
+  CampaignConfig config_;
   GoldenTrace golden_;
-  ParallelSimulator sim_;
+  std::shared_ptr<const CompiledKernel> kernel_;  // null when interpreted
+  GoldenWordImage<std::uint64_t> image64_;
+  GoldenWordImage<Word256> image256_;
   double last_run_seconds_ = 0.0;
   std::uint64_t last_run_eval_cycles_ = 0;
+  unsigned last_run_threads_ = 1;
 };
 
 }  // namespace femu

@@ -107,6 +107,18 @@ std::span<const NodeId> Circuit::fanins(NodeId id) const {
           static_cast<std::size_t>(cell_arity(node.type))};
 }
 
+std::vector<NodeId> Circuit::dff_drivers() const {
+  std::vector<NodeId> drivers;
+  drivers.reserve(dffs_.size());
+  for (const NodeId dff : dffs_) {
+    const NodeId d = nodes_[dff].fanin[0];
+    FEMU_CHECK(d != kInvalidNode, "DFF ", node_name(dff),
+               " has unconnected D pin");
+    drivers.push_back(d);
+  }
+  return drivers;
+}
+
 NodeId Circuit::dff_d(NodeId dff) const {
   check_id(dff, "dff");
   FEMU_CHECK(nodes_[dff].type == CellType::kDff, "dff_d on ",

@@ -85,6 +85,12 @@ class Circuit {
   /// D-pin driver of a DFF (kInvalidNode when not yet connected).
   [[nodiscard]] NodeId dff_d(NodeId dff) const;
 
+  /// D-pin drivers of all flip-flops in dffs() order. Simulator clock-edge
+  /// loops and the compiled-kernel lowering snapshot this once instead of
+  /// making a checked dff_d() call per flip-flop per cycle. Throws when any
+  /// DFF is still unconnected.
+  [[nodiscard]] std::vector<NodeId> dff_drivers() const;
+
   /// Primary inputs in declaration order (stimulus bit order).
   [[nodiscard]] const std::vector<NodeId>& inputs() const noexcept {
     return inputs_;

@@ -1,0 +1,267 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "netlist/circuit.h"
+#include "sim/lane_word.h"
+
+namespace femu {
+
+/// Which evaluation backend a simulator runs on.
+///
+/// kInterpreted walks the Circuit object graph every cycle (type lookup,
+/// fanin-span chase per node) — the original engines, kept as the reference
+/// and as the baseline the benches measure speedups against. kCompiled
+/// executes a CompiledKernel instruction stream.
+enum class SimBackend : std::uint8_t {
+  kInterpreted,
+  kCompiled,
+};
+
+[[nodiscard]] constexpr const char* sim_backend_name(SimBackend b) noexcept {
+  return b == SimBackend::kInterpreted ? "interpreted" : "compiled";
+}
+
+/// A Circuit lowered once into a flat, cache-friendly instruction stream.
+///
+/// Lowering resolves everything the interpreted engines re-derive per node
+/// per cycle: the program holds only combinational cells, in topological
+/// (node-id) order, with the opcode and the fanin value-slot indices baked
+/// into each instruction. Sources are handled by precomputed index tables:
+/// primary inputs and DFF Q pins are written into their slots before eval,
+/// constants are written once by init(), and DFF D / output drivers are read
+/// through dff_d_slots() / output_slots().
+///
+/// The kernel is execution-state-free and therefore shareable: one kernel
+/// serves any number of engines concurrently (the threaded campaign sharder
+/// builds one kernel and hands it to every worker). The eval loop is
+/// templated on the lane word type, so the same program runs the scalar
+/// (Word8), 64-lane (uint64_t) and 256-lane (Word256) engines.
+class CompiledKernel {
+ public:
+  struct Instr {
+    std::uint32_t dest = 0;
+    std::uint32_t a = 0;  // fanin 0 slot (mux: select)
+    std::uint32_t b = 0;  // fanin 1 slot (mux: d0); == a for unary cells
+    std::uint32_t c = 0;  // fanin 2 slot (mux: d1); == a when unused
+    CellType op = CellType::kBuf;
+  };
+
+  /// Lowers `circuit` (validates it first). The circuit must outlive the
+  /// kernel — the kernel keeps a reference for diagnostics and index order.
+  explicit CompiledKernel(const Circuit& circuit);
+
+  [[nodiscard]] const Circuit& circuit() const noexcept { return *circuit_; }
+
+  /// One value slot per circuit node; slot index == NodeId.
+  [[nodiscard]] std::size_t num_slots() const noexcept { return num_slots_; }
+
+  [[nodiscard]] std::span<const Instr> program() const noexcept {
+    return program_;
+  }
+
+  [[nodiscard]] std::span<const std::uint32_t> input_slots() const noexcept {
+    return input_slots_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> dff_slots() const noexcept {
+    return dff_slots_;
+  }
+  /// Slot of the D-pin driver of DFF i (read by step()).
+  [[nodiscard]] std::span<const std::uint32_t> dff_d_slots() const noexcept {
+    return dff_d_slots_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> output_slots() const noexcept {
+    return output_slots_;
+  }
+
+  /// Zeroes `values` and writes the constant slots. Call once per engine
+  /// before the first eval (constants are never re-evaluated).
+  template <typename Word>
+  void init(std::span<Word> values) const {
+    using T = LaneTraits<Word>;
+    for (auto& v : values) v = T::zero();
+    for (const std::uint32_t slot : const1_slots_) values[slot] = T::ones();
+  }
+
+  /// Executes the combinational program. `values` must hold num_slots()
+  /// words with input/DFF/constant slots already loaded.
+  template <typename Word>
+  void eval(Word* values) const {
+    for (const Instr& in : program_) {
+      const Word a = values[in.a];
+      switch (in.op) {
+        case CellType::kBuf:
+          values[in.dest] = a;
+          break;
+        case CellType::kNot:
+          values[in.dest] = ~a;
+          break;
+        case CellType::kAnd:
+          values[in.dest] = a & values[in.b];
+          break;
+        case CellType::kOr:
+          values[in.dest] = a | values[in.b];
+          break;
+        case CellType::kNand:
+          values[in.dest] = ~(a & values[in.b]);
+          break;
+        case CellType::kNor:
+          values[in.dest] = ~(a | values[in.b]);
+          break;
+        case CellType::kXor:
+          values[in.dest] = a ^ values[in.b];
+          break;
+        case CellType::kXnor:
+          values[in.dest] = ~(a ^ values[in.b]);
+          break;
+        case CellType::kMux:
+          values[in.dest] = (a & values[in.c]) | (~a & values[in.b]);
+          break;
+        default:
+          break;  // sources/DFFs never appear in the program
+      }
+    }
+  }
+
+ private:
+  const Circuit* circuit_;
+  std::size_t num_slots_ = 0;
+  std::vector<Instr> program_;
+  std::vector<std::uint32_t> input_slots_;
+  std::vector<std::uint32_t> dff_slots_;
+  std::vector<std::uint32_t> dff_d_slots_;
+  std::vector<std::uint32_t> output_slots_;
+  std::vector<std::uint32_t> const1_slots_;
+};
+
+/// Builds a shareable kernel for `circuit`.
+[[nodiscard]] std::shared_ptr<const CompiledKernel> compile_kernel(
+    const Circuit& circuit);
+
+/// Generic lane-parallel engine executing a CompiledKernel.
+///
+/// One instantiation per lane width: LaneEngine<Word8> is the compiled
+/// scalar machine, LaneEngine<std::uint64_t> the 64-lane machine and
+/// LaneEngine<Word256> the 256-lane machine. Lane k of every value word
+/// carries machine k; inputs are broadcast to all lanes. Mismatch queries
+/// take precomputed golden word images (see GoldenWordImage) so the hot loop
+/// never re-broadcasts golden bits.
+template <typename Word>
+class LaneEngine {
+ public:
+  using Traits = LaneTraits<Word>;
+  static constexpr std::size_t kLanes = Traits::kLanes;
+
+  explicit LaneEngine(std::shared_ptr<const CompiledKernel> kernel)
+      : kernel_(std::move(kernel)),
+        values_(kernel_->num_slots()),
+        state_(kernel_->dff_slots().size()) {
+    kernel_->init(std::span<Word>(values_));
+  }
+
+  [[nodiscard]] const CompiledKernel& kernel() const noexcept {
+    return *kernel_;
+  }
+  [[nodiscard]] const Circuit& circuit() const noexcept {
+    return kernel_->circuit();
+  }
+
+  void reset() {
+    kernel_->init(std::span<Word>(values_));
+    for (auto& s : state_) s = Traits::zero();
+  }
+
+  /// Broadcasts the scalar state to every lane.
+  void broadcast_state(const BitVec& state) {
+    for (std::size_t i = 0; i < state_.size(); ++i) {
+      state_[i] = Traits::broadcast(state.get(i));
+    }
+  }
+
+  /// XORs lane `lane` of flip-flop `ff_index` (SEU injection).
+  void flip_state_bit(std::size_t ff_index, unsigned lane) {
+    state_[ff_index] ^= Traits::lane_bit(lane);
+  }
+
+  /// Combinational evaluation with `inputs` broadcast to every lane.
+  void eval(const BitVec& inputs) {
+    const auto pis = kernel_->input_slots();
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      values_[pis[i]] = Traits::broadcast(inputs.get(i));
+    }
+    const auto dffs = kernel_->dff_slots();
+    for (std::size_t i = 0; i < dffs.size(); ++i) {
+      values_[dffs[i]] = state_[i];
+    }
+    kernel_->eval(values_.data());
+  }
+
+  /// Clock edge: state <- D in every lane.
+  void step() {
+    const auto d_slots = kernel_->dff_d_slots();
+    for (std::size_t i = 0; i < d_slots.size(); ++i) {
+      state_[i] = values_[d_slots[i]];
+    }
+  }
+
+  void cycle(const BitVec& inputs) {
+    eval(inputs);
+    step();
+  }
+
+  /// Lanes whose primary outputs differ from the precomputed golden output
+  /// words for the current cycle. Call after eval().
+  [[nodiscard]] Word output_mismatch_lanes(
+      std::span<const Word> golden_out_words) const {
+    const auto outs = kernel_->output_slots();
+    Word mismatch = Traits::zero();
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      mismatch |= values_[outs[i]] ^ golden_out_words[i];
+    }
+    return mismatch;
+  }
+
+  /// Lanes whose flip-flop state differs from the precomputed golden state
+  /// words.
+  [[nodiscard]] Word state_mismatch_lanes(
+      std::span<const Word> golden_state_words) const {
+    Word mismatch = Traits::zero();
+    for (std::size_t i = 0; i < state_.size(); ++i) {
+      mismatch |= state_[i] ^ golden_state_words[i];
+    }
+    return mismatch;
+  }
+
+  /// State of one lane as a scalar BitVec (diagnostics / tests).
+  [[nodiscard]] BitVec lane_state(unsigned lane) const {
+    BitVec out(state_.size());
+    for (std::size_t i = 0; i < state_.size(); ++i) {
+      out.set(i, Traits::test(state_[i], lane));
+    }
+    return out;
+  }
+
+  /// Outputs of one lane after eval() (diagnostics / tests).
+  [[nodiscard]] BitVec lane_outputs(unsigned lane) const {
+    const auto outs = kernel_->output_slots();
+    BitVec out(outs.size());
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      out.set(i, Traits::test(values_[outs[i]], lane));
+    }
+    return out;
+  }
+
+  /// Raw lane word of a node after eval() (diagnostics).
+  [[nodiscard]] Word node_word(NodeId id) const { return values_[id]; }
+
+ private:
+  std::shared_ptr<const CompiledKernel> kernel_;
+  std::vector<Word> values_;  // per node slot, one lane per bit
+  std::vector<Word> state_;   // per DFF
+};
+
+}  // namespace femu

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/golden.h"
+#include "sim/lane_word.h"
+
+namespace femu {
+
+/// Golden trace pre-broadcast into lane words.
+///
+/// The fault engines compare every cycle's outputs and next-state against the
+/// golden run. Doing that against BitVecs costs a bit-extract + broadcast per
+/// signal per cycle per group — pure recomputation, since the golden trace
+/// never changes within a campaign. This image hoists the broadcast: one flat
+/// array of lane words per trace, built once and shared read-only by every
+/// worker thread.
+///
+/// Layout (T = num_cycles):
+///   outputs(t) — broadcast golden outputs of cycle t,     t in [0, T)
+///   states(t)  — broadcast golden state at START of cycle t, t in [0, T]
+template <typename Word>
+struct GoldenWordImage {
+  std::size_t num_outputs = 0;
+  std::size_t num_ffs = 0;
+  std::vector<Word> out_words;
+  std::vector<Word> state_words;
+
+  GoldenWordImage() = default;
+
+  explicit GoldenWordImage(const GoldenTrace& trace)
+      : num_outputs(trace.outputs.empty() ? 0 : trace.outputs.front().size()),
+        num_ffs(trace.states.empty() ? 0 : trace.states.front().size()) {
+    using T = LaneTraits<Word>;
+    out_words.reserve(trace.outputs.size() * num_outputs);
+    for (const BitVec& outs : trace.outputs) {
+      for (std::size_t i = 0; i < num_outputs; ++i) {
+        out_words.push_back(T::broadcast(outs.get(i)));
+      }
+    }
+    state_words.reserve(trace.states.size() * num_ffs);
+    for (const BitVec& state : trace.states) {
+      for (std::size_t i = 0; i < num_ffs; ++i) {
+        state_words.push_back(T::broadcast(state.get(i)));
+      }
+    }
+  }
+
+  [[nodiscard]] std::span<const Word> outputs(std::size_t t) const {
+    return std::span<const Word>(out_words).subspan(t * num_outputs,
+                                                    num_outputs);
+  }
+
+  [[nodiscard]] std::span<const Word> states(std::size_t t) const {
+    return std::span<const Word>(state_words).subspan(t * num_ffs, num_ffs);
+  }
+};
+
+}  // namespace femu

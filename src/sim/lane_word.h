@@ -1,0 +1,141 @@
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+
+namespace femu {
+
+/// Lane-word types for the compiled evaluation kernel.
+///
+/// A "word" carries one bit of every simulated machine ("lane") for one
+/// signal; every logic operation is a plain bitwise operation on the word, so
+/// the same kernel instruction stream serves any lane width:
+///
+///   Word8    — 1 meaningful lane stored as a full byte mask (scalar engine)
+///   uint64_t — 64 lanes, the classic bit-parallel fault-simulation width
+///   Word256  — 256 lanes (4 x uint64_t), grading 4x more faults per pass
+///
+/// Lane masks reuse the word type itself: bit k of a mask refers to lane k.
+/// The helpers below are the complete lane algebra the engines need; adding a
+/// wider word (e.g. 512 lanes) only requires specialising these.
+
+/// Scalar word: a single lane broadcast across 8 bits (0x00 or 0xFF), so ~a
+/// stays canonical without masking. Used by the compiled scalar backend.
+using Word8 = std::uint8_t;
+
+/// 256-lane word: four 64-bit limbs, lane k lives in limb k/64 bit k%64.
+struct Word256 {
+  std::array<std::uint64_t, 4> w{0, 0, 0, 0};
+
+  friend constexpr Word256 operator&(Word256 a, Word256 b) noexcept {
+    return {{a.w[0] & b.w[0], a.w[1] & b.w[1], a.w[2] & b.w[2],
+             a.w[3] & b.w[3]}};
+  }
+  friend constexpr Word256 operator|(Word256 a, Word256 b) noexcept {
+    return {{a.w[0] | b.w[0], a.w[1] | b.w[1], a.w[2] | b.w[2],
+             a.w[3] | b.w[3]}};
+  }
+  friend constexpr Word256 operator^(Word256 a, Word256 b) noexcept {
+    return {{a.w[0] ^ b.w[0], a.w[1] ^ b.w[1], a.w[2] ^ b.w[2],
+             a.w[3] ^ b.w[3]}};
+  }
+  friend constexpr Word256 operator~(Word256 a) noexcept {
+    return {{~a.w[0], ~a.w[1], ~a.w[2], ~a.w[3]}};
+  }
+  constexpr Word256& operator&=(Word256 o) noexcept { return *this = *this & o; }
+  constexpr Word256& operator|=(Word256 o) noexcept { return *this = *this | o; }
+  constexpr Word256& operator^=(Word256 o) noexcept { return *this = *this ^ o; }
+
+  friend constexpr bool operator==(const Word256&, const Word256&) = default;
+};
+
+// ---- lane traits -----------------------------------------------------------
+
+template <typename Word>
+struct LaneTraits;
+
+template <>
+struct LaneTraits<Word8> {
+  static constexpr std::size_t kLanes = 1;
+  static constexpr Word8 zero() noexcept { return 0; }
+  static constexpr Word8 ones() noexcept { return 0xff; }
+  static constexpr Word8 broadcast(bool bit) noexcept {
+    return bit ? Word8{0xff} : Word8{0};
+  }
+  static constexpr Word8 lane_bit(unsigned /*lane*/) noexcept { return 0xff; }
+  static constexpr bool test(Word8 w, unsigned /*lane*/) noexcept {
+    return w != 0;
+  }
+  static constexpr bool any(Word8 w) noexcept { return w != 0; }
+  static constexpr std::size_t count(Word8 w) noexcept { return w != 0 ? 1 : 0; }
+  /// Mask with the first `n` lanes set (n <= kLanes).
+  static constexpr Word8 first_n(std::size_t n) noexcept {
+    return n == 0 ? Word8{0} : Word8{0xff};
+  }
+};
+
+template <>
+struct LaneTraits<std::uint64_t> {
+  static constexpr std::size_t kLanes = 64;
+  static constexpr std::uint64_t zero() noexcept { return 0; }
+  static constexpr std::uint64_t ones() noexcept { return ~std::uint64_t{0}; }
+  static constexpr std::uint64_t broadcast(bool bit) noexcept {
+    return bit ? ~std::uint64_t{0} : std::uint64_t{0};
+  }
+  static constexpr std::uint64_t lane_bit(unsigned lane) noexcept {
+    return std::uint64_t{1} << lane;
+  }
+  static constexpr bool test(std::uint64_t w, unsigned lane) noexcept {
+    return ((w >> lane) & 1) != 0;
+  }
+  static constexpr bool any(std::uint64_t w) noexcept { return w != 0; }
+  static constexpr std::size_t count(std::uint64_t w) noexcept {
+    return static_cast<std::size_t>(std::popcount(w));
+  }
+  static constexpr std::uint64_t first_n(std::size_t n) noexcept {
+    return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+  }
+};
+
+template <>
+struct LaneTraits<Word256> {
+  static constexpr std::size_t kLanes = 256;
+  static constexpr Word256 zero() noexcept { return {}; }
+  static constexpr Word256 ones() noexcept {
+    return {{~std::uint64_t{0}, ~std::uint64_t{0}, ~std::uint64_t{0},
+             ~std::uint64_t{0}}};
+  }
+  static constexpr Word256 broadcast(bool bit) noexcept {
+    return bit ? ones() : zero();
+  }
+  static constexpr Word256 lane_bit(unsigned lane) noexcept {
+    Word256 out;
+    out.w[lane / 64] = std::uint64_t{1} << (lane % 64);
+    return out;
+  }
+  static constexpr bool test(const Word256& w, unsigned lane) noexcept {
+    return ((w.w[lane / 64] >> (lane % 64)) & 1) != 0;
+  }
+  static constexpr bool any(const Word256& w) noexcept {
+    return (w.w[0] | w.w[1] | w.w[2] | w.w[3]) != 0;
+  }
+  static constexpr std::size_t count(const Word256& w) noexcept {
+    return static_cast<std::size_t>(std::popcount(w.w[0]) +
+                                    std::popcount(w.w[1]) +
+                                    std::popcount(w.w[2]) +
+                                    std::popcount(w.w[3]));
+  }
+  static constexpr Word256 first_n(std::size_t n) noexcept {
+    Word256 out;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const std::size_t lo = i * 64;
+      if (n <= lo) break;
+      out.w[i] = LaneTraits<std::uint64_t>::first_n(n - lo);
+    }
+    return out;
+  }
+};
+
+}  // namespace femu

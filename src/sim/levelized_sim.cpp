@@ -4,15 +4,38 @@
 
 namespace femu {
 
-LevelizedSimulator::LevelizedSimulator(const Circuit& circuit)
+namespace {
+
+// Node values are byte masks (0x00 / 0xff) so the compiled kernel's bitwise
+// NOT stays canonical without per-op masking; every read is a != 0 test.
+constexpr std::uint8_t kOne = 0xff;
+
+}  // namespace
+
+LevelizedSimulator::LevelizedSimulator(const Circuit& circuit,
+                                       SimBackend backend)
     : circuit_(circuit),
+      kernel_(backend == SimBackend::kCompiled ? compile_kernel(circuit)
+                                               : nullptr),
       values_(circuit.node_count(), 0),
       state_(circuit.num_dffs(), 0) {
-  circuit.validate();
+  if (kernel_) {
+    // compile_kernel() already validated and resolved the D drivers.
+    const auto d_slots = kernel_->dff_d_slots();
+    dff_d_.assign(d_slots.begin(), d_slots.end());
+    kernel_->init(std::span<std::uint8_t>(values_));
+  } else {
+    circuit.validate();
+    dff_d_ = circuit.dff_drivers();
+  }
 }
 
 void LevelizedSimulator::reset() {
-  std::fill(values_.begin(), values_.end(), std::uint8_t{0});
+  if (kernel_) {
+    kernel_->init(std::span<std::uint8_t>(values_));
+  } else {
+    std::fill(values_.begin(), values_.end(), std::uint8_t{0});
+  }
   std::fill(state_.begin(), state_.end(), std::uint8_t{0});
 }
 
@@ -33,13 +56,13 @@ void LevelizedSimulator::set_state(const BitVec& state) {
   FEMU_CHECK(state.size() == state_.size(), "state width ", state.size(),
              " != ", state_.size());
   for (std::size_t i = 0; i < state_.size(); ++i) {
-    state_[i] = state.get(i) ? 1 : 0;
+    state_[i] = state.get(i) ? kOne : 0;
   }
 }
 
 void LevelizedSimulator::flip_state_bit(std::size_t ff_index) {
   FEMU_CHECK(ff_index < state_.size(), "ff index ", ff_index, " out of range");
-  state_[ff_index] ^= 1;
+  state_[ff_index] = state_[ff_index] != 0 ? 0 : kOne;
 }
 
 BitVec LevelizedSimulator::eval(const BitVec& inputs) {
@@ -47,23 +70,27 @@ BitVec LevelizedSimulator::eval(const BitVec& inputs) {
              inputs.size(), " != ", circuit_.num_inputs());
   const auto& pis = circuit_.inputs();
   for (std::size_t i = 0; i < pis.size(); ++i) {
-    values_[pis[i]] = inputs.get(i) ? 1 : 0;
+    values_[pis[i]] = inputs.get(i) ? kOne : 0;
   }
   const auto& dffs = circuit_.dffs();
   for (std::size_t i = 0; i < dffs.size(); ++i) {
     values_[dffs[i]] = state_[i];
   }
-  for (NodeId id = 0; id < circuit_.node_count(); ++id) {
-    const CellType type = circuit_.type(id);
-    if (!is_comb_cell(type) && type != CellType::kConst0 &&
-        type != CellType::kConst1) {
-      continue;
+  if (kernel_) {
+    kernel_->eval(values_.data());
+  } else {
+    for (NodeId id = 0; id < circuit_.node_count(); ++id) {
+      const CellType type = circuit_.type(id);
+      if (!is_comb_cell(type) && type != CellType::kConst0 &&
+          type != CellType::kConst1) {
+        continue;
+      }
+      const auto fanins = circuit_.fanins(id);
+      const bool a = fanins.size() > 0 && values_[fanins[0]] != 0;
+      const bool b = fanins.size() > 1 && values_[fanins[1]] != 0;
+      const bool c = fanins.size() > 2 && values_[fanins[2]] != 0;
+      values_[id] = eval_cell_bool(type, a, b, c) ? kOne : 0;
     }
-    const auto fanins = circuit_.fanins(id);
-    const bool a = fanins.size() > 0 && values_[fanins[0]] != 0;
-    const bool b = fanins.size() > 1 && values_[fanins[1]] != 0;
-    const bool c = fanins.size() > 2 && values_[fanins[2]] != 0;
-    values_[id] = eval_cell_bool(type, a, b, c) ? 1 : 0;
   }
   const auto& outputs = circuit_.outputs();
   BitVec out(outputs.size());
@@ -74,9 +101,8 @@ BitVec LevelizedSimulator::eval(const BitVec& inputs) {
 }
 
 void LevelizedSimulator::step() {
-  const auto& dffs = circuit_.dffs();
-  for (std::size_t i = 0; i < dffs.size(); ++i) {
-    state_[i] = values_[circuit_.dff_d(dffs[i])];
+  for (std::size_t i = 0; i < dff_d_.size(); ++i) {
+    state_[i] = values_[dff_d_[i]];
   }
 }
 

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/bitvec.h"
 #include "netlist/circuit.h"
+#include "sim/compiled_kernel.h"
 
 namespace femu {
 
@@ -16,12 +18,22 @@ namespace femu {
 /// This is the reference engine: the event-driven and 64-way parallel
 /// simulators are checked against it by property tests.
 ///
+/// By default evaluation runs through the scalar (Word8) instantiation of
+/// the CompiledKernel instruction stream; SimBackend::kInterpreted selects
+/// the original per-node Circuit walk, which the compiled backends are
+/// cross-validated against.
+///
 /// Cycle protocol (matches DESIGN.md):
 ///   eval(inputs)  -- combinational settle, outputs observable
 ///   step()        -- clock edge: state <- D
 class LevelizedSimulator {
  public:
-  explicit LevelizedSimulator(const Circuit& circuit);
+  explicit LevelizedSimulator(const Circuit& circuit,
+                              SimBackend backend = SimBackend::kCompiled);
+
+  [[nodiscard]] SimBackend backend() const noexcept {
+    return kernel_ ? SimBackend::kCompiled : SimBackend::kInterpreted;
+  }
 
   /// Returns to the reset state (all flip-flops 0). Input values are cleared.
   void reset();
@@ -57,8 +69,10 @@ class LevelizedSimulator {
 
  private:
   const Circuit& circuit_;
-  std::vector<std::uint8_t> values_;  // per node, 0/1
-  std::vector<std::uint8_t> state_;   // per DFF, 0/1
+  std::shared_ptr<const CompiledKernel> kernel_;  // null when interpreted
+  std::vector<NodeId> dff_d_;         // D-driver per DFF, snapshot
+  std::vector<std::uint8_t> values_;  // per node, byte mask 0x00/0xff
+  std::vector<std::uint8_t> state_;   // per DFF, byte mask 0x00/0xff
 };
 
 }  // namespace femu

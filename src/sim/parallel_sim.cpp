@@ -12,15 +12,41 @@ constexpr std::uint64_t broadcast(bool bit) {
 
 }  // namespace
 
-ParallelSimulator::ParallelSimulator(const Circuit& circuit)
+ParallelSimulator::ParallelSimulator(const Circuit& circuit,
+                                     SimBackend backend)
     : circuit_(circuit),
+      kernel_(backend == SimBackend::kCompiled ? compile_kernel(circuit)
+                                               : nullptr),
       values_(circuit.node_count(), 0),
       state_(circuit.num_dffs(), 0) {
-  circuit.validate();
+  if (kernel_) {
+    // compile_kernel() already validated and resolved the D drivers.
+    const auto d_slots = kernel_->dff_d_slots();
+    dff_d_.assign(d_slots.begin(), d_slots.end());
+    kernel_->init(std::span<std::uint64_t>(values_));
+  } else {
+    circuit.validate();
+    dff_d_ = circuit.dff_drivers();
+  }
+}
+
+ParallelSimulator::ParallelSimulator(
+    std::shared_ptr<const CompiledKernel> kernel)
+    : circuit_(kernel->circuit()),
+      kernel_(std::move(kernel)),
+      values_(circuit_.node_count(), 0),
+      state_(circuit_.num_dffs(), 0) {
+  const auto d_slots = kernel_->dff_d_slots();
+  dff_d_.assign(d_slots.begin(), d_slots.end());
+  kernel_->init(std::span<std::uint64_t>(values_));
 }
 
 void ParallelSimulator::reset() {
-  std::fill(values_.begin(), values_.end(), std::uint64_t{0});
+  if (kernel_) {
+    kernel_->init(std::span<std::uint64_t>(values_));
+  } else {
+    std::fill(values_.begin(), values_.end(), std::uint64_t{0});
+  }
   std::fill(state_.begin(), state_.end(), std::uint64_t{0});
 }
 
@@ -49,6 +75,10 @@ void ParallelSimulator::eval(const BitVec& inputs) {
   for (std::size_t i = 0; i < dffs.size(); ++i) {
     values_[dffs[i]] = state_[i];
   }
+  if (kernel_) {
+    kernel_->eval(values_.data());
+    return;
+  }
   const std::size_t n = circuit_.node_count();
   for (NodeId id = 0; id < n; ++id) {
     const CellType type = circuit_.type(id);
@@ -65,9 +95,8 @@ void ParallelSimulator::eval(const BitVec& inputs) {
 }
 
 void ParallelSimulator::step() {
-  const auto& dffs = circuit_.dffs();
-  for (std::size_t i = 0; i < dffs.size(); ++i) {
-    state_[i] = values_[circuit_.dff_d(dffs[i])];
+  for (std::size_t i = 0; i < dff_d_.size(); ++i) {
+    state_[i] = values_[dff_d_[i]];
   }
 }
 
@@ -90,6 +119,29 @@ std::uint64_t ParallelSimulator::state_mismatch_lanes(
   std::uint64_t mismatch = 0;
   for (std::size_t i = 0; i < state_.size(); ++i) {
     mismatch |= state_[i] ^ broadcast(golden_state.get(i));
+  }
+  return mismatch;
+}
+
+std::uint64_t ParallelSimulator::output_mismatch_lanes(
+    std::span<const std::uint64_t> golden_out_words) const {
+  const auto& outputs = circuit_.outputs();
+  FEMU_CHECK(golden_out_words.size() == outputs.size(), "output width ",
+             golden_out_words.size(), " != ", outputs.size());
+  std::uint64_t mismatch = 0;
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    mismatch |= values_[outputs[i].driver] ^ golden_out_words[i];
+  }
+  return mismatch;
+}
+
+std::uint64_t ParallelSimulator::state_mismatch_lanes(
+    std::span<const std::uint64_t> golden_state_words) const {
+  FEMU_CHECK(golden_state_words.size() == state_.size(), "state width ",
+             golden_state_words.size(), " != ", state_.size());
+  std::uint64_t mismatch = 0;
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    mismatch |= state_[i] ^ golden_state_words[i];
   }
   return mismatch;
 }

@@ -1,10 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "common/bitvec.h"
 #include "netlist/circuit.h"
+#include "sim/compiled_kernel.h"
 
 namespace femu {
 
@@ -15,11 +18,24 @@ namespace femu {
 /// to all lanes) but may hold different flip-flop states — exactly the shape
 /// of a single-stuck-SEU campaign, where 64 faulty machines differ from the
 /// golden run only in their state evolution. This is the workhorse behind
-/// fault::ParallelFaultSimulator and gives a ~50x speedup over serial
-/// simulation (measured by bench/kernels_microbench).
+/// fault::ParallelFaultSimulator.
+///
+/// By default the combinational network executes through a CompiledKernel
+/// (flat instruction stream, pre-resolved fanin slots); construct with
+/// SimBackend::kInterpreted to walk the Circuit object graph per cycle
+/// instead (the original engine, kept as the measured baseline).
 class ParallelSimulator {
  public:
-  explicit ParallelSimulator(const Circuit& circuit);
+  explicit ParallelSimulator(const Circuit& circuit,
+                             SimBackend backend = SimBackend::kCompiled);
+
+  /// Shares a pre-built kernel (one kernel serves many engines — this is how
+  /// the threaded campaign sharder avoids re-lowering per worker).
+  explicit ParallelSimulator(std::shared_ptr<const CompiledKernel> kernel);
+
+  [[nodiscard]] SimBackend backend() const noexcept {
+    return kernel_ ? SimBackend::kCompiled : SimBackend::kInterpreted;
+  }
 
   /// All lanes to the reset state (all flip-flops 0).
   void reset();
@@ -51,6 +67,13 @@ class ParallelSimulator {
   [[nodiscard]] std::uint64_t state_mismatch_lanes(
       const BitVec& golden_state) const;
 
+  /// Fast-path mismatch queries against pre-broadcast golden word images
+  /// (see GoldenWordImage): no per-signal bit-extract/broadcast per call.
+  [[nodiscard]] std::uint64_t output_mismatch_lanes(
+      std::span<const std::uint64_t> golden_out_words) const;
+  [[nodiscard]] std::uint64_t state_mismatch_lanes(
+      std::span<const std::uint64_t> golden_state_words) const;
+
   /// State of one lane as a scalar BitVec (diagnostics / tests).
   [[nodiscard]] BitVec lane_state(unsigned lane) const;
 
@@ -64,6 +87,8 @@ class ParallelSimulator {
 
  private:
   const Circuit& circuit_;
+  std::shared_ptr<const CompiledKernel> kernel_;  // null when interpreted
+  std::vector<NodeId> dff_d_;          // D-driver per DFF, snapshot
   std::vector<std::uint64_t> values_;  // per node, one lane per bit
   std::vector<std::uint64_t> state_;   // per DFF
 };
