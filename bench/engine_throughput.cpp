@@ -2,22 +2,32 @@
 //
 // Runs the complete b14 SEU campaign (every FF x every cycle, the paper's
 // 34,400-fault set shape) through every engine configuration — interpreted
-// vs compiled backend, 64 vs 256 lanes, single- vs multi-threaded sharding —
-// and reports faults/sec and eval-cycles/sec per configuration plus the
-// speedup over the interpreted single-thread baseline. Classification counts
-// are cross-checked across all configurations; any disagreement is reported
-// in the JSON ("identical_classifications") and fails the process, so CI can
-// use this bench as a correctness smoke test as well as a perf trajectory.
+// vs compiled backend, full-program vs cone-restricted differential
+// evaluation, 64 vs 256 lanes, single- vs multi-threaded sharding — and
+// reports faults/sec, eval-cycles/sec and kernel-instructions executed per
+// configuration, plus the speedup over the interpreted single-thread
+// baseline and the cone-vs-full-eval speedup at 64 lanes. Classification
+// counts are cross-checked across all configurations; any disagreement is
+// reported in the JSON ("identical_classifications") and fails the process,
+// so CI can use this bench as a correctness smoke test as well as a perf
+// trajectory.
 //
 // Usage: engine_throughput [--cycles N] [--repeat N] [--out FILE]
-//   --cycles N   testbench length (default 160, the paper's vector count)
-//   --repeat N   timed repetitions per config, best-of is reported (default 3)
-//   --out FILE   write the JSON to FILE instead of stdout
+//                          [--bench-index N] [--baseline FILE]
+//   --cycles N       testbench length (default 160, the paper's vector count)
+//   --repeat N       timed repetitions per config, best-of (default 3)
+//   --out FILE       write the JSON to FILE instead of stdout
+//   --bench-index N  write the JSON to BENCH_<N>.json — the stable name CI
+//                    uses so the perf trajectory accumulates across PRs
+//   --baseline FILE  previous BENCH_*.json to compare against; regressions
+//                    >10% on matching config names print a warning but do
+//                    NOT fail the process (soft-fail regression check)
 
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -39,12 +49,12 @@ struct BenchConfig {
 
 struct BenchResult {
   const char* name = "";
-  SimBackend backend = SimBackend::kCompiled;
-  std::size_t lanes = 64;
+  CampaignConfig config;
   unsigned threads = 1;
   std::size_t faults = 0;
   double seconds = 0.0;
   std::uint64_t eval_cycles = 0;
+  std::uint64_t eval_instrs = 0;
   ClassCounts counts;
 
   [[nodiscard]] double faults_per_sec() const {
@@ -56,7 +66,8 @@ struct BenchResult {
 };
 
 void write_json(std::ostream& out, const std::vector<BenchResult>& results,
-                std::size_t num_ffs, std::size_t num_cycles, bool identical) {
+                std::size_t num_ffs, std::size_t num_cycles, bool identical,
+                double cone_speedup_64) {
   const double base = results.front().faults_per_sec();
   out << "{\n";
   out << "  \"circuit\": \"b14\",\n";
@@ -66,15 +77,21 @@ void write_json(std::ostream& out, const std::vector<BenchResult>& results,
       << std::thread::hardware_concurrency() << ",\n";
   out << "  \"identical_classifications\": " << (identical ? "true" : "false")
       << ",\n";
+  out << "  \"cone_speedup_64\": " << cone_speedup_64 << ",\n";
   out << "  \"engines\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
     out << "    {\"name\": \"" << r.name << "\", \"backend\": \""
-        << sim_backend_name(r.backend) << "\", \"lanes\": " << r.lanes
-        << ", \"threads\": " << r.threads << ", \"faults\": " << r.faults
+        << sim_backend_name(r.config.backend)
+        << "\", \"lanes\": " << lane_count(r.config.lanes)
+        << ", \"cone_restricted\": "
+        << (r.config.cone_restricted ? "true" : "false")
+        << ", \"schedule\": \"" << campaign_schedule_name(r.config.schedule)
+        << "\", \"threads\": " << r.threads << ", \"faults\": " << r.faults
         << ", \"seconds\": " << r.seconds
         << ", \"faults_per_sec\": " << r.faults_per_sec()
         << ", \"eval_cycles\": " << r.eval_cycles
+        << ", \"eval_instrs\": " << r.eval_instrs
         << ", \"eval_cycles_per_sec\": " << r.eval_cycles_per_sec()
         << ", \"speedup_vs_interpreted\": "
         << (base > 0.0 ? r.faults_per_sec() / base : 0.0)
@@ -87,12 +104,36 @@ void write_json(std::ostream& out, const std::vector<BenchResult>& results,
   out << "}\n";
 }
 
+/// Pulls "name": <string> / "faults_per_sec": <number> pairs out of a
+/// previous BENCH_*.json without a JSON library — the bench emits one engine
+/// object per line, so a line-oriented scan is exact for our own output.
+std::vector<std::pair<std::string, double>> read_baseline(
+    const std::string& path) {
+  std::vector<std::pair<std::string, double>> entries;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto name_pos = line.find("\"name\": \"");
+    const auto fps_pos = line.find("\"faults_per_sec\": ");
+    if (name_pos == std::string::npos || fps_pos == std::string::npos) {
+      continue;
+    }
+    const auto name_begin = name_pos + 9;
+    const auto name_end = line.find('"', name_begin);
+    const std::string name = line.substr(name_begin, name_end - name_begin);
+    const double fps = std::strtod(line.c_str() + fps_pos + 18, nullptr);
+    entries.emplace_back(name, fps);
+  }
+  return entries;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t cycles = 160;
   int repeat = 3;
   std::string out_path;
+  std::string baseline_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc) {
       cycles = static_cast<std::size_t>(std::stoul(argv[++i]));
@@ -100,9 +141,13 @@ int main(int argc, char** argv) {
       repeat = std::stoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--bench-index") == 0 && i + 1 < argc) {
+      out_path = std::string("BENCH_") + argv[++i] + ".json";
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
     } else {
       std::cerr << "usage: engine_throughput [--cycles N] [--repeat N]"
-                   " [--out FILE]\n";
+                   " [--out FILE] [--bench-index N] [--baseline FILE]\n";
       return 2;
     }
   }
@@ -112,33 +157,58 @@ int main(int argc, char** argv) {
   const auto faults = complete_fault_list(circuit.num_dffs(), tb.num_cycles());
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const auto full = [](SimBackend b, LaneWidth w, unsigned threads) {
+    return CampaignConfig{b, w, threads, /*cone_restricted=*/false,
+                          CampaignSchedule::kAsGiven};
+  };
+  const auto cone = [](LaneWidth w, unsigned threads) {
+    return CampaignConfig{SimBackend::kCompiled, w, threads,
+                          /*cone_restricted=*/true,
+                          CampaignSchedule::kConeAffine};
+  };
   const std::vector<BenchConfig> configs = {
-      {"interpreted-64-1t", {SimBackend::kInterpreted, LaneWidth::k64, 1}},
-      {"compiled-64-1t", {SimBackend::kCompiled, LaneWidth::k64, 1}},
-      {"compiled-256-1t", {SimBackend::kCompiled, LaneWidth::k256, 1}},
-      {"compiled-64-mt", {SimBackend::kCompiled, LaneWidth::k64, hw}},
-      {"compiled-256-mt", {SimBackend::kCompiled, LaneWidth::k256, hw}},
+      {"interpreted-64-1t", full(SimBackend::kInterpreted, LaneWidth::k64, 1)},
+      {"compiled-64-full-1t", full(SimBackend::kCompiled, LaneWidth::k64, 1)},
+      {"compiled-64-cone-1t", cone(LaneWidth::k64, 1)},
+      {"compiled-256-full-1t",
+       full(SimBackend::kCompiled, LaneWidth::k256, 1)},
+      {"compiled-256-cone-1t", cone(LaneWidth::k256, 1)},
+      {"compiled-64-cone-mt", cone(LaneWidth::k64, hw)},
+      {"compiled-256-cone-mt", cone(LaneWidth::k256, hw)},
   };
 
+  // Engines are constructed once, then the timed repetitions run
+  // round-robin across configurations (rep 0 of every config, rep 1 of
+  // every config, ...) so machine-load drift lands on all configurations
+  // roughly equally instead of skewing the config that happened to run
+  // while the host was busy. Best-of-repeat is reported per config.
+  std::vector<std::unique_ptr<ParallelFaultSimulator>> sims;
   std::vector<BenchResult> results;
   for (const BenchConfig& config : configs) {
-    ParallelFaultSimulator sim(circuit, tb, config.campaign);
+    sims.push_back(
+        std::make_unique<ParallelFaultSimulator>(circuit, tb, config.campaign));
     BenchResult r;
     r.name = config.name;
-    r.backend = config.campaign.backend;
-    r.lanes = lane_count(config.campaign.lanes);
+    r.config = config.campaign;
     r.faults = faults.size();
     r.seconds = -1.0;
-    for (int rep = 0; rep < repeat; ++rep) {
+    results.push_back(r);
+  }
+  for (int rep = 0; rep < repeat; ++rep) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      ParallelFaultSimulator& sim = *sims[i];
+      BenchResult& r = results[i];
       const CampaignResult result = sim.run(faults);
       r.threads = sim.last_run_threads();  // actual workers, post-clamp
       if (r.seconds < 0.0 || sim.last_run_seconds() < r.seconds) {
         r.seconds = sim.last_run_seconds();
         r.eval_cycles = sim.last_run_eval_cycles();
+        r.eval_instrs = sim.last_run_eval_instrs();
       }
       r.counts = result.counts();
     }
-    results.push_back(r);
+  }
+  for (const BenchResult& r : results) {
     std::cerr << r.name << ": " << r.faults_per_sec() << " faults/s ("
               << r.seconds << " s)\n";
   }
@@ -150,17 +220,69 @@ int main(int argc, char** argv) {
                 r.counts.silent == results[0].counts.silent;
   }
 
+  // The tentpole number: cone-restricted vs full-eval at 64 lanes, 1 thread.
+  double full64 = 0.0;
+  double cone64 = 0.0;
+  for (const BenchResult& r : results) {
+    if (std::strcmp(r.name, "compiled-64-full-1t") == 0) {
+      full64 = r.faults_per_sec();
+    }
+    if (std::strcmp(r.name, "compiled-64-cone-1t") == 0) {
+      cone64 = r.faults_per_sec();
+    }
+  }
+  const double cone_speedup_64 = full64 > 0.0 ? cone64 / full64 : 0.0;
+  std::cerr << "cone-restricted speedup vs full-eval (64 lanes, 1 thread): "
+            << cone_speedup_64 << "x\n";
+
   if (out_path.empty()) {
     write_json(std::cout, results, circuit.num_dffs(), tb.num_cycles(),
-               identical);
+               identical, cone_speedup_64);
   } else {
     std::ofstream out(out_path);
     if (!out) {
       std::cerr << "cannot open " << out_path << "\n";
       return 2;
     }
-    write_json(out, results, circuit.num_dffs(), tb.num_cycles(), identical);
+    write_json(out, results, circuit.num_dffs(), tb.num_cycles(), identical,
+               cone_speedup_64);
     std::cerr << "wrote " << out_path << "\n";
+  }
+
+  // Soft-fail regression check: compare against a previous BENCH_*.json by
+  // config name. Warn-only — machine noise must not break CI; the warning
+  // plus the accumulated artifacts give the trajectory reviewers the signal.
+  if (!baseline_path.empty()) {
+    const auto baseline = read_baseline(baseline_path);
+    if (baseline.empty()) {
+      std::cerr << "baseline " << baseline_path
+                << " has no engine entries — skipping regression check\n";
+    }
+    for (const auto& [name, prev_fps] : baseline) {
+      bool matched = false;
+      for (const BenchResult& r : results) {
+        if (name != r.name) continue;
+        matched = true;
+        if (prev_fps <= 0.0) {
+          std::cerr << "NOTE: baseline config \"" << name
+                    << "\" has a non-positive faults_per_sec — comparison "
+                       "skipped\n";
+          break;
+        }
+        const double ratio = r.faults_per_sec() / prev_fps;
+        if (ratio < 0.9) {
+          std::cerr << "WARNING: " << name << " regressed to " << ratio
+                    << "x of baseline (" << r.faults_per_sec() << " vs "
+                    << prev_fps << " faults/s)\n";
+        }
+      }
+      // Renamed/retired configs must be loud, not silently uncompared —
+      // otherwise a rename would blind the whole regression check.
+      if (!matched) {
+        std::cerr << "NOTE: baseline config \"" << name
+                  << "\" has no current counterpart — comparison skipped\n";
+      }
+    }
   }
 
   if (!identical) {

@@ -41,13 +41,20 @@ int main(int argc, char** argv) try {
   };
   const Row rows[] = {
       {"interpreted, 64 lanes, 1 thread",
-       {SimBackend::kInterpreted, LaneWidth::k64, 1}},
-      {"compiled, 64 lanes, 1 thread",
-       {SimBackend::kCompiled, LaneWidth::k64, 1}},
-      {"compiled, 256 lanes, 1 thread",
-       {SimBackend::kCompiled, LaneWidth::k256, 1}},
-      {"compiled, 256 lanes, all threads",
-       {SimBackend::kCompiled, LaneWidth::k256, hw}},
+       {SimBackend::kInterpreted, LaneWidth::k64, 1, false,
+        CampaignSchedule::kAsGiven}},
+      {"compiled full-eval, 64 lanes, 1 thread",
+       {SimBackend::kCompiled, LaneWidth::k64, 1, false,
+        CampaignSchedule::kAsGiven}},
+      {"compiled cone-restricted, 64 lanes, 1 thread",
+       {SimBackend::kCompiled, LaneWidth::k64, 1, true,
+        CampaignSchedule::kConeAffine}},
+      {"compiled cone-restricted, 256 lanes, 1 thread",
+       {SimBackend::kCompiled, LaneWidth::k256, 1, true,
+        CampaignSchedule::kConeAffine}},
+      {"compiled cone-restricted, 256 lanes, all threads",
+       {SimBackend::kCompiled, LaneWidth::k256, hw, true,
+        CampaignSchedule::kConeAffine}},
   };
 
   TextTable table({"engine", "time (ms)", "faults/s", "speedup", "failure",

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <numeric>
 #include <thread>
 
@@ -25,16 +26,92 @@ ParallelFaultSimulator::ParallelFaultSimulator(const Circuit& circuit,
       config_.backend == SimBackend::kCompiled ||
           config_.lanes == LaneWidth::k64,
       "interpreted backend supports 64 lanes only");
+  const bool cones_for_eval =
+      config_.cone_restricted && config_.backend == SimBackend::kCompiled;
   if (config_.backend == SimBackend::kCompiled) {
     kernel_ = compile_kernel(circuit);
   }
-  // Golden trace pre-broadcast once per campaign engine; shared read-only by
-  // every worker thread.
-  if (config_.lanes == LaneWidth::k64) {
-    image64_ = GoldenWordImage<std::uint64_t>(golden_);
-  } else {
-    image256_ = GoldenWordImage<Word256>(golden_);
+  // The cone-affine schedule only needs the cones, not the kernel, so it
+  // works (as a grouping heuristic) even on the interpreted backend.
+  if (cones_for_eval || config_.schedule == CampaignSchedule::kConeAffine) {
+    cones_ = std::make_unique<FanoutCones>(circuit);
+    const std::vector<std::uint32_t> order =
+        cone_affine_ff_order(*cones_, lane_count(config_.lanes));
+    ff_affinity_rank_.resize(order.size());
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      ff_affinity_rank_[order[rank]] = static_cast<std::uint32_t>(rank);
+    }
   }
+  if (cones_for_eval) {
+    slot_trace_ = capture_golden_slots(*kernel_, testbench.vectors());
+  }
+  // Golden trace + stimuli pre-broadcast once per campaign engine; shared
+  // read-only by every worker thread.
+  if (config_.lanes == LaneWidth::k64) {
+    image64_ = GoldenWordImage<std::uint64_t>(golden_, testbench.vectors());
+  } else {
+    image256_ = GoldenWordImage<Word256>(golden_, testbench.vectors());
+  }
+}
+
+std::vector<std::uint32_t> ParallelFaultSimulator::schedule_permutation(
+    std::span<const Fault> faults) const {
+  std::vector<std::uint32_t> perm(faults.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  if (config_.schedule == CampaignSchedule::kAsGiven) {
+    return perm;
+  }
+  const bool affine = config_.schedule == CampaignSchedule::kConeAffine &&
+                      !ff_affinity_rank_.empty();
+  // Sort on a packed 64-bit key (stability comes from the low index bits).
+  // Cone-affine is block-major: the affinity order is a concatenation of
+  // lane-width FF blocks with small cone unions; keying by (block, cycle,
+  // rank) lays out each block's faults cycle-major and back to back, so a
+  // lane group is exactly one block at one cycle — same small cone union,
+  // single injection cycle — instead of drifting across block boundaries.
+  const std::uint64_t block = lane_count(config_.lanes);
+  // The affinity order leads with the partial block (num_ffs mod width), so
+  // rank-to-block mapping pads the front to keep later blocks width-aligned.
+  const std::uint64_t pad =
+      affine ? (block - ff_affinity_rank_.size() % block) % block : 0;
+  const std::size_t num_cycles = testbench_.num_cycles();
+  const std::size_t num_ffs = circuit_.num_dffs();
+  std::vector<std::uint64_t> keys(faults.size());
+  std::uint64_t max_key = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const Fault& f = faults[i];
+    std::uint64_t key;
+    if (affine) {
+      // Dense bucket id (block, cycle, rank-within-block): small enough for
+      // a counting sort over the whole campaign.
+      const std::uint64_t rank = ff_affinity_rank_[f.ff_index] + pad;
+      key = (rank / block * num_cycles + f.cycle) * block + rank % block;
+    } else {
+      key = std::uint64_t{f.cycle} * num_ffs + f.ff_index;
+    }
+    keys[i] = key;
+    max_key = std::max(max_key, key);
+  }
+  // Counting sort: O(n + buckets), stable by construction. The bucket space
+  // is at most cycles x FFs (padded) — about the size of the complete fault
+  // list — but a sparse sample of a huge campaign could make it balloon, so
+  // fall back to a comparison sort when buckets would dwarf the fault count.
+  if (max_key <= 64 * keys.size() + 4096) {
+    std::vector<std::uint32_t> counts(max_key + 2, 0);
+    for (const std::uint64_t k : keys) ++counts[k + 1];
+    for (std::size_t k = 1; k < counts.size(); ++k) {
+      counts[k] += counts[k - 1];
+    }
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      perm[counts[keys[i]]++] = static_cast<std::uint32_t>(i);
+    }
+  } else {
+    std::sort(perm.begin(), perm.end(),
+              [&](std::uint32_t x, std::uint32_t y) {
+                return std::pair{keys[x], x} < std::pair{keys[y], y};
+              });
+  }
+  return perm;
 }
 
 CampaignResult ParallelFaultSimulator::run(std::span<const Fault> faults) {
@@ -48,6 +125,29 @@ CampaignResult ParallelFaultSimulator::run(std::span<const Fault> faults) {
   }
 
   std::vector<FaultOutcome> outcomes(faults.size());
+
+  // Apply the schedule: run over a permuted view, scatter outcomes back
+  // through the inverse permutation so results align with caller order.
+  const std::vector<std::uint32_t> perm = schedule_permutation(faults);
+  bool permuted = false;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] != i) {
+      permuted = true;
+      break;
+    }
+  }
+  std::vector<Fault> scheduled;
+  std::vector<FaultOutcome> scheduled_outcomes;
+  std::span<const Fault> run_faults = faults;
+  std::span<FaultOutcome> run_outcomes(outcomes);
+  if (permuted) {
+    scheduled.reserve(faults.size());
+    for (const std::uint32_t idx : perm) scheduled.push_back(faults[idx]);
+    scheduled_outcomes.resize(faults.size());
+    run_faults = scheduled;
+    run_outcomes = scheduled_outcomes;
+  }
+
   const std::size_t width = lane_count(config_.lanes);
   const std::size_t num_groups = (faults.size() + width - 1) / width;
   unsigned workers = config_.num_threads != 0
@@ -57,25 +157,59 @@ CampaignResult ParallelFaultSimulator::run(std::span<const Fault> faults) {
       std::min<std::size_t>(workers, std::max<std::size_t>(num_groups, 1)));
   last_run_threads_ = workers;
 
+  const bool cone = config_.cone_restricted && kernel_ != nullptr;
   if (config_.lanes == LaneWidth::k64 && kernel_) {
     const auto make_engine = [this] {
       return LaneEngine<std::uint64_t>(kernel_);
     };
-    last_run_eval_cycles_ = run_sharded<std::uint64_t>(
-        image64_, make_engine, faults, std::span<FaultOutcome>(outcomes),
-        workers);
+    const auto run_group = [&](LaneEngine<std::uint64_t>& engine,
+                               std::span<const Fault> group_faults,
+                               std::span<FaultOutcome> group_outcomes,
+                               WorkerScratch& scratch) {
+      if (cone) {
+        run_group_cone(engine, image64_, group_faults, group_outcomes,
+                       scratch);
+      } else {
+        run_group_full(engine, image64_, group_faults, group_outcomes,
+                       scratch);
+      }
+    };
+    run_sharded<std::uint64_t>(make_engine, run_group, run_faults,
+                               run_outcomes, workers);
   } else if (config_.lanes == LaneWidth::k64) {
     const auto make_engine = [this] {
       return ParallelSimulator(circuit_, SimBackend::kInterpreted);
     };
-    last_run_eval_cycles_ = run_sharded<std::uint64_t>(
-        image64_, make_engine, faults, std::span<FaultOutcome>(outcomes),
-        workers);
+    const auto run_group = [&](ParallelSimulator& engine,
+                               std::span<const Fault> group_faults,
+                               std::span<FaultOutcome> group_outcomes,
+                               WorkerScratch& scratch) {
+      run_group_full(engine, image64_, group_faults, group_outcomes, scratch);
+    };
+    run_sharded<std::uint64_t>(make_engine, run_group, run_faults,
+                               run_outcomes, workers);
   } else {
     const auto make_engine = [this] { return LaneEngine<Word256>(kernel_); };
-    last_run_eval_cycles_ = run_sharded<Word256>(
-        image256_, make_engine, faults, std::span<FaultOutcome>(outcomes),
-        workers);
+    const auto run_group = [&](LaneEngine<Word256>& engine,
+                               std::span<const Fault> group_faults,
+                               std::span<FaultOutcome> group_outcomes,
+                               WorkerScratch& scratch) {
+      if (cone) {
+        run_group_cone(engine, image256_, group_faults, group_outcomes,
+                       scratch);
+      } else {
+        run_group_full(engine, image256_, group_faults, group_outcomes,
+                       scratch);
+      }
+    };
+    run_sharded<Word256>(make_engine, run_group, run_faults, run_outcomes,
+                         workers);
+  }
+
+  if (permuted) {
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      outcomes[perm[i]] = scheduled_outcomes[i];
+    }
   }
 
   last_run_seconds_ = timer.elapsed_seconds();
@@ -83,11 +217,12 @@ CampaignResult ParallelFaultSimulator::run(std::span<const Fault> faults) {
                         std::move(outcomes));
 }
 
-template <typename Word, typename MakeEngine>
-std::uint64_t ParallelFaultSimulator::run_sharded(
-    const GoldenWordImage<Word>& image, const MakeEngine& make_engine,
-    std::span<const Fault> faults, std::span<FaultOutcome> outcomes,
-    unsigned num_workers) {
+template <typename Word, typename MakeEngine, typename RunGroup>
+void ParallelFaultSimulator::run_sharded(const MakeEngine& make_engine,
+                                         const RunGroup& run_group,
+                                         std::span<const Fault> faults,
+                                         std::span<FaultOutcome> outcomes,
+                                         unsigned num_workers) {
   const std::size_t width = LaneTraits<Word>::kLanes;
   const std::size_t num_groups = (faults.size() + width - 1) / width;
 
@@ -100,30 +235,40 @@ std::uint64_t ParallelFaultSimulator::run_sharded(
 
   if (num_workers <= 1 || num_groups <= 1) {
     auto engine = make_engine();
-    std::uint64_t eval_cycles = 0;
+    WorkerScratch scratch;
     for (std::size_t g = 0; g < num_groups; ++g) {
       const auto [group_faults, group_outcomes] = group_span(g);
-      run_group(engine, image, group_faults, group_outcomes, eval_cycles);
+      run_group(engine, group_faults, group_outcomes, scratch);
     }
-    return eval_cycles;
+    last_run_eval_cycles_ = scratch.eval_cycles;
+    last_run_eval_instrs_ = scratch.eval_instrs;
+    last_run_narrowings_ = scratch.narrowings;
+    return;
   }
 
-  // Work-stealing pool: each worker owns one engine (sharing the read-only
-  // kernel + golden images) and pulls group indices from an atomic counter.
-  // Each group writes a disjoint outcome slice, so the result is identical
-  // for any worker count or scheduling order.
+  // Work-stealing pool: each worker owns one engine and one scratch (sharing
+  // the read-only kernel, cones, slot trace and golden images) and pulls
+  // group indices from an atomic counter. Each group writes a disjoint
+  // outcome slice, so the result is identical for any worker count or
+  // scheduling order.
   std::atomic<std::size_t> next_group{0};
   std::atomic<std::uint64_t> total_eval_cycles{0};
+  std::atomic<std::uint64_t> total_eval_instrs{0};
+  std::atomic<std::uint64_t> total_narrowings{0};
   const auto worker = [&] {
     auto engine = make_engine();
-    std::uint64_t eval_cycles = 0;
+    WorkerScratch scratch;
     for (std::size_t g = next_group.fetch_add(1, std::memory_order_relaxed);
          g < num_groups;
          g = next_group.fetch_add(1, std::memory_order_relaxed)) {
       const auto [group_faults, group_outcomes] = group_span(g);
-      run_group(engine, image, group_faults, group_outcomes, eval_cycles);
+      run_group(engine, group_faults, group_outcomes, scratch);
     }
-    total_eval_cycles.fetch_add(eval_cycles, std::memory_order_relaxed);
+    total_eval_cycles.fetch_add(scratch.eval_cycles,
+                                std::memory_order_relaxed);
+    total_eval_instrs.fetch_add(scratch.eval_instrs,
+                                std::memory_order_relaxed);
+    total_narrowings.fetch_add(scratch.narrowings, std::memory_order_relaxed);
   };
 
   std::vector<std::thread> pool;
@@ -135,27 +280,39 @@ std::uint64_t ParallelFaultSimulator::run_sharded(
   for (auto& t : pool) {
     t.join();
   }
-  return total_eval_cycles.load();
+  last_run_eval_cycles_ = total_eval_cycles.load();
+  last_run_eval_instrs_ = total_eval_instrs.load();
+  last_run_narrowings_ = total_narrowings.load();
+}
+
+void ParallelFaultSimulator::sort_group_order(std::span<const Fault> faults,
+                                              WorkerScratch& scratch) const {
+  // Injection schedule sorted by cycle: injections then advance a cursor
+  // instead of rescanning all lanes per cycle, and the cursor's head is the
+  // next injection cycle the fast-forward path jumps to. The index vector is
+  // per-worker scratch — reused across groups, no per-group allocation.
+  scratch.order.resize(faults.size());
+  std::iota(scratch.order.begin(), scratch.order.end(), 0u);
+  std::sort(scratch.order.begin(), scratch.order.end(),
+            [&](std::uint32_t x, std::uint32_t y) {
+              return faults[x].cycle < faults[y].cycle;
+            });
 }
 
 template <typename Engine, typename Word>
-void ParallelFaultSimulator::run_group(Engine& engine,
-                                       const GoldenWordImage<Word>& image,
-                                       std::span<const Fault> faults,
-                                       std::span<FaultOutcome> outcomes,
-                                       std::uint64_t& eval_cycles) const {
+void ParallelFaultSimulator::run_group_full(Engine& engine,
+                                            const GoldenWordImage<Word>& image,
+                                            std::span<const Fault> faults,
+                                            std::span<FaultOutcome> outcomes,
+                                            WorkerScratch& scratch) const {
   using T = LaneTraits<Word>;
   const std::size_t num_cycles = testbench_.num_cycles();
+  const std::size_t program_size =
+      kernel_ ? kernel_->program().size() : circuit_.num_gates();
   const Word group_mask = T::first_n(faults.size());
 
-  // Injection schedule sorted by cycle: injections then advance a cursor
-  // instead of rescanning all lanes per cycle, and the cursor's head is the
-  // next injection cycle the fast-forward path jumps to.
-  std::vector<std::uint32_t> order(faults.size());
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(), [&](std::uint32_t x, std::uint32_t y) {
-    return faults[x].cycle < faults[y].cycle;
-  });
+  sort_group_order(faults, scratch);
+  const std::vector<std::uint32_t>& order = scratch.order;
   std::size_t cursor = 0;
 
   // Default: latent (overwritten on detection/convergence below).
@@ -178,8 +335,9 @@ void ParallelFaultSimulator::run_group(Engine& engine,
       ++cursor;
     }
 
-    engine.eval(testbench_.vector(t));
-    ++eval_cycles;
+    engine.eval_words(image.inputs(t));
+    ++scratch.eval_cycles;
+    scratch.eval_instrs += program_size;
 
     const Word mismatch =
         engine.output_mismatch_lanes(image.outputs(t)) & injected &
@@ -225,6 +383,190 @@ void ParallelFaultSimulator::run_group(Engine& engine,
   }
   // Lanes never classified stay latent (their final state differs and no
   // output ever deviated).
+}
+
+template <typename Word>
+void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
+                                            const GoldenWordImage<Word>& image,
+                                            std::span<const Fault> faults,
+                                            std::span<FaultOutcome> outcomes,
+                                            WorkerScratch& scratch) const {
+  using T = LaneTraits<Word>;
+  const std::size_t num_cycles = testbench_.num_cycles();
+  const Word group_mask = T::first_n(faults.size());
+
+  sort_group_order(faults, scratch);
+  const std::vector<std::uint32_t>& order = scratch.order;
+  std::size_t cursor = 0;
+
+  for (auto& outcome : outcomes) {
+    outcome = FaultOutcome{FaultClass::kLatent, kNoCycle, kNoCycle};
+  }
+
+  // Initial cone: union of every group fault's fanout cone. Under the
+  // block-major cone-affine schedule consecutive groups carry the same FF
+  // block, so the derived initial sub-program is cached in the worker
+  // scratch keyed on the group's FF set and rebuilt only when the block
+  // changes.
+  const std::size_t ff_words = (circuit_.num_dffs() + 63) / 64;
+  std::vector<std::uint64_t>& group_ffs = scratch.group_ffs;
+  group_ffs.assign(ff_words, 0);
+  for (const Fault& fault : faults) {
+    group_ffs[fault.ff_index >> 6] |= std::uint64_t{1}
+                                      << (fault.ff_index & 63);
+  }
+  if (!scratch.initial_valid || group_ffs != scratch.cached_ffs) {
+    scratch.cached_ffs = group_ffs;
+    scratch.initial_mask.assign(cones_->words_per_cone(), 0);
+    for (const Fault& fault : faults) {
+      cones_->union_into(scratch.initial_mask, fault.ff_index);
+    }
+    kernel_->build_subprogram(scratch.initial_mask, scratch.initial_sp);
+    scratch.initial_valid = true;
+  }
+  std::vector<std::uint64_t>& mask = scratch.cone_mask;
+  mask = scratch.initial_mask;
+  const CompiledKernel::ConeSubProgram* sp = &scratch.initial_sp;
+  unsigned narrow_buf = 0;  // next narrow_sp buffer to write (ping-pong)
+
+  // The sub-program is re-derived (narrowed) at checkpoints — whenever any
+  // lane classified since the last checkpoint, and every kNarrowInterval
+  // cycles — from what is *currently* diverged: the cones of the flip-flops whose lane
+  // state differs from golden in any active lane, plus the cones of lanes
+  // still waiting to inject. Divergence can only move inside the structural
+  // closure, so the re-derived mask is always a subset of the current one
+  // and the sub-program only ever shrinks; latent faults whose divergence
+  // parks in a few dead-end flip-flops stop paying for the full injection
+  // cone. The diverged-FF set is remembered between checkpoints: once the
+  // tail stabilises (same FFs diverged, typical for latent survivors) the
+  // checkpoint is a bitset compare, with no union or derivation work.
+  std::size_t narrow_below = faults.size() - 1;
+  constexpr std::size_t kNarrowInterval = 4;
+  std::vector<std::uint64_t>& next_mask = scratch.narrow_mask;
+  std::vector<std::uint64_t>& diverged = scratch.diverged_ffs;
+  // Seed with the group FF set — the bound the initial sub-program was
+  // derived from.
+  diverged = group_ffs;
+
+  const std::uint32_t first_cycle = faults[order.front()].cycle;
+  engine.broadcast_state(golden_.states[first_cycle]);
+  Word injected = T::zero();
+  Word classified = T::zero();
+  std::size_t next_narrow_check = first_cycle + kNarrowInterval;
+
+  for (std::size_t t = first_cycle; t < num_cycles; ++t) {
+    while (cursor < order.size() && faults[order[cursor]].cycle == t) {
+      const std::uint32_t lane = order[cursor];
+      engine.flip_state_bit(faults[lane].ff_index, lane);
+      injected |= T::lane_bit(lane);
+      ++cursor;
+    }
+
+    engine.eval_cone(*sp, slot_trace_.at(t));
+    ++scratch.eval_cycles;
+    scratch.eval_instrs += sp->instrs.size();
+
+    const Word mismatch =
+        engine.output_mismatch_lanes_cone(*sp, image.outputs(t)) & injected &
+        ~classified;
+    if (T::any(mismatch)) {
+      for (std::size_t lane = 0; lane < faults.size(); ++lane) {
+        if (T::test(mismatch, static_cast<unsigned>(lane))) {
+          outcomes[lane].cls = FaultClass::kFailure;
+          outcomes[lane].detect_cycle = static_cast<std::uint32_t>(t);
+        }
+      }
+      classified |= mismatch;
+    }
+
+    const Word differs = engine.step_cone_mismatch(*sp, image.states(t + 1));
+    const Word converged = injected & ~classified & ~differs;
+    if (T::any(converged)) {
+      for (std::size_t lane = 0; lane < faults.size(); ++lane) {
+        if (T::test(converged, static_cast<unsigned>(lane))) {
+          outcomes[lane].cls = FaultClass::kSilent;
+          outcomes[lane].converge_cycle = static_cast<std::uint32_t>(t + 1);
+        }
+      }
+      classified |= converged;
+    }
+
+    if (classified == group_mask) {
+      return;
+    }
+
+    // Narrowing checkpoint: whenever any lane classified since the last
+    // checkpoint (cheap now that re-derivation filters the current
+    // sub-program, and crucial during the post-injection burst when big
+    // cones shed most of their lanes), and every kNarrowInterval cycles to
+    // catch divergence that shrinks without classifying.
+    const std::size_t active = faults.size() - T::count(classified);
+    if (active <= narrow_below || t + 1 >= next_narrow_check) {
+      narrow_below = active - 1;
+      next_narrow_check = t + 1 + kNarrowInterval;
+      // Currently diverged FFs: lanes still waiting to inject contribute
+      // their injection FF, active lanes contribute every cone FF whose
+      // state word differs from golden (only cone FFs can diverge).
+      std::vector<std::uint64_t>& now = scratch.diverged_now;
+      now.assign(ff_words, 0);
+      for (std::size_t lane = 0; lane < faults.size(); ++lane) {
+        if (!T::test(injected, static_cast<unsigned>(lane))) {
+          const std::uint32_t ff = faults[lane].ff_index;
+          now[ff >> 6] |= std::uint64_t{1} << (ff & 63);
+        }
+      }
+      const Word active_lanes = injected & ~classified;
+      const auto golden_state = image.states(t + 1);
+      for (const std::uint32_t i : sp->dff_indices) {
+        if (T::any((engine.state_word(i) ^ golden_state[i]) & active_lanes)) {
+          now[i >> 6] |= std::uint64_t{1} << (i & 63);
+        }
+      }
+      if (now != diverged) {
+        // Union re-derivation only pays off when the set strictly shrank.
+        // When divergence *spreads*, cone closure guarantees the current
+        // mask still covers it (a newly diverged FF is a cone member, and a
+        // cone member's own cone is inside the cone), so tracking the new
+        // set without any union work is exact.
+        bool maybe_shrunk = true;
+        for (std::size_t w = 0; w < ff_words; ++w) {
+          if ((now[w] & ~diverged[w]) != 0) {
+            maybe_shrunk = false;
+            break;
+          }
+        }
+        diverged = now;
+        if (maybe_shrunk) {
+          next_mask.assign(mask.size(), 0);
+          for (std::size_t w = 0; w < ff_words; ++w) {
+            std::uint64_t bits = diverged[w];
+            while (bits != 0) {
+              const std::size_t ff =
+                  w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+              bits &= bits - 1;
+              cones_->union_into(next_mask, ff);
+            }
+          }
+          if (next_mask != mask) {
+            mask.swap(next_mask);
+            kernel_->build_subprogram(mask, scratch.narrow_sp[narrow_buf],
+                                      sp);
+            sp = &scratch.narrow_sp[narrow_buf];
+            narrow_buf ^= 1u;
+            ++scratch.narrowings;
+          }
+        }
+      }
+    }
+
+    if (!T::any(injected & ~classified) && cursor < order.size()) {
+      const std::uint32_t next_cycle = faults[order[cursor]].cycle;
+      if (next_cycle > t + 1) {
+        engine.broadcast_state(golden_.states[next_cycle]);
+        t = next_cycle - 1;
+      }
+    }
+  }
 }
 
 }  // namespace femu

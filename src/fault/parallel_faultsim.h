@@ -3,11 +3,14 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "fault/campaign_result.h"
 #include "netlist/circuit.h"
+#include "netlist/fanout_cones.h"
 #include "sim/compiled_kernel.h"
 #include "sim/golden.h"
+#include "sim/golden_slots.h"
 #include "sim/golden_words.h"
 #include "stim/testbench.h"
 
@@ -23,20 +26,55 @@ enum class LaneWidth : std::uint32_t {
   return static_cast<std::size_t>(w);
 }
 
+/// How run() orders faults into lane groups. Outcomes always align with the
+/// caller's fault order regardless of schedule — the scheduler permutes
+/// internally and scatters results back through the inverse permutation —
+/// so the schedule is purely a performance knob.
+enum class CampaignSchedule : std::uint8_t {
+  /// Groups are consecutive spans of the caller's list (the PR 1 behaviour).
+  kAsGiven,
+  /// Sort by (cycle, ff): groups span minimal injection-cycle ranges, so
+  /// groups start late and fast-forward far.
+  kCycleMajor,
+  /// Cycle-major, but within a cycle FFs follow the cone-affinity order
+  /// (see cone_affine_ff_order): each group's fanout-cone union — the work
+  /// the cone-restricted engine evaluates per cycle — stays small. Degrades
+  /// to kCycleMajor when cones are unavailable (interpreted backend).
+  kConeAffine,
+};
+
+[[nodiscard]] constexpr const char* campaign_schedule_name(
+    CampaignSchedule s) noexcept {
+  switch (s) {
+    case CampaignSchedule::kAsGiven: return "as-given";
+    case CampaignSchedule::kCycleMajor: return "cycle-major";
+    case CampaignSchedule::kConeAffine: return "cone-affine";
+  }
+  return "?";
+}
+
 /// Campaign engine configuration.
 ///
-/// The default — compiled kernel, 64 lanes, one worker per hardware thread —
-/// is the fastest portable setting. The interpreted backend (64-lane only)
-/// is the original engine, kept selectable so benches and cross-validation
-/// tests can measure and check the compiled path against it.
+/// The default — compiled kernel, 64 lanes, cone-restricted differential
+/// evaluation, cone-affine scheduling, one worker per hardware thread — is
+/// the fastest portable setting. `cone_restricted = false` selects the PR 1
+/// full-program evaluation path (the measured baseline); the interpreted
+/// backend (64-lane, full-eval only) is the original engine, kept selectable
+/// so benches and cross-validation tests can measure and check the compiled
+/// paths against it.
 struct CampaignConfig {
   SimBackend backend = SimBackend::kCompiled;
   LaneWidth lanes = LaneWidth::k64;
   /// Worker threads for group sharding; 0 = std::thread::hardware_concurrency().
   unsigned num_threads = 0;
+  /// Evaluate only the per-group union of injected-FF fanout cones against
+  /// the golden baseline (compiled backend only; ignored when interpreted).
+  bool cone_restricted = true;
+  CampaignSchedule schedule = CampaignSchedule::kConeAffine;
 };
 
-/// Bit-parallel fault simulation with multi-threaded campaign sharding.
+/// Bit-parallel fault simulation with cone-restricted differential
+/// evaluation and multi-threaded campaign sharding.
 ///
 /// Faults are processed in groups of lane-width size; lane k of every signal
 /// word carries faulty machine k. A lane whose injection cycle has not
@@ -45,30 +83,49 @@ struct CampaignConfig {
 /// casing: the group starts from the golden state at its earliest injection
 /// cycle and each lane is XOR-flipped when its cycle comes.
 ///
+/// Differential evaluation: a faulty lane can differ from golden only inside
+/// the structural fanout cone of its injected flip-flop (closed over
+/// sequential feedback — see FanoutCones). The cone-restricted path
+/// therefore evaluates just the sub-program covered by the group's cone
+/// union, loading cone-boundary fanin slots with broadcast golden values
+/// from a GoldenSlotTrace, and re-derives a smaller sub-program as lanes
+/// classify (narrowing: whenever any lane classifies, and periodically). The
+/// cone-affine schedule keeps those unions small by grouping faults
+/// cycle-major and cone-clustered.
+///
 /// Early retirement: a lane is done at its first output mismatch (failure) or
 /// state re-convergence (silent); when every injected lane of a group is
 /// done, the group fast-forwards to the next injection cycle by reloading the
 /// golden state image (the next injection cycle comes from the group's
 /// pre-sorted schedule — O(1) per fast-forward).
 ///
-/// Groups are independent — they share only the read-only kernel, golden
-/// trace and pre-broadcast golden word images — so the campaign shards them
-/// across a pool of workers pulling group indices from an atomic counter.
-/// Every group writes its own outcome slice, so results are bit-identical
-/// for any thread count and any backend/lane width.
+/// Groups are independent — they share only the read-only kernel, cones,
+/// golden traces and pre-broadcast golden word images — so the campaign
+/// shards them across a pool of workers pulling group indices from an atomic
+/// counter. Every group writes its own outcome slice and the scheduler's
+/// permutation is inverted before returning, so results align with the
+/// caller's fault order and are bit-identical for any thread count, backend,
+/// lane width and schedule.
 class ParallelFaultSimulator {
  public:
   ParallelFaultSimulator(const Circuit& circuit, const Testbench& testbench,
                          CampaignConfig config = {});
 
-  /// Grades every fault; outcomes align with input order. Faults may be in
-  /// any order, but schedule (cycle-major) order is fastest.
+  /// Grades every fault; outcomes align with input order regardless of the
+  /// configured schedule. Faults may be in any order.
   [[nodiscard]] CampaignResult run(std::span<const Fault> faults);
 
   [[nodiscard]] const GoldenTrace& golden() const noexcept { return golden_; }
 
   [[nodiscard]] const CampaignConfig& config() const noexcept {
     return config_;
+  }
+
+  /// Per-FF fanout cones. Built when the cone-restricted engine is active
+  /// (compiled backend) or the cone-affine schedule needs them as a grouping
+  /// heuristic (any backend); null otherwise.
+  [[nodiscard]] const FanoutCones* cones() const noexcept {
+    return cones_.get();
   }
 
   /// Worker threads the last run() actually used.
@@ -82,34 +139,93 @@ class ParallelFaultSimulator {
 
   /// Circuit-evaluation cycles spent in the last run, summed over all lane
   /// groups (engine efficiency metric used by the microbenches). One eval of
-  /// a 256-lane group counts as one cycle, like one eval of a 64-lane group.
+  /// a 256-lane group counts as one cycle, like one eval of a 64-lane group;
+  /// a cone-restricted eval also counts as one cycle even though it executes
+  /// fewer instructions (see last_run_eval_instrs for the finer metric).
   [[nodiscard]] std::uint64_t last_run_eval_cycles() const noexcept {
     return last_run_eval_cycles_;
   }
 
- private:
-  template <typename Engine, typename Word>
-  void run_group(Engine& engine, const GoldenWordImage<Word>& image,
-                 std::span<const Fault> faults,
-                 std::span<FaultOutcome> outcomes,
-                 std::uint64_t& eval_cycles) const;
+  /// Kernel instructions executed in the last run, summed over all lane
+  /// groups — the metric that shows the cone restriction's work reduction.
+  [[nodiscard]] std::uint64_t last_run_eval_instrs() const noexcept {
+    return last_run_eval_instrs_;
+  }
 
-  template <typename Word, typename MakeEngine>
-  std::uint64_t run_sharded(const GoldenWordImage<Word>& image,
-                            const MakeEngine& make_engine,
-                            std::span<const Fault> faults,
-                            std::span<FaultOutcome> outcomes,
-                            unsigned num_workers);
+  /// Sub-program re-derivations (narrowing rebuilds) in the last run.
+  [[nodiscard]] std::uint64_t last_run_narrowings() const noexcept {
+    return last_run_narrowings_;
+  }
+
+ private:
+  /// Per-worker scratch reused across every group the worker runs: the
+  /// injection-schedule index sort, the cone-union masks and the derived
+  /// sub-programs all keep their heap storage between groups. The initial
+  /// sub-program is additionally cached keyed on the group's FF set — under
+  /// the block-major cone-affine schedule consecutive groups carry the same
+  /// FF block at successive cycles, so the derivation runs once per block,
+  /// not once per group.
+  struct WorkerScratch {
+    std::vector<std::uint32_t> order;
+    std::vector<std::uint64_t> group_ffs;       // FF bitset of current group
+    std::vector<std::uint64_t> cached_ffs;      // FF set initial_sp was built for
+    std::vector<std::uint64_t> initial_mask;    // cone union of cached_ffs
+    std::vector<std::uint64_t> cone_mask;       // working mask (narrowed)
+    std::vector<std::uint64_t> narrow_mask;     // checkpoint candidate mask
+    std::vector<std::uint64_t> diverged_ffs;    // FF bitset at last checkpoint
+    std::vector<std::uint64_t> diverged_now;    // FF bitset being scanned
+    CompiledKernel::ConeSubProgram initial_sp;
+    // Two narrow buffers, ping-ponged: a re-derivation filters the current
+    // sub-program (see build_subprogram's narrow_from), which must not
+    // alias the buffer being written.
+    CompiledKernel::ConeSubProgram narrow_sp[2];
+    bool initial_valid = false;
+    std::uint64_t eval_cycles = 0;
+    std::uint64_t eval_instrs = 0;
+    std::uint64_t narrowings = 0;
+  };
+
+  template <typename Engine, typename Word>
+  void run_group_full(Engine& engine, const GoldenWordImage<Word>& image,
+                      std::span<const Fault> faults,
+                      std::span<FaultOutcome> outcomes,
+                      WorkerScratch& scratch) const;
+
+  template <typename Word>
+  void run_group_cone(LaneEngine<Word>& engine,
+                      const GoldenWordImage<Word>& image,
+                      std::span<const Fault> faults,
+                      std::span<FaultOutcome> outcomes,
+                      WorkerScratch& scratch) const;
+
+  template <typename Word, typename MakeEngine, typename RunGroup>
+  void run_sharded(const MakeEngine& make_engine, const RunGroup& run_group,
+                   std::span<const Fault> faults,
+                   std::span<FaultOutcome> outcomes, unsigned num_workers);
+
+  /// Sorts the injection schedule indices for one group into scratch.order.
+  void sort_group_order(std::span<const Fault> faults,
+                        WorkerScratch& scratch) const;
+
+  /// Schedule permutation: perm[i] is the caller index of the i-th fault in
+  /// engine order (identity for kAsGiven).
+  [[nodiscard]] std::vector<std::uint32_t> schedule_permutation(
+      std::span<const Fault> faults) const;
 
   const Circuit& circuit_;
   const Testbench& testbench_;
   CampaignConfig config_;
   GoldenTrace golden_;
   std::shared_ptr<const CompiledKernel> kernel_;  // null when interpreted
+  std::unique_ptr<FanoutCones> cones_;            // null when interpreted
+  GoldenSlotTrace slot_trace_;                    // empty when full-eval
+  std::vector<std::uint32_t> ff_affinity_rank_;   // rank of ff in cone order
   GoldenWordImage<std::uint64_t> image64_;
   GoldenWordImage<Word256> image256_;
   double last_run_seconds_ = 0.0;
   std::uint64_t last_run_eval_cycles_ = 0;
+  std::uint64_t last_run_eval_instrs_ = 0;
+  std::uint64_t last_run_narrowings_ = 0;
   unsigned last_run_threads_ = 1;
 };
 

@@ -1,0 +1,148 @@
+#include "netlist/fanout_cones.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "common/error.h"
+
+namespace femu {
+
+namespace {
+
+void set_bit(std::span<std::uint64_t> mask, std::uint32_t node) noexcept {
+  mask[node >> 6] |= std::uint64_t{1} << (node & 63);
+}
+
+}  // namespace
+
+FanoutCones::FanoutCones(const Circuit& circuit)
+    : num_ffs_(circuit.num_dffs()),
+      num_nodes_(circuit.node_count()),
+      words_per_cone_((circuit.node_count() + 63) / 64),
+      bits_(circuit.num_dffs() * ((circuit.node_count() + 63) / 64), 0),
+      cone_gates_(circuit.num_dffs(), 0) {
+  circuit.validate();
+
+  // Forward adjacency: node -> combinational fanouts, plus the sequential
+  // edge D-driver -> DFF Q that closes cones over clock boundaries.
+  std::vector<std::uint32_t> head(num_nodes_ + 1, 0);
+  for (NodeId id = 0; id < num_nodes_; ++id) {
+    for (const NodeId f : circuit.fanins(id)) ++head[f + 1];
+  }
+  const std::vector<NodeId> drivers = circuit.dff_drivers();
+  for (const NodeId d : drivers) ++head[d + 1];
+  for (std::size_t i = 1; i <= num_nodes_; ++i) head[i] += head[i - 1];
+  std::vector<std::uint32_t> adj(head[num_nodes_]);
+  std::vector<std::uint32_t> fill(head.begin(), head.end() - 1);
+  for (NodeId id = 0; id < num_nodes_; ++id) {
+    for (const NodeId f : circuit.fanins(id)) adj[fill[f]++] = id;
+  }
+  for (std::size_t i = 0; i < drivers.size(); ++i) {
+    adj[fill[drivers[i]]++] = circuit.dffs()[i];
+  }
+
+  // Combinational-node bitset: cone gate counts are then a wordwise
+  // popcount of (cone & comb) instead of a full node scan per FF.
+  std::vector<std::uint64_t> comb(words_per_cone_, 0);
+  for (NodeId id = 0; id < num_nodes_; ++id) {
+    if (is_comb_cell(circuit.type(id))) set_bit(comb, id);
+  }
+
+  std::vector<std::uint32_t> stack;
+  for (std::size_t ff = 0; ff < num_ffs_; ++ff) {
+    const auto mask = std::span<std::uint64_t>(bits_).subspan(
+        ff * words_per_cone_, words_per_cone_);
+    const NodeId root = circuit.dffs()[ff];
+    set_bit(mask, root);
+    stack.assign(1, root);
+    while (!stack.empty()) {
+      const std::uint32_t v = stack.back();
+      stack.pop_back();
+      for (std::uint32_t e = head[v]; e < head[v + 1]; ++e) {
+        const std::uint32_t w = adj[e];
+        if (!test(mask, w)) {
+          set_bit(mask, w);
+          stack.push_back(w);
+        }
+      }
+    }
+    std::size_t gates = 0;
+    for (std::size_t w = 0; w < words_per_cone_; ++w) {
+      gates += static_cast<std::size_t>(std::popcount(mask[w] & comb[w]));
+    }
+    cone_gates_[ff] = gates;
+  }
+}
+
+void FanoutCones::union_into(std::span<std::uint64_t> dst,
+                             std::size_t ff) const {
+  FEMU_CHECK(ff < num_ffs_, "ff ", ff, " out of range");
+  const auto src = cone(ff);
+  for (std::size_t w = 0; w < words_per_cone_; ++w) dst[w] |= src[w];
+}
+
+std::vector<std::uint32_t> cone_affine_ff_order(const FanoutCones& cones,
+                                                std::size_t group_width) {
+  FEMU_CHECK(group_width > 0, "group_width must be positive");
+  const std::size_t n = cones.num_ffs();
+  const std::size_t words = cones.words_per_cone();
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  std::vector<char> taken(n, 0);
+  std::vector<std::uint64_t> group(words, 0);
+
+  // Cost of adding ff to the current group: nodes its cone adds to the union.
+  const auto added_nodes = [&](std::size_t ff) {
+    const auto c = cones.cone(ff);
+    std::size_t add = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      add += static_cast<std::size_t>(std::popcount(c[w] & ~group[w]));
+    }
+    return add;
+  };
+
+  // The first group takes the remainder (n mod width) so that every later
+  // group is exactly group_width FFs: a cycle-major fault list sorted by
+  // this order then chunks into lane groups that match the greedy groups
+  // one-to-one, and the one partial (straddling) group carries the
+  // smallest cones — the cheapest place to pay for partial occupancy.
+  std::size_t this_group_width =
+      n % group_width != 0 ? n % group_width : group_width;
+  for (std::size_t placed = 0; placed < n;) {
+    // Seed each group with the smallest untaken cone.
+    std::size_t seed = n;
+    for (std::size_t ff = 0; ff < n; ++ff) {
+      if (taken[ff]) continue;
+      if (seed == n || cones.cone_gates(ff) < cones.cone_gates(seed)) {
+        seed = ff;
+      }
+    }
+    std::fill(group.begin(), group.end(), 0);
+    cones.union_into(group, seed);
+    taken[seed] = 1;
+    order.push_back(static_cast<std::uint32_t>(seed));
+    ++placed;
+
+    for (std::size_t k = 1; k < this_group_width && placed < n;
+         ++k, ++placed) {
+      std::size_t best = n;
+      std::size_t best_add = std::numeric_limits<std::size_t>::max();
+      for (std::size_t ff = 0; ff < n; ++ff) {
+        if (taken[ff]) continue;
+        const std::size_t add = added_nodes(ff);
+        if (add < best_add) {
+          best_add = add;
+          best = ff;
+        }
+      }
+      cones.union_into(group, best);
+      taken[best] = 1;
+      order.push_back(static_cast<std::uint32_t>(best));
+    }
+    this_group_width = group_width;
+  }
+  return order;
+}
+
+}  // namespace femu

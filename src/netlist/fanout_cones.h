@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace femu {
+
+/// Per-flip-flop structural fanout cones, closed over sequential feedback.
+///
+/// The cone of FF i is every node a divergence seeded in FF i's Q output can
+/// ever reach: its transitive combinational fanout, plus — whenever a cone
+/// member drives a DFF D pin — that DFF's Q node and *its* fanout, to a fixed
+/// point. A faulty machine whose only difference from the golden machine is a
+/// flipped FF i can therefore differ from golden **only** inside cone(i), on
+/// every subsequent cycle; everything outside the cone is provably golden.
+/// This is the structural invariant the cone-restricted campaign engine
+/// exploits (the dynamic-slicing insight of Tuzov et al. applied to the
+/// compiled kernel).
+///
+/// Cones are bitsets over node ids (one bit per circuit node), computed once
+/// per circuit — O(FFs x edges) worst case, negligible next to any campaign.
+class FanoutCones {
+ public:
+  explicit FanoutCones(const Circuit& circuit);
+
+  [[nodiscard]] std::size_t num_ffs() const noexcept { return num_ffs_; }
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return num_nodes_; }
+
+  /// Words per cone bitset (= ceil(num_nodes / 64)).
+  [[nodiscard]] std::size_t words_per_cone() const noexcept {
+    return words_per_cone_;
+  }
+
+  /// Cone of FF `ff` as a node-id bitset (bit n set <=> node n in the cone).
+  /// The FF's own Q node is always a member.
+  [[nodiscard]] std::span<const std::uint64_t> cone(std::size_t ff) const {
+    return std::span<const std::uint64_t>(bits_).subspan(ff * words_per_cone_,
+                                                         words_per_cone_);
+  }
+
+  /// Combinational gates inside cone(ff) — the per-fault work estimate.
+  [[nodiscard]] std::size_t cone_gates(std::size_t ff) const {
+    return cone_gates_[ff];
+  }
+
+  [[nodiscard]] static bool test(std::span<const std::uint64_t> mask,
+                                 std::uint32_t node) noexcept {
+    return ((mask[node >> 6] >> (node & 63)) & 1) != 0;
+  }
+
+  /// dst |= cone(ff). `dst` must hold words_per_cone() words.
+  void union_into(std::span<std::uint64_t> dst, std::size_t ff) const;
+
+ private:
+  std::size_t num_ffs_ = 0;
+  std::size_t num_nodes_ = 0;
+  std::size_t words_per_cone_ = 0;
+  std::vector<std::uint64_t> bits_;  // num_ffs x words_per_cone
+  std::vector<std::size_t> cone_gates_;
+};
+
+/// Flip-flop ordering that clusters FFs with overlapping cones.
+///
+/// Greedy set-cover-style grouping: groups of `group_width` FFs are formed by
+/// seeding with the smallest remaining cone and repeatedly adding the FF that
+/// grows the group's cone union the least. The returned permutation lists the
+/// groups back to back, so sorting a cycle-major fault list by this order
+/// makes lane groups cone-affine: each group's union cone — the work the
+/// differential engine evaluates per cycle — stays close to a single cone
+/// instead of the whole circuit.
+[[nodiscard]] std::vector<std::uint32_t> cone_affine_ff_order(
+    const FanoutCones& cones, std::size_t group_width);
+
+}  // namespace femu

@@ -65,6 +65,71 @@ CompiledKernel::CompiledKernel(const Circuit& circuit) : circuit_(&circuit) {
   }
 }
 
+void CompiledKernel::build_subprogram(std::span<const std::uint64_t> mask,
+                                      ConeSubProgram& sp,
+                                      const ConeSubProgram* narrow_from) const {
+  FEMU_CHECK(mask.size() == (num_slots_ + 63) / 64, "cone mask words ",
+             mask.size(), " != ", (num_slots_ + 63) / 64);
+  sp.instrs.clear();
+  sp.boundary_slots.clear();
+  sp.dff_indices.clear();
+  sp.out_indices.clear();
+  sp.seen.assign(mask.size(), 0);
+
+  const auto in_mask = [&](std::uint32_t s) {
+    return ((mask[s >> 6] >> (s & 63)) & 1) != 0;
+  };
+  // `seen` dedupes boundary slots; seeding it with the cone itself means a
+  // single test ("not yet seen") covers both "outside the cone" and "not
+  // already collected".
+  for (std::size_t w = 0; w < mask.size(); ++w) sp.seen[w] = mask[w];
+  const auto note_read = [&](std::uint32_t s) {
+    if (((sp.seen[s >> 6] >> (s & 63)) & 1) == 0) {
+      sp.seen[s >> 6] |= std::uint64_t{1} << (s & 63);
+      sp.boundary_slots.push_back(s);
+    }
+  };
+
+  // Narrowing always derives a subset, so filtering the previous
+  // sub-program instead of the whole kernel program cuts derivation cost to
+  // the size of what is still running.
+  const std::span<const Instr> source =
+      narrow_from ? std::span<const Instr>(narrow_from->instrs)
+                  : std::span<const Instr>(program_);
+  for (const Instr& in : source) {
+    if (!in_mask(in.dest)) continue;
+    sp.instrs.push_back(in);
+    note_read(in.a);
+    note_read(in.b);
+    note_read(in.c);
+  }
+  if (narrow_from == nullptr) {
+    for (std::size_t i = 0; i < dff_slots_.size(); ++i) {
+      if (!in_mask(dff_slots_[i])) continue;
+      sp.dff_indices.push_back(static_cast<std::uint32_t>(i));
+      // A cone root FF may be driven from outside its own cone; its D slot
+      // is then a boundary read at step time.
+      note_read(dff_d_slots_[i]);
+    }
+    for (std::size_t i = 0; i < output_slots_.size(); ++i) {
+      if (in_mask(output_slots_[i])) {
+        sp.out_indices.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  } else {
+    for (const std::uint32_t i : narrow_from->dff_indices) {
+      if (!in_mask(dff_slots_[i])) continue;
+      sp.dff_indices.push_back(i);
+      note_read(dff_d_slots_[i]);
+    }
+    for (const std::uint32_t i : narrow_from->out_indices) {
+      if (in_mask(output_slots_[i])) {
+        sp.out_indices.push_back(i);
+      }
+    }
+  }
+}
+
 std::shared_ptr<const CompiledKernel> compile_kernel(const Circuit& circuit) {
   return std::make_shared<const CompiledKernel>(circuit);
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -78,6 +79,39 @@ class CompiledKernel {
     return output_slots_;
   }
 
+  /// A cone-restricted view of the program: the instructions whose
+  /// destination lies inside a node-id bitset (a fanout-cone union), plus the
+  /// index tables the differential engine needs each cycle. Derived from a
+  /// kernel via build_subprogram(); the vectors are reused across
+  /// re-derivations (narrowing) without reallocating.
+  ///
+  ///   instrs         — program() filtered to cone destinations (order kept)
+  ///   boundary_slots — slots read by the sub-program (instruction fanins and
+  ///                    cone-DFF D drivers) but computed outside the cone;
+  ///                    provably golden in every lane, loaded per cycle with
+  ///                    broadcast golden values from a GoldenSlotTrace
+  ///   dff_indices    — flip-flops whose Q node is in the cone (the only FFs
+  ///                    that can diverge; step/state-compare are restricted
+  ///                    to these)
+  ///   out_indices    — primary outputs whose driver is in the cone (the only
+  ///                    outputs that can mismatch)
+  struct ConeSubProgram {
+    std::vector<Instr> instrs;
+    std::vector<std::uint32_t> boundary_slots;
+    std::vector<std::uint32_t> dff_indices;
+    std::vector<std::uint32_t> out_indices;
+    std::vector<std::uint64_t> seen;  // derivation scratch, one bit per slot
+  };
+
+  /// Fills `sp` with the sub-program for cone `mask` (a bitset over node
+  /// ids, ceil(num_slots/64) words — see FanoutCones). Reuses sp's storage.
+  /// When `narrow_from` is given, `mask` must be a subset of its cone and
+  /// the derivation filters that sub-program instead of the whole kernel
+  /// program (the narrowing fast path). `narrow_from` must not alias `sp`.
+  void build_subprogram(std::span<const std::uint64_t> mask,
+                        ConeSubProgram& sp,
+                        const ConeSubProgram* narrow_from = nullptr) const;
+
   /// Zeroes `values` and writes the constant slots. Call once per engine
   /// before the first eval (constants are never re-evaluated).
   template <typename Word>
@@ -87,11 +121,11 @@ class CompiledKernel {
     for (const std::uint32_t slot : const1_slots_) values[slot] = T::ones();
   }
 
-  /// Executes the combinational program. `values` must hold num_slots()
-  /// words with input/DFF/constant slots already loaded.
+  /// Executes an instruction sequence. `values` must hold num_slots() words
+  /// with every slot the sequence reads already loaded.
   template <typename Word>
-  void eval(Word* values) const {
-    for (const Instr& in : program_) {
+  static void eval_instrs(std::span<const Instr> instrs, Word* values) {
+    for (const Instr& in : instrs) {
       const Word a = values[in.a];
       switch (in.op) {
         case CellType::kBuf:
@@ -125,6 +159,12 @@ class CompiledKernel {
           break;  // sources/DFFs never appear in the program
       }
     }
+  }
+
+  /// Executes the full combinational program.
+  template <typename Word>
+  void eval(Word* values) const {
+    eval_instrs<Word>(program_, values);
   }
 
  private:
@@ -193,11 +233,32 @@ class LaneEngine {
     for (std::size_t i = 0; i < pis.size(); ++i) {
       values_[pis[i]] = Traits::broadcast(inputs.get(i));
     }
-    const auto dffs = kernel_->dff_slots();
-    for (std::size_t i = 0; i < dffs.size(); ++i) {
-      values_[dffs[i]] = state_[i];
+    load_state_and_eval();
+  }
+
+  /// Combinational evaluation from pre-broadcast input words (one word per
+  /// primary input, e.g. GoldenWordImage::inputs(t)) — skips the per-bit
+  /// extract+broadcast of the BitVec overload.
+  void eval_words(std::span<const Word> input_words) {
+    const auto pis = kernel_->input_slots();
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      values_[pis[i]] = input_words[i];
     }
-    kernel_->eval(values_.data());
+    load_state_and_eval();
+  }
+
+  /// Differential evaluation of a cone sub-program. Boundary slots are
+  /// loaded with broadcast golden values for this cycle (`golden_slots` is
+  /// GoldenSlotTrace::at(t)); only cone DFF slots are loaded from lane state
+  /// and only the cone instructions execute. After this call every slot the
+  /// sub-program can observe — cone slots and boundary slots — is exact.
+  void eval_cone(const CompiledKernel::ConeSubProgram& sp,
+                 const BitVec& golden_slots) {
+    const std::span<const std::uint64_t> gw = golden_slots.words();
+    for (const std::uint32_t s : sp.boundary_slots) {
+      values_[s] = Traits::broadcast(((gw[s >> 6] >> (s & 63)) & 1) != 0);
+    }
+    load_cone_state_and_eval(sp);
   }
 
   /// Clock edge: state <- D in every lane.
@@ -206,6 +267,24 @@ class LaneEngine {
     for (std::size_t i = 0; i < d_slots.size(); ++i) {
       state_[i] = values_[d_slots[i]];
     }
+  }
+
+  /// Clock edge restricted to cone flip-flops (the only ones that can hold
+  /// non-golden values), fused with the golden-state comparison the campaign
+  /// engine needs every cycle — one pass over the cone FFs instead of two.
+  /// Non-cone state words go stale and must not be read until the next
+  /// broadcast_state().
+  [[nodiscard]] Word step_cone_mismatch(
+      const CompiledKernel::ConeSubProgram& sp,
+      std::span<const Word> golden_state_words) {
+    const auto d_slots = kernel_->dff_d_slots();
+    Word mismatch = Traits::zero();
+    for (const std::uint32_t i : sp.dff_indices) {
+      const Word next = values_[d_slots[i]];
+      state_[i] = next;
+      mismatch |= next ^ golden_state_words[i];
+    }
+    return mismatch;
   }
 
   void cycle(const BitVec& inputs) {
@@ -236,6 +315,21 @@ class LaneEngine {
     return mismatch;
   }
 
+  /// Cone-restricted output mismatch: only cone outputs can deviate from
+  /// golden, so only those are compared. Exact — equal to the full-width
+  /// query whenever lane state outside the cone is golden. (The state-side
+  /// equivalent is fused into step_cone_mismatch.)
+  [[nodiscard]] Word output_mismatch_lanes_cone(
+      const CompiledKernel::ConeSubProgram& sp,
+      std::span<const Word> golden_out_words) const {
+    const auto outs = kernel_->output_slots();
+    Word mismatch = Traits::zero();
+    for (const std::uint32_t i : sp.out_indices) {
+      mismatch |= values_[outs[i]] ^ golden_out_words[i];
+    }
+    return mismatch;
+  }
+
   /// State of one lane as a scalar BitVec (diagnostics / tests).
   [[nodiscard]] BitVec lane_state(unsigned lane) const {
     BitVec out(state_.size());
@@ -258,7 +352,29 @@ class LaneEngine {
   /// Raw lane word of a node after eval() (diagnostics).
   [[nodiscard]] Word node_word(NodeId id) const { return values_[id]; }
 
+  /// Raw lane word of flip-flop `ff_index` (the divergence-narrowing scan
+  /// reads these to find which FFs still differ from golden).
+  [[nodiscard]] Word state_word(std::size_t ff_index) const {
+    return state_[ff_index];
+  }
+
  private:
+  void load_state_and_eval() {
+    const auto dffs = kernel_->dff_slots();
+    for (std::size_t i = 0; i < dffs.size(); ++i) {
+      values_[dffs[i]] = state_[i];
+    }
+    kernel_->eval(values_.data());
+  }
+
+  void load_cone_state_and_eval(const CompiledKernel::ConeSubProgram& sp) {
+    const auto dffs = kernel_->dff_slots();
+    for (const std::uint32_t i : sp.dff_indices) {
+      values_[dffs[i]] = state_[i];
+    }
+    CompiledKernel::eval_instrs<Word>(sp.instrs, values_.data());
+  }
+
   std::shared_ptr<const CompiledKernel> kernel_;
   std::vector<Word> values_;  // per node slot, one lane per bit
   std::vector<Word> state_;   // per DFF

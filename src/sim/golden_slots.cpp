@@ -1,0 +1,42 @@
+#include "sim/golden_slots.h"
+
+namespace femu {
+
+GoldenSlotTrace capture_golden_slots(const CompiledKernel& kernel,
+                                     std::span<const BitVec> vectors) {
+  GoldenSlotTrace trace;
+  trace.num_slots = kernel.num_slots();
+  trace.cycles.reserve(vectors.size());
+
+  // Scalar (Word8) machine: one lane, byte-mask values, reset state 0 —
+  // identical to the GoldenTrace capture semantics.
+  std::vector<Word8> values(kernel.num_slots());
+  kernel.init(std::span<Word8>(values));
+  std::vector<Word8> state(kernel.dff_slots().size(), 0);
+
+  for (const BitVec& vector : vectors) {
+    const auto pis = kernel.input_slots();
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      values[pis[i]] = LaneTraits<Word8>::broadcast(vector.get(i));
+    }
+    const auto dffs = kernel.dff_slots();
+    for (std::size_t i = 0; i < dffs.size(); ++i) {
+      values[dffs[i]] = state[i];
+    }
+    kernel.eval(values.data());
+
+    BitVec snapshot(kernel.num_slots());
+    for (std::size_t s = 0; s < values.size(); ++s) {
+      snapshot.set(s, values[s] != 0);
+    }
+    trace.cycles.push_back(std::move(snapshot));
+
+    const auto d_slots = kernel.dff_d_slots();
+    for (std::size_t i = 0; i < d_slots.size(); ++i) {
+      state[i] = values[d_slots[i]];
+    }
+  }
+  return trace;
+}
+
+}  // namespace femu

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "sim/compiled_kernel.h"
+
+namespace femu {
+
+/// Golden value of **every kernel slot** at every cycle — the fault-free
+/// machine's full combinational settle, 1 bit per slot per cycle.
+///
+/// The cone-restricted engine evaluates only the instructions inside a fault
+/// group's fanout-cone union. Instructions at the cone boundary read fanin
+/// slots the sub-program never computes; those slots are provably golden in
+/// every lane, so each cycle they are loaded with the broadcast golden value
+/// from this trace instead of being recomputed. Slot index == node id, so
+/// `at(t).get(slot)` is the value node `slot` settled to during cycle t
+/// (inputs hold vector t, DFF Q slots hold the start-of-cycle-t state).
+///
+/// Size: num_slots x num_cycles bits — for b14 x 160 vectors about 47 KiB,
+/// captured once per campaign and shared read-only by every worker.
+struct GoldenSlotTrace {
+  std::size_t num_slots = 0;
+  std::vector<BitVec> cycles;
+
+  [[nodiscard]] std::size_t num_cycles() const noexcept {
+    return cycles.size();
+  }
+
+  [[nodiscard]] const BitVec& at(std::size_t t) const { return cycles[t]; }
+};
+
+/// Runs the fault-free machine over `vectors` on the compiled kernel and
+/// snapshots every slot after each combinational settle.
+[[nodiscard]] GoldenSlotTrace capture_golden_slots(
+    const CompiledKernel& kernel, std::span<const BitVec> vectors);
+
+}  // namespace femu

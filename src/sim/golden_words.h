@@ -8,30 +8,37 @@
 
 namespace femu {
 
-/// Golden trace pre-broadcast into lane words.
+/// Golden trace (and optionally the stimuli) pre-broadcast into lane words.
 ///
 /// The fault engines compare every cycle's outputs and next-state against the
-/// golden run. Doing that against BitVecs costs a bit-extract + broadcast per
-/// signal per cycle per group — pure recomputation, since the golden trace
-/// never changes within a campaign. This image hoists the broadcast: one flat
-/// array of lane words per trace, built once and shared read-only by every
-/// worker thread.
+/// golden run, and broadcast every cycle's input vector to all lanes. Doing
+/// that against BitVecs costs a bit-extract + broadcast per signal per cycle
+/// per group — pure recomputation, since neither the golden trace nor the
+/// testbench changes within a campaign. This image hoists the broadcast: one
+/// flat array of lane words per trace, built once and shared read-only by
+/// every worker thread.
 ///
 /// Layout (T = num_cycles):
 ///   outputs(t) — broadcast golden outputs of cycle t,     t in [0, T)
 ///   states(t)  — broadcast golden state at START of cycle t, t in [0, T]
+///   inputs(t)  — broadcast input vector of cycle t,       t in [0, T)
+///                (only when constructed with the input vectors)
 template <typename Word>
 struct GoldenWordImage {
   std::size_t num_outputs = 0;
   std::size_t num_ffs = 0;
+  std::size_t num_inputs = 0;
   std::vector<Word> out_words;
   std::vector<Word> state_words;
+  std::vector<Word> in_words;
 
   GoldenWordImage() = default;
 
-  explicit GoldenWordImage(const GoldenTrace& trace)
+  explicit GoldenWordImage(const GoldenTrace& trace,
+                           std::span<const BitVec> input_vectors = {})
       : num_outputs(trace.outputs.empty() ? 0 : trace.outputs.front().size()),
-        num_ffs(trace.states.empty() ? 0 : trace.states.front().size()) {
+        num_ffs(trace.states.empty() ? 0 : trace.states.front().size()),
+        num_inputs(input_vectors.empty() ? 0 : input_vectors.front().size()) {
     using T = LaneTraits<Word>;
     out_words.reserve(trace.outputs.size() * num_outputs);
     for (const BitVec& outs : trace.outputs) {
@@ -45,6 +52,12 @@ struct GoldenWordImage {
         state_words.push_back(T::broadcast(state.get(i)));
       }
     }
+    in_words.reserve(input_vectors.size() * num_inputs);
+    for (const BitVec& vector : input_vectors) {
+      for (std::size_t i = 0; i < num_inputs; ++i) {
+        in_words.push_back(T::broadcast(vector.get(i)));
+      }
+    }
   }
 
   [[nodiscard]] std::span<const Word> outputs(std::size_t t) const {
@@ -54,6 +67,10 @@ struct GoldenWordImage {
 
   [[nodiscard]] std::span<const Word> states(std::size_t t) const {
     return std::span<const Word>(state_words).subspan(t * num_ffs, num_ffs);
+  }
+
+  [[nodiscard]] std::span<const Word> inputs(std::size_t t) const {
+    return std::span<const Word>(in_words).subspan(t * num_inputs, num_inputs);
   }
 };
 

@@ -71,6 +71,21 @@ void ParallelSimulator::eval(const BitVec& inputs) {
   for (std::size_t i = 0; i < pis.size(); ++i) {
     values_[pis[i]] = broadcast(inputs.get(i));
   }
+  eval_loaded_inputs();
+}
+
+void ParallelSimulator::eval_words(
+    std::span<const std::uint64_t> input_words) {
+  FEMU_CHECK(input_words.size() == circuit_.num_inputs(), "input width ",
+             input_words.size(), " != ", circuit_.num_inputs());
+  const auto& pis = circuit_.inputs();
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    values_[pis[i]] = input_words[i];
+  }
+  eval_loaded_inputs();
+}
+
+void ParallelSimulator::eval_loaded_inputs() {
   const auto& dffs = circuit_.dffs();
   for (std::size_t i = 0; i < dffs.size(); ++i) {
     values_[dffs[i]] = state_[i];

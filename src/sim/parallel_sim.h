@@ -49,6 +49,11 @@ class ParallelSimulator {
   /// Combinational evaluation with `inputs` broadcast to every lane.
   void eval(const BitVec& inputs);
 
+  /// Combinational evaluation from pre-broadcast input words (one word per
+  /// primary input, e.g. GoldenWordImage::inputs(t)) — skips the per-bit
+  /// extract+broadcast of the BitVec overload.
+  void eval_words(std::span<const std::uint64_t> input_words);
+
   /// Clock edge: state <- D in every lane.
   void step();
 
@@ -86,6 +91,8 @@ class ParallelSimulator {
   [[nodiscard]] const Circuit& circuit() const noexcept { return circuit_; }
 
  private:
+  void eval_loaded_inputs();
+
   const Circuit& circuit_;
   std::shared_ptr<const CompiledKernel> kernel_;  // null when interpreted
   std::vector<NodeId> dff_d_;          // D-driver per DFF, snapshot
