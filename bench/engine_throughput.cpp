@@ -3,11 +3,16 @@
 // Runs the complete b14 SEU campaign (every FF x every cycle, the paper's
 // 34,400-fault set shape) through every engine configuration — interpreted
 // vs compiled backend, full-program vs cone-restricted differential
-// evaluation, 64 vs 256 lanes, single- vs multi-threaded sharding — and
+// evaluation, 64 vs 256 lanes, single- vs multi-threaded sharding — plus a
+// same-sized sampled SET campaign (representative gate sites x cycles,
+// injected through the kernel's instruction overlay) in full-eval and
+// cone-restricted configurations — and
 // reports faults/sec, eval-cycles/sec and kernel-instructions executed per
 // configuration, plus the speedup over the interpreted single-thread
-// baseline and the cone-vs-full-eval speedup at 64 lanes. Classification
-// counts are cross-checked across all configurations; any disagreement is
+// baseline, the cone-vs-full-eval speedup at 64 lanes and the headline SET
+// throughput ("set_faults_per_sec", the cone-restricted 64-lane config).
+// Classification counts are cross-checked across all configurations of the
+// same fault model; any disagreement is
 // reported in the JSON ("identical_classifications") and fails the process,
 // so CI can use this bench as a correctness smoke test as well as a perf
 // trajectory.
@@ -36,6 +41,7 @@
 #include "circuits/b14.h"
 #include "fault/fault_list.h"
 #include "fault/parallel_faultsim.h"
+#include "fault/set_model.h"
 #include "stim/generate.h"
 
 namespace {
@@ -44,11 +50,13 @@ using namespace femu;
 
 struct BenchConfig {
   const char* name;
+  FaultModel model;
   CampaignConfig campaign;
 };
 
 struct BenchResult {
   const char* name = "";
+  FaultModel model = FaultModel::kSeu;
   CampaignConfig config;
   unsigned threads = 1;
   std::size_t faults = 0;
@@ -67,7 +75,8 @@ struct BenchResult {
 
 void write_json(std::ostream& out, const std::vector<BenchResult>& results,
                 std::size_t num_ffs, std::size_t num_cycles, bool identical,
-                double cone_speedup_64) {
+                double cone_speedup_64, double set_faults_per_sec,
+                double set_faults_per_sec_full) {
   const double base = results.front().faults_per_sec();
   out << "{\n";
   out << "  \"circuit\": \"b14\",\n";
@@ -78,10 +87,14 @@ void write_json(std::ostream& out, const std::vector<BenchResult>& results,
   out << "  \"identical_classifications\": " << (identical ? "true" : "false")
       << ",\n";
   out << "  \"cone_speedup_64\": " << cone_speedup_64 << ",\n";
+  out << "  \"set_faults_per_sec\": " << set_faults_per_sec << ",\n";
+  out << "  \"set_faults_per_sec_full\": " << set_faults_per_sec_full
+      << ",\n";
   out << "  \"engines\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
-    out << "    {\"name\": \"" << r.name << "\", \"backend\": \""
+    out << "    {\"name\": \"" << r.name << "\", \"model\": \""
+        << fault_model_name(r.model) << "\", \"backend\": \""
         << sim_backend_name(r.config.backend)
         << "\", \"lanes\": " << lane_count(r.config.lanes)
         << ", \"cone_restricted\": "
@@ -155,6 +168,14 @@ int main(int argc, char** argv) {
   const Circuit circuit = circuits::build_b14();
   const Testbench tb = random_testbench(circuit.num_inputs(), cycles, 2005);
   const auto faults = complete_fault_list(circuit.num_dffs(), tb.num_cycles());
+  // SET campaign: representative gate sites x cycles is ~20x the SEU set on
+  // b14, so sample it down to the SEU campaign's size — same work scale,
+  // directly comparable faults/sec.
+  const SetSites sites(circuit);
+  const auto set_faults = sample_set_fault_list(
+      sites, tb.num_cycles(),
+      std::min(faults.size(), sites.num_representatives() * tb.num_cycles()),
+      2005);
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const auto full = [](SimBackend b, LaneWidth w, unsigned threads) {
@@ -166,15 +187,24 @@ int main(int argc, char** argv) {
                           /*cone_restricted=*/true,
                           CampaignSchedule::kConeAffine};
   };
+  constexpr FaultModel kSeu = FaultModel::kSeu;
+  constexpr FaultModel kSet = FaultModel::kSet;
   const std::vector<BenchConfig> configs = {
-      {"interpreted-64-1t", full(SimBackend::kInterpreted, LaneWidth::k64, 1)},
-      {"compiled-64-full-1t", full(SimBackend::kCompiled, LaneWidth::k64, 1)},
-      {"compiled-64-cone-1t", cone(LaneWidth::k64, 1)},
-      {"compiled-256-full-1t",
+      {"interpreted-64-1t", kSeu,
+       full(SimBackend::kInterpreted, LaneWidth::k64, 1)},
+      {"compiled-64-full-1t", kSeu,
+       full(SimBackend::kCompiled, LaneWidth::k64, 1)},
+      {"compiled-64-cone-1t", kSeu, cone(LaneWidth::k64, 1)},
+      {"compiled-256-full-1t", kSeu,
        full(SimBackend::kCompiled, LaneWidth::k256, 1)},
-      {"compiled-256-cone-1t", cone(LaneWidth::k256, 1)},
-      {"compiled-64-cone-mt", cone(LaneWidth::k64, hw)},
-      {"compiled-256-cone-mt", cone(LaneWidth::k256, hw)},
+      {"compiled-256-cone-1t", kSeu, cone(LaneWidth::k256, 1)},
+      {"compiled-64-cone-mt", kSeu, cone(LaneWidth::k64, hw)},
+      {"compiled-256-cone-mt", kSeu, cone(LaneWidth::k256, hw)},
+      {"set-64-full-1t", kSet,
+       full(SimBackend::kCompiled, LaneWidth::k64, 1)},
+      {"set-64-cone-1t", kSet, cone(LaneWidth::k64, 1)},
+      {"set-256-cone-1t", kSet, cone(LaneWidth::k256, 1)},
+      {"set-64-cone-mt", kSet, cone(LaneWidth::k64, hw)},
   };
 
   // Engines are constructed once, then the timed repetitions run
@@ -189,8 +219,10 @@ int main(int argc, char** argv) {
         std::make_unique<ParallelFaultSimulator>(circuit, tb, config.campaign));
     BenchResult r;
     r.name = config.name;
+    r.model = config.model;
     r.config = config.campaign;
-    r.faults = faults.size();
+    r.faults =
+        config.model == FaultModel::kSet ? set_faults.size() : faults.size();
     r.seconds = -1.0;
     results.push_back(r);
   }
@@ -198,14 +230,19 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < configs.size(); ++i) {
       ParallelFaultSimulator& sim = *sims[i];
       BenchResult& r = results[i];
-      const CampaignResult result = sim.run(faults);
+      if (r.model == FaultModel::kSet) {
+        const SetCampaignResult result = sim.run_set(set_faults);
+        r.counts = result.counts;
+      } else {
+        const CampaignResult result = sim.run(faults);
+        r.counts = result.counts();
+      }
       r.threads = sim.last_run_threads();  // actual workers, post-clamp
       if (r.seconds < 0.0 || sim.last_run_seconds() < r.seconds) {
         r.seconds = sim.last_run_seconds();
         r.eval_cycles = sim.last_run_eval_cycles();
         r.eval_instrs = sim.last_run_eval_instrs();
       }
-      r.counts = result.counts();
     }
   }
   for (const BenchResult& r : results) {
@@ -213,11 +250,22 @@ int main(int argc, char** argv) {
               << r.seconds << " s)\n";
   }
 
+  // Per-model cross-check: every configuration of a model must classify its
+  // campaign identically (SEU and SET grade different fault sets, so they
+  // are compared within, never across, models).
   bool identical = true;
   for (const BenchResult& r : results) {
-    identical = identical && r.counts.failure == results[0].counts.failure &&
-                r.counts.latent == results[0].counts.latent &&
-                r.counts.silent == results[0].counts.silent;
+    const BenchResult* base_of_model = nullptr;
+    for (const BenchResult& b : results) {
+      if (b.model == r.model) {
+        base_of_model = &b;
+        break;
+      }
+    }
+    identical = identical &&
+                r.counts.failure == base_of_model->counts.failure &&
+                r.counts.latent == base_of_model->counts.latent &&
+                r.counts.silent == base_of_model->counts.silent;
   }
 
   // The tentpole number: cone-restricted vs full-eval at 64 lanes, 1 thread.
@@ -235,9 +283,24 @@ int main(int argc, char** argv) {
   std::cerr << "cone-restricted speedup vs full-eval (64 lanes, 1 thread): "
             << cone_speedup_64 << "x\n";
 
+  // The SET headline numbers: overlay injection at full kernel speed, cone
+  // and full-eval (64 lanes, 1 thread).
+  double set_cone64 = 0.0;
+  double set_full64 = 0.0;
+  for (const BenchResult& r : results) {
+    if (std::strcmp(r.name, "set-64-cone-1t") == 0) {
+      set_cone64 = r.faults_per_sec();
+    }
+    if (std::strcmp(r.name, "set-64-full-1t") == 0) {
+      set_full64 = r.faults_per_sec();
+    }
+  }
+  std::cerr << "SET throughput (64 lanes, 1 thread): cone " << set_cone64
+            << " faults/s, full-eval " << set_full64 << " faults/s\n";
+
   if (out_path.empty()) {
     write_json(std::cout, results, circuit.num_dffs(), tb.num_cycles(),
-               identical, cone_speedup_64);
+               identical, cone_speedup_64, set_cone64, set_full64);
   } else {
     std::ofstream out(out_path);
     if (!out) {
@@ -245,7 +308,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     write_json(out, results, circuit.num_dffs(), tb.num_cycles(), identical,
-               cone_speedup_64);
+               cone_speedup_64, set_cone64, set_full64);
     std::cerr << "wrote " << out_path << "\n";
   }
 

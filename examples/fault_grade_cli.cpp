@@ -1,28 +1,43 @@
 // Command-line fault-grading driver — the "downstream user" entry point.
 //
 //   fault_grade_cli [circuit] [cycles] [technique] [sample] [seed]
+//                   [--model seu|mbu|set] [--json]
 //
 //     circuit    registry name (see --list) or a .bench file path
 //                [default: b14]
 //     cycles     testbench length                     [default: 160]
 //     technique  mask-scan | state-scan | time-mux | all [default: all]
+//                (SEU model only — the emulation cost account)
 //     sample     fault-sample size, 0 = complete list [default: 0]
 //     seed       stimulus/sampling seed               [default: 2005]
 //
-// Prints the grading with 95% confidence intervals (meaningful for sampled
-// campaigns), the emulation-time account per technique, and writes the
-// per-fault dictionary CSV next to the binary.
+//     --model    which transient fault model to grade [default: seu]
+//                  seu  flip-flop bit-flips through the autonomous-emulation
+//                       techniques (the paper's campaign + time account)
+//                  mbu  multi-bit upsets (adjacent pairs, or sampled
+//                       clusters) through the unified campaign engine
+//                  set  single-event transients at combinational gate
+//                       outputs (collapsed representative sites, expanded
+//                       back to all sites in the report)
+//     --json     machine-readable grading JSON on stdout instead of tables
+//
+// The SEU model prints the grading with 95% confidence intervals and the
+// emulation-time account per technique, and writes the per-fault dictionary
+// CSV next to the binary; MBU and SET print the unified-engine grading.
 
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "circuits/registry.h"
 #include "common/error.h"
 #include "common/strings.h"
 #include "common/table.h"
 #include "core/autonomous_emulator.h"
+#include "fault/parallel_faultsim.h"
 #include "fault/sampling.h"
+#include "fault/set_model.h"
 #include "netlist/bench_io.h"
 #include "stim/generate.h"
 
@@ -48,79 +63,213 @@ std::vector<Technique> parse_techniques(const std::string& spec) {
                       "' (mask-scan | state-scan | time-mux | all)"));
 }
 
+FaultModel parse_model(const std::string& spec) {
+  if (spec == "seu") return FaultModel::kSeu;
+  if (spec == "mbu") return FaultModel::kMbu;
+  if (spec == "set") return FaultModel::kSet;
+  throw Error(str_cat("unknown fault model '", spec, "' (seu | mbu | set)"));
+}
+
+void write_grading_json(std::ostream& out, FaultModel model,
+                        const Circuit& circuit, std::size_t faults,
+                        const ClassCounts& counts, double seconds) {
+  out << "{\"model\": \"" << fault_model_name(model) << "\", \"circuit\": \""
+      << circuit.name() << "\", \"faults\": " << faults
+      << ", \"seconds\": " << seconds
+      << ", \"counts\": {\"failure\": " << counts.failure
+      << ", \"latent\": " << counts.latent
+      << ", \"silent\": " << counts.silent
+      << "}, \"fractions\": {\"failure\": " << counts.failure_fraction()
+      << ", \"latent\": " << counts.latent_fraction()
+      << ", \"silent\": " << counts.silent_fraction() << "}}\n";
+}
+
+void print_grading_table(FaultModel model, const ClassCounts& counts,
+                         double seconds, std::size_t faults) {
+  TextTable table({"model", "failure", "latent", "silent", "engine (ms)",
+                   "us/fault"});
+  table.add_row({std::string(fault_model_name(model)),
+                 format_percent(counts.failure_fraction()),
+                 format_percent(counts.latent_fraction()),
+                 format_percent(counts.silent_fraction()),
+                 format_fixed(seconds * 1e3, 2),
+                 format_fixed(faults != 0 ? seconds * 1e6 / faults : 0.0, 3)});
+  std::cout << table.to_ascii();
+}
+
+int run_seu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
+            const std::string& technique_spec, std::size_t sample,
+            std::uint64_t seed, bool json) {
+  AutonomousEmulator emulator(circuit, tb);
+  const std::size_t total = circuit.num_dffs() * cycles;
+  const auto faults =
+      sample == 0 || sample >= total
+          ? complete_fault_list(circuit.num_dffs(), cycles)
+          : sample_fault_list(circuit.num_dffs(), cycles, sample, seed);
+
+  if (json) {
+    const EmulationReport report =
+        emulator.run(parse_techniques(technique_spec).front(), faults);
+    write_grading_json(std::cout, FaultModel::kSeu, circuit, faults.size(),
+                       report.grading.counts(), report.emulation_seconds);
+    return 0;
+  }
+
+  std::cout << "campaign: " << format_grouped(faults.size()) << " of "
+            << format_grouped(total) << " single SEU faults, " << cycles
+            << " vectors, seed " << seed << "\n\n";
+
+  TextTable table({"technique", "failure", "latent", "silent",
+                   "emulation (ms)", "us/fault"});
+  bool first = true;
+  for (const Technique technique : parse_techniques(technique_spec)) {
+    const EmulationReport report = emulator.run(technique, faults);
+    if (first) {
+      const SampledGrading est = estimate_grading(report.grading);
+      std::cout << "grading (95% Wilson interval";
+      if (faults.size() == total) {
+        std::cout << "; complete campaign, interval degenerate";
+      }
+      std::cout << "):\n";
+      const auto line = [](const char* name, const ProportionEstimate& e) {
+        std::cout << "  " << name << ": " << format_percent(e.fraction)
+                  << "  [" << format_percent(e.low) << ", "
+                  << format_percent(e.high) << "]\n";
+      };
+      line("failure", est.failure);
+      line("latent ", est.latent);
+      line("silent ", est.silent);
+      std::cout << "\n";
+      first = false;
+    }
+    const ClassCounts& c = report.grading.counts();
+    table.add_row({std::string(technique_name(technique)),
+                   format_percent(c.failure_fraction()),
+                   format_percent(c.latent_fraction()),
+                   format_percent(c.silent_fraction()),
+                   format_fixed(report.emulation_seconds * 1e3, 2),
+                   format_fixed(report.us_per_fault, 3)});
+  }
+  std::cout << table.to_ascii();
+
+  const std::string csv_path = circuit.name() + "_grading.csv";
+  std::ofstream csv(csv_path);
+  emulator.run(Technique::kTimeMux, faults).grading.write_csv(csv);
+  std::cout << "\nper-fault records written to " << csv_path << "\n";
+  return 0;
+}
+
+int run_mbu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
+            std::size_t sample, std::uint64_t seed, bool json) {
+  // Complete campaign: all adjacent FF pairs x all cycles (the dominant
+  // physical MBU pattern); a sample draws random locality clusters instead.
+  const auto faults =
+      sample == 0
+          ? adjacent_pair_fault_list(circuit.num_dffs(), cycles)
+          : random_cluster_fault_list(circuit.num_dffs(), cycles,
+                                     /*cluster_size=*/2, /*window=*/4, sample,
+                                     seed);
+  ParallelFaultSimulator sim(circuit, tb);
+  const MbuCampaignResult result = sim.run_mbu(faults);
+  if (json) {
+    write_grading_json(std::cout, FaultModel::kMbu, circuit, faults.size(),
+                       result.counts, sim.last_run_seconds());
+    return 0;
+  }
+  std::cout << "campaign: " << format_grouped(faults.size()) << " MBU faults ("
+            << (sample == 0 ? "adjacent pairs" : "sampled clusters") << "), "
+            << cycles << " vectors, seed " << seed << "\n\n";
+  print_grading_table(FaultModel::kMbu, result.counts, sim.last_run_seconds(),
+                      faults.size());
+  return 0;
+}
+
+int run_set(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
+            std::size_t sample, std::uint64_t seed, bool json) {
+  const SetSites sites(circuit);
+  const std::size_t total = sites.num_representatives() * cycles;
+  const auto faults = sample == 0 || sample >= total
+                          ? complete_set_fault_list(sites, cycles)
+                          : sample_set_fault_list(sites, cycles, sample, seed);
+  ParallelFaultSimulator sim(circuit, tb);
+  const SetCampaignResult rep_result = sim.run_set(faults);
+  const double seconds = sim.last_run_seconds();
+  // Representative sites stand for their whole equivalence class; the
+  // reported grading is over the expanded (all-sites) campaign.
+  const SetCampaignResult expanded =
+      expand_collapsed_result(sites, rep_result);
+  if (json) {
+    write_grading_json(std::cout, FaultModel::kSet, circuit,
+                       expanded.faults.size(), expanded.counts, seconds);
+    return 0;
+  }
+  std::cout << "campaign: " << format_grouped(faults.size())
+            << " representative SET faults of "
+            << format_grouped(sites.num_sites() * cycles) << " site-cycles ("
+            << format_grouped(sites.num_sites()) << " gates collapsed to "
+            << format_grouped(sites.num_representatives())
+            << " classes), " << cycles << " vectors, seed " << seed << "\n\n";
+  std::cout << "expanded to all sites:\n";
+  print_grading_table(FaultModel::kSet, expanded.counts, seconds,
+                      faults.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace femu;
   try {
-    const std::string circuit_spec = argc > 1 ? argv[1] : "b14";
+    // Flags first (position-independent), positionals keep their order.
+    std::vector<std::string> positional;
+    std::string model_spec = "seu";
+    bool json = false;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--model" && i + 1 < argc) {
+        model_spec = argv[++i];
+      } else if (arg == "--json") {
+        json = true;
+      } else {
+        positional.push_back(arg);
+      }
+    }
+    const std::string circuit_spec =
+        !positional.empty() ? positional[0] : "b14";
     if (circuit_spec == "--list") {
       for (const auto& entry : circuits::circuit_registry()) {
         std::cout << "  " << entry.name << " — " << entry.description << "\n";
       }
       return 0;
     }
-    const std::size_t cycles = argc > 2 ? std::stoul(argv[2]) : 160;
-    const std::string technique_spec = argc > 3 ? argv[3] : "all";
-    const std::size_t sample = argc > 4 ? std::stoul(argv[4]) : 0;
-    const std::uint64_t seed = argc > 5 ? std::stoull(argv[5]) : 2005;
+    const std::size_t cycles =
+        positional.size() > 1 ? std::stoul(positional[1]) : 160;
+    const std::string technique_spec =
+        positional.size() > 2 ? positional[2] : "all";
+    const std::size_t sample =
+        positional.size() > 3 ? std::stoul(positional[3]) : 0;
+    const std::uint64_t seed =
+        positional.size() > 4 ? std::stoull(positional[4]) : 2005;
+    const FaultModel model = parse_model(model_spec);
 
     const Circuit circuit = load_circuit(circuit_spec);
     const Testbench tb = random_testbench(circuit.num_inputs(), cycles, seed);
-    AutonomousEmulator emulator(circuit, tb);
 
-    const std::size_t total = circuit.num_dffs() * cycles;
-    const auto faults =
-        sample == 0 || sample >= total
-            ? complete_fault_list(circuit.num_dffs(), cycles)
-            : sample_fault_list(circuit.num_dffs(), cycles, sample, seed);
-
-    std::cout << "circuit : " << circuit.name() << " ("
-              << circuit.num_inputs() << " PI / " << circuit.num_outputs()
-              << " PO / " << circuit.num_dffs() << " FF, "
-              << circuit.num_gates() << " gates)\n";
-    std::cout << "campaign: " << format_grouped(faults.size()) << " of "
-              << format_grouped(total) << " single SEU faults, " << cycles
-              << " vectors, seed " << seed << "\n\n";
-
-    TextTable table({"technique", "failure", "latent", "silent",
-                     "emulation (ms)", "us/fault"});
-    bool first = true;
-    for (const Technique technique : parse_techniques(technique_spec)) {
-      const EmulationReport report = emulator.run(technique, faults);
-      if (first) {
-        const SampledGrading est = estimate_grading(report.grading);
-        std::cout << "grading (95% Wilson interval";
-        if (faults.size() == total) {
-          std::cout << "; complete campaign, interval degenerate";
-        }
-        std::cout << "):\n";
-        const auto line = [](const char* name,
-                             const ProportionEstimate& e) {
-          std::cout << "  " << name << ": " << format_percent(e.fraction)
-                    << "  [" << format_percent(e.low) << ", "
-                    << format_percent(e.high) << "]\n";
-        };
-        line("failure", est.failure);
-        line("latent ", est.latent);
-        line("silent ", est.silent);
-        std::cout << "\n";
-        first = false;
-      }
-      const ClassCounts& c = report.grading.counts();
-      table.add_row({std::string(technique_name(technique)),
-                     format_percent(c.failure_fraction()),
-                     format_percent(c.latent_fraction()),
-                     format_percent(c.silent_fraction()),
-                     format_fixed(report.emulation_seconds * 1e3, 2),
-                     format_fixed(report.us_per_fault, 3)});
+    if (!json) {
+      std::cout << "circuit : " << circuit.name() << " ("
+                << circuit.num_inputs() << " PI / " << circuit.num_outputs()
+                << " PO / " << circuit.num_dffs() << " FF, "
+                << circuit.num_gates() << " gates)\n";
     }
-    std::cout << table.to_ascii();
-
-    const std::string csv_path = circuit.name() + "_grading.csv";
-    std::ofstream csv(csv_path);
-    emulator.run(Technique::kTimeMux, faults).grading.write_csv(csv);
-    std::cout << "\nper-fault records written to " << csv_path << "\n";
+    switch (model) {
+      case FaultModel::kSeu:
+        return run_seu(circuit, tb, cycles, technique_spec, sample, seed,
+                       json);
+      case FaultModel::kMbu:
+        return run_mbu(circuit, tb, cycles, sample, seed, json);
+      case FaultModel::kSet:
+        return run_set(circuit, tb, cycles, sample, seed, json);
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -13,13 +13,7 @@ CampaignResult::CampaignResult(std::vector<Fault> faults,
     : faults_(std::move(faults)), outcomes_(std::move(outcomes)) {
   FEMU_CHECK(faults_.size() == outcomes_.size(), "campaign: ", faults_.size(),
              " faults vs ", outcomes_.size(), " outcomes");
-  for (const auto& outcome : outcomes_) {
-    switch (outcome.cls) {
-      case FaultClass::kFailure: ++counts_.failure; break;
-      case FaultClass::kLatent:  ++counts_.latent;  break;
-      case FaultClass::kSilent:  ++counts_.silent;  break;
-    }
-  }
+  counts_.add(outcomes_);
 }
 
 double CampaignResult::mean_detection_latency() const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <vector>
 
 #include "fault/fault.h"
@@ -25,6 +26,18 @@ struct ClassCounts {
   }
   [[nodiscard]] double silent_fraction() const noexcept {
     return total() == 0 ? 0.0 : static_cast<double>(silent) / total();
+  }
+
+  /// Tallies graded outcomes into the counts — the one classification
+  /// switch every campaign-result shape (SEU, MBU, SET) shares.
+  void add(std::span<const FaultOutcome> outcomes) noexcept {
+    for (const FaultOutcome& outcome : outcomes) {
+      switch (outcome.cls) {
+        case FaultClass::kFailure: ++failure; break;
+        case FaultClass::kLatent:  ++latent;  break;
+        case FaultClass::kSilent:  ++silent;  break;
+      }
+    }
   }
 };
 

@@ -15,6 +15,30 @@ struct Fault {
   friend bool operator==(const Fault&, const Fault&) = default;
 };
 
+/// Transient fault models the campaign engines grade. All three share the
+/// classification semantics below; they differ only in where the transient
+/// lands:
+///   kSeu — bit-flip in one flip-flop (the paper's model; `Fault`)
+///   kMbu — bit-flips in several flip-flops, same cycle (`MbuFault`)
+///   kSet — value inversion at a combinational gate output during one
+///          cycle's evaluation (`SetFault`); it matters only if latched or
+///          observed that cycle
+enum class FaultModel : std::uint8_t {
+  kSeu,
+  kMbu,
+  kSet,
+};
+
+[[nodiscard]] constexpr std::string_view fault_model_name(
+    FaultModel model) noexcept {
+  switch (model) {
+    case FaultModel::kSeu: return "seu";
+    case FaultModel::kMbu: return "mbu";
+    case FaultModel::kSet: return "set";
+  }
+  return "?";
+}
+
 /// The paper's three-way fault grading.
 enum class FaultClass : std::uint8_t {
   kFailure,  ///< a primary output deviated from the golden run

@@ -1,11 +1,33 @@
 #include "fault/fault_list.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/error.h"
 #include "common/rng.h"
 
 namespace femu {
+
+std::vector<std::uint64_t> sample_index_set(std::uint64_t total,
+                                            std::size_t count,
+                                            std::uint64_t seed) {
+  FEMU_CHECK(count <= total, "sample of ", count, " from ", total, " faults");
+  // Floyd's algorithm for a uniform sample without replacement; the hash
+  // set keeps the membership test O(1), so the whole draw is O(count).
+  Rng rng(seed);
+  std::vector<std::uint64_t> chosen;
+  chosen.reserve(count);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(count);
+  for (std::uint64_t j = total - count; j < total; ++j) {
+    const std::uint64_t t = rng.below(j + 1);
+    const std::uint64_t pick = seen.contains(t) ? j : t;
+    seen.insert(pick);
+    chosen.push_back(pick);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
 
 std::vector<Fault> complete_fault_list(std::size_t num_ffs,
                                        std::size_t num_cycles) {
@@ -22,20 +44,9 @@ std::vector<Fault> complete_fault_list(std::size_t num_ffs,
 std::vector<Fault> sample_fault_list(std::size_t num_ffs,
                                      std::size_t num_cycles, std::size_t count,
                                      std::uint64_t seed) {
-  const std::size_t total = num_ffs * num_cycles;
-  FEMU_CHECK(count <= total, "sample of ", count, " from ", total, " faults");
-  // Floyd's algorithm for a uniform sample without replacement, then sort
-  // back into schedule (cycle-major) order.
-  Rng rng(seed);
-  std::vector<std::uint64_t> chosen;
-  chosen.reserve(count);
-  for (std::uint64_t j = total - count; j < total; ++j) {
-    const std::uint64_t t = rng.below(j + 1);
-    const bool present = std::find(chosen.begin(), chosen.end(), t) !=
-                         chosen.end();
-    chosen.push_back(present ? j : t);
-  }
-  std::sort(chosen.begin(), chosen.end());
+  // Sorted index sample == schedule (cycle-major) order.
+  const std::vector<std::uint64_t> chosen =
+      sample_index_set(std::uint64_t{num_ffs} * num_cycles, count, seed);
   std::vector<Fault> faults;
   faults.reserve(count);
   for (const std::uint64_t index : chosen) {

@@ -25,6 +25,14 @@ namespace femu {
                                                    std::size_t count,
                                                    std::uint64_t seed);
 
+/// Uniform sample without replacement of `count` indices from [0, total),
+/// returned ascending — Floyd's algorithm on the deterministic Rng. The
+/// shared core of every sampled fault-list builder (SEU, SET); callers map
+/// indices onto their (site, cycle) grid.
+[[nodiscard]] std::vector<std::uint64_t> sample_index_set(std::uint64_t total,
+                                                          std::size_t count,
+                                                          std::uint64_t seed);
+
 /// All faults targeting one flip-flop (per-FF sensitivity studies).
 [[nodiscard]] std::vector<Fault> single_ff_fault_list(std::size_t ff_index,
                                                       std::size_t num_cycles);

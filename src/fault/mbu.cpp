@@ -74,13 +74,7 @@ MbuCampaignResult MbuFaultSimulator::run(std::span<const MbuFault> faults) {
     run_group(faults.subspan(begin, count),
               std::span<FaultOutcome>(result.outcomes).subspan(begin, count));
   }
-  for (const auto& outcome : result.outcomes) {
-    switch (outcome.cls) {
-      case FaultClass::kFailure: ++result.counts.failure; break;
-      case FaultClass::kLatent:  ++result.counts.latent;  break;
-      case FaultClass::kSilent:  ++result.counts.silent;  break;
-    }
-  }
+  result.counts.add(result.outcomes);
   return result;
 }
 

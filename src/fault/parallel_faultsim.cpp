@@ -5,12 +5,181 @@
 #include <bit>
 #include <numeric>
 #include <thread>
+#include <type_traits>
+#include <utility>
 
 #include "common/error.h"
 #include "common/timer.h"
 #include "sim/parallel_sim.h"
 
 namespace femu {
+
+namespace {
+
+// ---- model views -----------------------------------------------------------
+//
+// One view per fault model, normalizing a lane group for the shared group
+// runners. A view answers, per lane: when does the transient enter
+// (cycle), how does it enter (inject = state-bit XORs before eval;
+// overlay_slot = an instruction-overlay XOR during eval), which structural
+// cone bounds its divergence (union_cone), and which bits identify its
+// injection site in the sub-program cache key (seed_key). kHasOverlay
+// gates the overlay code paths out of the SEU/MBU instantiations entirely;
+// kKeyOverNodes picks the cache-key bitset space (FF ids vs node ids).
+
+struct SeuView {
+  std::span<const Fault> faults;
+  const FanoutCones* cones = nullptr;
+  static constexpr bool kHasOverlay = false;
+  static constexpr bool kKeyOverNodes = false;
+
+  [[nodiscard]] std::size_t size() const noexcept { return faults.size(); }
+  [[nodiscard]] std::uint32_t cycle(std::size_t i) const {
+    return faults[i].cycle;
+  }
+  template <typename Engine>
+  void inject(Engine& engine, unsigned lane) const {
+    engine.flip_state_bit(faults[lane].ff_index, lane);
+  }
+  [[nodiscard]] std::uint32_t overlay_slot(std::size_t) const {
+    return kInvalidNode;
+  }
+  void union_cone(std::span<std::uint64_t> mask, std::size_t i) const {
+    cones->union_into(mask, faults[i].ff_index);
+  }
+  void seed_key(std::span<std::uint64_t> key, std::size_t i) const {
+    const std::uint32_t ff = faults[i].ff_index;
+    key[ff >> 6] |= std::uint64_t{1} << (ff & 63);
+  }
+};
+
+struct MbuView {
+  std::span<const MbuFault> faults;
+  const FanoutCones* cones = nullptr;
+  static constexpr bool kHasOverlay = false;
+  static constexpr bool kKeyOverNodes = false;
+
+  [[nodiscard]] std::size_t size() const noexcept { return faults.size(); }
+  [[nodiscard]] std::uint32_t cycle(std::size_t i) const {
+    return faults[i].cycle;
+  }
+  template <typename Engine>
+  void inject(Engine& engine, unsigned lane) const {
+    for (const std::uint32_t ff : faults[lane].ff_indices) {
+      engine.flip_state_bit(ff, lane);
+    }
+  }
+  [[nodiscard]] std::uint32_t overlay_slot(std::size_t) const {
+    return kInvalidNode;
+  }
+  void union_cone(std::span<std::uint64_t> mask, std::size_t i) const {
+    for (const std::uint32_t ff : faults[i].ff_indices) {
+      cones->union_into(mask, ff);
+    }
+  }
+  void seed_key(std::span<std::uint64_t> key, std::size_t i) const {
+    for (const std::uint32_t ff : faults[i].ff_indices) {
+      key[ff >> 6] |= std::uint64_t{1} << (ff & 63);
+    }
+  }
+};
+
+struct SetView {
+  std::span<const SetFault> faults;
+  const GateCones* gates = nullptr;
+  static constexpr bool kHasOverlay = true;
+  static constexpr bool kKeyOverNodes = true;
+
+  [[nodiscard]] std::size_t size() const noexcept { return faults.size(); }
+  [[nodiscard]] std::uint32_t cycle(std::size_t i) const {
+    return faults[i].cycle;
+  }
+  template <typename Engine>
+  void inject(Engine&, unsigned) const {}  // the overlay carries the flip
+  [[nodiscard]] std::uint32_t overlay_slot(std::size_t i) const {
+    return faults[i].node;  // kernel slot index == node id
+  }
+  void union_cone(std::span<std::uint64_t> mask, std::size_t i) const {
+    gates->union_into(mask, gates->site_index(faults[i].node));
+  }
+  void seed_key(std::span<std::uint64_t> key, std::size_t i) const {
+    const NodeId node = faults[i].node;
+    key[node >> 6] |= std::uint64_t{1} << (node & 63);
+  }
+};
+
+/// Selects the lane-width-matching overlay vector out of the per-worker
+/// scratch (Scratch is deduced — WorkerScratch is private).
+template <typename Word, typename Scratch>
+[[nodiscard]] auto& overlay_in(Scratch& scratch) {
+  if constexpr (std::is_same_v<Word, Word256>) {
+    return scratch.overlay256;
+  } else {
+    return scratch.overlay64;
+  }
+}
+
+/// Sorts a per-cycle overlay by dest slot and ORs together entries landing
+/// on the same gate (several lanes hit by a SET at the same site this
+/// cycle), as required by eval_instrs_overlay.
+template <typename Word>
+void finalize_overlay(std::vector<CompiledKernel::OverlayEntry<Word>>& ov) {
+  std::sort(ov.begin(), ov.end(),
+            [](const auto& a, const auto& b) { return a.dest < b.dest; });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < ov.size(); ++i) {
+    if (out != 0 && ov[out - 1].dest == ov[i].dest) {
+      ov[out - 1].mask |= ov[i].mask;
+    } else {
+      ov[out++] = ov[i];
+    }
+  }
+  ov.resize(out);
+}
+
+/// Generic schedule sort shared by the three models: a packed (bucket,
+/// position) key per fault, counting-sorted when the bucket space is dense
+/// (the complete-campaign case), comparison-sorted otherwise.
+template <typename KeyOf>
+[[nodiscard]] std::vector<std::uint32_t> keyed_schedule_perm(
+    std::size_t n, const KeyOf& key_of) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::vector<std::uint64_t> keys(n);
+  std::uint64_t max_key = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = key_of(i);
+    max_key = std::max(max_key, keys[i]);
+  }
+  // Counting sort: O(n + buckets), stable by construction. The bucket space
+  // is about the size of the complete fault list, but a sparse sample of a
+  // huge campaign could make it balloon (4 bytes per bucket), so fall back
+  // to a comparison sort when buckets would dwarf the fault count.
+  if (max_key <= 16 * keys.size() + 4096) {
+    std::vector<std::uint32_t> counts(max_key + 2, 0);
+    for (const std::uint64_t k : keys) ++counts[k + 1];
+    for (std::size_t k = 1; k < counts.size(); ++k) {
+      counts[k] += counts[k - 1];
+    }
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      perm[counts[keys[i]]++] = static_cast<std::uint32_t>(i);
+    }
+  } else {
+    std::sort(perm.begin(), perm.end(),
+              [&](std::uint32_t x, std::uint32_t y) {
+                return std::pair{keys[x], x} < std::pair{keys[y], y};
+              });
+  }
+  return perm;
+}
+
+[[nodiscard]] std::vector<std::uint32_t> identity_perm(std::size_t n) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  return perm;
+}
+
+}  // namespace
 
 ParallelFaultSimulator::ParallelFaultSimulator(const Circuit& circuit,
                                                const Testbench& testbench,
@@ -54,16 +223,36 @@ ParallelFaultSimulator::ParallelFaultSimulator(const Circuit& circuit,
   }
 }
 
+void ParallelFaultSimulator::ensure_set_structures() {
+  const bool need_cones = (config_.cone_restricted && kernel_ != nullptr) ||
+                          config_.schedule == CampaignSchedule::kConeAffine;
+  if (!need_cones || gate_cones_ != nullptr) {
+    return;
+  }
+  // Whenever need_cones holds, the constructor already built the per-FF
+  // cones and the FF affinity ranks (same condition).
+  FEMU_CHECK(cones_ != nullptr, "per-FF cones missing");
+  gate_cones_ = std::make_unique<GateCones>(circuit_, *cones_);
+  if (config_.schedule == CampaignSchedule::kConeAffine) {
+    const std::vector<std::uint32_t> order =
+        cone_affine_site_order(*gate_cones_, circuit_, ff_affinity_rank_);
+    site_affinity_rank_.assign(circuit_.node_count(), 0);
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      site_affinity_rank_[gate_cones_->sites()[order[rank]]] =
+          static_cast<std::uint32_t>(rank);
+    }
+  }
+}
+
+// ---- schedule permutations -------------------------------------------------
+
 std::vector<std::uint32_t> ParallelFaultSimulator::schedule_permutation(
     std::span<const Fault> faults) const {
-  std::vector<std::uint32_t> perm(faults.size());
-  std::iota(perm.begin(), perm.end(), 0u);
   if (config_.schedule == CampaignSchedule::kAsGiven) {
-    return perm;
+    return identity_perm(faults.size());
   }
   const bool affine = config_.schedule == CampaignSchedule::kConeAffine &&
                       !ff_affinity_rank_.empty();
-  // Sort on a packed 64-bit key (stability comes from the low index bits).
   // Cone-affine is block-major: the affinity order is a concatenation of
   // lane-width FF blocks with small cone unions; keying by (block, cycle,
   // rank) lays out each block's faults cycle-major and back to back, so a
@@ -76,43 +265,65 @@ std::vector<std::uint32_t> ParallelFaultSimulator::schedule_permutation(
       affine ? (block - ff_affinity_rank_.size() % block) % block : 0;
   const std::size_t num_cycles = testbench_.num_cycles();
   const std::size_t num_ffs = circuit_.num_dffs();
-  std::vector<std::uint64_t> keys(faults.size());
-  std::uint64_t max_key = 0;
-  for (std::size_t i = 0; i < faults.size(); ++i) {
+  return keyed_schedule_perm(faults.size(), [&](std::size_t i) {
     const Fault& f = faults[i];
-    std::uint64_t key;
     if (affine) {
       // Dense bucket id (block, cycle, rank-within-block): small enough for
       // a counting sort over the whole campaign.
       const std::uint64_t rank = ff_affinity_rank_[f.ff_index] + pad;
-      key = (rank / block * num_cycles + f.cycle) * block + rank % block;
-    } else {
-      key = std::uint64_t{f.cycle} * num_ffs + f.ff_index;
+      return (rank / block * num_cycles + f.cycle) * block + rank % block;
     }
-    keys[i] = key;
-    max_key = std::max(max_key, key);
-  }
-  // Counting sort: O(n + buckets), stable by construction. The bucket space
-  // is at most cycles x FFs (padded) — about the size of the complete fault
-  // list — but a sparse sample of a huge campaign could make it balloon, so
-  // fall back to a comparison sort when buckets would dwarf the fault count.
-  if (max_key <= 64 * keys.size() + 4096) {
-    std::vector<std::uint32_t> counts(max_key + 2, 0);
-    for (const std::uint64_t k : keys) ++counts[k + 1];
-    for (std::size_t k = 1; k < counts.size(); ++k) {
-      counts[k] += counts[k - 1];
-    }
-    for (std::size_t i = 0; i < keys.size(); ++i) {
-      perm[counts[keys[i]]++] = static_cast<std::uint32_t>(i);
-    }
-  } else {
-    std::sort(perm.begin(), perm.end(),
-              [&](std::uint32_t x, std::uint32_t y) {
-                return std::pair{keys[x], x} < std::pair{keys[y], y};
-              });
-  }
-  return perm;
+    return std::uint64_t{f.cycle} * num_ffs + f.ff_index;
+  });
 }
+
+std::vector<std::uint32_t> ParallelFaultSimulator::schedule_permutation(
+    std::span<const MbuFault> faults) const {
+  if (config_.schedule == CampaignSchedule::kAsGiven) {
+    return identity_perm(faults.size());
+  }
+  // An MBU spans several FFs; its first (lowest-index) FF stands in for the
+  // fault in the affinity key. Approximate — the schedule is a performance
+  // knob, never a semantic one.
+  const bool affine = config_.schedule == CampaignSchedule::kConeAffine &&
+                      !ff_affinity_rank_.empty();
+  const std::uint64_t block = lane_count(config_.lanes);
+  const std::uint64_t pad =
+      affine ? (block - ff_affinity_rank_.size() % block) % block : 0;
+  const std::size_t num_cycles = testbench_.num_cycles();
+  const std::size_t num_ffs = circuit_.num_dffs();
+  return keyed_schedule_perm(faults.size(), [&](std::size_t i) {
+    const MbuFault& f = faults[i];
+    const std::uint32_t ff = f.ff_indices.front();
+    if (affine) {
+      const std::uint64_t rank = ff_affinity_rank_[ff] + pad;
+      return (rank / block * num_cycles + f.cycle) * block + rank % block;
+    }
+    return std::uint64_t{f.cycle} * num_ffs + ff;
+  });
+}
+
+std::vector<std::uint32_t> ParallelFaultSimulator::schedule_permutation(
+    std::span<const SetFault> faults) const {
+  if (config_.schedule == CampaignSchedule::kAsGiven) {
+    return identity_perm(faults.size());
+  }
+  const bool affine = config_.schedule == CampaignSchedule::kConeAffine &&
+                      !site_affinity_rank_.empty();
+  const std::uint64_t block = lane_count(config_.lanes);
+  const std::size_t num_cycles = testbench_.num_cycles();
+  const std::size_t num_nodes = circuit_.node_count();
+  return keyed_schedule_perm(faults.size(), [&](std::size_t i) {
+    const SetFault& f = faults[i];
+    if (affine) {
+      const std::uint64_t rank = site_affinity_rank_[f.node];
+      return (rank / block * num_cycles + f.cycle) * block + rank % block;
+    }
+    return std::uint64_t{f.cycle} * num_nodes + f.node;
+  });
+}
+
+// ---- campaign drivers ------------------------------------------------------
 
 CampaignResult ParallelFaultSimulator::run(std::span<const Fault> faults) {
   WallTimer timer;
@@ -125,10 +336,80 @@ CampaignResult ParallelFaultSimulator::run(std::span<const Fault> faults) {
   }
 
   std::vector<FaultOutcome> outcomes(faults.size());
-
-  // Apply the schedule: run over a permuted view, scatter outcomes back
-  // through the inverse permutation so results align with caller order.
   const std::vector<std::uint32_t> perm = schedule_permutation(faults);
+  run_permuted<Fault>(faults, perm, outcomes, [this](auto group) {
+    return SeuView{group, cones_.get()};
+  });
+
+  last_run_seconds_ = timer.elapsed_seconds();
+  return CampaignResult(std::vector<Fault>(faults.begin(), faults.end()),
+                        std::move(outcomes));
+}
+
+MbuCampaignResult ParallelFaultSimulator::run_mbu(
+    std::span<const MbuFault> faults) {
+  WallTimer timer;
+  const std::size_t num_cycles = testbench_.num_cycles();
+  for (const MbuFault& fault : faults) {
+    FEMU_CHECK(fault.cycle < num_cycles, "MBU cycle ", fault.cycle,
+               " beyond testbench length ", num_cycles);
+    FEMU_CHECK(!fault.ff_indices.empty(), "MBU with no flip-flops");
+    for (const std::uint32_t ff : fault.ff_indices) {
+      FEMU_CHECK(ff < circuit_.num_dffs(), "MBU FF ", ff, " out of range");
+    }
+  }
+
+  MbuCampaignResult result;
+  result.faults.assign(faults.begin(), faults.end());
+  result.outcomes.resize(faults.size());
+  const std::vector<std::uint32_t> perm = schedule_permutation(faults);
+  run_permuted<MbuFault>(faults, perm, result.outcomes, [this](auto group) {
+    return MbuView{group, cones_.get()};
+  });
+  result.counts.add(result.outcomes);
+
+  last_run_seconds_ = timer.elapsed_seconds();
+  return result;
+}
+
+SetCampaignResult ParallelFaultSimulator::run_set(
+    std::span<const SetFault> faults) {
+  WallTimer timer;
+  FEMU_CHECK(kernel_ != nullptr,
+             "SET campaigns require the compiled backend "
+             "(the injection overlay is an instruction-stream mechanism)");
+  const std::size_t num_cycles = testbench_.num_cycles();
+  for (const SetFault& fault : faults) {
+    FEMU_CHECK(fault.cycle < num_cycles, "SET cycle ", fault.cycle,
+               " beyond testbench length ", num_cycles);
+    FEMU_CHECK(fault.node < circuit_.node_count() &&
+                   is_comb_cell(circuit_.type(fault.node)),
+               "SET node ", fault.node, " is not a combinational gate");
+  }
+  ensure_set_structures();
+
+  SetCampaignResult result;
+  result.faults.assign(faults.begin(), faults.end());
+  result.outcomes.resize(faults.size());
+  const std::vector<std::uint32_t> perm = schedule_permutation(faults);
+  run_permuted<SetFault>(faults, perm, result.outcomes, [this](auto group) {
+    return SetView{group, gate_cones_.get()};
+  });
+  result.counts.add(result.outcomes);
+
+  last_run_seconds_ = timer.elapsed_seconds();
+  return result;
+}
+
+template <typename FaultT, typename MakeView>
+void ParallelFaultSimulator::run_permuted(std::span<const FaultT> faults,
+                                          std::span<const std::uint32_t> perm,
+                                          std::span<FaultOutcome> outcomes,
+                                          const MakeView& make_view) {
+  using View = std::invoke_result_t<MakeView, std::span<const FaultT>>;
+
+  // Run over a permuted view, scatter outcomes back through the inverse
+  // permutation so results align with caller order.
   bool permuted = false;
   for (std::size_t i = 0; i < perm.size(); ++i) {
     if (perm[i] != i) {
@@ -136,10 +417,10 @@ CampaignResult ParallelFaultSimulator::run(std::span<const Fault> faults) {
       break;
     }
   }
-  std::vector<Fault> scheduled;
+  std::vector<FaultT> scheduled;
   std::vector<FaultOutcome> scheduled_outcomes;
-  std::span<const Fault> run_faults = faults;
-  std::span<FaultOutcome> run_outcomes(outcomes);
+  std::span<const FaultT> run_faults = faults;
+  std::span<FaultOutcome> run_outcomes = outcomes;
   if (permuted) {
     scheduled.reserve(faults.size());
     for (const std::uint32_t idx : perm) scheduled.push_back(faults[idx]);
@@ -163,47 +444,52 @@ CampaignResult ParallelFaultSimulator::run(std::span<const Fault> faults) {
       return LaneEngine<std::uint64_t>(kernel_);
     };
     const auto run_group = [&](LaneEngine<std::uint64_t>& engine,
-                               std::span<const Fault> group_faults,
+                               std::span<const FaultT> group_faults,
                                std::span<FaultOutcome> group_outcomes,
                                WorkerScratch& scratch) {
+      const View view = make_view(group_faults);
       if (cone) {
-        run_group_cone(engine, image64_, group_faults, group_outcomes,
-                       scratch);
+        run_group_cone(engine, image64_, view, group_outcomes, scratch);
       } else {
-        run_group_full(engine, image64_, group_faults, group_outcomes,
-                       scratch);
+        run_group_full(engine, image64_, view, group_outcomes, scratch);
       }
     };
-    run_sharded<std::uint64_t>(make_engine, run_group, run_faults,
-                               run_outcomes, workers);
+    run_sharded<std::uint64_t, FaultT>(make_engine, run_group, run_faults,
+                                       run_outcomes, workers);
   } else if (config_.lanes == LaneWidth::k64) {
-    const auto make_engine = [this] {
-      return ParallelSimulator(circuit_, SimBackend::kInterpreted);
-    };
-    const auto run_group = [&](ParallelSimulator& engine,
-                               std::span<const Fault> group_faults,
-                               std::span<FaultOutcome> group_outcomes,
-                               WorkerScratch& scratch) {
-      run_group_full(engine, image64_, group_faults, group_outcomes, scratch);
-    };
-    run_sharded<std::uint64_t>(make_engine, run_group, run_faults,
-                               run_outcomes, workers);
+    // Interpreted backend: full-eval only, and no instruction stream to
+    // overlay — the SET driver rejects this configuration up front.
+    if constexpr (!View::kHasOverlay) {
+      const auto make_engine = [this] {
+        return ParallelSimulator(circuit_, SimBackend::kInterpreted);
+      };
+      const auto run_group = [&](ParallelSimulator& engine,
+                                 std::span<const FaultT> group_faults,
+                                 std::span<FaultOutcome> group_outcomes,
+                                 WorkerScratch& scratch) {
+        run_group_full(engine, image64_, make_view(group_faults),
+                       group_outcomes, scratch);
+      };
+      run_sharded<std::uint64_t, FaultT>(make_engine, run_group, run_faults,
+                                         run_outcomes, workers);
+    } else {
+      FEMU_CHECK(false, "overlay models require the compiled backend");
+    }
   } else {
     const auto make_engine = [this] { return LaneEngine<Word256>(kernel_); };
     const auto run_group = [&](LaneEngine<Word256>& engine,
-                               std::span<const Fault> group_faults,
+                               std::span<const FaultT> group_faults,
                                std::span<FaultOutcome> group_outcomes,
                                WorkerScratch& scratch) {
+      const View view = make_view(group_faults);
       if (cone) {
-        run_group_cone(engine, image256_, group_faults, group_outcomes,
-                       scratch);
+        run_group_cone(engine, image256_, view, group_outcomes, scratch);
       } else {
-        run_group_full(engine, image256_, group_faults, group_outcomes,
-                       scratch);
+        run_group_full(engine, image256_, view, group_outcomes, scratch);
       }
     };
-    run_sharded<Word256>(make_engine, run_group, run_faults, run_outcomes,
-                         workers);
+    run_sharded<Word256, FaultT>(make_engine, run_group, run_faults,
+                                 run_outcomes, workers);
   }
 
   if (permuted) {
@@ -211,16 +497,13 @@ CampaignResult ParallelFaultSimulator::run(std::span<const Fault> faults) {
       outcomes[perm[i]] = scheduled_outcomes[i];
     }
   }
-
-  last_run_seconds_ = timer.elapsed_seconds();
-  return CampaignResult(std::vector<Fault>(faults.begin(), faults.end()),
-                        std::move(outcomes));
 }
 
-template <typename Word, typename MakeEngine, typename RunGroup>
+template <typename Word, typename FaultT, typename MakeEngine,
+          typename RunGroup>
 void ParallelFaultSimulator::run_sharded(const MakeEngine& make_engine,
                                          const RunGroup& run_group,
-                                         std::span<const Fault> faults,
+                                         std::span<const FaultT> faults,
                                          std::span<FaultOutcome> outcomes,
                                          unsigned num_workers) {
   const std::size_t width = LaneTraits<Word>::kLanes;
@@ -285,33 +568,35 @@ void ParallelFaultSimulator::run_sharded(const MakeEngine& make_engine,
   last_run_narrowings_ = total_narrowings.load();
 }
 
-void ParallelFaultSimulator::sort_group_order(std::span<const Fault> faults,
+template <typename View>
+void ParallelFaultSimulator::sort_group_order(const View& view,
                                               WorkerScratch& scratch) const {
   // Injection schedule sorted by cycle: injections then advance a cursor
   // instead of rescanning all lanes per cycle, and the cursor's head is the
   // next injection cycle the fast-forward path jumps to. The index vector is
   // per-worker scratch — reused across groups, no per-group allocation.
-  scratch.order.resize(faults.size());
+  scratch.order.resize(view.size());
   std::iota(scratch.order.begin(), scratch.order.end(), 0u);
   std::sort(scratch.order.begin(), scratch.order.end(),
             [&](std::uint32_t x, std::uint32_t y) {
-              return faults[x].cycle < faults[y].cycle;
+              return view.cycle(x) < view.cycle(y);
             });
 }
 
-template <typename Engine, typename Word>
+template <typename Engine, typename Word, typename View>
 void ParallelFaultSimulator::run_group_full(Engine& engine,
                                             const GoldenWordImage<Word>& image,
-                                            std::span<const Fault> faults,
+                                            const View& view,
                                             std::span<FaultOutcome> outcomes,
                                             WorkerScratch& scratch) const {
   using T = LaneTraits<Word>;
   const std::size_t num_cycles = testbench_.num_cycles();
   const std::size_t program_size =
       kernel_ ? kernel_->program().size() : circuit_.num_gates();
-  const Word group_mask = T::first_n(faults.size());
+  const std::size_t group_size = view.size();
+  const Word group_mask = T::first_n(group_size);
 
-  sort_group_order(faults, scratch);
+  sort_group_order(view, scratch);
   const std::vector<std::uint32_t>& order = scratch.order;
   std::size_t cursor = 0;
 
@@ -320,22 +605,36 @@ void ParallelFaultSimulator::run_group_full(Engine& engine,
     outcome = FaultOutcome{FaultClass::kLatent, kNoCycle, kNoCycle};
   }
 
-  const std::uint32_t first_cycle = faults[order.front()].cycle;
+  const std::uint32_t first_cycle = view.cycle(order.front());
   engine.broadcast_state(golden_.states[first_cycle]);
   Word injected = T::zero();
   Word classified = T::zero();
+  [[maybe_unused]] auto& overlay = overlay_in<Word>(scratch);
 
   for (std::size_t t = first_cycle; t < num_cycles; ++t) {
-    // Inject the lanes whose cycle has arrived (flip happens in state(t),
-    // before cycle t evaluates — the SEU hits the new state).
-    while (cursor < order.size() && faults[order[cursor]].cycle == t) {
+    // Inject the lanes whose cycle has arrived. SEU/MBU flips happen in
+    // state(t), before cycle t evaluates — the upset hits the new state;
+    // a SET lane instead contributes an overlay entry so the flip lands
+    // inline during this cycle's evaluation.
+    if constexpr (View::kHasOverlay) {
+      overlay.clear();
+    }
+    while (cursor < order.size() && view.cycle(order[cursor]) == t) {
       const std::uint32_t lane = order[cursor];
-      engine.flip_state_bit(faults[lane].ff_index, lane);
+      view.inject(engine, lane);
+      if constexpr (View::kHasOverlay) {
+        overlay.push_back({view.overlay_slot(lane), T::lane_bit(lane)});
+      }
       injected |= T::lane_bit(lane);
       ++cursor;
     }
 
-    engine.eval_words(image.inputs(t));
+    if constexpr (View::kHasOverlay) {
+      finalize_overlay(overlay);
+      engine.eval_words_overlay(image.inputs(t), overlay);
+    } else {
+      engine.eval_words(image.inputs(t));
+    }
     ++scratch.eval_cycles;
     scratch.eval_instrs += program_size;
 
@@ -343,7 +642,7 @@ void ParallelFaultSimulator::run_group_full(Engine& engine,
         engine.output_mismatch_lanes(image.outputs(t)) & injected &
         ~classified;
     if (T::any(mismatch)) {
-      for (std::size_t lane = 0; lane < faults.size(); ++lane) {
+      for (std::size_t lane = 0; lane < group_size; ++lane) {
         if (T::test(mismatch, static_cast<unsigned>(lane))) {
           outcomes[lane].cls = FaultClass::kFailure;
           outcomes[lane].detect_cycle = static_cast<std::uint32_t>(t);
@@ -357,7 +656,7 @@ void ParallelFaultSimulator::run_group_full(Engine& engine,
     const Word differs = engine.state_mismatch_lanes(image.states(t + 1));
     const Word converged = injected & ~classified & ~differs;
     if (T::any(converged)) {
-      for (std::size_t lane = 0; lane < faults.size(); ++lane) {
+      for (std::size_t lane = 0; lane < group_size; ++lane) {
         if (T::test(converged, static_cast<unsigned>(lane))) {
           outcomes[lane].cls = FaultClass::kSilent;
           outcomes[lane].converge_cycle = static_cast<std::uint32_t>(t + 1);
@@ -374,7 +673,7 @@ void ParallelFaultSimulator::run_group_full(Engine& engine,
     // lanes are bit-identical to the golden machine, so jump straight to the
     // next injection cycle (the cursor head) from the golden state image.
     if (!T::any(injected & ~classified) && cursor < order.size()) {
-      const std::uint32_t next_cycle = faults[order[cursor]].cycle;
+      const std::uint32_t next_cycle = view.cycle(order[cursor]);
       if (next_cycle > t + 1) {
         engine.broadcast_state(golden_.states[next_cycle]);
         t = next_cycle - 1;  // loop increment lands on next_cycle
@@ -385,17 +684,18 @@ void ParallelFaultSimulator::run_group_full(Engine& engine,
   // output ever deviated).
 }
 
-template <typename Word>
+template <typename Word, typename View>
 void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
                                             const GoldenWordImage<Word>& image,
-                                            std::span<const Fault> faults,
+                                            const View& view,
                                             std::span<FaultOutcome> outcomes,
                                             WorkerScratch& scratch) const {
   using T = LaneTraits<Word>;
   const std::size_t num_cycles = testbench_.num_cycles();
-  const Word group_mask = T::first_n(faults.size());
+  const std::size_t group_size = view.size();
+  const Word group_mask = T::first_n(group_size);
 
-  sort_group_order(faults, scratch);
+  sort_group_order(view, scratch);
   const std::vector<std::uint32_t>& order = scratch.order;
   std::size_t cursor = 0;
 
@@ -403,23 +703,24 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
     outcome = FaultOutcome{FaultClass::kLatent, kNoCycle, kNoCycle};
   }
 
-  // Initial cone: union of every group fault's fanout cone. Under the
-  // block-major cone-affine schedule consecutive groups carry the same FF
-  // block, so the derived initial sub-program is cached in the worker
-  // scratch keyed on the group's FF set and rebuilt only when the block
-  // changes.
+  // Initial cone: union of every group fault's cone. Under the block-major
+  // cone-affine schedule consecutive groups carry the same site block, so
+  // the derived initial sub-program is cached in the worker scratch keyed
+  // on the group's site set and rebuilt only when the block changes.
   const std::size_t ff_words = (circuit_.num_dffs() + 63) / 64;
-  std::vector<std::uint64_t>& group_ffs = scratch.group_ffs;
-  group_ffs.assign(ff_words, 0);
-  for (const Fault& fault : faults) {
-    group_ffs[fault.ff_index >> 6] |= std::uint64_t{1}
-                                      << (fault.ff_index & 63);
+  const std::size_t lane_words = (T::kLanes + 63) / 64;
+  const std::size_t key_words =
+      View::kKeyOverNodes ? cones_->words_per_cone() : ff_words;
+  std::vector<std::uint64_t>& group_key = scratch.group_key;
+  group_key.assign(key_words, 0);
+  for (std::size_t i = 0; i < group_size; ++i) {
+    view.seed_key(group_key, i);
   }
-  if (!scratch.initial_valid || group_ffs != scratch.cached_ffs) {
-    scratch.cached_ffs = group_ffs;
+  if (!scratch.initial_valid || group_key != scratch.cached_key) {
+    scratch.cached_key = group_key;
     scratch.initial_mask.assign(cones_->words_per_cone(), 0);
-    for (const Fault& fault : faults) {
-      cones_->union_into(scratch.initial_mask, fault.ff_index);
+    for (std::size_t i = 0; i < group_size; ++i) {
+      view.union_cone(scratch.initial_mask, i);
     }
     kernel_->build_subprogram(scratch.initial_mask, scratch.initial_sp);
     scratch.initial_valid = true;
@@ -431,38 +732,55 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
 
   // The sub-program is re-derived (narrowed) at checkpoints — whenever any
   // lane classified since the last checkpoint, and every kNarrowInterval
-  // cycles — from what is *currently* diverged: the cones of the flip-flops whose lane
-  // state differs from golden in any active lane, plus the cones of lanes
-  // still waiting to inject. Divergence can only move inside the structural
+  // cycles — from what is *currently* diverged: the cones of the flip-flops
+  // whose lane state differs from golden in any active lane, plus the seed
+  // cones of lanes still waiting to inject (tracked as per-lane tail bits
+  // in the fingerprint — a waiting SET lane's bound is a gate cone no FF
+  // bit can express). Divergence can only move inside the structural
   // closure, so the re-derived mask is always a subset of the current one
   // and the sub-program only ever shrinks; latent faults whose divergence
   // parks in a few dead-end flip-flops stop paying for the full injection
-  // cone. The diverged-FF set is remembered between checkpoints: once the
-  // tail stabilises (same FFs diverged, typical for latent survivors) the
+  // cone. The fingerprint is remembered between checkpoints: once the tail
+  // stabilises (same FFs diverged, typical for latent survivors) the
   // checkpoint is a bitset compare, with no union or derivation work.
-  std::size_t narrow_below = faults.size() - 1;
+  std::size_t narrow_below = group_size - 1;
   constexpr std::size_t kNarrowInterval = 4;
   std::vector<std::uint64_t>& next_mask = scratch.narrow_mask;
   std::vector<std::uint64_t>& diverged = scratch.diverged_ffs;
-  // Seed with the group FF set — the bound the initial sub-program was
+  // Seed with every lane waiting — the bound the initial sub-program was
   // derived from.
-  diverged = group_ffs;
+  diverged.assign(ff_words + lane_words, 0);
+  for (std::size_t lane = 0; lane < group_size; ++lane) {
+    diverged[ff_words + (lane >> 6)] |= std::uint64_t{1} << (lane & 63);
+  }
 
-  const std::uint32_t first_cycle = faults[order.front()].cycle;
+  const std::uint32_t first_cycle = view.cycle(order.front());
   engine.broadcast_state(golden_.states[first_cycle]);
   Word injected = T::zero();
   Word classified = T::zero();
   std::size_t next_narrow_check = first_cycle + kNarrowInterval;
+  [[maybe_unused]] auto& overlay = overlay_in<Word>(scratch);
 
   for (std::size_t t = first_cycle; t < num_cycles; ++t) {
-    while (cursor < order.size() && faults[order[cursor]].cycle == t) {
+    if constexpr (View::kHasOverlay) {
+      overlay.clear();
+    }
+    while (cursor < order.size() && view.cycle(order[cursor]) == t) {
       const std::uint32_t lane = order[cursor];
-      engine.flip_state_bit(faults[lane].ff_index, lane);
+      view.inject(engine, lane);
+      if constexpr (View::kHasOverlay) {
+        overlay.push_back({view.overlay_slot(lane), T::lane_bit(lane)});
+      }
       injected |= T::lane_bit(lane);
       ++cursor;
     }
 
-    engine.eval_cone(*sp, slot_trace_.at(t));
+    if constexpr (View::kHasOverlay) {
+      finalize_overlay(overlay);
+      engine.eval_cone_overlay(*sp, slot_trace_.at(t), overlay);
+    } else {
+      engine.eval_cone(*sp, slot_trace_.at(t));
+    }
     ++scratch.eval_cycles;
     scratch.eval_instrs += sp->instrs.size();
 
@@ -470,7 +788,7 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
         engine.output_mismatch_lanes_cone(*sp, image.outputs(t)) & injected &
         ~classified;
     if (T::any(mismatch)) {
-      for (std::size_t lane = 0; lane < faults.size(); ++lane) {
+      for (std::size_t lane = 0; lane < group_size; ++lane) {
         if (T::test(mismatch, static_cast<unsigned>(lane))) {
           outcomes[lane].cls = FaultClass::kFailure;
           outcomes[lane].detect_cycle = static_cast<std::uint32_t>(t);
@@ -482,7 +800,7 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
     const Word differs = engine.step_cone_mismatch(*sp, image.states(t + 1));
     const Word converged = injected & ~classified & ~differs;
     if (T::any(converged)) {
-      for (std::size_t lane = 0; lane < faults.size(); ++lane) {
+      for (std::size_t lane = 0; lane < group_size; ++lane) {
         if (T::test(converged, static_cast<unsigned>(lane))) {
           outcomes[lane].cls = FaultClass::kSilent;
           outcomes[lane].converge_cycle = static_cast<std::uint32_t>(t + 1);
@@ -500,19 +818,18 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
     // sub-program, and crucial during the post-injection burst when big
     // cones shed most of their lanes), and every kNarrowInterval cycles to
     // catch divergence that shrinks without classifying.
-    const std::size_t active = faults.size() - T::count(classified);
+    const std::size_t active = group_size - T::count(classified);
     if (active <= narrow_below || t + 1 >= next_narrow_check) {
       narrow_below = active - 1;
       next_narrow_check = t + 1 + kNarrowInterval;
-      // Currently diverged FFs: lanes still waiting to inject contribute
-      // their injection FF, active lanes contribute every cone FF whose
-      // state word differs from golden (only cone FFs can diverge).
+      // Current divergence fingerprint: lanes still waiting to inject
+      // contribute their tail bit, active lanes contribute every cone FF
+      // whose state word differs from golden (only cone FFs can diverge).
       std::vector<std::uint64_t>& now = scratch.diverged_now;
-      now.assign(ff_words, 0);
-      for (std::size_t lane = 0; lane < faults.size(); ++lane) {
+      now.assign(ff_words + lane_words, 0);
+      for (std::size_t lane = 0; lane < group_size; ++lane) {
         if (!T::test(injected, static_cast<unsigned>(lane))) {
-          const std::uint32_t ff = faults[lane].ff_index;
-          now[ff >> 6] |= std::uint64_t{1} << (ff & 63);
+          now[ff_words + (lane >> 6)] |= std::uint64_t{1} << (lane & 63);
         }
       }
       const Word active_lanes = injected & ~classified;
@@ -529,7 +846,7 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
         // cone member's own cone is inside the cone), so tracking the new
         // set without any union work is exact.
         bool maybe_shrunk = true;
-        for (std::size_t w = 0; w < ff_words; ++w) {
+        for (std::size_t w = 0; w < ff_words + lane_words; ++w) {
           if ((now[w] & ~diverged[w]) != 0) {
             maybe_shrunk = false;
             break;
@@ -547,6 +864,15 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
               cones_->union_into(next_mask, ff);
             }
           }
+          for (std::size_t w = 0; w < lane_words; ++w) {
+            std::uint64_t bits = diverged[ff_words + w];
+            while (bits != 0) {
+              const std::size_t lane =
+                  w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+              bits &= bits - 1;
+              view.union_cone(next_mask, lane);
+            }
+          }
           if (next_mask != mask) {
             mask.swap(next_mask);
             kernel_->build_subprogram(mask, scratch.narrow_sp[narrow_buf],
@@ -560,7 +886,7 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
     }
 
     if (!T::any(injected & ~classified) && cursor < order.size()) {
-      const std::uint32_t next_cycle = faults[order[cursor]].cycle;
+      const std::uint32_t next_cycle = view.cycle(order[cursor]);
       if (next_cycle > t + 1) {
         engine.broadcast_state(golden_.states[next_cycle]);
         t = next_cycle - 1;

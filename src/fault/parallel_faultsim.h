@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "fault/campaign_result.h"
+#include "fault/mbu.h"
+#include "fault/set_model.h"
 #include "netlist/circuit.h"
 #include "netlist/fanout_cones.h"
 #include "sim/compiled_kernel.h"
@@ -74,7 +76,20 @@ struct CampaignConfig {
 };
 
 /// Bit-parallel fault simulation with cone-restricted differential
-/// evaluation and multi-threaded campaign sharding.
+/// evaluation and multi-threaded campaign sharding — the unified campaign
+/// engine for all three transient fault models (FaultModel):
+///
+///   run()      — SEU (flip-flop bit-flips, the paper's model)
+///   run_mbu()  — MBU (multi-bit upsets: several FFs flipped together)
+///   run_set()  — SET (transient inversions at combinational gate outputs;
+///                compiled backend only — injection rides the kernel's
+///                instruction-stream overlay)
+///
+/// One CampaignConfig drives every model with identical sharding,
+/// scheduling and classification semantics; the models differ only in how a
+/// lane's transient enters the machine (state-bit XOR before eval vs an
+/// inline instruction-overlay XOR during eval) and in which structural cone
+/// bounds its divergence (per-FF FanoutCones vs per-gate GateCones).
 ///
 /// Faults are processed in groups of lane-width size; lane k of every signal
 /// word carries faulty machine k. A lane whose injection cycle has not
@@ -114,6 +129,19 @@ class ParallelFaultSimulator {
   /// Grades every fault; outcomes align with input order regardless of the
   /// configured schedule. Faults may be in any order.
   [[nodiscard]] CampaignResult run(std::span<const Fault> faults);
+
+  /// Grades an MBU campaign through the same sharded, scheduled,
+  /// cone-restricted engine stack (an MBU lane flips several state bits and
+  /// its divergence cone is the union of the flipped FFs' cones). Any
+  /// backend and lane width.
+  [[nodiscard]] MbuCampaignResult run_mbu(std::span<const MbuFault> faults);
+
+  /// Grades a SET campaign: each lane's gate output is XOR-inverted inline
+  /// during its injection cycle's evaluation via the kernel's injection
+  /// overlay, then the latched divergence is tracked exactly like an SEU's.
+  /// Compiled backend only (the overlay is an instruction-stream mechanism);
+  /// both lane widths, all schedules, cone-restricted or full.
+  [[nodiscard]] SetCampaignResult run_set(std::span<const SetFault> faults);
 
   [[nodiscard]] const GoldenTrace& golden() const noexcept { return golden_; }
 
@@ -159,21 +187,30 @@ class ParallelFaultSimulator {
 
  private:
   /// Per-worker scratch reused across every group the worker runs: the
-  /// injection-schedule index sort, the cone-union masks and the derived
-  /// sub-programs all keep their heap storage between groups. The initial
-  /// sub-program is additionally cached keyed on the group's FF set — under
-  /// the block-major cone-affine schedule consecutive groups carry the same
-  /// FF block at successive cycles, so the derivation runs once per block,
-  /// not once per group.
+  /// injection-schedule index sort, the cone-union masks, the overlay lists
+  /// and the derived sub-programs all keep their heap storage between
+  /// groups. The initial sub-program is additionally cached keyed on the
+  /// group's injection-site set (FF bitset for SEU/MBU, node bitset for
+  /// SET) — under the block-major cone-affine schedule consecutive groups
+  /// carry the same site block at successive cycles, so the derivation runs
+  /// once per block, not once per group.
   struct WorkerScratch {
     std::vector<std::uint32_t> order;
-    std::vector<std::uint64_t> group_ffs;       // FF bitset of current group
-    std::vector<std::uint64_t> cached_ffs;      // FF set initial_sp was built for
-    std::vector<std::uint64_t> initial_mask;    // cone union of cached_ffs
-    std::vector<std::uint64_t> cone_mask;       // working mask (narrowed)
-    std::vector<std::uint64_t> narrow_mask;     // checkpoint candidate mask
-    std::vector<std::uint64_t> diverged_ffs;    // FF bitset at last checkpoint
-    std::vector<std::uint64_t> diverged_now;    // FF bitset being scanned
+    std::vector<std::uint64_t> group_key;     // site bitset of current group
+    std::vector<std::uint64_t> cached_key;    // site set initial_sp was built for
+    std::vector<std::uint64_t> initial_mask;  // cone union of cached_key
+    std::vector<std::uint64_t> cone_mask;     // working mask (narrowed)
+    std::vector<std::uint64_t> narrow_mask;   // checkpoint candidate mask
+    // Divergence fingerprint at the last narrowing checkpoint: FF bits
+    // first, then one tail bit per lane still waiting to inject (a waiting
+    // lane's divergence bound is its seed cone, which no FF bit can
+    // express for a SET site).
+    std::vector<std::uint64_t> diverged_ffs;
+    std::vector<std::uint64_t> diverged_now;
+    // Per-cycle SET injection overlays (one vector per lane word type; only
+    // the active width's vector is ever touched).
+    std::vector<CompiledKernel::OverlayEntry<std::uint64_t>> overlay64;
+    std::vector<CompiledKernel::OverlayEntry<Word256>> overlay256;
     CompiledKernel::ConeSubProgram initial_sp;
     // Two narrow buffers, ping-ponged: a re-derivation filters the current
     // sub-program (see build_subprogram's narrow_from), which must not
@@ -185,32 +222,52 @@ class ParallelFaultSimulator {
     std::uint64_t narrowings = 0;
   };
 
-  template <typename Engine, typename Word>
+  template <typename Engine, typename Word, typename View>
   void run_group_full(Engine& engine, const GoldenWordImage<Word>& image,
-                      std::span<const Fault> faults,
-                      std::span<FaultOutcome> outcomes,
+                      const View& view, std::span<FaultOutcome> outcomes,
                       WorkerScratch& scratch) const;
 
-  template <typename Word>
+  template <typename Word, typename View>
   void run_group_cone(LaneEngine<Word>& engine,
-                      const GoldenWordImage<Word>& image,
-                      std::span<const Fault> faults,
+                      const GoldenWordImage<Word>& image, const View& view,
                       std::span<FaultOutcome> outcomes,
                       WorkerScratch& scratch) const;
 
-  template <typename Word, typename MakeEngine, typename RunGroup>
+  template <typename Word, typename FaultT, typename MakeEngine,
+            typename RunGroup>
   void run_sharded(const MakeEngine& make_engine, const RunGroup& run_group,
-                   std::span<const Fault> faults,
+                   std::span<const FaultT> faults,
                    std::span<FaultOutcome> outcomes, unsigned num_workers);
 
+  /// Shared campaign driver: applies the schedule permutation, dispatches
+  /// on backend x lane width, shards the groups and scatters the outcomes
+  /// back to caller order. `make_view(group_faults)` adapts one group of
+  /// the model's fault type for the group runners.
+  template <typename FaultT, typename MakeView>
+  void run_permuted(std::span<const FaultT> faults,
+                    std::span<const std::uint32_t> perm,
+                    std::span<FaultOutcome> outcomes,
+                    const MakeView& make_view);
+
   /// Sorts the injection schedule indices for one group into scratch.order.
-  void sort_group_order(std::span<const Fault> faults,
-                        WorkerScratch& scratch) const;
+  template <typename View>
+  void sort_group_order(const View& view, WorkerScratch& scratch) const;
 
   /// Schedule permutation: perm[i] is the caller index of the i-th fault in
-  /// engine order (identity for kAsGiven).
+  /// engine order (identity for kAsGiven). One overload per fault model —
+  /// they share the generic keyed sort and differ only in the per-fault
+  /// (cycle, affinity-rank) key.
   [[nodiscard]] std::vector<std::uint32_t> schedule_permutation(
       std::span<const Fault> faults) const;
+  [[nodiscard]] std::vector<std::uint32_t> schedule_permutation(
+      std::span<const MbuFault> faults) const;
+  [[nodiscard]] std::vector<std::uint32_t> schedule_permutation(
+      std::span<const SetFault> faults) const;
+
+  /// Builds the per-gate cones and the SET site affinity ranks on the first
+  /// run_set() that needs them (cone-restricted evaluation or cone-affine
+  /// scheduling); SEU/MBU-only campaigns never pay for them.
+  void ensure_set_structures();
 
   const Circuit& circuit_;
   const Testbench& testbench_;
@@ -218,8 +275,10 @@ class ParallelFaultSimulator {
   GoldenTrace golden_;
   std::shared_ptr<const CompiledKernel> kernel_;  // null when interpreted
   std::unique_ptr<FanoutCones> cones_;            // null when interpreted
+  std::unique_ptr<GateCones> gate_cones_;         // built by ensure_set_structures
   GoldenSlotTrace slot_trace_;                    // empty when full-eval
   std::vector<std::uint32_t> ff_affinity_rank_;   // rank of ff in cone order
+  std::vector<std::uint32_t> site_affinity_rank_;  // node id -> site rank
   GoldenWordImage<std::uint64_t> image64_;
   GoldenWordImage<Word256> image256_;
   double last_run_seconds_ = 0.0;

@@ -1,0 +1,246 @@
+#include "fault/set_model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "fault/fault_list.h"
+
+namespace femu {
+
+SetSites::SetSites(const Circuit& circuit)
+    : rep_of_(circuit.node_count(), kInvalidNode) {
+  circuit.validate();
+  const std::size_t num_nodes = circuit.node_count();
+  sites_.reserve(circuit.num_gates());
+  for (NodeId id = 0; id < num_nodes; ++id) {
+    if (is_comb_cell(circuit.type(id))) {
+      sites_.push_back(id);
+    }
+  }
+
+  // Reference census: how often each node is read, and by what. A site may
+  // collapse onto its consumer only when it has exactly one reader, that
+  // reader is an inversion-transparent unary gate, and nothing else (PO,
+  // DFF D pin, another gate) observes it — then flipping the site for a
+  // cycle is behaviourally identical to flipping the consumer.
+  std::vector<std::uint32_t> refs(num_nodes, 0);
+  std::vector<NodeId> sole_reader(num_nodes, kInvalidNode);
+  for (NodeId id = 0; id < num_nodes; ++id) {
+    for (const NodeId f : circuit.fanins(id)) {
+      ++refs[f];
+      sole_reader[f] = id;
+    }
+  }
+  for (const auto& port : circuit.outputs()) {
+    ++refs[port.driver];
+    sole_reader[port.driver] = kInvalidNode;  // a PO is never collapsible
+  }
+
+  // Descending node-id order: a chain n -> buf -> not -> ... resolves each
+  // link to the already-final representative of its consumer.
+  for (std::size_t s = sites_.size(); s-- > 0;) {
+    const NodeId n = sites_[s];
+    rep_of_[n] = n;
+    if (refs[n] != 1) continue;
+    const NodeId c = sole_reader[n];
+    if (c == kInvalidNode) continue;
+    const CellType ct = circuit.type(c);
+    if (ct == CellType::kBuf || ct == CellType::kNot) {
+      rep_of_[n] = rep_of_[c];
+    }
+  }
+
+  // Group members by representative: reps ascending, members of each class
+  // ascending within it.
+  members_ = sites_;
+  std::sort(members_.begin(), members_.end(), [&](NodeId a, NodeId b) {
+    return std::pair{rep_of_[a], a} < std::pair{rep_of_[b], b};
+  });
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (i == 0 || rep_of_[members_[i]] != rep_of_[members_[i - 1]]) {
+      reps_.push_back(rep_of_[members_[i]]);
+      class_begin_.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  class_begin_.push_back(static_cast<std::uint32_t>(members_.size()));
+}
+
+std::span<const NodeId> SetSites::class_members(NodeId rep) const {
+  const auto it = std::lower_bound(reps_.begin(), reps_.end(), rep);
+  FEMU_CHECK(it != reps_.end() && *it == rep, "node ", rep,
+             " is not a SET class representative");
+  const std::size_t i = static_cast<std::size_t>(it - reps_.begin());
+  return std::span<const NodeId>(members_).subspan(
+      class_begin_[i], class_begin_[i + 1] - class_begin_[i]);
+}
+
+std::vector<SetFault> complete_set_fault_list(const SetSites& sites,
+                                              std::size_t num_cycles,
+                                              bool collapsed) {
+  const std::span<const NodeId> nodes =
+      collapsed ? sites.representatives() : sites.sites();
+  std::vector<SetFault> faults;
+  faults.reserve(nodes.size() * num_cycles);
+  for (std::uint32_t cycle = 0; cycle < num_cycles; ++cycle) {
+    for (const NodeId node : nodes) {
+      faults.push_back(SetFault{node, cycle});
+    }
+  }
+  return faults;
+}
+
+std::vector<SetFault> sample_set_fault_list(const SetSites& sites,
+                                            std::size_t num_cycles,
+                                            std::size_t count,
+                                            std::uint64_t seed) {
+  const std::span<const NodeId> reps = sites.representatives();
+  // Sorted index sample == schedule (cycle-major) order.
+  const std::vector<std::uint64_t> chosen =
+      sample_index_set(std::uint64_t{reps.size()} * num_cycles, count, seed);
+  std::vector<SetFault> faults;
+  faults.reserve(count);
+  for (const std::uint64_t index : chosen) {
+    faults.push_back(SetFault{reps[index % reps.size()],
+                              static_cast<std::uint32_t>(index / reps.size())});
+  }
+  return faults;
+}
+
+SetCampaignResult expand_collapsed_result(const SetSites& sites,
+                                          const SetCampaignResult& rep_result) {
+  SetCampaignResult out;
+  out.faults.reserve(rep_result.faults.size());
+  out.outcomes.reserve(rep_result.outcomes.size());
+  for (std::size_t i = 0; i < rep_result.faults.size(); ++i) {
+    const SetFault& fault = rep_result.faults[i];
+    if (sites.representative(fault.node) == fault.node) {
+      for (const NodeId member : sites.class_members(fault.node)) {
+        out.faults.push_back(SetFault{member, fault.cycle});
+        out.outcomes.push_back(rep_result.outcomes[i]);
+      }
+    } else {
+      // A raw (uncollapsed) site: its own evidence, passed through.
+      out.faults.push_back(fault);
+      out.outcomes.push_back(rep_result.outcomes[i]);
+    }
+  }
+  out.counts.add(out.outcomes);
+  return out;
+}
+
+SerialSetSimulator::SerialSetSimulator(const Circuit& circuit,
+                                       const Testbench& testbench)
+    : circuit_(circuit),
+      testbench_(testbench),
+      golden_(capture_golden(circuit, testbench.vectors())),
+      dff_d_(circuit.dff_drivers()),
+      values_(circuit.node_count(), 0),
+      state_(circuit.num_dffs(), 0) {
+  FEMU_CHECK(testbench.input_width() == circuit.num_inputs(),
+             "testbench width ", testbench.input_width(), " != circuit PI ",
+             circuit.num_inputs());
+}
+
+SetCampaignResult SerialSetSimulator::run(std::span<const SetFault> faults) {
+  const std::size_t num_cycles = testbench_.num_cycles();
+  const std::size_t num_nodes = circuit_.node_count();
+
+  // Source ordinals: PI nodes -> stimulus bit, DFF nodes -> state bit.
+  std::vector<std::uint32_t> ordinal(num_nodes, 0);
+  for (std::size_t i = 0; i < circuit_.inputs().size(); ++i) {
+    ordinal[circuit_.inputs()[i]] = static_cast<std::uint32_t>(i);
+  }
+  for (std::size_t i = 0; i < circuit_.dffs().size(); ++i) {
+    ordinal[circuit_.dffs()[i]] = static_cast<std::uint32_t>(i);
+  }
+
+  SetCampaignResult result;
+  result.faults.assign(faults.begin(), faults.end());
+  result.outcomes.assign(faults.size(),
+                         FaultOutcome{FaultClass::kLatent, kNoCycle, kNoCycle});
+
+  const auto settle = [&](std::size_t t, NodeId flip_node) {
+    const BitVec& vector = testbench_.vector(t);
+    for (NodeId id = 0; id < num_nodes; ++id) {
+      bool v;
+      const CellType type = circuit_.type(id);
+      switch (type) {
+        case CellType::kInput:
+          v = vector.get(ordinal[id]);
+          break;
+        case CellType::kDff:
+          v = state_[ordinal[id]] != 0;
+          break;
+        case CellType::kConst0:
+          v = false;
+          break;
+        case CellType::kConst1:
+          v = true;
+          break;
+        default: {
+          const auto fanins = circuit_.fanins(id);
+          const bool a = values_[fanins[0]] != 0;
+          const bool b = fanins.size() > 1 ? values_[fanins[1]] != 0 : a;
+          const bool c = fanins.size() > 2 ? values_[fanins[2]] != 0 : a;
+          v = eval_cell_bool(type, a, b, c);
+          break;
+        }
+      }
+      values_[id] = static_cast<char>(v != (id == flip_node));
+    }
+  };
+
+  for (std::size_t k = 0; k < faults.size(); ++k) {
+    const SetFault& fault = faults[k];
+    FEMU_CHECK(fault.cycle < num_cycles, "SET cycle ", fault.cycle,
+               " beyond testbench length ", num_cycles);
+    FEMU_CHECK(fault.node < num_nodes &&
+                   is_comb_cell(circuit_.type(fault.node)),
+               "SET node ", fault.node, " is not a combinational gate");
+    FaultOutcome& outcome = result.outcomes[k];
+
+    const BitVec& start = golden_.states[fault.cycle];
+    for (std::size_t i = 0; i < state_.size(); ++i) {
+      state_[i] = static_cast<char>(start.get(i));
+    }
+
+    for (std::size_t t = fault.cycle; t < num_cycles; ++t) {
+      settle(t, t == fault.cycle ? fault.node : kInvalidNode);
+
+      bool output_mismatch = false;
+      for (std::size_t o = 0; o < circuit_.num_outputs(); ++o) {
+        if ((values_[circuit_.outputs()[o].driver] != 0) !=
+            golden_.outputs[t].get(o)) {
+          output_mismatch = true;
+          break;
+        }
+      }
+      if (output_mismatch) {
+        outcome.cls = FaultClass::kFailure;
+        outcome.detect_cycle = static_cast<std::uint32_t>(t);
+        break;
+      }
+
+      for (std::size_t i = 0; i < state_.size(); ++i) {
+        state_[i] = values_[dff_d_[i]];
+      }
+      bool state_mismatch = false;
+      const BitVec& next = golden_.states[t + 1];
+      for (std::size_t i = 0; i < state_.size(); ++i) {
+        if ((state_[i] != 0) != next.get(i)) {
+          state_mismatch = true;
+          break;
+        }
+      }
+      if (!state_mismatch) {
+        outcome.cls = FaultClass::kSilent;
+        outcome.converge_cycle = static_cast<std::uint32_t>(t + 1);
+        break;
+      }
+    }
+  }
+  result.counts.add(result.outcomes);
+  return result;
+}
+
+}  // namespace femu

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/campaign_result.h"
+#include "netlist/circuit.h"
+#include "sim/golden.h"
+#include "stim/testbench.h"
+
+namespace femu {
+
+/// A single-event transient: the output of combinational gate `node` has its
+/// value inverted during testbench cycle `cycle`'s evaluation — every
+/// downstream reader of the node sees the inverted value for that one
+/// settle, and the transient is gone the next cycle. It matters only if it
+/// is observed at a primary output during cycle `cycle` or latched into a
+/// flip-flop at the cycle's clock edge; otherwise the machine never deviates
+/// from golden (logical masking) and the fault grades silent.
+///
+/// SETs are the combinational half of the transient-fault space the paper
+/// grades (its SEU bit-flip model covers the sequential half); as feature
+/// sizes shrank, gate-level transients became the dominant soft-error
+/// mechanism, which is why fault graders grew this model.
+struct SetFault {
+  NodeId node = 0;
+  std::uint32_t cycle = 0;
+
+  friend bool operator==(const SetFault&, const SetFault&) = default;
+};
+
+/// SET site enumeration over a Circuit, with equivalence collapse.
+///
+/// Every combinational gate output is a site. Two sites are *equivalent*
+/// when inverting one for a cycle produces exactly the same machine
+/// behaviour as inverting the other in the same cycle: a gate whose output
+/// is read by exactly one consumer, that consumer being an inversion-
+/// transparent unary cell (kBuf/kNot), and which drives neither a primary
+/// output nor a DFF D pin, is equivalent to that consumer (the flip passes
+/// through unchanged in observability). Chains of such gates collapse onto
+/// their last member — a fanout-free-region tail collapse — so a campaign
+/// grades one representative per class and expands the outcome to the
+/// members afterwards (see expand_collapsed_result).
+class SetSites {
+ public:
+  explicit SetSites(const Circuit& circuit);
+
+  /// Every combinational gate node id, ascending.
+  [[nodiscard]] std::span<const NodeId> sites() const noexcept {
+    return sites_;
+  }
+
+  /// Unique class representatives, ascending node id.
+  [[nodiscard]] std::span<const NodeId> representatives() const noexcept {
+    return reps_;
+  }
+
+  /// Representative of `site`'s equivalence class (== site when the class
+  /// is a singleton). `site` must be a combinational gate.
+  [[nodiscard]] NodeId representative(NodeId site) const {
+    return rep_of_[site];
+  }
+
+  /// Members collapsed onto representative `rep` (including rep itself).
+  [[nodiscard]] std::span<const NodeId> class_members(NodeId rep) const;
+
+  [[nodiscard]] std::size_t num_sites() const noexcept {
+    return sites_.size();
+  }
+  [[nodiscard]] std::size_t num_representatives() const noexcept {
+    return reps_.size();
+  }
+
+ private:
+  std::vector<NodeId> sites_;
+  std::vector<NodeId> reps_;
+  std::vector<NodeId> rep_of_;          // node id -> representative node id
+  std::vector<NodeId> members_;         // grouped by representative
+  std::vector<std::uint32_t> class_begin_;  // per rep: offset into members_
+};
+
+/// The complete SET fault list: every representative site x every cycle,
+/// cycle-major (pass collapsed = false for every raw site instead — e.g. to
+/// validate the collapse itself).
+[[nodiscard]] std::vector<SetFault> complete_set_fault_list(
+    const SetSites& sites, std::size_t num_cycles, bool collapsed = true);
+
+/// Uniform random sample (without replacement) of `count` faults from the
+/// complete representative-site list, in schedule order.
+[[nodiscard]] std::vector<SetFault> sample_set_fault_list(
+    const SetSites& sites, std::size_t num_cycles, std::size_t count,
+    std::uint64_t seed);
+
+/// Result of a SET campaign (same classification semantics as the SEU
+/// CampaignResult; the fault identity is a SetFault).
+struct SetCampaignResult {
+  std::vector<SetFault> faults;
+  std::vector<FaultOutcome> outcomes;
+  ClassCounts counts;
+};
+
+/// Expands a representative-site campaign to the full site set: every
+/// member of a graded representative's equivalence class receives a copy of
+/// the representative's outcome. Faults on non-representative sites are
+/// passed through unchanged (they are their own, singleton evidence).
+[[nodiscard]] SetCampaignResult expand_collapsed_result(
+    const SetSites& sites, const SetCampaignResult& rep_result);
+
+/// Interpreted per-fault SET reference simulator.
+///
+/// One fault at a time: restore the golden state at the injection cycle,
+/// evaluate the circuit graph directly with the site's value inverted during
+/// that cycle's settle, then run forward until classified (output mismatch
+/// -> failure, state re-convergence -> silent, end of testbench -> latent).
+/// Deliberately kernel-free — it walks the Circuit object graph node by
+/// node — so it cross-validates the compiled injection-overlay engines from
+/// a fully independent implementation.
+class SerialSetSimulator {
+ public:
+  SerialSetSimulator(const Circuit& circuit, const Testbench& testbench);
+
+  /// Grades every fault; outcomes align with the input order.
+  [[nodiscard]] SetCampaignResult run(std::span<const SetFault> faults);
+
+  [[nodiscard]] const GoldenTrace& golden() const noexcept { return golden_; }
+
+ private:
+  const Circuit& circuit_;
+  const Testbench& testbench_;
+  GoldenTrace golden_;
+  std::vector<NodeId> dff_d_;
+  std::vector<char> values_;  // per node, current settle
+  std::vector<char> state_;   // per DFF
+};
+
+}  // namespace femu

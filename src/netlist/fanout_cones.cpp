@@ -14,6 +14,35 @@ void set_bit(std::span<std::uint64_t> mask, std::uint32_t node) noexcept {
   mask[node >> 6] |= std::uint64_t{1} << (node & 63);
 }
 
+/// Two-pass CSR forward adjacency shared by the cone builders. The edge
+/// enumerator is called twice — once to count, once to fill — with a
+/// callback taking (from, to).
+struct ForwardCsr {
+  std::vector<std::uint32_t> head;  // num_nodes + 1 offsets
+  std::vector<std::uint32_t> adj;
+
+  template <typename ForEachEdge>
+  void build(std::size_t num_nodes, const ForEachEdge& for_each_edge) {
+    head.assign(num_nodes + 1, 0);
+    for_each_edge([&](NodeId from, NodeId) { ++head[from + 1]; });
+    for (std::size_t i = 1; i <= num_nodes; ++i) head[i] += head[i - 1];
+    adj.resize(head[num_nodes]);
+    std::vector<std::uint32_t> fill(head.begin(), head.end() - 1);
+    for_each_edge([&](NodeId from, NodeId to) { adj[fill[from]++] = to; });
+  }
+};
+
+/// Combinational gates inside `mask` — wordwise popcount against the
+/// comb-node bitset.
+std::size_t count_cone_gates(std::span<const std::uint64_t> mask,
+                             std::span<const std::uint64_t> comb) {
+  std::size_t gates = 0;
+  for (std::size_t w = 0; w < mask.size(); ++w) {
+    gates += static_cast<std::size_t>(std::popcount(mask[w] & comb[w]));
+  }
+  return gates;
+}
+
 }  // namespace
 
 FanoutCones::FanoutCones(const Circuit& circuit)
@@ -26,21 +55,18 @@ FanoutCones::FanoutCones(const Circuit& circuit)
 
   // Forward adjacency: node -> combinational fanouts, plus the sequential
   // edge D-driver -> DFF Q that closes cones over clock boundaries.
-  std::vector<std::uint32_t> head(num_nodes_ + 1, 0);
-  for (NodeId id = 0; id < num_nodes_; ++id) {
-    for (const NodeId f : circuit.fanins(id)) ++head[f + 1];
-  }
   const std::vector<NodeId> drivers = circuit.dff_drivers();
-  for (const NodeId d : drivers) ++head[d + 1];
-  for (std::size_t i = 1; i <= num_nodes_; ++i) head[i] += head[i - 1];
-  std::vector<std::uint32_t> adj(head[num_nodes_]);
-  std::vector<std::uint32_t> fill(head.begin(), head.end() - 1);
-  for (NodeId id = 0; id < num_nodes_; ++id) {
-    for (const NodeId f : circuit.fanins(id)) adj[fill[f]++] = id;
-  }
-  for (std::size_t i = 0; i < drivers.size(); ++i) {
-    adj[fill[drivers[i]]++] = circuit.dffs()[i];
-  }
+  ForwardCsr csr;
+  csr.build(num_nodes_, [&](const auto& edge) {
+    for (NodeId id = 0; id < num_nodes_; ++id) {
+      for (const NodeId f : circuit.fanins(id)) edge(f, id);
+    }
+    for (std::size_t i = 0; i < drivers.size(); ++i) {
+      edge(drivers[i], circuit.dffs()[i]);
+    }
+  });
+  const std::vector<std::uint32_t>& head = csr.head;
+  const std::vector<std::uint32_t>& adj = csr.adj;
 
   // Combinational-node bitset: cone gate counts are then a wordwise
   // popcount of (cone & comb) instead of a full node scan per FF.
@@ -67,11 +93,7 @@ FanoutCones::FanoutCones(const Circuit& circuit)
         }
       }
     }
-    std::size_t gates = 0;
-    for (std::size_t w = 0; w < words_per_cone_; ++w) {
-      gates += static_cast<std::size_t>(std::popcount(mask[w] & comb[w]));
-    }
-    cone_gates_[ff] = gates;
+    cone_gates_[ff] = count_cone_gates(mask, comb);
   }
 }
 
@@ -79,6 +101,71 @@ void FanoutCones::union_into(std::span<std::uint64_t> dst,
                              std::size_t ff) const {
   FEMU_CHECK(ff < num_ffs_, "ff ", ff, " out of range");
   const auto src = cone(ff);
+  for (std::size_t w = 0; w < words_per_cone_; ++w) dst[w] |= src[w];
+}
+
+GateCones::GateCones(const Circuit& circuit, const FanoutCones& ff_cones)
+    : words_per_cone_(ff_cones.words_per_cone()),
+      site_index_(circuit.node_count(), kInvalidNode) {
+  FEMU_CHECK(ff_cones.num_nodes() == circuit.node_count(),
+             "FanoutCones built for a different circuit");
+  const std::size_t num_nodes = circuit.node_count();
+  sites_.reserve(circuit.num_gates());
+  for (NodeId id = 0; id < num_nodes; ++id) {
+    if (is_comb_cell(circuit.type(id))) {
+      site_index_[id] = static_cast<std::uint32_t>(sites_.size());
+      sites_.push_back(id);
+    }
+  }
+  bits_.assign(sites_.size() * words_per_cone_, 0);
+  cone_gates_.assign(sites_.size(), 0);
+
+  // DFFs directly driven by each node (D-driver -> FF index).
+  const std::vector<NodeId> drivers = circuit.dff_drivers();
+  std::vector<std::vector<std::uint32_t>> driven_ffs(num_nodes);
+  for (std::size_t ff = 0; ff < drivers.size(); ++ff) {
+    driven_ffs[drivers[ff]].push_back(static_cast<std::uint32_t>(ff));
+  }
+
+  std::vector<std::uint64_t> comb(words_per_cone_, 0);
+  for (const NodeId id : sites_) set_bit(comb, id);
+
+  // Forward adjacency over combinational consumers only (the sequential
+  // D-driver -> Q edges are covered by the closed FF cones above).
+  ForwardCsr csr;
+  csr.build(num_nodes, [&](const auto& edge) {
+    for (const NodeId c : sites_) {
+      for (const NodeId f : circuit.fanins(c)) edge(f, c);
+    }
+  });
+  const std::vector<std::uint32_t>& head = csr.head;
+  const std::vector<std::uint32_t>& adj = csr.adj;
+
+  // Node-id order is topological, so descending order visits every gate
+  // after all of its combinational consumers — cone(g) is one bitset union
+  // over the consumers' (already final) cones plus the closed FF cones of
+  // directly driven flip-flops. O(edges x words), no fixed point needed.
+  for (std::size_t s = sites_.size(); s-- > 0;) {
+    const NodeId g = sites_[s];
+    const auto mask =
+        std::span<std::uint64_t>(bits_).subspan(s * words_per_cone_,
+                                                words_per_cone_);
+    set_bit(mask, g);
+    for (const std::uint32_t ff : driven_ffs[g]) {
+      ff_cones.union_into(mask, ff);
+    }
+    for (std::uint32_t e = head[g]; e < head[g + 1]; ++e) {
+      const auto src = cone(site_index_[adj[e]]);
+      for (std::size_t w = 0; w < words_per_cone_; ++w) mask[w] |= src[w];
+    }
+    cone_gates_[s] = count_cone_gates(mask, comb);
+  }
+}
+
+void GateCones::union_into(std::span<std::uint64_t> dst,
+                           std::size_t ordinal) const {
+  FEMU_CHECK(ordinal < sites_.size(), "site ", ordinal, " out of range");
+  const auto src = cone(ordinal);
   for (std::size_t w = 0; w < words_per_cone_; ++w) dst[w] |= src[w];
 }
 
@@ -142,6 +229,42 @@ std::vector<std::uint32_t> cone_affine_ff_order(const FanoutCones& cones,
     }
     this_group_width = group_width;
   }
+  return order;
+}
+
+std::vector<std::uint32_t> cone_affine_site_order(
+    const GateCones& gates, const Circuit& circuit,
+    std::span<const std::uint32_t> ff_rank) {
+  FEMU_CHECK(ff_rank.size() == circuit.num_dffs(),
+             "ff_rank size ", ff_rank.size(), " != FF count ",
+             circuit.num_dffs());
+  const std::size_t n = gates.num_sites();
+  const std::uint32_t no_anchor =
+      static_cast<std::uint32_t>(circuit.num_dffs());
+  std::vector<std::uint64_t> keys(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto cone = gates.cone(s);
+    std::uint32_t anchor = no_anchor;
+    for (std::size_t ff = 0; ff < circuit.num_dffs(); ++ff) {
+      if (((cone[circuit.dffs()[ff] >> 6] >> (circuit.dffs()[ff] & 63)) & 1) !=
+              0 &&
+          ff_rank[ff] < anchor) {
+        anchor = ff_rank[ff];
+      }
+    }
+    // (anchor, cone size) packed; ties broken by ordinal in the sort below
+    // so equal keys keep node-id locality.
+    keys[s] = (std::uint64_t{anchor} << 32) |
+              static_cast<std::uint32_t>(
+                  std::min<std::size_t>(gates.cone_gates(s), 0xffffffffu));
+  }
+  std::vector<std::uint32_t> order(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    order[s] = static_cast<std::uint32_t>(s);
+  }
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return std::pair{keys[a], a} < std::pair{keys[b], b};
+  });
   return order;
 }
 

@@ -62,6 +62,66 @@ class FanoutCones {
   std::vector<std::size_t> cone_gates_;
 };
 
+/// Per-combinational-gate structural fanout cones, closed over sequential
+/// feedback — the SET analogue of FanoutCones.
+///
+/// The cone of gate g is every node a transient at g's output can ever
+/// disturb: g itself, its transitive combinational fanout, and — whenever
+/// that fanout reaches a DFF D pin — the per-FF *closed* cone of that
+/// flip-flop. Because the per-FF cones are already closed over feedback, one
+/// reverse-topological pass over the gates (cone(g) = {g} ∪ cones of g's
+/// comb consumers ∪ FF cones of directly driven DFFs) yields closed
+/// per-gate cones without any fixed-point iteration. The same invariants as
+/// FanoutCones hold: a machine whose only deviation from golden is a
+/// transient at g differs from golden only inside cone(g), forever, and the
+/// cone of any FF inside cone(g) is a subset of cone(g).
+///
+/// Sites are indexed by ordinal (position in sites(), ascending node id);
+/// site_index() maps a node id back to its ordinal.
+class GateCones {
+ public:
+  GateCones(const Circuit& circuit, const FanoutCones& ff_cones);
+
+  [[nodiscard]] std::size_t num_sites() const noexcept {
+    return sites_.size();
+  }
+  [[nodiscard]] std::size_t words_per_cone() const noexcept {
+    return words_per_cone_;
+  }
+
+  /// Combinational gate node ids, ascending.
+  [[nodiscard]] std::span<const NodeId> sites() const noexcept {
+    return sites_;
+  }
+
+  /// Ordinal of `node` in sites(); kInvalidNode when not a gate.
+  [[nodiscard]] std::uint32_t site_index(NodeId node) const {
+    return site_index_[node];
+  }
+
+  /// Cone of site `ordinal` as a node-id bitset; the gate itself is always a
+  /// member.
+  [[nodiscard]] std::span<const std::uint64_t> cone(std::size_t ordinal) const {
+    return std::span<const std::uint64_t>(bits_).subspan(
+        ordinal * words_per_cone_, words_per_cone_);
+  }
+
+  /// Combinational gates inside cone(ordinal) — the per-fault work estimate.
+  [[nodiscard]] std::size_t cone_gates(std::size_t ordinal) const {
+    return cone_gates_[ordinal];
+  }
+
+  /// dst |= cone(ordinal). `dst` must hold words_per_cone() words.
+  void union_into(std::span<std::uint64_t> dst, std::size_t ordinal) const;
+
+ private:
+  std::size_t words_per_cone_ = 0;
+  std::vector<NodeId> sites_;
+  std::vector<std::uint32_t> site_index_;  // node id -> ordinal
+  std::vector<std::uint64_t> bits_;        // num_sites x words_per_cone
+  std::vector<std::size_t> cone_gates_;
+};
+
 /// Flip-flop ordering that clusters FFs with overlapping cones.
 ///
 /// Greedy set-cover-style grouping: groups of `group_width` FFs are formed by
@@ -73,5 +133,21 @@ class FanoutCones {
 /// instead of the whole circuit.
 [[nodiscard]] std::vector<std::uint32_t> cone_affine_ff_order(
     const FanoutCones& cones, std::size_t group_width);
+
+/// Site ordering for SET campaigns, clustering gates whose transients latch
+/// into the same flip-flops.
+///
+/// The greedy union-growth heuristic behind cone_affine_ff_order is
+/// quadratic in the item count — fine for hundreds of FFs, too slow for
+/// thousands of gate sites. Instead each site is keyed by its *anchor*: the
+/// best-ranked flip-flop (under `ff_rank`, the per-FF affinity rank) whose Q
+/// node lies inside the site's cone. Gates feeding the same FF block share
+/// downstream cones, so sorting by (anchor rank, cone size, node id) lays
+/// sites with near-identical cone unions back to back; sites whose cone
+/// reaches no flip-flop (output-only or dead logic) sort last. Returns a
+/// permutation of site ordinals.
+[[nodiscard]] std::vector<std::uint32_t> cone_affine_site_order(
+    const GateCones& gates, const Circuit& circuit,
+    std::span<const std::uint32_t> ff_rank);
 
 }  // namespace femu

@@ -121,42 +121,82 @@ class CompiledKernel {
     for (const std::uint32_t slot : const1_slots_) values[slot] = T::ones();
   }
 
+  /// One SET injection point for the overlay eval: after the instruction
+  /// writing slot `dest` executes, the computed value is inverted in the
+  /// lanes of `mask` — a transient at the gate's output, visible to every
+  /// downstream reader of that slot this settle and gone the next. Overlay
+  /// lists are sorted by dest and merged inline against the instruction
+  /// stream, which is dest-ascending (full program and every cone
+  /// sub-program alike), so injection costs one compare per instruction on
+  /// injection cycles and nothing on all others.
+  template <typename Word>
+  struct OverlayEntry {
+    std::uint32_t dest = 0;
+    Word mask{};
+  };
+
+  /// Executes one instruction (shared by the plain and overlay eval loops).
+  template <typename Word>
+  static inline void exec_instr(const Instr& in, Word* values) {
+    const Word a = values[in.a];
+    switch (in.op) {
+      case CellType::kBuf:
+        values[in.dest] = a;
+        break;
+      case CellType::kNot:
+        values[in.dest] = ~a;
+        break;
+      case CellType::kAnd:
+        values[in.dest] = a & values[in.b];
+        break;
+      case CellType::kOr:
+        values[in.dest] = a | values[in.b];
+        break;
+      case CellType::kNand:
+        values[in.dest] = ~(a & values[in.b]);
+        break;
+      case CellType::kNor:
+        values[in.dest] = ~(a | values[in.b]);
+        break;
+      case CellType::kXor:
+        values[in.dest] = a ^ values[in.b];
+        break;
+      case CellType::kXnor:
+        values[in.dest] = ~(a ^ values[in.b]);
+        break;
+      case CellType::kMux:
+        values[in.dest] = (a & values[in.c]) | (~a & values[in.b]);
+        break;
+      default:
+        break;  // sources/DFFs never appear in the program
+    }
+  }
+
   /// Executes an instruction sequence. `values` must hold num_slots() words
   /// with every slot the sequence reads already loaded.
   template <typename Word>
   static void eval_instrs(std::span<const Instr> instrs, Word* values) {
     for (const Instr& in : instrs) {
-      const Word a = values[in.a];
-      switch (in.op) {
-        case CellType::kBuf:
-          values[in.dest] = a;
-          break;
-        case CellType::kNot:
-          values[in.dest] = ~a;
-          break;
-        case CellType::kAnd:
-          values[in.dest] = a & values[in.b];
-          break;
-        case CellType::kOr:
-          values[in.dest] = a | values[in.b];
-          break;
-        case CellType::kNand:
-          values[in.dest] = ~(a & values[in.b]);
-          break;
-        case CellType::kNor:
-          values[in.dest] = ~(a | values[in.b]);
-          break;
-        case CellType::kXor:
-          values[in.dest] = a ^ values[in.b];
-          break;
-        case CellType::kXnor:
-          values[in.dest] = ~(a ^ values[in.b]);
-          break;
-        case CellType::kMux:
-          values[in.dest] = (a & values[in.c]) | (~a & values[in.b]);
-          break;
-        default:
-          break;  // sources/DFFs never appear in the program
+      exec_instr(in, values);
+    }
+  }
+
+  /// Executes an instruction sequence with a SET injection overlay merged
+  /// in: `overlay` must be sorted by dest (strictly ascending). Entries
+  /// whose dest is not written by `instrs` are skipped — a narrowed
+  /// sub-program may have dropped an already-injected site.
+  template <typename Word>
+  static void eval_instrs_overlay(std::span<const Instr> instrs, Word* values,
+                                  std::span<const OverlayEntry<Word>> overlay) {
+    const OverlayEntry<Word>* ov = overlay.data();
+    const OverlayEntry<Word>* const ov_end = ov + overlay.size();
+    for (const Instr& in : instrs) {
+      exec_instr(in, values);
+      while (ov != ov_end && ov->dest <= in.dest) {
+        if (ov->dest == in.dest) {
+          values[in.dest] ^= ov->mask;
+        }
+        ++ov;
       }
     }
   }
@@ -247,6 +287,27 @@ class LaneEngine {
     load_state_and_eval();
   }
 
+  /// eval_words with a SET injection overlay (sorted by dest) merged into
+  /// the instruction stream — see CompiledKernel::OverlayEntry.
+  void eval_words_overlay(
+      std::span<const Word> input_words,
+      std::span<const CompiledKernel::OverlayEntry<Word>> overlay) {
+    if (overlay.empty()) {
+      eval_words(input_words);
+      return;
+    }
+    const auto pis = kernel_->input_slots();
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      values_[pis[i]] = input_words[i];
+    }
+    const auto dffs = kernel_->dff_slots();
+    for (std::size_t i = 0; i < dffs.size(); ++i) {
+      values_[dffs[i]] = state_[i];
+    }
+    CompiledKernel::eval_instrs_overlay<Word>(kernel_->program(),
+                                              values_.data(), overlay);
+  }
+
   /// Differential evaluation of a cone sub-program. Boundary slots are
   /// loaded with broadcast golden values for this cycle (`golden_slots` is
   /// GoldenSlotTrace::at(t)); only cone DFF slots are loaded from lane state
@@ -259,6 +320,30 @@ class LaneEngine {
       values_[s] = Traits::broadcast(((gw[s >> 6] >> (s & 63)) & 1) != 0);
     }
     load_cone_state_and_eval(sp);
+  }
+
+  /// eval_cone with a SET injection overlay (sorted by dest) merged into the
+  /// sub-program stream. The injected site must be a cone member on its
+  /// injection cycle (guaranteed when the cone mask covers the site's gate
+  /// cone); entries for slots the sub-program no longer computes are
+  /// skipped.
+  void eval_cone_overlay(
+      const CompiledKernel::ConeSubProgram& sp, const BitVec& golden_slots,
+      std::span<const CompiledKernel::OverlayEntry<Word>> overlay) {
+    if (overlay.empty()) {
+      eval_cone(sp, golden_slots);
+      return;
+    }
+    const std::span<const std::uint64_t> gw = golden_slots.words();
+    for (const std::uint32_t s : sp.boundary_slots) {
+      values_[s] = Traits::broadcast(((gw[s >> 6] >> (s & 63)) & 1) != 0);
+    }
+    const auto dffs = kernel_->dff_slots();
+    for (const std::uint32_t i : sp.dff_indices) {
+      values_[dffs[i]] = state_[i];
+    }
+    CompiledKernel::eval_instrs_overlay<Word>(sp.instrs, values_.data(),
+                                              overlay);
   }
 
   /// Clock edge: state <- D in every lane.

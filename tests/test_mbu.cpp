@@ -207,5 +207,49 @@ TEST(MbuEmulationTest, RankingInvertsOnB14ShapedCampaigns) {
   EXPECT_LT(timemux.total(), mask.total());  // time-mux still beats mask-scan
 }
 
+TEST(MbuUnifiedEngineTest, MatchesDedicatedMbuSimulatorEverywhere) {
+  // ParallelFaultSimulator::run_mbu (the unified sharded/scheduled/cone
+  // engine) must reproduce the dedicated interpreted MbuFaultSimulator
+  // per-fault, for every backend, lane width, schedule and thread count.
+  circuits::RandomCircuitSpec spec;
+  spec.num_inputs = 5;
+  spec.num_outputs = 4;
+  spec.num_dffs = 18;
+  spec.num_gates = 200;
+  const Circuit c = circuits::build_random(spec, 77);
+  const Testbench tb = random_testbench(spec.num_inputs, 32, 78);
+  auto faults = random_cluster_fault_list(spec.num_dffs, tb.num_cycles(), 3,
+                                          6, 500, 79);
+  for (std::uint32_t ff = 0; ff + 1 < spec.num_dffs; ++ff) {
+    faults.push_back(MbuFault{{ff, ff + 1}, 0});  // plus an as-given prefix
+  }
+
+  MbuFaultSimulator reference(c, tb);
+  const MbuCampaignResult ref = reference.run(faults);
+
+  const auto check = [&](CampaignConfig config, const char* label) {
+    ParallelFaultSimulator sim(c, tb, config);
+    const MbuCampaignResult got = sim.run_mbu(faults);
+    ASSERT_EQ(got.outcomes.size(), ref.outcomes.size()) << label;
+    for (std::size_t i = 0; i < ref.outcomes.size(); ++i) {
+      ASSERT_EQ(got.outcomes[i], ref.outcomes[i])
+          << label << " MBU @" << i << " (cycle " << faults[i].cycle << ")";
+    }
+  };
+  check({SimBackend::kInterpreted, LaneWidth::k64, 1, false,
+         CampaignSchedule::kAsGiven},
+        "interpreted");
+  for (const LaneWidth lanes : {LaneWidth::k64, LaneWidth::k256}) {
+    for (const bool cone : {false, true}) {
+      for (const unsigned threads : {1u, 4u}) {
+        check({SimBackend::kCompiled, lanes, threads, cone,
+               cone ? CampaignSchedule::kConeAffine
+                    : CampaignSchedule::kCycleMajor},
+              cone ? "compiled-cone" : "compiled-full");
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace femu
