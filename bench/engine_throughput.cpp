@@ -1,32 +1,41 @@
-// Campaign-engine throughput bench with machine-readable JSON output.
+// Campaign-engine throughput bench with machine-readable JSON output —
+// the multi-circuit bench matrix.
 //
-// Runs the complete b14 SEU campaign (every FF x every cycle, the paper's
-// 34,400-fault set shape) through every engine configuration — interpreted
-// vs compiled backend, full-program vs cone-restricted differential
-// evaluation, 64 vs 256 lanes, single- vs multi-threaded sharding — plus a
-// same-sized sampled SET campaign (representative gate sites x cycles,
-// injected through the kernel's instruction overlay) in full-eval and
-// cone-restricted configurations — and
-// reports faults/sec, eval-cycles/sec and kernel-instructions executed per
-// configuration, plus the speedup over the interpreted single-thread
-// baseline, the cone-vs-full-eval speedup at 64 lanes and the headline SET
-// throughput ("set_faults_per_sec", the cone-restricted 64-lane config).
+// Sweeps a matrix of circuits x engine configurations and reports, per
+// entry, faults/sec, eval-cycles/sec, kernel instructions executed and
+// eval_bytes_per_instr (slot-storage bytes streamed per executed kernel
+// instruction — the memory-wall metric):
+//
+//   b14            — the paper's benchmark: the full engine ladder
+//                    (interpreted vs compiled, full vs cone, 64/256/512
+//                    lanes, single- vs multi-threaded) plus a same-sized
+//                    sampled SET campaign through the injection overlay
+//   pipe8x32       — generator family sweep (pipeline depth x width):
+//   pipe16x64        cone-restricted engines at 64/256/512 lanes, sampled
+//   pipe32x128       SEU campaigns; the per-family faults/sec trend across
+//                    lane widths shows where each circuit shape hits the
+//                    memory wall (best_cone_lane_width per circuit)
+//
+// Pipelines at or above the on-demand threshold run with on-demand cone
+// derivation automatically (ConePolicy::kAuto), so the matrix also tracks
+// the oracle's schedule-construction cost in the wall-clock numbers.
+//
 // Classification counts are cross-checked across all configurations of the
-// same fault model; any disagreement is
-// reported in the JSON ("identical_classifications") and fails the process,
-// so CI can use this bench as a correctness smoke test as well as a perf
-// trajectory.
+// same (circuit, fault model); any disagreement is reported in the JSON
+// ("identical_classifications") and fails the process, so CI can use this
+// bench as a correctness smoke test as well as a perf trajectory.
 //
 // Usage: engine_throughput [--cycles N] [--repeat N] [--out FILE]
 //                          [--bench-index N] [--baseline FILE]
-//   --cycles N       testbench length (default 160, the paper's vector count)
+//   --cycles N       b14 testbench length (default 160, the paper's vector
+//                    count; pipeline circuits use min(N, 48) vectors)
 //   --repeat N       timed repetitions per config, best-of (default 3)
 //   --out FILE       write the JSON to FILE instead of stdout
 //   --bench-index N  write the JSON to BENCH_<N>.json — the stable name CI
 //                    uses so the perf trajectory accumulates across PRs
 //   --baseline FILE  previous BENCH_*.json to compare against; regressions
-//                    >10% on matching config names print a warning but do
-//                    NOT fail the process (soft-fail regression check)
+//                    >10% on matching "<circuit>/<config>" names print a
+//                    warning but do NOT fail the process (soft-fail check)
 
 #include <cstdint>
 #include <cstring>
@@ -39,9 +48,11 @@
 #include <vector>
 
 #include "circuits/b14.h"
+#include "circuits/generators.h"
 #include "fault/fault_list.h"
 #include "fault/parallel_faultsim.h"
 #include "fault/set_model.h"
+#include "sim/simd_dispatch.h"
 #include "stim/generate.h"
 
 namespace {
@@ -55,7 +66,8 @@ struct BenchConfig {
 };
 
 struct BenchResult {
-  const char* name = "";
+  std::string name;  // "<circuit>/<config>"
+  std::string circuit;
   FaultModel model = FaultModel::kSeu;
   CampaignConfig config;
   unsigned threads = 1;
@@ -63,6 +75,8 @@ struct BenchResult {
   double seconds = 0.0;
   std::uint64_t eval_cycles = 0;
   std::uint64_t eval_instrs = 0;
+  std::uint64_t eval_slot_bytes = 0;
+
   ClassCounts counts;
 
   [[nodiscard]] double faults_per_sec() const {
@@ -71,31 +85,64 @@ struct BenchResult {
   [[nodiscard]] double eval_cycles_per_sec() const {
     return seconds > 0.0 ? static_cast<double>(eval_cycles) / seconds : 0.0;
   }
+  [[nodiscard]] double eval_bytes_per_instr() const {
+    return eval_instrs > 0
+               ? static_cast<double>(eval_slot_bytes) /
+                     static_cast<double>(eval_instrs)
+               : 0.0;
+  }
+};
+
+struct CircuitSummary {
+  std::string name;
+  std::size_t nodes = 0;
+  std::size_t gates = 0;
+  std::size_t ffs = 0;
+  std::size_t cycles = 0;
+  std::size_t best_cone_lane_width = 0;  // fastest 1t cone config
 };
 
 void write_json(std::ostream& out, const std::vector<BenchResult>& results,
-                std::size_t num_ffs, std::size_t num_cycles, bool identical,
+                const std::vector<CircuitSummary>& circuits, bool identical,
                 double cone_speedup_64, double set_faults_per_sec,
                 double set_faults_per_sec_full) {
-  const double base = results.front().faults_per_sec();
+  // Baseline for speedup_vs_base: the first entry of the same circuit —
+  // the interpreted engine on b14, compiled-64-cone on the pipeline
+  // families (which never run the interpreted ladder). Per-circuit
+  // relative only; never compare the column across circuits.
+  const auto base_of = [&](const BenchResult& r) -> const BenchResult& {
+    for (const BenchResult& b : results) {
+      if (b.circuit == r.circuit) return b;
+    }
+    return r;
+  };
   out << "{\n";
-  out << "  \"circuit\": \"b14\",\n";
-  out << "  \"num_ffs\": " << num_ffs << ",\n";
-  out << "  \"num_cycles\": " << num_cycles << ",\n";
   out << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"word512_simd_path\": \"" << word512_simd_path() << "\",\n";
   out << "  \"identical_classifications\": " << (identical ? "true" : "false")
       << ",\n";
   out << "  \"cone_speedup_64\": " << cone_speedup_64 << ",\n";
   out << "  \"set_faults_per_sec\": " << set_faults_per_sec << ",\n";
   out << "  \"set_faults_per_sec_full\": " << set_faults_per_sec_full
       << ",\n";
+  out << "  \"circuits\": [\n";
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    const CircuitSummary& c = circuits[i];
+    out << "    {\"name\": \"" << c.name << "\", \"nodes\": " << c.nodes
+        << ", \"gates\": " << c.gates << ", \"ffs\": " << c.ffs
+        << ", \"cycles\": " << c.cycles << ", \"best_cone_lane_width\": "
+        << c.best_cone_lane_width << "}"
+        << (i + 1 < circuits.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
   out << "  \"engines\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
-    out << "    {\"name\": \"" << r.name << "\", \"model\": \""
-        << fault_model_name(r.model) << "\", \"backend\": \""
-        << sim_backend_name(r.config.backend)
+    const double base = base_of(r).faults_per_sec();
+    out << "    {\"name\": \"" << r.name << "\", \"circuit\": \""
+        << r.circuit << "\", \"model\": \"" << fault_model_name(r.model)
+        << "\", \"backend\": \"" << sim_backend_name(r.config.backend)
         << "\", \"lanes\": " << lane_count(r.config.lanes)
         << ", \"cone_restricted\": "
         << (r.config.cone_restricted ? "true" : "false")
@@ -105,8 +152,9 @@ void write_json(std::ostream& out, const std::vector<BenchResult>& results,
         << ", \"faults_per_sec\": " << r.faults_per_sec()
         << ", \"eval_cycles\": " << r.eval_cycles
         << ", \"eval_instrs\": " << r.eval_instrs
+        << ", \"eval_bytes_per_instr\": " << r.eval_bytes_per_instr()
         << ", \"eval_cycles_per_sec\": " << r.eval_cycles_per_sec()
-        << ", \"speedup_vs_interpreted\": "
+        << ", \"speedup_vs_base\": "
         << (base > 0.0 ? r.faults_per_sec() / base : 0.0)
         << ", \"counts\": {\"failure\": " << r.counts.failure
         << ", \"latent\": " << r.counts.latent
@@ -140,6 +188,88 @@ std::vector<std::pair<std::string, double>> read_baseline(
   return entries;
 }
 
+CampaignConfig full_config(SimBackend b, LaneWidth w, unsigned threads) {
+  return {b, w, threads, /*cone_restricted=*/false,
+          CampaignSchedule::kAsGiven};
+}
+
+CampaignConfig cone_config(LaneWidth w, unsigned threads) {
+  return {SimBackend::kCompiled, w, threads, /*cone_restricted=*/true,
+          CampaignSchedule::kConeAffine};
+}
+
+/// Runs one circuit's configuration set (round-robin over repetitions so
+/// machine-load drift lands on all configurations roughly equally) and
+/// appends the results.
+void run_circuit(const std::string& circuit_name, const Circuit& circuit,
+                 const Testbench& tb, std::span<const Fault> seu_faults,
+                 std::span<const SetFault> set_faults,
+                 std::span<const BenchConfig> configs, int repeat,
+                 std::vector<BenchResult>& results,
+                 std::vector<CircuitSummary>& circuits) {
+  std::vector<std::unique_ptr<ParallelFaultSimulator>> sims;
+  const std::size_t first_result = results.size();
+  for (const BenchConfig& config : configs) {
+    sims.push_back(std::make_unique<ParallelFaultSimulator>(circuit, tb,
+                                                            config.campaign));
+    BenchResult r;
+    r.name = circuit_name + "/" + config.name;
+    r.circuit = circuit_name;
+    r.model = config.model;
+    r.config = config.campaign;
+    r.faults = config.model == FaultModel::kSet ? set_faults.size()
+                                                : seu_faults.size();
+    r.seconds = -1.0;
+    results.push_back(std::move(r));
+  }
+  for (int rep = 0; rep < repeat; ++rep) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      ParallelFaultSimulator& sim = *sims[i];
+      BenchResult& r = results[first_result + i];
+      if (r.model == FaultModel::kSet) {
+        const SetCampaignResult result = sim.run_set(set_faults);
+        r.counts = result.counts;
+      } else {
+        const CampaignResult result = sim.run(seu_faults);
+        r.counts = result.counts();
+      }
+      r.threads = sim.last_run_threads();  // actual workers, post-clamp
+      if (r.seconds < 0.0 || sim.last_run_seconds() < r.seconds) {
+        r.seconds = sim.last_run_seconds();
+        r.eval_cycles = sim.last_run_eval_cycles();
+        r.eval_instrs = sim.last_run_eval_instrs();
+        r.eval_slot_bytes = sim.last_run_eval_slot_bytes();
+      }
+    }
+  }
+
+  CircuitSummary summary;
+  summary.name = circuit_name;
+  summary.nodes = circuit.node_count();
+  summary.gates = circuit.num_gates();
+  summary.ffs = circuit.num_dffs();
+  summary.cycles = tb.num_cycles();
+  double best_fps = 0.0;
+  for (std::size_t i = first_result; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    if (r.model != FaultModel::kSeu || !r.config.cone_restricted ||
+        r.threads != 1) {
+      continue;
+    }
+    if (r.faults_per_sec() > best_fps) {
+      best_fps = r.faults_per_sec();
+      summary.best_cone_lane_width = lane_count(r.config.lanes);
+    }
+  }
+  circuits.push_back(std::move(summary));
+
+  for (std::size_t i = first_result; i < results.size(); ++i) {
+    std::cerr << results[i].name << ": " << results[i].faults_per_sec()
+              << " faults/s (" << results[i].seconds << " s, "
+              << results[i].eval_bytes_per_instr() << " B/instr)\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -165,99 +295,101 @@ int main(int argc, char** argv) {
     }
   }
 
-  const Circuit circuit = circuits::build_b14();
-  const Testbench tb = random_testbench(circuit.num_inputs(), cycles, 2005);
-  const auto faults = complete_fault_list(circuit.num_dffs(), tb.num_cycles());
-  // SET campaign: representative gate sites x cycles is ~20x the SEU set on
-  // b14, so sample it down to the SEU campaign's size — same work scale,
-  // directly comparable faults/sec.
-  const SetSites sites(circuit);
-  const auto set_faults = sample_set_fault_list(
-      sites, tb.num_cycles(),
-      std::min(faults.size(), sites.num_representatives() * tb.num_cycles()),
-      2005);
-
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  const auto full = [](SimBackend b, LaneWidth w, unsigned threads) {
-    return CampaignConfig{b, w, threads, /*cone_restricted=*/false,
-                          CampaignSchedule::kAsGiven};
-  };
-  const auto cone = [](LaneWidth w, unsigned threads) {
-    return CampaignConfig{SimBackend::kCompiled, w, threads,
-                          /*cone_restricted=*/true,
-                          CampaignSchedule::kConeAffine};
-  };
   constexpr FaultModel kSeu = FaultModel::kSeu;
   constexpr FaultModel kSet = FaultModel::kSet;
-  const std::vector<BenchConfig> configs = {
-      {"interpreted-64-1t", kSeu,
-       full(SimBackend::kInterpreted, LaneWidth::k64, 1)},
-      {"compiled-64-full-1t", kSeu,
-       full(SimBackend::kCompiled, LaneWidth::k64, 1)},
-      {"compiled-64-cone-1t", kSeu, cone(LaneWidth::k64, 1)},
-      {"compiled-256-full-1t", kSeu,
-       full(SimBackend::kCompiled, LaneWidth::k256, 1)},
-      {"compiled-256-cone-1t", kSeu, cone(LaneWidth::k256, 1)},
-      {"compiled-64-cone-mt", kSeu, cone(LaneWidth::k64, hw)},
-      {"compiled-256-cone-mt", kSeu, cone(LaneWidth::k256, hw)},
-      {"set-64-full-1t", kSet,
-       full(SimBackend::kCompiled, LaneWidth::k64, 1)},
-      {"set-64-cone-1t", kSet, cone(LaneWidth::k64, 1)},
-      {"set-256-cone-1t", kSet, cone(LaneWidth::k256, 1)},
-      {"set-64-cone-mt", kSet, cone(LaneWidth::k64, hw)},
-  };
 
-  // Engines are constructed once, then the timed repetitions run
-  // round-robin across configurations (rep 0 of every config, rep 1 of
-  // every config, ...) so machine-load drift lands on all configurations
-  // roughly equally instead of skewing the config that happened to run
-  // while the host was busy. Best-of-repeat is reported per config.
-  std::vector<std::unique_ptr<ParallelFaultSimulator>> sims;
   std::vector<BenchResult> results;
-  for (const BenchConfig& config : configs) {
-    sims.push_back(
-        std::make_unique<ParallelFaultSimulator>(circuit, tb, config.campaign));
-    BenchResult r;
-    r.name = config.name;
-    r.model = config.model;
-    r.config = config.campaign;
-    r.faults =
-        config.model == FaultModel::kSet ? set_faults.size() : faults.size();
-    r.seconds = -1.0;
-    results.push_back(r);
-  }
-  for (int rep = 0; rep < repeat; ++rep) {
-    for (std::size_t i = 0; i < configs.size(); ++i) {
-      ParallelFaultSimulator& sim = *sims[i];
-      BenchResult& r = results[i];
-      if (r.model == FaultModel::kSet) {
-        const SetCampaignResult result = sim.run_set(set_faults);
-        r.counts = result.counts;
-      } else {
-        const CampaignResult result = sim.run(faults);
-        r.counts = result.counts();
-      }
-      r.threads = sim.last_run_threads();  // actual workers, post-clamp
-      if (r.seconds < 0.0 || sim.last_run_seconds() < r.seconds) {
-        r.seconds = sim.last_run_seconds();
-        r.eval_cycles = sim.last_run_eval_cycles();
-        r.eval_instrs = sim.last_run_eval_instrs();
-      }
-    }
-  }
-  for (const BenchResult& r : results) {
-    std::cerr << r.name << ": " << r.faults_per_sec() << " faults/s ("
-              << r.seconds << " s)\n";
+  std::vector<CircuitSummary> circuit_summaries;
+
+  // ---- b14: the full engine ladder (the paper's campaign shape) ----------
+  {
+    const Circuit circuit = circuits::build_b14();
+    const Testbench tb = random_testbench(circuit.num_inputs(), cycles, 2005);
+    const auto faults =
+        complete_fault_list(circuit.num_dffs(), tb.num_cycles());
+    // SET campaign: representative gate sites x cycles is ~20x the SEU set
+    // on b14, so sample it down to the SEU campaign's size — same work
+    // scale, directly comparable faults/sec.
+    const SetSites sites(circuit);
+    const auto set_faults = sample_set_fault_list(
+        sites, tb.num_cycles(),
+        std::min(faults.size(),
+                 sites.num_representatives() * tb.num_cycles()),
+        2005);
+    const std::vector<BenchConfig> configs = {
+        {"interpreted-64-1t", kSeu,
+         full_config(SimBackend::kInterpreted, LaneWidth::k64, 1)},
+        {"compiled-64-full-1t", kSeu,
+         full_config(SimBackend::kCompiled, LaneWidth::k64, 1)},
+        {"compiled-64-cone-1t", kSeu, cone_config(LaneWidth::k64, 1)},
+        {"compiled-256-full-1t", kSeu,
+         full_config(SimBackend::kCompiled, LaneWidth::k256, 1)},
+        {"compiled-256-cone-1t", kSeu, cone_config(LaneWidth::k256, 1)},
+        {"compiled-512-full-1t", kSeu,
+         full_config(SimBackend::kCompiled, LaneWidth::k512, 1)},
+        {"compiled-512-cone-1t", kSeu, cone_config(LaneWidth::k512, 1)},
+        {"compiled-64-cone-mt", kSeu, cone_config(LaneWidth::k64, hw)},
+        {"compiled-256-cone-mt", kSeu, cone_config(LaneWidth::k256, hw)},
+        {"compiled-512-cone-mt", kSeu, cone_config(LaneWidth::k512, hw)},
+        {"set-64-full-1t", kSet,
+         full_config(SimBackend::kCompiled, LaneWidth::k64, 1)},
+        {"set-64-cone-1t", kSet, cone_config(LaneWidth::k64, 1)},
+        {"set-256-cone-1t", kSet, cone_config(LaneWidth::k256, 1)},
+        {"set-512-cone-1t", kSet, cone_config(LaneWidth::k512, 1)},
+        {"set-64-cone-mt", kSet, cone_config(LaneWidth::k64, hw)},
+    };
+    run_circuit("b14", circuit, tb, faults, set_faults, configs, repeat,
+                results, circuit_summaries);
   }
 
-  // Per-model cross-check: every configuration of a model must classify its
-  // campaign identically (SEU and SET grade different fault sets, so they
-  // are compared within, never across, models).
+  // ---- generator family sweep: pipeline depth x width --------------------
+  //
+  // Cone-restricted engines across the three lane widths on sampled SEU
+  // campaigns. The family spans ~0.8k to ~12k gates, so the per-family
+  // lane-width trend shows where each circuit shape's working set crosses
+  // the cache hierarchy (pipe32x128 runs with on-demand cones via kAuto
+  // once it crosses the node threshold).
+  struct Family {
+    const char* name;
+    std::size_t stages;
+    std::size_t width;
+    std::size_t sample;
+  };
+  const std::vector<Family> families = {
+      {"pipe8x32", 8, 32, 4096},
+      {"pipe16x64", 16, 64, 4096},
+      {"pipe32x128", 32, 128, 4096},
+  };
+  const std::size_t pipe_cycles = std::min<std::size_t>(cycles, 48);
+  for (const Family& family : families) {
+    const Circuit circuit = circuits::build_pipeline(family.stages,
+                                                     family.width);
+    const Testbench tb =
+        random_testbench(circuit.num_inputs(), pipe_cycles, 2005);
+    const std::size_t total = circuit.num_dffs() * tb.num_cycles();
+    const auto faults =
+        family.sample >= total
+            ? complete_fault_list(circuit.num_dffs(), tb.num_cycles())
+            : sample_fault_list(circuit.num_dffs(), tb.num_cycles(),
+                                family.sample, 2005);
+    const std::vector<BenchConfig> configs = {
+        {"compiled-64-cone-1t", kSeu, cone_config(LaneWidth::k64, 1)},
+        {"compiled-256-cone-1t", kSeu, cone_config(LaneWidth::k256, 1)},
+        {"compiled-512-cone-1t", kSeu, cone_config(LaneWidth::k512, 1)},
+        {"compiled-512-cone-mt", kSeu, cone_config(LaneWidth::k512, hw)},
+    };
+    run_circuit(family.name, circuit, tb, faults, {}, configs, repeat,
+                results, circuit_summaries);
+  }
+
+  // Per-(circuit, model) cross-check: every configuration of a model must
+  // classify its campaign identically.
   bool identical = true;
   for (const BenchResult& r : results) {
     const BenchResult* base_of_model = nullptr;
     for (const BenchResult& b : results) {
-      if (b.model == r.model) {
+      if (b.model == r.model && b.circuit == r.circuit) {
         base_of_model = &b;
         break;
       }
@@ -268,53 +400,47 @@ int main(int argc, char** argv) {
                 r.counts.silent == base_of_model->counts.silent;
   }
 
-  // The tentpole number: cone-restricted vs full-eval at 64 lanes, 1 thread.
-  double full64 = 0.0;
-  double cone64 = 0.0;
-  for (const BenchResult& r : results) {
-    if (std::strcmp(r.name, "compiled-64-full-1t") == 0) {
-      full64 = r.faults_per_sec();
+  // The tentpole numbers (b14): cone vs full at 64 lanes, and the SET
+  // overlay throughput, both single-threaded.
+  const auto fps_of = [&](const char* name) {
+    for (const BenchResult& r : results) {
+      if (r.name == name) return r.faults_per_sec();
     }
-    if (std::strcmp(r.name, "compiled-64-cone-1t") == 0) {
-      cone64 = r.faults_per_sec();
-    }
-  }
+    return 0.0;
+  };
+  const double full64 = fps_of("b14/compiled-64-full-1t");
+  const double cone64 = fps_of("b14/compiled-64-cone-1t");
   const double cone_speedup_64 = full64 > 0.0 ? cone64 / full64 : 0.0;
-  std::cerr << "cone-restricted speedup vs full-eval (64 lanes, 1 thread): "
+  const double set_cone64 = fps_of("b14/set-64-cone-1t");
+  const double set_full64 = fps_of("b14/set-64-full-1t");
+  std::cerr << "cone-restricted speedup vs full-eval (b14, 64 lanes, 1t): "
             << cone_speedup_64 << "x\n";
-
-  // The SET headline numbers: overlay injection at full kernel speed, cone
-  // and full-eval (64 lanes, 1 thread).
-  double set_cone64 = 0.0;
-  double set_full64 = 0.0;
-  for (const BenchResult& r : results) {
-    if (std::strcmp(r.name, "set-64-cone-1t") == 0) {
-      set_cone64 = r.faults_per_sec();
-    }
-    if (std::strcmp(r.name, "set-64-full-1t") == 0) {
-      set_full64 = r.faults_per_sec();
-    }
-  }
-  std::cerr << "SET throughput (64 lanes, 1 thread): cone " << set_cone64
+  std::cerr << "SET throughput (b14, 64 lanes, 1t): cone " << set_cone64
             << " faults/s, full-eval " << set_full64 << " faults/s\n";
+  std::cerr << "Word512 SIMD path: " << word512_simd_path() << "\n";
+  for (const CircuitSummary& c : circuit_summaries) {
+    std::cerr << c.name << ": best cone lane width " << c.best_cone_lane_width
+              << "\n";
+  }
 
   if (out_path.empty()) {
-    write_json(std::cout, results, circuit.num_dffs(), tb.num_cycles(),
-               identical, cone_speedup_64, set_cone64, set_full64);
+    write_json(std::cout, results, circuit_summaries, identical,
+               cone_speedup_64, set_cone64, set_full64);
   } else {
     std::ofstream out(out_path);
     if (!out) {
       std::cerr << "cannot open " << out_path << "\n";
       return 2;
     }
-    write_json(out, results, circuit.num_dffs(), tb.num_cycles(), identical,
-               cone_speedup_64, set_cone64, set_full64);
+    write_json(out, results, circuit_summaries, identical, cone_speedup_64,
+               set_cone64, set_full64);
     std::cerr << "wrote " << out_path << "\n";
   }
 
   // Soft-fail regression check: compare against a previous BENCH_*.json by
-  // config name. Warn-only — machine noise must not break CI; the warning
-  // plus the accumulated artifacts give the trajectory reviewers the signal.
+  // "<circuit>/<config>" name. Warn-only — machine noise must not break CI;
+  // the warning plus the accumulated artifacts give the trajectory
+  // reviewers the signal.
   if (!baseline_path.empty()) {
     const auto baseline = read_baseline(baseline_path);
     if (baseline.empty()) {

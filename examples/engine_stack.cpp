@@ -2,7 +2,8 @@
 // example. Grades the same campaign with every backend / lane-width /
 // threading configuration, shows that the classification is bit-identical
 // everywhere, and prints the throughput ladder from the interpreted baseline
-// up to the threaded 256-lane compiled engine.
+// up to the threaded 512-lane compiled engine (AVX-512 when the host has
+// it, portable limbs otherwise — see sim/simd_dispatch.h).
 //
 //   engine_stack [circuit] [cycles]
 //     circuit  registry name           [default: b14]
@@ -52,8 +53,11 @@ int main(int argc, char** argv) try {
       {"compiled cone-restricted, 256 lanes, 1 thread",
        {SimBackend::kCompiled, LaneWidth::k256, 1, true,
         CampaignSchedule::kConeAffine}},
-      {"compiled cone-restricted, 256 lanes, all threads",
-       {SimBackend::kCompiled, LaneWidth::k256, hw, true,
+      {"compiled cone-restricted, 512 lanes, 1 thread",
+       {SimBackend::kCompiled, LaneWidth::k512, 1, true,
+        CampaignSchedule::kConeAffine}},
+      {"compiled cone-restricted, 512 lanes, all threads",
+       {SimBackend::kCompiled, LaneWidth::k512, hw, true,
         CampaignSchedule::kConeAffine}},
   };
 

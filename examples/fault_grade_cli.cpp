@@ -1,7 +1,7 @@
 // Command-line fault-grading driver — the "downstream user" entry point.
 //
 //   fault_grade_cli [circuit] [cycles] [technique] [sample] [seed]
-//                   [--model seu|mbu|set] [--json]
+//                   [--model seu|mbu|set] [--lanes 64|256|512] [--json]
 //
 //     circuit    registry name (see --list) or a .bench file path
 //                [default: b14]
@@ -19,6 +19,10 @@
 //                  set  single-event transients at combinational gate
 //                       outputs (collapsed representative sites, expanded
 //                       back to all sites in the report)
+//     --lanes    grading-engine lane width: 64, 256 or 512 faulty machines
+//                per pass [default: 64]. 512 uses AVX-512 when the host
+//                supports it and portable limbs otherwise; the chosen SIMD
+//                path is reported in --json output ("simd")
 //     --json     machine-readable grading JSON on stdout instead of tables
 //
 // The SEU model prints the grading with 95% confidence intervals and the
@@ -39,6 +43,7 @@
 #include "fault/sampling.h"
 #include "fault/set_model.h"
 #include "netlist/bench_io.h"
+#include "sim/simd_dispatch.h"
 #include "stim/generate.h"
 
 namespace {
@@ -70,12 +75,28 @@ FaultModel parse_model(const std::string& spec) {
   throw Error(str_cat("unknown fault model '", spec, "' (seu | mbu | set)"));
 }
 
+LaneWidth parse_lanes(const std::string& spec) {
+  if (spec == "64") return LaneWidth::k64;
+  if (spec == "256") return LaneWidth::k256;
+  if (spec == "512") return LaneWidth::k512;
+  throw Error(str_cat("unknown lane width '", spec, "' (64 | 256 | 512)"));
+}
+
+/// The SIMD path the configured lane width actually executes: the runtime
+/// AVX-512/limb dispatch applies to 512-lane words; narrower words always
+/// run the portable code.
+const char* simd_path_of(LaneWidth lanes) {
+  return lanes == LaneWidth::k512 ? word512_simd_path() : "portable";
+}
+
 void write_grading_json(std::ostream& out, FaultModel model,
-                        const Circuit& circuit, std::size_t faults,
-                        const ClassCounts& counts, double seconds) {
+                        const Circuit& circuit, LaneWidth lanes,
+                        std::size_t faults, const ClassCounts& counts,
+                        double seconds) {
   out << "{\"model\": \"" << fault_model_name(model) << "\", \"circuit\": \""
-      << circuit.name() << "\", \"faults\": " << faults
-      << ", \"seconds\": " << seconds
+      << circuit.name() << "\", \"lanes\": " << lane_count(lanes)
+      << ", \"simd\": \"" << simd_path_of(lanes) << "\", \"faults\": "
+      << faults << ", \"seconds\": " << seconds
       << ", \"counts\": {\"failure\": " << counts.failure
       << ", \"latent\": " << counts.latent
       << ", \"silent\": " << counts.silent
@@ -99,8 +120,10 @@ void print_grading_table(FaultModel model, const ClassCounts& counts,
 
 int run_seu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
             const std::string& technique_spec, std::size_t sample,
-            std::uint64_t seed, bool json) {
-  AutonomousEmulator emulator(circuit, tb);
+            std::uint64_t seed, LaneWidth lanes, bool json) {
+  EmulatorOptions options;
+  options.campaign.lanes = lanes;
+  AutonomousEmulator emulator(circuit, tb, options);
   const std::size_t total = circuit.num_dffs() * cycles;
   const auto faults =
       sample == 0 || sample >= total
@@ -110,8 +133,9 @@ int run_seu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
   if (json) {
     const EmulationReport report =
         emulator.run(parse_techniques(technique_spec).front(), faults);
-    write_grading_json(std::cout, FaultModel::kSeu, circuit, faults.size(),
-                       report.grading.counts(), report.emulation_seconds);
+    write_grading_json(std::cout, FaultModel::kSeu, circuit, lanes,
+                       faults.size(), report.grading.counts(),
+                       report.emulation_seconds);
     return 0;
   }
 
@@ -160,7 +184,8 @@ int run_seu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
 }
 
 int run_mbu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
-            std::size_t sample, std::uint64_t seed, bool json) {
+            std::size_t sample, std::uint64_t seed, LaneWidth lanes,
+            bool json) {
   // Complete campaign: all adjacent FF pairs x all cycles (the dominant
   // physical MBU pattern); a sample draws random locality clusters instead.
   const auto faults =
@@ -169,11 +194,13 @@ int run_mbu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
           : random_cluster_fault_list(circuit.num_dffs(), cycles,
                                      /*cluster_size=*/2, /*window=*/4, sample,
                                      seed);
-  ParallelFaultSimulator sim(circuit, tb);
+  CampaignConfig config;
+  config.lanes = lanes;
+  ParallelFaultSimulator sim(circuit, tb, config);
   const MbuCampaignResult result = sim.run_mbu(faults);
   if (json) {
-    write_grading_json(std::cout, FaultModel::kMbu, circuit, faults.size(),
-                       result.counts, sim.last_run_seconds());
+    write_grading_json(std::cout, FaultModel::kMbu, circuit, lanes,
+                       faults.size(), result.counts, sim.last_run_seconds());
     return 0;
   }
   std::cout << "campaign: " << format_grouped(faults.size()) << " MBU faults ("
@@ -185,13 +212,16 @@ int run_mbu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
 }
 
 int run_set(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
-            std::size_t sample, std::uint64_t seed, bool json) {
+            std::size_t sample, std::uint64_t seed, LaneWidth lanes,
+            bool json) {
   const SetSites sites(circuit);
   const std::size_t total = sites.num_representatives() * cycles;
   const auto faults = sample == 0 || sample >= total
                           ? complete_set_fault_list(sites, cycles)
                           : sample_set_fault_list(sites, cycles, sample, seed);
-  ParallelFaultSimulator sim(circuit, tb);
+  CampaignConfig config;
+  config.lanes = lanes;
+  ParallelFaultSimulator sim(circuit, tb, config);
   const SetCampaignResult rep_result = sim.run_set(faults);
   const double seconds = sim.last_run_seconds();
   // Representative sites stand for their whole equivalence class; the
@@ -199,7 +229,7 @@ int run_set(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
   const SetCampaignResult expanded =
       expand_collapsed_result(sites, rep_result);
   if (json) {
-    write_grading_json(std::cout, FaultModel::kSet, circuit,
+    write_grading_json(std::cout, FaultModel::kSet, circuit, lanes,
                        expanded.faults.size(), expanded.counts, seconds);
     return 0;
   }
@@ -223,11 +253,14 @@ int main(int argc, char** argv) {
     // Flags first (position-independent), positionals keep their order.
     std::vector<std::string> positional;
     std::string model_spec = "seu";
+    std::string lanes_spec = "64";
     bool json = false;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--model" && i + 1 < argc) {
         model_spec = argv[++i];
+      } else if (arg == "--lanes" && i + 1 < argc) {
+        lanes_spec = argv[++i];
       } else if (arg == "--json") {
         json = true;
       } else {
@@ -251,6 +284,7 @@ int main(int argc, char** argv) {
     const std::uint64_t seed =
         positional.size() > 4 ? std::stoull(positional[4]) : 2005;
     const FaultModel model = parse_model(model_spec);
+    const LaneWidth lanes = parse_lanes(lanes_spec);
 
     const Circuit circuit = load_circuit(circuit_spec);
     const Testbench tb = random_testbench(circuit.num_inputs(), cycles, seed);
@@ -259,16 +293,17 @@ int main(int argc, char** argv) {
       std::cout << "circuit : " << circuit.name() << " ("
                 << circuit.num_inputs() << " PI / " << circuit.num_outputs()
                 << " PO / " << circuit.num_dffs() << " FF, "
-                << circuit.num_gates() << " gates)\n";
+                << circuit.num_gates() << " gates), " << lane_count(lanes)
+                << " lanes (" << simd_path_of(lanes) << ")\n";
     }
     switch (model) {
       case FaultModel::kSeu:
         return run_seu(circuit, tb, cycles, technique_spec, sample, seed,
-                       json);
+                       lanes, json);
       case FaultModel::kMbu:
-        return run_mbu(circuit, tb, cycles, sample, seed, json);
+        return run_mbu(circuit, tb, cycles, sample, seed, lanes, json);
       case FaultModel::kSet:
-        return run_set(circuit, tb, cycles, sample, seed, json);
+        return run_set(circuit, tb, cycles, sample, seed, lanes, json);
     }
     return 0;
   } catch (const std::exception& e) {

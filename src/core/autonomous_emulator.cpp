@@ -11,7 +11,7 @@ AutonomousEmulator::AutonomousEmulator(const Circuit& circuit,
     : circuit_(circuit),
       testbench_(testbench),
       options_(options),
-      engine_(circuit, testbench) {
+      engine_(circuit, testbench, options.campaign) {
   FEMU_CHECK(options_.clock_mhz > 0.0, "clock must be positive");
 }
 

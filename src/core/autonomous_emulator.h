@@ -26,6 +26,8 @@ struct EmulatorOptions {
                                     ///< netlist (skip for timing-only sweeps)
   bool enforce_fit = false;         ///< throw CapacityError when the system
                                     ///< exceeds the board
+  CampaignConfig campaign{};        ///< grading-engine config (lane width,
+                                    ///< cone policy, threads, ...)
 };
 
 /// Synthesis-side results of one technique on one circuit (Table 1 row).

@@ -27,9 +27,33 @@ namespace {
 // gates the overlay code paths out of the SEU/MBU instantiations entirely;
 // kKeyOverNodes picks the cache-key bitset space (FF ids vs node ids).
 
+/// The cone source behind a view: eager materialized matrices or the
+/// on-demand oracle (ConePolicy). Both derive bit-identical cones; the
+/// group runners never know which one is active.
+struct ConeBackend {
+  const FanoutCones* eager_ff = nullptr;
+  const GateCones* eager_gate = nullptr;
+  const ConeOracle* oracle = nullptr;
+
+  void union_ff(std::span<std::uint64_t> mask, std::size_t ff) const {
+    if (eager_ff != nullptr) {
+      eager_ff->union_into(mask, ff);
+    } else {
+      oracle->union_into_ff(mask, ff);
+    }
+  }
+  void union_gate(std::span<std::uint64_t> mask, NodeId gate) const {
+    if (eager_gate != nullptr) {
+      eager_gate->union_into(mask, eager_gate->site_index(gate));
+    } else {
+      oracle->union_into_gate(mask, gate);
+    }
+  }
+};
+
 struct SeuView {
   std::span<const Fault> faults;
-  const FanoutCones* cones = nullptr;
+  ConeBackend cones;
   static constexpr bool kHasOverlay = false;
   static constexpr bool kKeyOverNodes = false;
 
@@ -45,7 +69,10 @@ struct SeuView {
     return kInvalidNode;
   }
   void union_cone(std::span<std::uint64_t> mask, std::size_t i) const {
-    cones->union_into(mask, faults[i].ff_index);
+    cones.union_ff(mask, faults[i].ff_index);
+  }
+  void union_ff_cone(std::span<std::uint64_t> mask, std::size_t ff) const {
+    cones.union_ff(mask, ff);
   }
   void seed_key(std::span<std::uint64_t> key, std::size_t i) const {
     const std::uint32_t ff = faults[i].ff_index;
@@ -55,7 +82,7 @@ struct SeuView {
 
 struct MbuView {
   std::span<const MbuFault> faults;
-  const FanoutCones* cones = nullptr;
+  ConeBackend cones;
   static constexpr bool kHasOverlay = false;
   static constexpr bool kKeyOverNodes = false;
 
@@ -74,8 +101,11 @@ struct MbuView {
   }
   void union_cone(std::span<std::uint64_t> mask, std::size_t i) const {
     for (const std::uint32_t ff : faults[i].ff_indices) {
-      cones->union_into(mask, ff);
+      cones.union_ff(mask, ff);
     }
+  }
+  void union_ff_cone(std::span<std::uint64_t> mask, std::size_t ff) const {
+    cones.union_ff(mask, ff);
   }
   void seed_key(std::span<std::uint64_t> key, std::size_t i) const {
     for (const std::uint32_t ff : faults[i].ff_indices) {
@@ -86,7 +116,7 @@ struct MbuView {
 
 struct SetView {
   std::span<const SetFault> faults;
-  const GateCones* gates = nullptr;
+  ConeBackend cones;
   static constexpr bool kHasOverlay = true;
   static constexpr bool kKeyOverNodes = true;
 
@@ -100,7 +130,10 @@ struct SetView {
     return faults[i].node;  // kernel slot index == node id
   }
   void union_cone(std::span<std::uint64_t> mask, std::size_t i) const {
-    gates->union_into(mask, gates->site_index(faults[i].node));
+    cones.union_gate(mask, faults[i].node);
+  }
+  void union_ff_cone(std::span<std::uint64_t> mask, std::size_t ff) const {
+    cones.union_ff(mask, ff);
   }
   void seed_key(std::span<std::uint64_t> key, std::size_t i) const {
     const NodeId node = faults[i].node;
@@ -112,7 +145,9 @@ struct SetView {
 /// scratch (Scratch is deduced — WorkerScratch is private).
 template <typename Word, typename Scratch>
 [[nodiscard]] auto& overlay_in(Scratch& scratch) {
-  if constexpr (std::is_same_v<Word, Word256>) {
+  if constexpr (std::is_same_v<Word, Word512>) {
+    return scratch.overlay512;
+  } else if constexpr (std::is_same_v<Word, Word256>) {
     return scratch.overlay256;
   } else {
     return scratch.overlay64;
@@ -195,6 +230,11 @@ ParallelFaultSimulator::ParallelFaultSimulator(const Circuit& circuit,
       config_.backend == SimBackend::kCompiled ||
           config_.lanes == LaneWidth::k64,
       "interpreted backend supports 64 lanes only");
+  on_demand_cones_ =
+      config_.cone_policy == ConePolicy::kOnDemand ||
+      (config_.cone_policy == ConePolicy::kAuto &&
+       circuit.node_count() >= CampaignConfig::kOnDemandNodeThreshold);
+  words_per_cone_ = (circuit.node_count() + 63) / 64;
   const bool cones_for_eval =
       config_.cone_restricted && config_.backend == SimBackend::kCompiled;
   if (config_.backend == SimBackend::kCompiled) {
@@ -203,9 +243,21 @@ ParallelFaultSimulator::ParallelFaultSimulator(const Circuit& circuit,
   // The cone-affine schedule only needs the cones, not the kernel, so it
   // works (as a grouping heuristic) even on the interpreted backend.
   if (cones_for_eval || config_.schedule == CampaignSchedule::kConeAffine) {
-    cones_ = std::make_unique<FanoutCones>(circuit);
-    const std::vector<std::uint32_t> order =
-        cone_affine_ff_order(*cones_, lane_count(config_.lanes));
+    std::vector<std::uint32_t> order;
+    if (on_demand_cones_) {
+      // On-demand mode never materializes cone matrices: the oracle serves
+      // unions by DFS and the FF ordering comes from the near-linear
+      // anchor-rank pass — campaign construction stays near-linear in the
+      // circuit size. The labels are kept so a later SET campaign's site
+      // ranking reuses them instead of repeating the sweep.
+      oracle_ = std::make_unique<ConeOracle>(circuit);
+      next_ff_labels_ = next_ff_labels(circuit);
+      order = cone_affine_ff_order_anchor(circuit, next_ff_labels_);
+    } else {
+      cones_ = std::make_unique<FanoutCones>(circuit);
+      order = cone_affine_ff_order(circuit, *cones_, lane_count(config_.lanes),
+                                   config_.greedy_order_cap);
+    }
     ff_affinity_rank_.resize(order.size());
     for (std::size_t rank = 0; rank < order.size(); ++rank) {
       ff_affinity_rank_[order[rank]] = static_cast<std::uint32_t>(rank);
@@ -218,15 +270,31 @@ ParallelFaultSimulator::ParallelFaultSimulator(const Circuit& circuit,
   // read-only by every worker thread.
   if (config_.lanes == LaneWidth::k64) {
     image64_ = GoldenWordImage<std::uint64_t>(golden_, testbench.vectors());
-  } else {
+  } else if (config_.lanes == LaneWidth::k256) {
     image256_ = GoldenWordImage<Word256>(golden_, testbench.vectors());
+  } else {
+    image512_ = GoldenWordImage<Word512>(golden_, testbench.vectors());
   }
 }
 
 void ParallelFaultSimulator::ensure_set_structures() {
   const bool need_cones = (config_.cone_restricted && kernel_ != nullptr) ||
                           config_.schedule == CampaignSchedule::kConeAffine;
-  if (!need_cones || gate_cones_ != nullptr) {
+  if (!need_cones) {
+    return;
+  }
+  if (on_demand_cones_) {
+    // The oracle already answers per-gate cone unions; only the site
+    // affinity ranks are missing, and the anchor-label pass derives them
+    // without a per-site cone matrix.
+    if (config_.schedule == CampaignSchedule::kConeAffine &&
+        site_affinity_rank_.empty()) {
+      site_affinity_rank_ = cone_affine_site_rank_anchor(
+          circuit_, ff_affinity_rank_, next_ff_labels_);
+    }
+    return;
+  }
+  if (gate_cones_ != nullptr) {
     return;
   }
   // Whenever need_cones holds, the constructor already built the per-FF
@@ -338,7 +406,7 @@ CampaignResult ParallelFaultSimulator::run(std::span<const Fault> faults) {
   std::vector<FaultOutcome> outcomes(faults.size());
   const std::vector<std::uint32_t> perm = schedule_permutation(faults);
   run_permuted<Fault>(faults, perm, outcomes, [this](auto group) {
-    return SeuView{group, cones_.get()};
+    return SeuView{group, {cones_.get(), nullptr, oracle_.get()}};
   });
 
   last_run_seconds_ = timer.elapsed_seconds();
@@ -364,7 +432,7 @@ MbuCampaignResult ParallelFaultSimulator::run_mbu(
   result.outcomes.resize(faults.size());
   const std::vector<std::uint32_t> perm = schedule_permutation(faults);
   run_permuted<MbuFault>(faults, perm, result.outcomes, [this](auto group) {
-    return MbuView{group, cones_.get()};
+    return MbuView{group, {cones_.get(), nullptr, oracle_.get()}};
   });
   result.counts.add(result.outcomes);
 
@@ -393,7 +461,7 @@ SetCampaignResult ParallelFaultSimulator::run_set(
   result.outcomes.resize(faults.size());
   const std::vector<std::uint32_t> perm = schedule_permutation(faults);
   run_permuted<SetFault>(faults, perm, result.outcomes, [this](auto group) {
-    return SetView{group, gate_cones_.get()};
+    return SetView{group, {cones_.get(), gate_cones_.get(), oracle_.get()}};
   });
   result.counts.add(result.outcomes);
 
@@ -476,20 +544,28 @@ void ParallelFaultSimulator::run_permuted(std::span<const FaultT> faults,
       FEMU_CHECK(false, "overlay models require the compiled backend");
     }
   } else {
-    const auto make_engine = [this] { return LaneEngine<Word256>(kernel_); };
-    const auto run_group = [&](LaneEngine<Word256>& engine,
-                               std::span<const FaultT> group_faults,
-                               std::span<FaultOutcome> group_outcomes,
-                               WorkerScratch& scratch) {
-      const View view = make_view(group_faults);
-      if (cone) {
-        run_group_cone(engine, image256_, view, group_outcomes, scratch);
-      } else {
-        run_group_full(engine, image256_, view, group_outcomes, scratch);
-      }
+    const auto run_wide = [&]<typename Word>(
+                              const GoldenWordImage<Word>& image) {
+      const auto make_engine = [this] { return LaneEngine<Word>(kernel_); };
+      const auto run_group = [&](LaneEngine<Word>& engine,
+                                 std::span<const FaultT> group_faults,
+                                 std::span<FaultOutcome> group_outcomes,
+                                 WorkerScratch& scratch) {
+        const View view = make_view(group_faults);
+        if (cone) {
+          run_group_cone(engine, image, view, group_outcomes, scratch);
+        } else {
+          run_group_full(engine, image, view, group_outcomes, scratch);
+        }
+      };
+      run_sharded<Word, FaultT>(make_engine, run_group, run_faults,
+                                run_outcomes, workers);
     };
-    run_sharded<Word256, FaultT>(make_engine, run_group, run_faults,
-                                 run_outcomes, workers);
+    if (config_.lanes == LaneWidth::k256) {
+      run_wide(image256_);
+    } else {
+      run_wide(image512_);
+    }
   }
 
   if (permuted) {
@@ -525,6 +601,7 @@ void ParallelFaultSimulator::run_sharded(const MakeEngine& make_engine,
     }
     last_run_eval_cycles_ = scratch.eval_cycles;
     last_run_eval_instrs_ = scratch.eval_instrs;
+    last_run_eval_slot_bytes_ = scratch.eval_slot_bytes;
     last_run_narrowings_ = scratch.narrowings;
     return;
   }
@@ -537,6 +614,7 @@ void ParallelFaultSimulator::run_sharded(const MakeEngine& make_engine,
   std::atomic<std::size_t> next_group{0};
   std::atomic<std::uint64_t> total_eval_cycles{0};
   std::atomic<std::uint64_t> total_eval_instrs{0};
+  std::atomic<std::uint64_t> total_eval_slot_bytes{0};
   std::atomic<std::uint64_t> total_narrowings{0};
   const auto worker = [&] {
     auto engine = make_engine();
@@ -551,6 +629,8 @@ void ParallelFaultSimulator::run_sharded(const MakeEngine& make_engine,
                                 std::memory_order_relaxed);
     total_eval_instrs.fetch_add(scratch.eval_instrs,
                                 std::memory_order_relaxed);
+    total_eval_slot_bytes.fetch_add(scratch.eval_slot_bytes,
+                                    std::memory_order_relaxed);
     total_narrowings.fetch_add(scratch.narrowings, std::memory_order_relaxed);
   };
 
@@ -565,6 +645,7 @@ void ParallelFaultSimulator::run_sharded(const MakeEngine& make_engine,
   }
   last_run_eval_cycles_ = total_eval_cycles.load();
   last_run_eval_instrs_ = total_eval_instrs.load();
+  last_run_eval_slot_bytes_ = total_eval_slot_bytes.load();
   last_run_narrowings_ = total_narrowings.load();
 }
 
@@ -593,6 +674,7 @@ void ParallelFaultSimulator::run_group_full(Engine& engine,
   const std::size_t num_cycles = testbench_.num_cycles();
   const std::size_t program_size =
       kernel_ ? kernel_->program().size() : circuit_.num_gates();
+  const std::size_t slot_bytes = circuit_.node_count() * sizeof(Word);
   const std::size_t group_size = view.size();
   const Word group_mask = T::first_n(group_size);
 
@@ -637,6 +719,7 @@ void ParallelFaultSimulator::run_group_full(Engine& engine,
     }
     ++scratch.eval_cycles;
     scratch.eval_instrs += program_size;
+    scratch.eval_slot_bytes += slot_bytes;
 
     const Word mismatch =
         engine.output_mismatch_lanes(image.outputs(t)) & injected &
@@ -710,7 +793,7 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
   const std::size_t ff_words = (circuit_.num_dffs() + 63) / 64;
   const std::size_t lane_words = (T::kLanes + 63) / 64;
   const std::size_t key_words =
-      View::kKeyOverNodes ? cones_->words_per_cone() : ff_words;
+      View::kKeyOverNodes ? words_per_cone_ : ff_words;
   std::vector<std::uint64_t>& group_key = scratch.group_key;
   group_key.assign(key_words, 0);
   for (std::size_t i = 0; i < group_size; ++i) {
@@ -718,7 +801,7 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
   }
   if (!scratch.initial_valid || group_key != scratch.cached_key) {
     scratch.cached_key = group_key;
-    scratch.initial_mask.assign(cones_->words_per_cone(), 0);
+    scratch.initial_mask.assign(words_per_cone_, 0);
     for (std::size_t i = 0; i < group_size; ++i) {
       view.union_cone(scratch.initial_mask, i);
     }
@@ -769,7 +852,13 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
       const std::uint32_t lane = order[cursor];
       view.inject(engine, lane);
       if constexpr (View::kHasOverlay) {
-        overlay.push_back({view.overlay_slot(lane), T::lane_bit(lane)});
+        // Overlay destinations live in the sub-program's arena space; a
+        // site the (narrowed) sub-program no longer computes is dropped —
+        // its transient provably cannot affect what is still evaluated.
+        const std::uint32_t s = view.overlay_slot(lane);
+        if (sp->in_cone(s)) {
+          overlay.push_back({sp->local_of_slot[s], T::lane_bit(lane)});
+        }
       }
       injected |= T::lane_bit(lane);
       ++cursor;
@@ -783,6 +872,7 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
     }
     ++scratch.eval_cycles;
     scratch.eval_instrs += sp->instrs.size();
+    scratch.eval_slot_bytes += sp->arena_slots * sizeof(Word);
 
     const Word mismatch =
         engine.output_mismatch_lanes_cone(*sp, image.outputs(t)) & injected &
@@ -861,7 +951,7 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
               const std::size_t ff =
                   w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
               bits &= bits - 1;
-              cones_->union_into(next_mask, ff);
+              view.union_ff_cone(next_mask, ff);
             }
           }
           for (std::size_t w = 0; w < lane_words; ++w) {

@@ -22,6 +22,9 @@ namespace femu {
 enum class LaneWidth : std::uint32_t {
   k64 = 64,    ///< one uint64_t per signal (classic bit-parallel width)
   k256 = 256,  ///< four uint64_t per signal — 4x faults per pass
+  k512 = 512,  ///< eight uint64_t per signal — one zmm register / cache
+               ///< line per signal; AVX-512 when the host has it, portable
+               ///< limbs otherwise (see sim/simd_dispatch.h)
 };
 
 [[nodiscard]] constexpr std::size_t lane_count(LaneWidth w) noexcept {
@@ -55,6 +58,35 @@ enum class CampaignSchedule : std::uint8_t {
   return "?";
 }
 
+/// How the engine obtains fanout cones (a memory/latency trade-off; never
+/// affects outcomes — eager and on-demand derive bit-identical cones).
+///
+///   kEager    — materialize the full per-FF (and, for SET, per-gate)
+///               cone matrices up front: O(items x nodes) bits. Fast
+///               per-group unions; prohibitive above a few 10k gates.
+///   kOnDemand — keep only the reachability CSR (ConeOracle) and derive
+///               each scheduled block's cone union by one DFS when a
+///               worker first claims it; scheduling uses the near-linear
+///               anchor-rank orders. O(edges) memory, near-linear
+///               campaign construction — the only mode that scales to
+///               100k-gate circuits.
+///   kAuto     — eager below kOnDemandNodeThreshold circuit nodes,
+///               on-demand at or above it.
+enum class ConePolicy : std::uint8_t {
+  kAuto,
+  kEager,
+  kOnDemand,
+};
+
+[[nodiscard]] constexpr const char* cone_policy_name(ConePolicy p) noexcept {
+  switch (p) {
+    case ConePolicy::kAuto: return "auto";
+    case ConePolicy::kEager: return "eager";
+    case ConePolicy::kOnDemand: return "on-demand";
+  }
+  return "?";
+}
+
 /// Campaign engine configuration.
 ///
 /// The default — compiled kernel, 64 lanes, cone-restricted differential
@@ -73,6 +105,16 @@ struct CampaignConfig {
   /// the golden baseline (compiled backend only; ignored when interpreted).
   bool cone_restricted = true;
   CampaignSchedule schedule = CampaignSchedule::kConeAffine;
+  /// Eager cone matrices vs on-demand CSR derivation (see ConePolicy).
+  ConePolicy cone_policy = ConePolicy::kAuto;
+  /// FF count above which the quadratic greedy cone-affine FF ordering is
+  /// skipped in favour of the near-linear anchor-rank ordering, so a large
+  /// circuit can never stall the campaign constructor. Only consulted in
+  /// eager mode (on-demand always uses anchor ranks); 0 = never greedy.
+  std::size_t greedy_order_cap = 2048;
+
+  /// kAuto switches to on-demand cones at this circuit size.
+  static constexpr std::size_t kOnDemandNodeThreshold = 20000;
 };
 
 /// Bit-parallel fault simulation with cone-restricted differential
@@ -149,11 +191,23 @@ class ParallelFaultSimulator {
     return config_;
   }
 
-  /// Per-FF fanout cones. Built when the cone-restricted engine is active
-  /// (compiled backend) or the cone-affine schedule needs them as a grouping
-  /// heuristic (any backend); null otherwise.
+  /// Per-FF fanout cones. Built when the engine runs in eager cone mode and
+  /// the cone-restricted engine is active (compiled backend) or the
+  /// cone-affine schedule needs them as a grouping heuristic (any backend);
+  /// null otherwise — in particular always null in on-demand mode, where
+  /// cone_oracle() serves instead.
   [[nodiscard]] const FanoutCones* cones() const noexcept {
     return cones_.get();
+  }
+
+  /// On-demand cone oracle; null in eager mode.
+  [[nodiscard]] const ConeOracle* cone_oracle() const noexcept {
+    return oracle_.get();
+  }
+
+  /// True when this engine derives cones on demand (resolved kAuto).
+  [[nodiscard]] bool on_demand_cones() const noexcept {
+    return on_demand_cones_;
   }
 
   /// Worker threads the last run() actually used.
@@ -185,6 +239,15 @@ class ParallelFaultSimulator {
     return last_run_narrowings_;
   }
 
+  /// Slot-storage bytes the eval loops streamed over in the last run: every
+  /// eval adds its working set (full slot array for full-program evals, the
+  /// dense cone arena for cone evals) times the lane word size. Divided by
+  /// last_run_eval_instrs() this is the engine's bytes-per-instruction — the
+  /// memory-wall metric the bench matrix reports per circuit and lane width.
+  [[nodiscard]] std::uint64_t last_run_eval_slot_bytes() const noexcept {
+    return last_run_eval_slot_bytes_;
+  }
+
  private:
   /// Per-worker scratch reused across every group the worker runs: the
   /// injection-schedule index sort, the cone-union masks, the overlay lists
@@ -211,6 +274,7 @@ class ParallelFaultSimulator {
     // the active width's vector is ever touched).
     std::vector<CompiledKernel::OverlayEntry<std::uint64_t>> overlay64;
     std::vector<CompiledKernel::OverlayEntry<Word256>> overlay256;
+    std::vector<CompiledKernel::OverlayEntry<Word512>> overlay512;
     CompiledKernel::ConeSubProgram initial_sp;
     // Two narrow buffers, ping-ponged: a re-derivation filters the current
     // sub-program (see build_subprogram's narrow_from), which must not
@@ -219,6 +283,7 @@ class ParallelFaultSimulator {
     bool initial_valid = false;
     std::uint64_t eval_cycles = 0;
     std::uint64_t eval_instrs = 0;
+    std::uint64_t eval_slot_bytes = 0;
     std::uint64_t narrowings = 0;
   };
 
@@ -272,18 +337,24 @@ class ParallelFaultSimulator {
   const Circuit& circuit_;
   const Testbench& testbench_;
   CampaignConfig config_;
+  bool on_demand_cones_ = false;  // resolved cone policy
+  std::size_t words_per_cone_ = 0;
   GoldenTrace golden_;
   std::shared_ptr<const CompiledKernel> kernel_;  // null when interpreted
-  std::unique_ptr<FanoutCones> cones_;            // null when interpreted
-  std::unique_ptr<GateCones> gate_cones_;         // built by ensure_set_structures
+  std::unique_ptr<FanoutCones> cones_;            // eager mode only
+  std::unique_ptr<ConeOracle> oracle_;            // on-demand mode only
+  std::unique_ptr<GateCones> gate_cones_;         // eager ensure_set_structures
   GoldenSlotTrace slot_trace_;                    // empty when full-eval
+  std::vector<std::uint32_t> next_ff_labels_;     // on-demand anchor labels
   std::vector<std::uint32_t> ff_affinity_rank_;   // rank of ff in cone order
   std::vector<std::uint32_t> site_affinity_rank_;  // node id -> site rank
   GoldenWordImage<std::uint64_t> image64_;
   GoldenWordImage<Word256> image256_;
+  GoldenWordImage<Word512> image512_;
   double last_run_seconds_ = 0.0;
   std::uint64_t last_run_eval_cycles_ = 0;
   std::uint64_t last_run_eval_instrs_ = 0;
+  std::uint64_t last_run_eval_slot_bytes_ = 0;
   std::uint64_t last_run_narrowings_ = 0;
   unsigned last_run_threads_ = 1;
 };

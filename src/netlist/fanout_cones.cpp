@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <limits>
+#include <numeric>
+#include <utility>
 
 #include "common/error.h"
 
@@ -32,6 +34,25 @@ struct ForwardCsr {
   }
 };
 
+/// Builds the closed-cone reachability CSR — combinational fanin->consumer
+/// edges plus the sequential D-driver -> DFF-Q edges that close cones over
+/// clock boundaries. One shared definition for FanoutCones and ConeOracle:
+/// their cones are bit-identical *by construction* because they traverse
+/// the same edge set, and a future edge-kind change cannot drift between
+/// the eager and on-demand builders.
+void build_reachability_csr(const Circuit& circuit, ForwardCsr& csr) {
+  const std::size_t num_nodes = circuit.node_count();
+  const std::vector<NodeId> drivers = circuit.dff_drivers();
+  csr.build(num_nodes, [&](const auto& edge) {
+    for (NodeId id = 0; id < num_nodes; ++id) {
+      for (const NodeId f : circuit.fanins(id)) edge(f, id);
+    }
+    for (std::size_t i = 0; i < drivers.size(); ++i) {
+      edge(drivers[i], circuit.dffs()[i]);
+    }
+  });
+}
+
 /// Combinational gates inside `mask` — wordwise popcount against the
 /// comb-node bitset.
 std::size_t count_cone_gates(std::span<const std::uint64_t> mask,
@@ -53,18 +74,8 @@ FanoutCones::FanoutCones(const Circuit& circuit)
       cone_gates_(circuit.num_dffs(), 0) {
   circuit.validate();
 
-  // Forward adjacency: node -> combinational fanouts, plus the sequential
-  // edge D-driver -> DFF Q that closes cones over clock boundaries.
-  const std::vector<NodeId> drivers = circuit.dff_drivers();
   ForwardCsr csr;
-  csr.build(num_nodes_, [&](const auto& edge) {
-    for (NodeId id = 0; id < num_nodes_; ++id) {
-      for (const NodeId f : circuit.fanins(id)) edge(f, id);
-    }
-    for (std::size_t i = 0; i < drivers.size(); ++i) {
-      edge(drivers[i], circuit.dffs()[i]);
-    }
-  });
+  build_reachability_csr(circuit, csr);
   const std::vector<std::uint32_t>& head = csr.head;
   const std::vector<std::uint32_t>& adj = csr.adj;
 
@@ -167,6 +178,140 @@ void GateCones::union_into(std::span<std::uint64_t> dst,
   FEMU_CHECK(ordinal < sites_.size(), "site ", ordinal, " out of range");
   const auto src = cone(ordinal);
   for (std::size_t w = 0; w < words_per_cone_; ++w) dst[w] |= src[w];
+}
+
+ConeOracle::ConeOracle(const Circuit& circuit)
+    : num_ffs_(circuit.num_dffs()),
+      num_nodes_(circuit.node_count()),
+      words_per_cone_((circuit.node_count() + 63) / 64),
+      dffs_(circuit.dffs().begin(), circuit.dffs().end()) {
+  circuit.validate();
+  // Same edge set as FanoutCones (build_reachability_csr is the single
+  // shared definition), so reachability from any root is bit-identical to
+  // the eager builders' cones.
+  ForwardCsr csr;
+  build_reachability_csr(circuit, csr);
+  head_ = std::move(csr.head);
+  adj_ = std::move(csr.adj);
+}
+
+void ConeOracle::dfs_from(std::span<std::uint64_t> dst, NodeId root) const {
+  // The caller's accumulator doubles as the visited set: nodes already in
+  // the union are never re-expanded, so accumulating k cones costs one
+  // traversal of the union's edges. The stack is per-thread scratch (the
+  // campaign workers call this concurrently on a shared oracle).
+  thread_local std::vector<std::uint32_t> stack;
+  if (FanoutCones::test(dst, root)) return;
+  set_bit(dst, root);
+  stack.assign(1, root);
+  while (!stack.empty()) {
+    const std::uint32_t v = stack.back();
+    stack.pop_back();
+    for (std::uint32_t e = head_[v]; e < head_[v + 1]; ++e) {
+      const std::uint32_t w = adj_[e];
+      if (!FanoutCones::test(dst, w)) {
+        set_bit(dst, w);
+        stack.push_back(w);
+      }
+    }
+  }
+}
+
+void ConeOracle::union_into_ff(std::span<std::uint64_t> dst,
+                               std::size_t ff) const {
+  FEMU_CHECK(ff < num_ffs_, "ff ", ff, " out of range");
+  dfs_from(dst, dffs_[ff]);
+}
+
+void ConeOracle::union_into_gate(std::span<std::uint64_t> dst,
+                                 NodeId gate) const {
+  FEMU_CHECK(gate < num_nodes_, "gate ", gate, " out of range");
+  dfs_from(dst, gate);
+}
+
+std::vector<std::uint32_t> next_ff_labels(const Circuit& circuit) {
+  const std::size_t num_nodes = circuit.node_count();
+  const std::uint32_t no_ff = static_cast<std::uint32_t>(circuit.num_dffs());
+  std::vector<std::uint32_t> labels(num_nodes, no_ff);
+  // Direct D-pin drives first (a D-driver may have a higher node id than
+  // the DFF's Q node — feedback — so these cannot ride the topological
+  // sweep below).
+  const std::vector<NodeId> drivers = circuit.dff_drivers();
+  for (std::size_t ff = 0; ff < drivers.size(); ++ff) {
+    labels[drivers[ff]] =
+        std::min(labels[drivers[ff]], static_cast<std::uint32_t>(ff));
+  }
+  // Node ids are topological, so a descending sweep visits every
+  // combinational reader before its fanins: when node v is visited its
+  // label is final and propagates to everything it reads.
+  for (NodeId v = static_cast<NodeId>(num_nodes); v-- > 0;) {
+    if (!is_comb_cell(circuit.type(v))) continue;
+    for (const NodeId f : circuit.fanins(v)) {
+      labels[f] = std::min(labels[f], labels[v]);
+    }
+  }
+  return labels;
+}
+
+std::vector<std::uint32_t> cone_affine_ff_order_anchor(
+    const Circuit& circuit, std::span<const std::uint32_t> labels) {
+  FEMU_CHECK(labels.size() == circuit.node_count(), "labels size ",
+             labels.size(), " != node count ", circuit.node_count());
+  const std::size_t n = circuit.num_dffs();
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  // (anchor, Q node id): FFs feeding the same downstream register block
+  // cluster together; node-id ties keep structural locality inside a block.
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return std::pair{labels[circuit.dffs()[a]], circuit.dffs()[a]} <
+           std::pair{labels[circuit.dffs()[b]], circuit.dffs()[b]};
+  });
+  return order;
+}
+
+std::vector<std::uint32_t> cone_affine_ff_order_anchor(const Circuit& circuit) {
+  return cone_affine_ff_order_anchor(circuit, next_ff_labels(circuit));
+}
+
+std::vector<std::uint32_t> cone_affine_ff_order(const Circuit& circuit,
+                                                const FanoutCones& cones,
+                                                std::size_t group_width,
+                                                std::size_t greedy_cap) {
+  if (cones.num_ffs() > greedy_cap) {
+    return cone_affine_ff_order_anchor(circuit);
+  }
+  return cone_affine_ff_order(cones, group_width);
+}
+
+std::vector<std::uint32_t> cone_affine_site_rank_anchor(
+    const Circuit& circuit, std::span<const std::uint32_t> ff_rank,
+    std::span<const std::uint32_t> labels) {
+  FEMU_CHECK(ff_rank.size() == circuit.num_dffs(), "ff_rank size ",
+             ff_rank.size(), " != FF count ", circuit.num_dffs());
+  FEMU_CHECK(labels.size() == circuit.node_count(), "labels size ",
+             labels.size(), " != node count ", circuit.node_count());
+  const std::uint32_t no_ff = static_cast<std::uint32_t>(circuit.num_dffs());
+  std::vector<NodeId> sites;
+  sites.reserve(circuit.num_gates());
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    if (is_comb_cell(circuit.type(id))) sites.push_back(id);
+  }
+  std::sort(sites.begin(), sites.end(), [&](NodeId a, NodeId b) {
+    const std::uint32_t ra = labels[a] == no_ff ? no_ff : ff_rank[labels[a]];
+    const std::uint32_t rb = labels[b] == no_ff ? no_ff : ff_rank[labels[b]];
+    return std::pair{ra, a} < std::pair{rb, b};
+  });
+  std::vector<std::uint32_t> rank(circuit.node_count(), 0);
+  for (std::size_t r = 0; r < sites.size(); ++r) {
+    rank[sites[r]] = static_cast<std::uint32_t>(r);
+  }
+  return rank;
+}
+
+std::vector<std::uint32_t> cone_affine_site_rank_anchor(
+    const Circuit& circuit, std::span<const std::uint32_t> ff_rank) {
+  return cone_affine_site_rank_anchor(circuit, ff_rank,
+                                      next_ff_labels(circuit));
 }
 
 std::vector<std::uint32_t> cone_affine_ff_order(const FanoutCones& cones,

@@ -122,6 +122,65 @@ class GateCones {
   std::vector<std::size_t> cone_gates_;
 };
 
+/// On-demand cone derivation — the memory-scalable replacement for the
+/// eager FanoutCones / GateCones matrices.
+///
+/// Eager materialization stores one node-bitset per FF (and per gate site):
+/// O(items x nodes) bits, quadratic-ish in circuit size — ~650 KB on b14
+/// but hundreds of MB at 100k gates. The oracle instead keeps only the
+/// forward reachability CSR (combinational fanin->consumer edges plus the
+/// sequential D-driver -> DFF-Q edges that close cones over clock
+/// boundaries, exactly the edge set the eager builders traverse): O(edges)
+/// memory, built in one pass. A cone — or a whole lane-group's cone
+/// *union* — is derived on demand by a single DFS that uses the caller's
+/// accumulator bitset as its visited set, so deriving the union of k cones
+/// costs one traversal of the union's edges, not k traversals: each union
+/// member is visited once no matter how many roots reach it. Derived
+/// cones are bit-identical to the eager builders' (same reachability over
+/// the same edges; unit-tested).
+///
+/// The campaign engine caches derived unions per scheduled block (the
+/// cone-affine schedule hands consecutive lane groups the same site block,
+/// so a block's union is derived once when a worker first claims it) —
+/// which is what keeps per-union DFS cost off the per-group hot path.
+class ConeOracle {
+ public:
+  explicit ConeOracle(const Circuit& circuit);
+
+  [[nodiscard]] std::size_t num_ffs() const noexcept { return num_ffs_; }
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] std::size_t words_per_cone() const noexcept {
+    return words_per_cone_;
+  }
+
+  /// dst |= closed cone of FF `ff` (bit-identical to FanoutCones::cone(ff)).
+  /// `dst` must hold words_per_cone() words; bits already set in `dst` act
+  /// as the visited set, so repeated calls accumulate a union at the cost
+  /// of one traversal of the union.
+  void union_into_ff(std::span<std::uint64_t> dst, std::size_t ff) const;
+
+  /// dst |= closed cone of combinational gate `gate` (bit-identical to
+  /// GateCones::cone(site_index(gate))). Same accumulator semantics.
+  void union_into_gate(std::span<std::uint64_t> dst, NodeId gate) const;
+
+ private:
+  void dfs_from(std::span<std::uint64_t> dst, NodeId root) const;
+
+  std::size_t num_ffs_ = 0;
+  std::size_t num_nodes_ = 0;
+  std::size_t words_per_cone_ = 0;
+  std::vector<std::uint32_t> head_;  // CSR offsets, num_nodes + 1
+  std::vector<std::uint32_t> adj_;   // comb fanout edges + D-driver -> Q
+  std::vector<NodeId> dffs_;         // FF ordinal -> Q node
+};
+
+/// Per-node "next flip-flop" anchor labels: label[n] is the smallest FF
+/// index among the DFFs whose D pin the value of node n can reach through
+/// combinational logic only (num_dffs when it reaches none — dead or
+/// output-only logic). One reverse-topological O(edges) pass; the basis of
+/// the near-linear anchor-rank orderings below.
+[[nodiscard]] std::vector<std::uint32_t> next_ff_labels(const Circuit& circuit);
+
 /// Flip-flop ordering that clusters FFs with overlapping cones.
 ///
 /// Greedy set-cover-style grouping: groups of `group_width` FFs are formed by
@@ -131,8 +190,35 @@ class GateCones {
 /// makes lane groups cone-affine: each group's union cone — the work the
 /// differential engine evaluates per cycle — stays close to a single cone
 /// instead of the whole circuit.
+///
+/// The greedy is O(FFs² x cone words) — fine for hundreds of FFs,
+/// intractable for tens of thousands; prefer the capped overload below on
+/// anything whose FF count is not known to be small.
 [[nodiscard]] std::vector<std::uint32_t> cone_affine_ff_order(
     const FanoutCones& cones, std::size_t group_width);
+
+/// cone_affine_ff_order with a stall guard: when the FF count exceeds
+/// `greedy_cap` the quadratic greedy is skipped entirely and the
+/// near-linear anchor-rank ordering (cone_affine_ff_order_anchor) is
+/// returned instead, so a pathological config can never stall the campaign
+/// constructor. `greedy_cap == 0` means "never run the greedy".
+[[nodiscard]] std::vector<std::uint32_t> cone_affine_ff_order(
+    const Circuit& circuit, const FanoutCones& cones, std::size_t group_width,
+    std::size_t greedy_cap);
+
+/// Near-linear flip-flop ordering by anchor rank — the technique
+/// cone_affine_site_order uses, ported to FFs. Each FF is keyed by its
+/// *anchor*: the smallest-index flip-flop its Q output feeds through
+/// combinational logic (next_ff_labels). FFs feeding the same downstream
+/// register block have heavily overlapping closed cones, so sorting by
+/// (anchor, Q node id) lays cone-affine FFs back to back without ever
+/// materializing a cone. O(edges + FFs log FFs); the overload taking
+/// `labels` (a next_ff_labels result) skips the label pass so one pass can
+/// serve several orderings.
+[[nodiscard]] std::vector<std::uint32_t> cone_affine_ff_order_anchor(
+    const Circuit& circuit);
+[[nodiscard]] std::vector<std::uint32_t> cone_affine_ff_order_anchor(
+    const Circuit& circuit, std::span<const std::uint32_t> labels);
 
 /// Site ordering for SET campaigns, clustering gates whose transients latch
 /// into the same flip-flops.
@@ -149,5 +235,18 @@ class GateCones {
 [[nodiscard]] std::vector<std::uint32_t> cone_affine_site_order(
     const GateCones& gates, const Circuit& circuit,
     std::span<const std::uint32_t> ff_rank);
+
+/// Near-linear SET site ordering for on-demand-cone campaigns: like
+/// cone_affine_site_order, but the anchor comes from next_ff_labels (the
+/// first sequential frontier) instead of a scan over materialized per-site
+/// cones, so no GateCones matrix is ever built. Returns the affinity rank
+/// *per node id* (rank for comb gates, undefined for other nodes), ready
+/// for the campaign scheduler. Sites reaching no flip-flop sort last. The
+/// `labels` overload reuses a precomputed next_ff_labels result.
+[[nodiscard]] std::vector<std::uint32_t> cone_affine_site_rank_anchor(
+    const Circuit& circuit, std::span<const std::uint32_t> ff_rank);
+[[nodiscard]] std::vector<std::uint32_t> cone_affine_site_rank_anchor(
+    const Circuit& circuit, std::span<const std::uint32_t> ff_rank,
+    std::span<const std::uint32_t> labels);
 
 }  // namespace femu

@@ -71,9 +71,15 @@ void CompiledKernel::build_subprogram(std::span<const std::uint64_t> mask,
   FEMU_CHECK(mask.size() == (num_slots_ + 63) / 64, "cone mask words ",
              mask.size(), " != ", (num_slots_ + 63) / 64);
   sp.instrs.clear();
+  sp.global_of_local.clear();
   sp.boundary_slots.clear();
+  sp.boundary_locals.clear();
   sp.dff_indices.clear();
+  sp.dff_q_locals.clear();
+  sp.dff_d_locals.clear();
   sp.out_indices.clear();
+  sp.out_locals.clear();
+  sp.cone_mask.assign(mask.begin(), mask.end());
   sp.seen.assign(mask.size(), 0);
 
   const auto in_mask = [&](std::uint32_t s) {
@@ -90,20 +96,19 @@ void CompiledKernel::build_subprogram(std::span<const std::uint64_t> mask,
     }
   };
 
-  // Narrowing always derives a subset, so filtering the previous
-  // sub-program instead of the whole kernel program cuts derivation cost to
-  // the size of what is still running.
-  const std::span<const Instr> source =
-      narrow_from ? std::span<const Instr>(narrow_from->instrs)
-                  : std::span<const Instr>(program_);
-  for (const Instr& in : source) {
-    if (!in_mask(in.dest)) continue;
-    sp.instrs.push_back(in);
-    note_read(in.a);
-    note_read(in.b);
-    note_read(in.c);
-  }
+  // Pass 1 — filter the instruction stream, operating in *global* slot
+  // space (a narrowing source carries arena-local operands, translated back
+  // through its global_of_local table). Narrowing always derives a subset,
+  // so filtering the previous sub-program instead of the whole kernel
+  // program cuts derivation cost to the size of what is still running.
   if (narrow_from == nullptr) {
+    for (const Instr& in : program_) {
+      if (!in_mask(in.dest)) continue;
+      sp.instrs.push_back(in);
+      note_read(in.a);
+      note_read(in.b);
+      note_read(in.c);
+    }
     for (std::size_t i = 0; i < dff_slots_.size(); ++i) {
       if (!in_mask(dff_slots_[i])) continue;
       sp.dff_indices.push_back(static_cast<std::uint32_t>(i));
@@ -117,6 +122,20 @@ void CompiledKernel::build_subprogram(std::span<const std::uint64_t> mask,
       }
     }
   } else {
+    const std::vector<std::uint32_t>& gol = narrow_from->global_of_local;
+    for (const Instr& in : narrow_from->instrs) {
+      Instr g;
+      g.dest = gol[in.dest];
+      if (!in_mask(g.dest)) continue;
+      g.a = gol[in.a];
+      g.b = gol[in.b];
+      g.c = gol[in.c];
+      g.op = in.op;
+      sp.instrs.push_back(g);
+      note_read(g.a);
+      note_read(g.b);
+      note_read(g.c);
+    }
     for (const std::uint32_t i : narrow_from->dff_indices) {
       if (!in_mask(dff_slots_[i])) continue;
       sp.dff_indices.push_back(i);
@@ -128,6 +147,44 @@ void CompiledKernel::build_subprogram(std::span<const std::uint64_t> mask,
       }
     }
   }
+
+  // Pass 2 — arena assignment: dense local indices for every slot the
+  // sub-program touches. Loaded slots lead (boundary golden words, then
+  // cone DFF state words), then each instruction claims the next index for
+  // its destination in stream order, which keeps local destinations
+  // strictly ascending (the overlay-merge invariant). `local_of_slot` keeps
+  // its storage across derivations; `has_local` marks which entries belong
+  // to *this* build.
+  sp.local_of_slot.resize(num_slots_);
+  sp.has_local.assign(mask.size(), 0);
+  std::uint32_t next_local = 0;
+  const auto give_local = [&](std::uint32_t s) {
+    if (((sp.has_local[s >> 6] >> (s & 63)) & 1) == 0) {
+      sp.has_local[s >> 6] |= std::uint64_t{1} << (s & 63);
+      sp.local_of_slot[s] = next_local++;
+      sp.global_of_local.push_back(s);
+    }
+    return sp.local_of_slot[s];
+  };
+  for (const std::uint32_t s : sp.boundary_slots) {
+    sp.boundary_locals.push_back(give_local(s));
+  }
+  for (const std::uint32_t i : sp.dff_indices) {
+    sp.dff_q_locals.push_back(give_local(dff_slots_[i]));
+  }
+  for (Instr& in : sp.instrs) {
+    in.a = give_local(in.a);
+    in.b = give_local(in.b);
+    in.c = give_local(in.c);
+    in.dest = give_local(in.dest);
+  }
+  for (const std::uint32_t i : sp.dff_indices) {
+    sp.dff_d_locals.push_back(give_local(dff_d_slots_[i]));
+  }
+  for (const std::uint32_t i : sp.out_indices) {
+    sp.out_locals.push_back(give_local(output_slots_[i]));
+  }
+  sp.arena_slots = next_local;
 }
 
 std::shared_ptr<const CompiledKernel> compile_kernel(const Circuit& circuit) {

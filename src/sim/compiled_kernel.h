@@ -85,22 +85,59 @@ class CompiledKernel {
   /// kernel via build_subprogram(); the vectors are reused across
   /// re-derivations (narrowing) without reallocating.
   ///
-  ///   instrs         — program() filtered to cone destinations (order kept)
-  ///   boundary_slots — slots read by the sub-program (instruction fanins and
-  ///                    cone-DFF D drivers) but computed outside the cone;
-  ///                    provably golden in every lane, loaded per cycle with
-  ///                    broadcast golden values from a GoldenSlotTrace
-  ///   dff_indices    — flip-flops whose Q node is in the cone (the only FFs
-  ///                    that can diverge; step/state-compare are restricted
-  ///                    to these)
-  ///   out_indices    — primary outputs whose driver is in the cone (the only
-  ///                    outputs that can mismatch)
+  /// **Cache-blocked slot arena.** The sub-program does not evaluate against
+  /// the kernel's full slot array (one word per circuit node — for a
+  /// 100k-gate circuit at Word512 that is several MB a cone eval would
+  /// gather across). Instead derivation renumbers every slot the sub-program
+  /// touches into a dense local *arena*: golden/boundary words and cone DFF
+  /// state words get the leading arena slots, then each instruction's
+  /// destination gets the next slot in levelized stream order. Instruction
+  /// operands are rewritten to arena indices, so evaluation streams linearly
+  /// over an arena sized to the cone (cone + boundary slots only) — the
+  /// working set of a small cone fits in L1/L2 at any lane width. Local
+  /// destinations stay strictly ascending (the overlay-merge invariant).
+  ///
+  ///   instrs          — program() filtered to cone destinations (order
+  ///                     kept), operands/destinations in arena space
+  ///   arena_slots     — arena size in words
+  ///   global_of_local — arena index -> kernel slot (node id)
+  ///   local_of_slot   — kernel slot -> arena index; valid only for slots
+  ///                     this sub-program touches (check cone_mask first)
+  ///   cone_mask       — copy of the mask this sub-program was derived from
+  ///   boundary_slots  — kernel slots read by the sub-program (instruction
+  ///                     fanins and cone-DFF D drivers) but computed outside
+  ///                     the cone; provably golden in every lane, loaded per
+  ///                     cycle with broadcast golden values from a
+  ///                     GoldenSlotTrace into boundary_locals
+  ///   dff_indices     — flip-flops whose Q node is in the cone (the only
+  ///                     FFs that can diverge; step/state-compare are
+  ///                     restricted to these); dff_q_locals / dff_d_locals
+  ///                     are the parallel arena slots of their Q value and
+  ///                     D-driver value
+  ///   out_indices     — primary outputs whose driver is in the cone (the
+  ///                     only outputs that can mismatch); out_locals the
+  ///                     parallel arena slots of the drivers
   struct ConeSubProgram {
     std::vector<Instr> instrs;
+    std::size_t arena_slots = 0;
+    std::vector<std::uint32_t> global_of_local;
+    std::vector<std::uint32_t> local_of_slot;
+    std::vector<std::uint64_t> cone_mask;
     std::vector<std::uint32_t> boundary_slots;
+    std::vector<std::uint32_t> boundary_locals;
     std::vector<std::uint32_t> dff_indices;
+    std::vector<std::uint32_t> dff_q_locals;
+    std::vector<std::uint32_t> dff_d_locals;
     std::vector<std::uint32_t> out_indices;
-    std::vector<std::uint64_t> seen;  // derivation scratch, one bit per slot
+    std::vector<std::uint32_t> out_locals;
+    std::vector<std::uint64_t> seen;       // derivation scratch, one bit per slot
+    std::vector<std::uint64_t> has_local;  // derivation scratch, one bit per slot
+
+    /// True when kernel slot `s` (a node id) is a cone member — i.e. the
+    /// sub-program recomputes it and an overlay may target it.
+    [[nodiscard]] bool in_cone(std::uint32_t s) const noexcept {
+      return ((cone_mask[s >> 6] >> (s & 63)) & 1) != 0;
+    }
   };
 
   /// Fills `sp` with the sub-program for cone `mask` (a bitset over node
@@ -218,6 +255,19 @@ class CompiledKernel {
   std::vector<std::uint32_t> const1_slots_;
 };
 
+/// Word512's hot loops are runtime-dispatched: one binary carries both an
+/// AVX-512 implementation (a separate translation unit compiled with
+/// -mavx512f, see sim/compiled_kernel_avx512.cpp) and the portable limb
+/// instantiation; a CPUID check picks the path once at first use. See
+/// sim/simd_dispatch.h for the feature query.
+template <>
+void CompiledKernel::eval_instrs<Word512>(std::span<const Instr> instrs,
+                                          Word512* values);
+template <>
+void CompiledKernel::eval_instrs_overlay<Word512>(
+    std::span<const Instr> instrs, Word512* values,
+    std::span<const OverlayEntry<Word512>> overlay);
+
 /// Builds a shareable kernel for `circuit`.
 [[nodiscard]] std::shared_ptr<const CompiledKernel> compile_kernel(
     const Circuit& circuit);
@@ -308,25 +358,24 @@ class LaneEngine {
                                               values_.data(), overlay);
   }
 
-  /// Differential evaluation of a cone sub-program. Boundary slots are
-  /// loaded with broadcast golden values for this cycle (`golden_slots` is
-  /// GoldenSlotTrace::at(t)); only cone DFF slots are loaded from lane state
-  /// and only the cone instructions execute. After this call every slot the
-  /// sub-program can observe — cone slots and boundary slots — is exact.
+  /// Differential evaluation of a cone sub-program against its dense slot
+  /// arena. Boundary arena slots are loaded with broadcast golden values for
+  /// this cycle (`golden_slots` is GoldenSlotTrace::at(t)), cone DFF arena
+  /// slots from lane state, then only the cone instructions execute —
+  /// streaming linearly over an arena sized to the cone instead of
+  /// gathering across the full slot array. After this call every arena slot
+  /// is exact.
   void eval_cone(const CompiledKernel::ConeSubProgram& sp,
                  const BitVec& golden_slots) {
-    const std::span<const std::uint64_t> gw = golden_slots.words();
-    for (const std::uint32_t s : sp.boundary_slots) {
-      values_[s] = Traits::broadcast(((gw[s >> 6] >> (s & 63)) & 1) != 0);
-    }
-    load_cone_state_and_eval(sp);
+    load_cone_arena(sp, golden_slots);
+    CompiledKernel::eval_instrs<Word>(sp.instrs, arena_.data());
   }
 
-  /// eval_cone with a SET injection overlay (sorted by dest) merged into the
-  /// sub-program stream. The injected site must be a cone member on its
-  /// injection cycle (guaranteed when the cone mask covers the site's gate
-  /// cone); entries for slots the sub-program no longer computes are
-  /// skipped.
+  /// eval_cone with a SET injection overlay merged into the sub-program
+  /// stream. Overlay destinations are **arena** indices (translate a kernel
+  /// slot through sp.local_of_slot, gated on sp.in_cone — sites the
+  /// sub-program no longer computes must be dropped by the caller), sorted
+  /// ascending.
   void eval_cone_overlay(
       const CompiledKernel::ConeSubProgram& sp, const BitVec& golden_slots,
       std::span<const CompiledKernel::OverlayEntry<Word>> overlay) {
@@ -334,15 +383,8 @@ class LaneEngine {
       eval_cone(sp, golden_slots);
       return;
     }
-    const std::span<const std::uint64_t> gw = golden_slots.words();
-    for (const std::uint32_t s : sp.boundary_slots) {
-      values_[s] = Traits::broadcast(((gw[s >> 6] >> (s & 63)) & 1) != 0);
-    }
-    const auto dffs = kernel_->dff_slots();
-    for (const std::uint32_t i : sp.dff_indices) {
-      values_[dffs[i]] = state_[i];
-    }
-    CompiledKernel::eval_instrs_overlay<Word>(sp.instrs, values_.data(),
+    load_cone_arena(sp, golden_slots);
+    CompiledKernel::eval_instrs_overlay<Word>(sp.instrs, arena_.data(),
                                               overlay);
   }
 
@@ -362,10 +404,10 @@ class LaneEngine {
   [[nodiscard]] Word step_cone_mismatch(
       const CompiledKernel::ConeSubProgram& sp,
       std::span<const Word> golden_state_words) {
-    const auto d_slots = kernel_->dff_d_slots();
     Word mismatch = Traits::zero();
-    for (const std::uint32_t i : sp.dff_indices) {
-      const Word next = values_[d_slots[i]];
+    for (std::size_t k = 0; k < sp.dff_indices.size(); ++k) {
+      const std::uint32_t i = sp.dff_indices[k];
+      const Word next = arena_[sp.dff_d_locals[k]];
       state_[i] = next;
       mismatch |= next ^ golden_state_words[i];
     }
@@ -407,10 +449,9 @@ class LaneEngine {
   [[nodiscard]] Word output_mismatch_lanes_cone(
       const CompiledKernel::ConeSubProgram& sp,
       std::span<const Word> golden_out_words) const {
-    const auto outs = kernel_->output_slots();
     Word mismatch = Traits::zero();
-    for (const std::uint32_t i : sp.out_indices) {
-      mismatch |= values_[outs[i]] ^ golden_out_words[i];
+    for (std::size_t k = 0; k < sp.out_indices.size(); ++k) {
+      mismatch |= arena_[sp.out_locals[k]] ^ golden_out_words[sp.out_indices[k]];
     }
     return mismatch;
   }
@@ -452,16 +493,29 @@ class LaneEngine {
     kernel_->eval(values_.data());
   }
 
-  void load_cone_state_and_eval(const CompiledKernel::ConeSubProgram& sp) {
-    const auto dffs = kernel_->dff_slots();
-    for (const std::uint32_t i : sp.dff_indices) {
-      values_[dffs[i]] = state_[i];
+  /// Loads the sub-program's dense arena: golden boundary words and cone
+  /// DFF state words into their leading arena slots. Grows (never shrinks)
+  /// the arena buffer, so its capacity stabilises at the largest cone a
+  /// worker ever evaluates.
+  void load_cone_arena(const CompiledKernel::ConeSubProgram& sp,
+                       const BitVec& golden_slots) {
+    if (arena_.size() < sp.arena_slots) {
+      arena_.resize(sp.arena_slots);
     }
-    CompiledKernel::eval_instrs<Word>(sp.instrs, values_.data());
+    const std::span<const std::uint64_t> gw = golden_slots.words();
+    for (std::size_t k = 0; k < sp.boundary_slots.size(); ++k) {
+      const std::uint32_t s = sp.boundary_slots[k];
+      arena_[sp.boundary_locals[k]] =
+          Traits::broadcast(((gw[s >> 6] >> (s & 63)) & 1) != 0);
+    }
+    for (std::size_t k = 0; k < sp.dff_indices.size(); ++k) {
+      arena_[sp.dff_q_locals[k]] = state_[sp.dff_indices[k]];
+    }
   }
 
   std::shared_ptr<const CompiledKernel> kernel_;
   std::vector<Word> values_;  // per node slot, one lane per bit
+  std::vector<Word> arena_;   // dense cone-eval working set (see ConeSubProgram)
   std::vector<Word> state_;   // per DFF
 };
 

@@ -1,0 +1,90 @@
+// AVX-512 Word512 eval loops — the only translation unit compiled with
+// -mavx512f (CMake option FEMU_AVX512). Everything here is self-contained
+// intrinsic code: no shared inline template is instantiated under AVX-512
+// codegen, so no weak symbol compiled with zmm instructions can leak into
+// the portable link and crash a host without the feature. Callers reach
+// these functions only through the runtime CPUID dispatch in
+// simd_dispatch.cpp.
+
+#include "sim/compiled_kernel.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace femu::detail {
+
+namespace {
+
+inline __m512i load(const Word512* values, std::uint32_t slot) noexcept {
+  return _mm512_loadu_si512(static_cast<const void*>(values + slot));
+}
+
+inline void store(Word512* values, std::uint32_t slot, __m512i v) noexcept {
+  _mm512_storeu_si512(static_cast<void*>(values + slot), v);
+}
+
+inline __m512i exec_one(const CompiledKernel::Instr& in,
+                        Word512* values) noexcept {
+  const __m512i ones = _mm512_set1_epi64(-1);
+  const __m512i a = load(values, in.a);
+  switch (in.op) {
+    case CellType::kBuf:
+      return a;
+    case CellType::kNot:
+      return _mm512_xor_si512(a, ones);
+    case CellType::kAnd:
+      return _mm512_and_si512(a, load(values, in.b));
+    case CellType::kOr:
+      return _mm512_or_si512(a, load(values, in.b));
+    case CellType::kNand:
+      return _mm512_xor_si512(_mm512_and_si512(a, load(values, in.b)), ones);
+    case CellType::kNor:
+      return _mm512_xor_si512(_mm512_or_si512(a, load(values, in.b)), ones);
+    case CellType::kXor:
+      return _mm512_xor_si512(a, load(values, in.b));
+    case CellType::kXnor:
+      return _mm512_xor_si512(_mm512_xor_si512(a, load(values, in.b)), ones);
+    case CellType::kMux:
+      // (a & c) | (~a & b) — one ternary-logic op on AVX-512.
+      return _mm512_ternarylogic_epi64(a, load(values, in.c),
+                                       load(values, in.b), 0xCA);
+    default:
+      // Sources/DFFs never appear in the program; mirror the portable
+      // path's no-op (dest keeps its current value) so both dispatch
+      // targets behave identically even for an unexpected opcode.
+      return load(values, in.dest);
+  }
+}
+
+}  // namespace
+
+void eval_instrs_word512_avx512(std::span<const CompiledKernel::Instr> instrs,
+                                Word512* values) noexcept {
+  for (const CompiledKernel::Instr& in : instrs) {
+    store(values, in.dest, exec_one(in, values));
+  }
+}
+
+void eval_instrs_overlay_word512_avx512(
+    std::span<const CompiledKernel::Instr> instrs, Word512* values,
+    std::span<const CompiledKernel::OverlayEntry<Word512>> overlay) noexcept {
+  const CompiledKernel::OverlayEntry<Word512>* ov = overlay.data();
+  const CompiledKernel::OverlayEntry<Word512>* const ov_end =
+      ov + overlay.size();
+  for (const CompiledKernel::Instr& in : instrs) {
+    __m512i v = exec_one(in, values);
+    while (ov != ov_end && ov->dest <= in.dest) {
+      if (ov->dest == in.dest) {
+        v = _mm512_xor_si512(
+            v, _mm512_loadu_si512(static_cast<const void*>(&ov->mask)));
+      }
+      ++ov;
+    }
+    store(values, in.dest, v);
+  }
+}
+
+}  // namespace femu::detail
+
+#endif  // __AVX512F__

@@ -1,0 +1,25 @@
+#pragma once
+
+namespace femu {
+
+/// Runtime SIMD capability / path selection for the Word512 lane tier.
+///
+/// The kernel's Word512 eval loops exist twice in one binary: a portable
+/// 8x-u64 limb instantiation (compiled with the project's baseline flags)
+/// and — when CMake's FEMU_AVX512 option is on and the compiler supports
+/// -mavx512f — a hand-written AVX-512 intrinsic version in its own
+/// translation unit (sim/compiled_kernel_avx512.cpp, the only TU built with
+/// -mavx512f). The first Word512 eval picks the path once from CPUID, so a
+/// single Release artifact runs the zmm path on AVX-512 hosts and falls
+/// back to the limb path everywhere else — it never executes an AVX-512
+/// instruction on a host that lacks the feature.
+
+/// True when the running CPU (and OS) support AVX-512F.
+[[nodiscard]] bool cpu_has_avx512f() noexcept;
+
+/// The path Word512 evaluation actually dispatches to on this host:
+/// "avx512" or "limbs". (Narrower lane words always use the portable code
+/// and whatever auto-vectorisation the baseline flags allow.)
+[[nodiscard]] const char* word512_simd_path() noexcept;
+
+}  // namespace femu

@@ -174,9 +174,50 @@ TEST(ConeSubProgramTest, BoundarySlotsAreOutsideTheConeAndReadByIt) {
     for (const std::uint32_t s : sp.boundary_slots) {
       EXPECT_FALSE(FanoutCones::test(cones.cone(ff), s));
     }
+    // Instruction operands are arena-local; destinations map back to cone
+    // members through global_of_local.
     for (const auto& in : sp.instrs) {
-      EXPECT_TRUE(FanoutCones::test(cones.cone(ff), in.dest));
+      EXPECT_TRUE(
+          FanoutCones::test(cones.cone(ff), sp.global_of_local[in.dest]));
     }
+  }
+}
+
+TEST(ConeSubProgramTest, ArenaRemapIsDenseAndConsistent) {
+  // The cache-blocked arena: every touched slot has exactly one local
+  // index, locals are dense in [0, arena_slots), instruction destinations
+  // are strictly ascending (the overlay-merge invariant), and the
+  // global/local tables are mutually inverse.
+  const Circuit c = circuits::build_by_name("b09_like");
+  const auto kernel = compile_kernel(c);
+  const FanoutCones cones(c);
+  CompiledKernel::ConeSubProgram sp;
+  for (std::size_t ff = 0; ff < cones.num_ffs(); ++ff) {
+    kernel->build_subprogram(cones.cone(ff), sp);
+    ASSERT_EQ(sp.global_of_local.size(), sp.arena_slots);
+    for (std::uint32_t local = 0; local < sp.arena_slots; ++local) {
+      const std::uint32_t global = sp.global_of_local[local];
+      EXPECT_EQ(sp.local_of_slot[global], local);
+    }
+    std::uint32_t prev_dest = 0;
+    bool first = true;
+    for (const auto& in : sp.instrs) {
+      EXPECT_LT(in.dest, sp.arena_slots);
+      EXPECT_LT(in.a, sp.arena_slots);
+      EXPECT_LT(in.b, sp.arena_slots);
+      EXPECT_LT(in.c, sp.arena_slots);
+      if (!first) {
+        EXPECT_GT(in.dest, prev_dest) << "arena dests must ascend";
+      }
+      prev_dest = in.dest;
+      first = false;
+    }
+    // Loaded slots (boundary golden + cone DFF state) plus computed slots
+    // cover the arena exactly when no stray source reads exist.
+    EXPECT_EQ(sp.boundary_locals.size(), sp.boundary_slots.size());
+    EXPECT_EQ(sp.dff_q_locals.size(), sp.dff_indices.size());
+    EXPECT_EQ(sp.dff_d_locals.size(), sp.dff_indices.size());
+    EXPECT_EQ(sp.out_locals.size(), sp.out_indices.size());
   }
 }
 

@@ -1,0 +1,244 @@
+// On-demand cone derivation (ConeOracle), the anchor-rank orderings and
+// the greedy-cap fallback: derived cones must be bit-identical to the
+// eager FanoutCones / GateCones matrices, and campaigns must grade
+// identically under every ConePolicy.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "circuits/generators.h"
+#include "circuits/registry.h"
+#include "fault/fault_list.h"
+#include "fault/parallel_faultsim.h"
+#include "fault/set_model.h"
+#include "netlist/fanout_cones.h"
+#include "stim/generate.h"
+
+namespace femu {
+namespace {
+
+Circuit random_circuit(std::uint64_t seed, std::size_t gates = 260,
+                       std::size_t dffs = 22) {
+  circuits::RandomCircuitSpec spec;
+  spec.num_inputs = 6;
+  spec.num_outputs = 5;
+  spec.num_dffs = dffs;
+  spec.num_gates = gates;
+  return circuits::build_random(spec, seed);
+}
+
+// ---- bit-identity with the eager builders ----------------------------------
+
+class ConeOracleIdentity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConeOracleIdentity, FfConesMatchEagerBuilder) {
+  const Circuit c = random_circuit(GetParam());
+  const FanoutCones eager(c);
+  const ConeOracle oracle(c);
+  ASSERT_EQ(oracle.num_ffs(), eager.num_ffs());
+  ASSERT_EQ(oracle.words_per_cone(), eager.words_per_cone());
+  std::vector<std::uint64_t> derived(oracle.words_per_cone());
+  for (std::size_t ff = 0; ff < eager.num_ffs(); ++ff) {
+    std::fill(derived.begin(), derived.end(), 0);
+    oracle.union_into_ff(derived, ff);
+    const auto want = eager.cone(ff);
+    for (std::size_t w = 0; w < derived.size(); ++w) {
+      ASSERT_EQ(derived[w], want[w]) << "FF " << ff << " word " << w;
+    }
+  }
+}
+
+TEST_P(ConeOracleIdentity, GateConesMatchEagerBuilder) {
+  const Circuit c = random_circuit(GetParam());
+  const FanoutCones ff_cones(c);
+  const GateCones eager(c, ff_cones);
+  const ConeOracle oracle(c);
+  std::vector<std::uint64_t> derived(oracle.words_per_cone());
+  for (std::size_t s = 0; s < eager.num_sites(); ++s) {
+    std::fill(derived.begin(), derived.end(), 0);
+    oracle.union_into_gate(derived, eager.sites()[s]);
+    const auto want = eager.cone(s);
+    for (std::size_t w = 0; w < derived.size(); ++w) {
+      ASSERT_EQ(derived[w], want[w]) << "site " << s << " word " << w;
+    }
+  }
+}
+
+TEST_P(ConeOracleIdentity, AccumulatedUnionMatchesEagerUnion) {
+  // The oracle's accumulator semantics: repeated union_into calls over one
+  // mask must equal the eager per-cone ORs — the exact way the campaign
+  // engine derives a lane group's cone union.
+  const Circuit c = random_circuit(GetParam());
+  const FanoutCones eager(c);
+  const ConeOracle oracle(c);
+  std::vector<std::uint64_t> want(eager.words_per_cone(), 0);
+  std::vector<std::uint64_t> got(eager.words_per_cone(), 0);
+  for (std::size_t ff = 0; ff < eager.num_ffs(); ff += 3) {
+    eager.union_into(want, ff);
+    oracle.union_into_ff(got, ff);
+  }
+  EXPECT_EQ(want, got);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConeOracleIdentity,
+                         ::testing::Range<std::uint64_t>(0, 4));
+
+// ---- anchor-rank orderings -------------------------------------------------
+
+TEST(AnchorOrderTest, NextFfLabelsAreMinimalFirstFrontier) {
+  // Shift register: FF i's Q feeds FF i+1's D directly, so label(Q_i) is
+  // i+1; the last FF's Q drives only the output buffer chain (no FF).
+  const Circuit c = circuits::build_shift_register(6);
+  const auto labels = next_ff_labels(c);
+  for (std::size_t ff = 0; ff + 1 < 6; ++ff) {
+    EXPECT_EQ(labels[c.dffs()[ff]], ff + 1) << "ff " << ff;
+  }
+  EXPECT_EQ(labels[c.dffs()[5]], c.num_dffs());
+}
+
+TEST(AnchorOrderTest, AnchorFfOrderIsAPermutation) {
+  const Circuit c = random_circuit(7);
+  const auto order = cone_affine_ff_order_anchor(c);
+  ASSERT_EQ(order.size(), c.num_dffs());
+  std::vector<std::uint32_t> sorted(order.begin(), order.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST(AnchorOrderTest, GreedyCapFallsBackToAnchorOrder) {
+  const Circuit c = random_circuit(9);
+  const FanoutCones cones(c);
+  // Cap below the FF count: the capped overload must return the anchor
+  // ordering, not stall in the quadratic greedy.
+  const auto capped = cone_affine_ff_order(c, cones, 64, /*greedy_cap=*/4);
+  EXPECT_EQ(capped, cone_affine_ff_order_anchor(c));
+  // Cap at or above the FF count: byte-identical to the plain greedy.
+  const auto uncapped =
+      cone_affine_ff_order(c, cones, 64, /*greedy_cap=*/c.num_dffs());
+  EXPECT_EQ(uncapped, cone_affine_ff_order(cones, 64));
+}
+
+TEST(AnchorOrderTest, SiteRankAnchorIsAPermutationOverGates) {
+  const Circuit c = random_circuit(11);
+  std::vector<std::uint32_t> ff_rank(c.num_dffs());
+  std::iota(ff_rank.begin(), ff_rank.end(), 0u);
+  const auto rank = cone_affine_site_rank_anchor(c, ff_rank);
+  ASSERT_EQ(rank.size(), c.node_count());
+  std::vector<std::uint32_t> gate_ranks;
+  for (NodeId id = 0; id < c.node_count(); ++id) {
+    if (is_comb_cell(c.type(id))) gate_ranks.push_back(rank[id]);
+  }
+  std::sort(gate_ranks.begin(), gate_ranks.end());
+  for (std::size_t i = 0; i < gate_ranks.size(); ++i) {
+    EXPECT_EQ(gate_ranks[i], i);
+  }
+}
+
+// ---- campaign equivalence across cone policies -----------------------------
+
+CampaignConfig policy_config(ConePolicy policy, LaneWidth lanes,
+                             unsigned threads = 1) {
+  CampaignConfig config{SimBackend::kCompiled, lanes, threads,
+                        /*cone_restricted=*/true,
+                        CampaignSchedule::kConeAffine};
+  config.cone_policy = policy;
+  return config;
+}
+
+TEST(ConePolicyTest, SeuOutcomesIdenticalEagerVsOnDemand) {
+  const Circuit c = random_circuit(13);
+  const Testbench tb = random_testbench(c.num_inputs(), 32, 14);
+  const auto faults = complete_fault_list(c.num_dffs(), tb.num_cycles());
+
+  ParallelFaultSimulator eager(c, tb,
+                               policy_config(ConePolicy::kEager,
+                                             LaneWidth::k64));
+  const CampaignResult ref = eager.run(faults);
+  EXPECT_FALSE(eager.on_demand_cones());
+  EXPECT_NE(eager.cones(), nullptr);
+  EXPECT_EQ(eager.cone_oracle(), nullptr);
+
+  for (const LaneWidth lanes :
+       {LaneWidth::k64, LaneWidth::k256, LaneWidth::k512}) {
+    for (const unsigned threads : {1u, 3u}) {
+      ParallelFaultSimulator od(
+          c, tb, policy_config(ConePolicy::kOnDemand, lanes, threads));
+      EXPECT_TRUE(od.on_demand_cones());
+      EXPECT_EQ(od.cones(), nullptr);
+      EXPECT_NE(od.cone_oracle(), nullptr);
+      const CampaignResult got = od.run(faults);
+      ASSERT_EQ(ref.size(), got.size());
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_EQ(ref.outcomes()[i], got.outcomes()[i])
+            << "lanes=" << lane_count(lanes) << " threads=" << threads
+            << " fault @" << i;
+      }
+    }
+  }
+}
+
+TEST(ConePolicyTest, SetOutcomesIdenticalEagerVsOnDemand) {
+  const Circuit c = random_circuit(15, 200, 14);
+  const Testbench tb = random_testbench(c.num_inputs(), 24, 16);
+  const SetSites sites(c);
+  const auto faults = complete_set_fault_list(sites, tb.num_cycles());
+
+  ParallelFaultSimulator eager(c, tb,
+                               policy_config(ConePolicy::kEager,
+                                             LaneWidth::k64));
+  const SetCampaignResult ref = eager.run_set(faults);
+
+  for (const LaneWidth lanes : {LaneWidth::k64, LaneWidth::k512}) {
+    for (const unsigned threads : {1u, 4u}) {
+      ParallelFaultSimulator od(
+          c, tb, policy_config(ConePolicy::kOnDemand, lanes, threads));
+      const SetCampaignResult got = od.run_set(faults);
+      ASSERT_EQ(ref.outcomes.size(), got.outcomes.size());
+      for (std::size_t i = 0; i < ref.outcomes.size(); ++i) {
+        ASSERT_EQ(ref.outcomes[i], got.outcomes[i])
+            << "lanes=" << lane_count(lanes) << " threads=" << threads
+            << " set fault @" << i;
+      }
+    }
+  }
+}
+
+TEST(ConePolicyTest, MbuOutcomesIdenticalEagerVsOnDemand) {
+  const Circuit c = random_circuit(17);
+  const Testbench tb = random_testbench(c.num_inputs(), 24, 18);
+  const auto faults = adjacent_pair_fault_list(c.num_dffs(), tb.num_cycles());
+
+  ParallelFaultSimulator eager(c, tb,
+                               policy_config(ConePolicy::kEager,
+                                             LaneWidth::k64));
+  ParallelFaultSimulator od(c, tb,
+                            policy_config(ConePolicy::kOnDemand,
+                                          LaneWidth::k64));
+  const MbuCampaignResult ref = eager.run_mbu(faults);
+  const MbuCampaignResult got = od.run_mbu(faults);
+  ASSERT_EQ(ref.outcomes.size(), got.outcomes.size());
+  for (std::size_t i = 0; i < ref.outcomes.size(); ++i) {
+    ASSERT_EQ(ref.outcomes[i], got.outcomes[i]) << "mbu fault @" << i;
+  }
+}
+
+TEST(ConePolicyTest, AutoResolvesByCircuitSize) {
+  const Circuit small = circuits::build_by_name("b06_like");
+  const Testbench tb_small = random_testbench(small.num_inputs(), 8, 1);
+  ParallelFaultSimulator sim_small(small, tb_small);
+  EXPECT_FALSE(sim_small.on_demand_cones());
+
+  const Circuit big = circuits::build_pipeline(64, 96);  // ~25k nodes
+  ASSERT_GE(big.node_count(), CampaignConfig::kOnDemandNodeThreshold);
+  const Testbench tb_big = random_testbench(big.num_inputs(), 4, 2);
+  ParallelFaultSimulator sim_big(big, tb_big);
+  EXPECT_TRUE(sim_big.on_demand_cones());
+  EXPECT_EQ(sim_big.cones(), nullptr);
+}
+
+}  // namespace
+}  // namespace femu
