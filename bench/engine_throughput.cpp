@@ -9,7 +9,9 @@
 //   b14            — the paper's benchmark: the full engine ladder
 //                    (interpreted vs compiled, full vs cone, 64/256/512
 //                    lanes, single- vs multi-threaded) plus a same-sized
-//                    sampled SET campaign through the injection overlay
+//                    sampled SET campaign through the injection overlay and
+//                    a complete stuck-at test-pattern campaign through the
+//                    every-cycle force overlay
 //   pipe8x32       — generator family sweep (pipeline depth x width):
 //   pipe16x64        cone-restricted engines at 64/256/512 lanes, sampled
 //   pipe32x128       SEU campaigns; the per-family faults/sec trend across
@@ -52,6 +54,7 @@
 #include "fault/fault_list.h"
 #include "fault/parallel_faultsim.h"
 #include "fault/set_model.h"
+#include "fault/stuckat_model.h"
 #include "sim/simd_dispatch.h"
 #include "stim/generate.h"
 
@@ -204,9 +207,17 @@ CampaignConfig cone_config(LaneWidth w, unsigned threads) {
 void run_circuit(const std::string& circuit_name, const Circuit& circuit,
                  const Testbench& tb, std::span<const Fault> seu_faults,
                  std::span<const SetFault> set_faults,
+                 std::span<const StuckAtFault> stuckat_faults,
                  std::span<const BenchConfig> configs, int repeat,
                  std::vector<BenchResult>& results,
                  std::vector<CircuitSummary>& circuits) {
+  const auto fault_count = [&](FaultModel model) {
+    switch (model) {
+      case FaultModel::kSet: return set_faults.size();
+      case FaultModel::kStuckAt: return stuckat_faults.size();
+      default: return seu_faults.size();
+    }
+  };
   std::vector<std::unique_ptr<ParallelFaultSimulator>> sims;
   const std::size_t first_result = results.size();
   for (const BenchConfig& config : configs) {
@@ -217,8 +228,7 @@ void run_circuit(const std::string& circuit_name, const Circuit& circuit,
     r.circuit = circuit_name;
     r.model = config.model;
     r.config = config.campaign;
-    r.faults = config.model == FaultModel::kSet ? set_faults.size()
-                                                : seu_faults.size();
+    r.faults = fault_count(config.model);
     r.seconds = -1.0;
     results.push_back(std::move(r));
   }
@@ -228,6 +238,9 @@ void run_circuit(const std::string& circuit_name, const Circuit& circuit,
       BenchResult& r = results[first_result + i];
       if (r.model == FaultModel::kSet) {
         const SetCampaignResult result = sim.run_set(set_faults);
+        r.counts = result.counts;
+      } else if (r.model == FaultModel::kStuckAt) {
+        const StuckAtCampaignResult result = sim.run_stuckat(stuckat_faults);
         r.counts = result.counts;
       } else {
         const CampaignResult result = sim.run(seu_faults);
@@ -298,6 +311,7 @@ int main(int argc, char** argv) {
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   constexpr FaultModel kSeu = FaultModel::kSeu;
   constexpr FaultModel kSet = FaultModel::kSet;
+  constexpr FaultModel kStuckAt = FaultModel::kStuckAt;
 
   std::vector<BenchResult> results;
   std::vector<CircuitSummary> circuit_summaries;
@@ -317,6 +331,11 @@ int main(int argc, char** argv) {
         std::min(faults.size(),
                  sites.num_representatives() * tb.num_cycles()),
         2005);
+    // Stuck-at: the complete collapsed test-pattern campaign (2 polarities
+    // per representative site). Undetected lanes run the whole testbench —
+    // no convergence retirement — so this config also tracks the
+    // every-cycle force overlay's cost.
+    const auto stuckat_faults = complete_stuckat_fault_list(sites);
     const std::vector<BenchConfig> configs = {
         {"interpreted-64-1t", kSeu,
          full_config(SimBackend::kInterpreted, LaneWidth::k64, 1)},
@@ -338,9 +357,12 @@ int main(int argc, char** argv) {
         {"set-256-cone-1t", kSet, cone_config(LaneWidth::k256, 1)},
         {"set-512-cone-1t", kSet, cone_config(LaneWidth::k512, 1)},
         {"set-64-cone-mt", kSet, cone_config(LaneWidth::k64, hw)},
+        {"stuckat-64-cone-1t", kStuckAt, cone_config(LaneWidth::k64, 1)},
+        {"stuckat-512-cone-1t", kStuckAt, cone_config(LaneWidth::k512, 1)},
+        {"stuckat-64-cone-mt", kStuckAt, cone_config(LaneWidth::k64, hw)},
     };
-    run_circuit("b14", circuit, tb, faults, set_faults, configs, repeat,
-                results, circuit_summaries);
+    run_circuit("b14", circuit, tb, faults, set_faults, stuckat_faults,
+                configs, repeat, results, circuit_summaries);
   }
 
   // ---- generator family sweep: pipeline depth x width --------------------
@@ -379,7 +401,7 @@ int main(int argc, char** argv) {
         {"compiled-512-cone-1t", kSeu, cone_config(LaneWidth::k512, 1)},
         {"compiled-512-cone-mt", kSeu, cone_config(LaneWidth::k512, hw)},
     };
-    run_circuit(family.name, circuit, tb, faults, {}, configs, repeat,
+    run_circuit(family.name, circuit, tb, faults, {}, {}, configs, repeat,
                 results, circuit_summaries);
   }
 

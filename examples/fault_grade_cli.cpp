@@ -1,7 +1,8 @@
 // Command-line fault-grading driver — the "downstream user" entry point.
 //
 //   fault_grade_cli [circuit] [cycles] [technique] [sample] [seed]
-//                   [--model seu|mbu|set] [--lanes 64|256|512] [--json]
+//                   [--model seu|mbu|set|stuckat] [--pulse-width F]
+//                   [--lanes 64|256|512] [--json]
 //
 //     circuit    registry name (see --list) or a .bench file path
 //                [default: b14]
@@ -11,23 +12,40 @@
 //     sample     fault-sample size, 0 = complete list [default: 0]
 //     seed       stimulus/sampling seed               [default: 2005]
 //
-//     --model    which transient fault model to grade [default: seu]
-//                  seu  flip-flop bit-flips through the autonomous-emulation
-//                       techniques (the paper's campaign + time account)
-//                  mbu  multi-bit upsets (adjacent pairs, or sampled
-//                       clusters) through the unified campaign engine
-//                  set  single-event transients at combinational gate
-//                       outputs (collapsed representative sites, expanded
-//                       back to all sites in the report)
+//     --model    which fault model to grade [default: seu]
+//                  seu      flip-flop bit-flips through the
+//                           autonomous-emulation techniques (the paper's
+//                           campaign + time account)
+//                  mbu      multi-bit upsets (adjacent pairs, or sampled
+//                           clusters) through the unified campaign engine
+//                  set      single-event transients at combinational gate
+//                           outputs (collapsed representative sites,
+//                           expanded back to all sites in the report;
+//                           sampled campaigns additionally report
+//                           class-size-weighted 95% Wilson intervals over
+//                           the all-sites population)
+//                  stuckat  permanent stuck-at-0/1 at gate outputs with
+//                           test-pattern semantics: failure == detected by
+//                           this testbench, and the headline number is the
+//                           fault coverage
+//     --pulse-width F
+//                SET only: transient pulse width as a fraction of the clock
+//                period, discretised in 1/256 steps [default: 1.0 — the
+//                classic full-cycle inversion]. Narrower pulses latch into
+//                each downstream flip-flop only when they overlap its setup
+//                window (probability == the fraction)
 //     --lanes    grading-engine lane width: 64, 256 or 512 faulty machines
 //                per pass [default: 64]. 512 uses AVX-512 when the host
 //                supports it and portable limbs otherwise; the chosen SIMD
 //                path is reported in --json output ("simd")
 //     --json     machine-readable grading JSON on stdout instead of tables
+//                (includes the model's descriptor name and, for SET, the
+//                pulse parameters)
 //
 // The SEU model prints the grading with 95% confidence intervals and the
 // emulation-time account per technique, and writes the per-fault dictionary
-// CSV next to the binary; MBU and SET print the unified-engine grading.
+// CSV next to the binary; MBU, SET and stuck-at print the unified-engine
+// grading.
 
 #include <fstream>
 #include <iostream>
@@ -39,9 +57,11 @@
 #include "common/strings.h"
 #include "common/table.h"
 #include "core/autonomous_emulator.h"
+#include "fault/model_traits.h"
 #include "fault/parallel_faultsim.h"
 #include "fault/sampling.h"
 #include "fault/set_model.h"
+#include "fault/stuckat_model.h"
 #include "netlist/bench_io.h"
 #include "sim/simd_dispatch.h"
 #include "stim/generate.h"
@@ -72,7 +92,9 @@ FaultModel parse_model(const std::string& spec) {
   if (spec == "seu") return FaultModel::kSeu;
   if (spec == "mbu") return FaultModel::kMbu;
   if (spec == "set") return FaultModel::kSet;
-  throw Error(str_cat("unknown fault model '", spec, "' (seu | mbu | set)"));
+  if (spec == "stuckat") return FaultModel::kStuckAt;
+  throw Error(str_cat("unknown fault model '", spec,
+                      "' (seu | mbu | set | stuckat)"));
 }
 
 LaneWidth parse_lanes(const std::string& spec) {
@@ -89,12 +111,19 @@ const char* simd_path_of(LaneWidth lanes) {
   return lanes == LaneWidth::k512 ? word512_simd_path() : "portable";
 }
 
+/// Grading JSON shared by every model; `extra` is appended verbatim inside
+/// the object (model-specific fields — pulse parameters, coverage,
+/// sampling intervals — already formatted as ", \"key\": value" runs).
 void write_grading_json(std::ostream& out, FaultModel model,
                         const Circuit& circuit, LaneWidth lanes,
                         std::size_t faults, const ClassCounts& counts,
-                        double seconds) {
-  out << "{\"model\": \"" << fault_model_name(model) << "\", \"circuit\": \""
-      << circuit.name() << "\", \"lanes\": " << lane_count(lanes)
+                        double seconds, const std::string& extra = {}) {
+  out << "{\"model\": \"" << fault_model_name(model)
+      << "\", \"descriptor\": \"" << fault_model_descriptor(model)
+      << "\", \"overlay_op\": \""
+      << overlay_op_name(fault_model_overlay_op(model))
+      << "\", \"circuit\": \"" << circuit.name()
+      << "\", \"lanes\": " << lane_count(lanes)
       << ", \"simd\": \"" << simd_path_of(lanes) << "\", \"faults\": "
       << faults << ", \"seconds\": " << seconds
       << ", \"counts\": {\"failure\": " << counts.failure
@@ -102,7 +131,32 @@ void write_grading_json(std::ostream& out, FaultModel model,
       << ", \"silent\": " << counts.silent
       << "}, \"fractions\": {\"failure\": " << counts.failure_fraction()
       << ", \"latent\": " << counts.latent_fraction()
-      << ", \"silent\": " << counts.silent_fraction() << "}}\n";
+      << ", \"silent\": " << counts.silent_fraction() << "}" << extra
+      << "}\n";
+}
+
+/// ", \"intervals\": {...}, \"effective_sample_size\": N" for a sampled
+/// campaign's (possibly weighted) Wilson estimates.
+std::string intervals_json(const SampledGrading& est) {
+  const auto one = [](const char* name, const ProportionEstimate& e) {
+    return str_cat("\"", name, "\": {\"fraction\": ", e.fraction,
+                   ", \"low\": ", e.low, ", \"high\": ", e.high, "}");
+  };
+  return str_cat(", \"intervals\": {", one("failure", est.failure), ", ",
+                 one("latent", est.latent), ", ", one("silent", est.silent),
+                 "}, \"effective_sample_size\": ",
+                 est.effective_sample_size);
+}
+
+void print_interval_lines(const SampledGrading& est) {
+  const auto line = [](const char* name, const ProportionEstimate& e) {
+    std::cout << "  " << name << ": " << format_percent(e.fraction) << "  ["
+              << format_percent(e.low) << ", " << format_percent(e.high)
+              << "]\n";
+  };
+  line("failure", est.failure);
+  line("latent ", est.latent);
+  line("silent ", est.silent);
 }
 
 void print_grading_table(FaultModel model, const ClassCounts& counts,
@@ -213,24 +267,37 @@ int run_mbu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
 
 int run_set(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
             std::size_t sample, std::uint64_t seed, LaneWidth lanes,
-            bool json) {
+            std::uint16_t pulse_q, bool json) {
   const SetSites sites(circuit);
   const std::size_t total = sites.num_representatives() * cycles;
-  const auto faults = sample == 0 || sample >= total
-                          ? complete_set_fault_list(sites, cycles)
-                          : sample_set_fault_list(sites, cycles, sample, seed);
+  const bool sampled = sample != 0 && sample < total;
+  const auto faults =
+      sampled ? sample_set_fault_list(sites, cycles, sample, seed, pulse_q)
+              : complete_set_fault_list(sites, cycles, /*collapsed=*/true,
+                                        pulse_q);
   CampaignConfig config;
   config.lanes = lanes;
   ParallelFaultSimulator sim(circuit, tb, config);
   const SetCampaignResult rep_result = sim.run_set(faults);
   const double seconds = sim.last_run_seconds();
   // Representative sites stand for their whole equivalence class; the
-  // reported grading is over the expanded (all-sites) campaign.
+  // reported grading is over the expanded (all-sites) campaign, and a
+  // sampled campaign's Wilson intervals weight each representative by its
+  // class size so they cover the all-sites population too.
   const SetCampaignResult expanded =
       expand_collapsed_result(sites, rep_result);
+  const SampledGrading est =
+      sampled ? estimate_set_grading(sites, rep_result) : SampledGrading{};
   if (json) {
+    std::string extra = str_cat(", \"pulse_width\": ",
+                                set_pulse_fraction(pulse_q),
+                                ", \"pulse_q\": ", pulse_q);
+    if (sampled) {
+      extra += intervals_json(est);
+    }
     write_grading_json(std::cout, FaultModel::kSet, circuit, lanes,
-                       expanded.faults.size(), expanded.counts, seconds);
+                       expanded.faults.size(), expanded.counts, seconds,
+                       extra);
     return 0;
   }
   std::cout << "campaign: " << format_grouped(faults.size())
@@ -238,9 +305,58 @@ int run_set(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
             << format_grouped(sites.num_sites() * cycles) << " site-cycles ("
             << format_grouped(sites.num_sites()) << " gates collapsed to "
             << format_grouped(sites.num_representatives())
-            << " classes), " << cycles << " vectors, seed " << seed << "\n\n";
+            << " classes), " << cycles << " vectors, seed " << seed;
+  if (pulse_q < kSetPulseFull) {
+    std::cout << ", pulse width " << format_percent(set_pulse_fraction(pulse_q))
+              << " of the clock period";
+  }
+  std::cout << "\n\n";
+  if (sampled) {
+    std::cout << "grading (95% Wilson interval, class-size weighted over "
+                 "all sites; effective n = "
+              << format_fixed(est.effective_sample_size, 1) << "):\n";
+    print_interval_lines(est);
+    std::cout << "\n";
+  }
   std::cout << "expanded to all sites:\n";
   print_grading_table(FaultModel::kSet, expanded.counts, seconds,
+                      faults.size());
+  return 0;
+}
+
+int run_stuckat(const Circuit& circuit, const Testbench& tb,
+                std::size_t cycles, std::size_t sample, std::uint64_t seed,
+                LaneWidth lanes, bool json) {
+  const SetSites sites(circuit);
+  const std::size_t total = sites.num_representatives() * 2;
+  const auto faults = sample == 0 || sample >= total
+                          ? complete_stuckat_fault_list(sites)
+                          : sample_stuckat_fault_list(sites, sample, seed);
+  CampaignConfig config;
+  config.lanes = lanes;
+  ParallelFaultSimulator sim(circuit, tb, config);
+  const StuckAtCampaignResult rep_result = sim.run_stuckat(faults);
+  const double seconds = sim.last_run_seconds();
+  const StuckAtCampaignResult expanded =
+      expand_collapsed_stuckat_result(sites, rep_result);
+  if (json) {
+    const std::string extra =
+        str_cat(", \"fault_coverage\": ", expanded.fault_coverage());
+    write_grading_json(std::cout, FaultModel::kStuckAt, circuit, lanes,
+                       expanded.faults.size(), expanded.counts, seconds,
+                       extra);
+    return 0;
+  }
+  std::cout << "campaign: " << format_grouped(faults.size())
+            << " representative stuck-at faults of "
+            << format_grouped(sites.num_sites() * 2) << " site-polarities ("
+            << format_grouped(sites.num_sites()) << " gates collapsed to "
+            << format_grouped(sites.num_representatives()) << " classes), "
+            << cycles << " test vectors, seed " << seed << "\n\n";
+  std::cout << "fault coverage (detected, all sites): "
+            << format_percent(expanded.fault_coverage()) << "\n\n";
+  std::cout << "expanded to all sites:\n";
+  print_grading_table(FaultModel::kStuckAt, expanded.counts, seconds,
                       faults.size());
   return 0;
 }
@@ -254,6 +370,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> positional;
     std::string model_spec = "seu";
     std::string lanes_spec = "64";
+    std::uint16_t pulse_q = kSetPulseFull;
     bool json = false;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -261,6 +378,8 @@ int main(int argc, char** argv) {
         model_spec = argv[++i];
       } else if (arg == "--lanes" && i + 1 < argc) {
         lanes_spec = argv[++i];
+      } else if (arg == "--pulse-width" && i + 1 < argc) {
+        pulse_q = set_pulse_q(std::stod(argv[++i]));
       } else if (arg == "--json") {
         json = true;
       } else {
@@ -303,7 +422,10 @@ int main(int argc, char** argv) {
       case FaultModel::kMbu:
         return run_mbu(circuit, tb, cycles, sample, seed, lanes, json);
       case FaultModel::kSet:
-        return run_set(circuit, tb, cycles, sample, seed, lanes, json);
+        return run_set(circuit, tb, cycles, sample, seed, lanes, pulse_q,
+                       json);
+      case FaultModel::kStuckAt:
+        return run_stuckat(circuit, tb, cycles, sample, seed, lanes, json);
     }
     return 0;
   } catch (const std::exception& e) {

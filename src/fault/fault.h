@@ -15,18 +15,26 @@ struct Fault {
   friend bool operator==(const Fault&, const Fault&) = default;
 };
 
-/// Transient fault models the campaign engines grade. All three share the
-/// classification semantics below; they differ only in where the transient
-/// lands:
-///   kSeu — bit-flip in one flip-flop (the paper's model; `Fault`)
-///   kMbu — bit-flips in several flip-flops, same cycle (`MbuFault`)
-///   kSet — value inversion at a combinational gate output during one
-///          cycle's evaluation (`SetFault`); it matters only if latched or
-///          observed that cycle
+/// Fault models the campaign engines grade. All of them share the
+/// classification semantics below; they differ only in where and how the
+/// fault enters the machine (see FaultModelTraits in fault/model_traits.h —
+/// the descriptor the unified campaign engine instantiates per model):
+///   kSeu     — bit-flip in one flip-flop (the paper's model; `Fault`)
+///   kMbu     — bit-flips in several flip-flops, same cycle (`MbuFault`)
+///   kSet     — value inversion at a combinational gate output during one
+///              cycle's evaluation (`SetFault`); it matters only if latched
+///              or observed that cycle. Optionally pulse-width-limited: the
+///              transient latches into each downstream flip-flop only when
+///              it overlaps the FF's setup window.
+///   kStuckAt — a combinational gate output permanently forced to 0 or 1
+///              (`StuckAtFault`): the classic manufacturing-test model,
+///              graded with test-pattern semantics (failure == detected by
+///              the testbench)
 enum class FaultModel : std::uint8_t {
   kSeu,
   kMbu,
   kSet,
+  kStuckAt,
 };
 
 [[nodiscard]] constexpr std::string_view fault_model_name(
@@ -35,6 +43,7 @@ enum class FaultModel : std::uint8_t {
     case FaultModel::kSeu: return "seu";
     case FaultModel::kMbu: return "mbu";
     case FaultModel::kSet: return "set";
+    case FaultModel::kStuckAt: return "stuckat";
   }
   return "?";
 }

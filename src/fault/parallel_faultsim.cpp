@@ -16,130 +16,12 @@ namespace femu {
 
 namespace {
 
-// ---- model views -----------------------------------------------------------
-//
-// One view per fault model, normalizing a lane group for the shared group
-// runners. A view answers, per lane: when does the transient enter
-// (cycle), how does it enter (inject = state-bit XORs before eval;
-// overlay_slot = an instruction-overlay XOR during eval), which structural
-// cone bounds its divergence (union_cone), and which bits identify its
-// injection site in the sub-program cache key (seed_key). kHasOverlay
-// gates the overlay code paths out of the SEU/MBU instantiations entirely;
-// kKeyOverNodes picks the cache-key bitset space (FF ids vs node ids).
-
-/// The cone source behind a view: eager materialized matrices or the
-/// on-demand oracle (ConePolicy). Both derive bit-identical cones; the
-/// group runners never know which one is active.
-struct ConeBackend {
-  const FanoutCones* eager_ff = nullptr;
-  const GateCones* eager_gate = nullptr;
-  const ConeOracle* oracle = nullptr;
-
-  void union_ff(std::span<std::uint64_t> mask, std::size_t ff) const {
-    if (eager_ff != nullptr) {
-      eager_ff->union_into(mask, ff);
-    } else {
-      oracle->union_into_ff(mask, ff);
-    }
-  }
-  void union_gate(std::span<std::uint64_t> mask, NodeId gate) const {
-    if (eager_gate != nullptr) {
-      eager_gate->union_into(mask, eager_gate->site_index(gate));
-    } else {
-      oracle->union_into_gate(mask, gate);
-    }
-  }
-};
-
-struct SeuView {
-  std::span<const Fault> faults;
-  ConeBackend cones;
-  static constexpr bool kHasOverlay = false;
-  static constexpr bool kKeyOverNodes = false;
-
-  [[nodiscard]] std::size_t size() const noexcept { return faults.size(); }
-  [[nodiscard]] std::uint32_t cycle(std::size_t i) const {
-    return faults[i].cycle;
-  }
-  template <typename Engine>
-  void inject(Engine& engine, unsigned lane) const {
-    engine.flip_state_bit(faults[lane].ff_index, lane);
-  }
-  [[nodiscard]] std::uint32_t overlay_slot(std::size_t) const {
-    return kInvalidNode;
-  }
-  void union_cone(std::span<std::uint64_t> mask, std::size_t i) const {
-    cones.union_ff(mask, faults[i].ff_index);
-  }
-  void union_ff_cone(std::span<std::uint64_t> mask, std::size_t ff) const {
-    cones.union_ff(mask, ff);
-  }
-  void seed_key(std::span<std::uint64_t> key, std::size_t i) const {
-    const std::uint32_t ff = faults[i].ff_index;
-    key[ff >> 6] |= std::uint64_t{1} << (ff & 63);
-  }
-};
-
-struct MbuView {
-  std::span<const MbuFault> faults;
-  ConeBackend cones;
-  static constexpr bool kHasOverlay = false;
-  static constexpr bool kKeyOverNodes = false;
-
-  [[nodiscard]] std::size_t size() const noexcept { return faults.size(); }
-  [[nodiscard]] std::uint32_t cycle(std::size_t i) const {
-    return faults[i].cycle;
-  }
-  template <typename Engine>
-  void inject(Engine& engine, unsigned lane) const {
-    for (const std::uint32_t ff : faults[lane].ff_indices) {
-      engine.flip_state_bit(ff, lane);
-    }
-  }
-  [[nodiscard]] std::uint32_t overlay_slot(std::size_t) const {
-    return kInvalidNode;
-  }
-  void union_cone(std::span<std::uint64_t> mask, std::size_t i) const {
-    for (const std::uint32_t ff : faults[i].ff_indices) {
-      cones.union_ff(mask, ff);
-    }
-  }
-  void union_ff_cone(std::span<std::uint64_t> mask, std::size_t ff) const {
-    cones.union_ff(mask, ff);
-  }
-  void seed_key(std::span<std::uint64_t> key, std::size_t i) const {
-    for (const std::uint32_t ff : faults[i].ff_indices) {
-      key[ff >> 6] |= std::uint64_t{1} << (ff & 63);
-    }
-  }
-};
-
-struct SetView {
-  std::span<const SetFault> faults;
-  ConeBackend cones;
-  static constexpr bool kHasOverlay = true;
-  static constexpr bool kKeyOverNodes = true;
-
-  [[nodiscard]] std::size_t size() const noexcept { return faults.size(); }
-  [[nodiscard]] std::uint32_t cycle(std::size_t i) const {
-    return faults[i].cycle;
-  }
-  template <typename Engine>
-  void inject(Engine&, unsigned) const {}  // the overlay carries the flip
-  [[nodiscard]] std::uint32_t overlay_slot(std::size_t i) const {
-    return faults[i].node;  // kernel slot index == node id
-  }
-  void union_cone(std::span<std::uint64_t> mask, std::size_t i) const {
-    cones.union_gate(mask, faults[i].node);
-  }
-  void union_ff_cone(std::span<std::uint64_t> mask, std::size_t ff) const {
-    cones.union_ff(mask, ff);
-  }
-  void seed_key(std::span<std::uint64_t> key, std::size_t i) const {
-    const NodeId node = faults[i].node;
-    key[node >> 6] |= std::uint64_t{1} << (node & 63);
-  }
-};
+// The engine core below is model-agnostic: every model-specific question —
+// injection mechanism, overlay op and cadence, cone space, schedule key,
+// retirement rule — is answered by the FaultModelTraits descriptor through
+// a ModelView (fault/model_traits.h). The group runners specialize per
+// model purely via `if constexpr` on the view's flags, so SEU/MBU
+// instantiations carry no overlay, thinning or every-cycle code at all.
 
 /// Selects the lane-width-matching overlay vector out of the per-worker
 /// scratch (Scratch is deduced — WorkerScratch is private).
@@ -154,9 +36,22 @@ template <typename Word, typename Scratch>
   }
 }
 
-/// Sorts a per-cycle overlay by dest slot and ORs together entries landing
-/// on the same gate (several lanes hit by a SET at the same site this
-/// cycle), as required by eval_instrs_overlay.
+/// Selects the lane-width-matching latch-suppression vector.
+template <typename Word, typename Scratch>
+[[nodiscard]] auto& thin_in(Scratch& scratch) {
+  if constexpr (std::is_same_v<Word, Word512>) {
+    return scratch.thin512;
+  } else if constexpr (std::is_same_v<Word, Word256>) {
+    return scratch.thin256;
+  } else {
+    return scratch.thin64;
+  }
+}
+
+/// Sorts an overlay by dest slot and composes entries landing on the same
+/// gate (several lanes faulting the same site this cycle — possibly with
+/// different ops), as required by eval_instrs_overlay: applying (k1,f1)
+/// then (k2,f2) folds into the single masked update (k1&k2, (f1&k2)^f2).
 template <typename Word>
 void finalize_overlay(std::vector<CompiledKernel::OverlayEntry<Word>>& ov) {
   std::sort(ov.begin(), ov.end(),
@@ -164,7 +59,8 @@ void finalize_overlay(std::vector<CompiledKernel::OverlayEntry<Word>>& ov) {
   std::size_t out = 0;
   for (std::size_t i = 0; i < ov.size(); ++i) {
     if (out != 0 && ov[out - 1].dest == ov[i].dest) {
-      ov[out - 1].mask |= ov[i].mask;
+      ov[out - 1].flip = (ov[out - 1].flip & ov[i].keep) ^ ov[i].flip;
+      ov[out - 1].keep &= ov[i].keep;
     } else {
       ov[out++] = ov[i];
     }
@@ -172,9 +68,9 @@ void finalize_overlay(std::vector<CompiledKernel::OverlayEntry<Word>>& ov) {
   ov.resize(out);
 }
 
-/// Generic schedule sort shared by the three models: a packed (bucket,
-/// position) key per fault, counting-sorted when the bucket space is dense
-/// (the complete-campaign case), comparison-sorted otherwise.
+/// Generic schedule sort shared by every model: a packed (bucket, position)
+/// key per fault, counting-sorted when the bucket space is dense (the
+/// complete-campaign case), comparison-sorted otherwise.
 template <typename KeyOf>
 [[nodiscard]] std::vector<std::uint32_t> keyed_schedule_perm(
     std::size_t n, const KeyOf& key_of) {
@@ -248,8 +144,8 @@ ParallelFaultSimulator::ParallelFaultSimulator(const Circuit& circuit,
       // On-demand mode never materializes cone matrices: the oracle serves
       // unions by DFS and the FF ordering comes from the near-linear
       // anchor-rank pass — campaign construction stays near-linear in the
-      // circuit size. The labels are kept so a later SET campaign's site
-      // ranking reuses them instead of repeating the sweep.
+      // circuit size. The labels are kept so a later site-keyed campaign's
+      // site ranking reuses them instead of repeating the sweep.
       oracle_ = std::make_unique<ConeOracle>(circuit);
       next_ff_labels_ = next_ff_labels(circuit);
       order = cone_affine_ff_order_anchor(circuit, next_ff_labels_);
@@ -277,7 +173,7 @@ ParallelFaultSimulator::ParallelFaultSimulator(const Circuit& circuit,
   }
 }
 
-void ParallelFaultSimulator::ensure_set_structures() {
+void ParallelFaultSimulator::ensure_site_structures() {
   const bool need_cones = (config_.cone_restricted && kernel_ != nullptr) ||
                           config_.schedule == CampaignSchedule::kConeAffine;
   if (!need_cones) {
@@ -312,103 +208,57 @@ void ParallelFaultSimulator::ensure_set_structures() {
   }
 }
 
-// ---- schedule permutations -------------------------------------------------
+// ---- schedule permutation --------------------------------------------------
 
+template <typename Traits>
 std::vector<std::uint32_t> ParallelFaultSimulator::schedule_permutation(
-    std::span<const Fault> faults) const {
+    std::span<const typename Traits::FaultT> faults) const {
   if (config_.schedule == CampaignSchedule::kAsGiven) {
     return identity_perm(faults.size());
   }
+  const std::span<const std::uint32_t> ranks =
+      Traits::kSiteKeyed ? std::span<const std::uint32_t>(site_affinity_rank_)
+                         : std::span<const std::uint32_t>(ff_affinity_rank_);
   const bool affine = config_.schedule == CampaignSchedule::kConeAffine &&
-                      !ff_affinity_rank_.empty();
+                      !ranks.empty();
   // Cone-affine is block-major: the affinity order is a concatenation of
-  // lane-width FF blocks with small cone unions; keying by (block, cycle,
+  // lane-width blocks with small cone unions; keying by (block, cycle,
   // rank) lays out each block's faults cycle-major and back to back, so a
   // lane group is exactly one block at one cycle — same small cone union,
   // single injection cycle — instead of drifting across block boundaries.
   const std::uint64_t block = lane_count(config_.lanes);
-  // The affinity order leads with the partial block (num_ffs mod width), so
-  // rank-to-block mapping pads the front to keep later blocks width-aligned.
+  // The FF affinity order leads with the partial block (num_ffs mod width),
+  // so rank-to-block mapping pads the front to keep later blocks
+  // width-aligned; site ranks are width-aligned from rank 0.
   const std::uint64_t pad =
-      affine ? (block - ff_affinity_rank_.size() % block) % block : 0;
+      affine && !Traits::kSiteKeyed
+          ? (block - ff_affinity_rank_.size() % block) % block
+          : 0;
   const std::size_t num_cycles = testbench_.num_cycles();
-  const std::size_t num_ffs = circuit_.num_dffs();
+  const std::size_t stride =
+      Traits::kSiteKeyed ? circuit_.node_count() : circuit_.num_dffs();
   return keyed_schedule_perm(faults.size(), [&](std::size_t i) {
-    const Fault& f = faults[i];
+    const typename Traits::FaultT& f = faults[i];
+    const std::uint64_t site = Traits::schedule_site(f);
     if (affine) {
       // Dense bucket id (block, cycle, rank-within-block): small enough for
       // a counting sort over the whole campaign.
-      const std::uint64_t rank = ff_affinity_rank_[f.ff_index] + pad;
-      return (rank / block * num_cycles + f.cycle) * block + rank % block;
+      const std::uint64_t rank = ranks[site] + pad;
+      return (rank / block * num_cycles + Traits::cycle(f)) * block +
+             rank % block;
     }
-    return std::uint64_t{f.cycle} * num_ffs + f.ff_index;
+    return std::uint64_t{Traits::cycle(f)} * stride + site;
   });
 }
 
-std::vector<std::uint32_t> ParallelFaultSimulator::schedule_permutation(
-    std::span<const MbuFault> faults) const {
-  if (config_.schedule == CampaignSchedule::kAsGiven) {
-    return identity_perm(faults.size());
-  }
-  // An MBU spans several FFs; its first (lowest-index) FF stands in for the
-  // fault in the affinity key. Approximate — the schedule is a performance
-  // knob, never a semantic one.
-  const bool affine = config_.schedule == CampaignSchedule::kConeAffine &&
-                      !ff_affinity_rank_.empty();
-  const std::uint64_t block = lane_count(config_.lanes);
-  const std::uint64_t pad =
-      affine ? (block - ff_affinity_rank_.size() % block) % block : 0;
-  const std::size_t num_cycles = testbench_.num_cycles();
-  const std::size_t num_ffs = circuit_.num_dffs();
-  return keyed_schedule_perm(faults.size(), [&](std::size_t i) {
-    const MbuFault& f = faults[i];
-    const std::uint32_t ff = f.ff_indices.front();
-    if (affine) {
-      const std::uint64_t rank = ff_affinity_rank_[ff] + pad;
-      return (rank / block * num_cycles + f.cycle) * block + rank % block;
-    }
-    return std::uint64_t{f.cycle} * num_ffs + ff;
-  });
-}
-
-std::vector<std::uint32_t> ParallelFaultSimulator::schedule_permutation(
-    std::span<const SetFault> faults) const {
-  if (config_.schedule == CampaignSchedule::kAsGiven) {
-    return identity_perm(faults.size());
-  }
-  const bool affine = config_.schedule == CampaignSchedule::kConeAffine &&
-                      !site_affinity_rank_.empty();
-  const std::uint64_t block = lane_count(config_.lanes);
-  const std::size_t num_cycles = testbench_.num_cycles();
-  const std::size_t num_nodes = circuit_.node_count();
-  return keyed_schedule_perm(faults.size(), [&](std::size_t i) {
-    const SetFault& f = faults[i];
-    if (affine) {
-      const std::uint64_t rank = site_affinity_rank_[f.node];
-      return (rank / block * num_cycles + f.cycle) * block + rank % block;
-    }
-    return std::uint64_t{f.cycle} * num_nodes + f.node;
-  });
-}
-
-// ---- campaign drivers ------------------------------------------------------
+// ---- campaign entry points -------------------------------------------------
+//
+// One thin wrapper per model: run the generic driver, shape the result.
 
 CampaignResult ParallelFaultSimulator::run(std::span<const Fault> faults) {
   WallTimer timer;
-  const std::size_t num_cycles = testbench_.num_cycles();
-  for (const Fault& fault : faults) {
-    FEMU_CHECK(fault.cycle < num_cycles, "fault cycle ", fault.cycle,
-               " beyond testbench length ", num_cycles);
-    FEMU_CHECK(fault.ff_index < circuit_.num_dffs(), "fault FF ",
-               fault.ff_index, " out of range");
-  }
-
   std::vector<FaultOutcome> outcomes(faults.size());
-  const std::vector<std::uint32_t> perm = schedule_permutation(faults);
-  run_permuted<Fault>(faults, perm, outcomes, [this](auto group) {
-    return SeuView{group, {cones_.get(), nullptr, oracle_.get()}};
-  });
-
+  run_model<FaultModelTraits<FaultModel::kSeu>>(faults, outcomes);
   last_run_seconds_ = timer.elapsed_seconds();
   return CampaignResult(std::vector<Fault>(faults.begin(), faults.end()),
                         std::move(outcomes));
@@ -417,25 +267,11 @@ CampaignResult ParallelFaultSimulator::run(std::span<const Fault> faults) {
 MbuCampaignResult ParallelFaultSimulator::run_mbu(
     std::span<const MbuFault> faults) {
   WallTimer timer;
-  const std::size_t num_cycles = testbench_.num_cycles();
-  for (const MbuFault& fault : faults) {
-    FEMU_CHECK(fault.cycle < num_cycles, "MBU cycle ", fault.cycle,
-               " beyond testbench length ", num_cycles);
-    FEMU_CHECK(!fault.ff_indices.empty(), "MBU with no flip-flops");
-    for (const std::uint32_t ff : fault.ff_indices) {
-      FEMU_CHECK(ff < circuit_.num_dffs(), "MBU FF ", ff, " out of range");
-    }
-  }
-
   MbuCampaignResult result;
   result.faults.assign(faults.begin(), faults.end());
   result.outcomes.resize(faults.size());
-  const std::vector<std::uint32_t> perm = schedule_permutation(faults);
-  run_permuted<MbuFault>(faults, perm, result.outcomes, [this](auto group) {
-    return MbuView{group, {cones_.get(), nullptr, oracle_.get()}};
-  });
+  run_model<FaultModelTraits<FaultModel::kMbu>>(faults, result.outcomes);
   result.counts.add(result.outcomes);
-
   last_run_seconds_ = timer.elapsed_seconds();
   return result;
 }
@@ -443,38 +279,53 @@ MbuCampaignResult ParallelFaultSimulator::run_mbu(
 SetCampaignResult ParallelFaultSimulator::run_set(
     std::span<const SetFault> faults) {
   WallTimer timer;
-  FEMU_CHECK(kernel_ != nullptr,
-             "SET campaigns require the compiled backend "
-             "(the injection overlay is an instruction-stream mechanism)");
-  const std::size_t num_cycles = testbench_.num_cycles();
-  for (const SetFault& fault : faults) {
-    FEMU_CHECK(fault.cycle < num_cycles, "SET cycle ", fault.cycle,
-               " beyond testbench length ", num_cycles);
-    FEMU_CHECK(fault.node < circuit_.node_count() &&
-                   is_comb_cell(circuit_.type(fault.node)),
-               "SET node ", fault.node, " is not a combinational gate");
-  }
-  ensure_set_structures();
-
   SetCampaignResult result;
   result.faults.assign(faults.begin(), faults.end());
   result.outcomes.resize(faults.size());
-  const std::vector<std::uint32_t> perm = schedule_permutation(faults);
-  run_permuted<SetFault>(faults, perm, result.outcomes, [this](auto group) {
-    return SetView{group, {cones_.get(), gate_cones_.get(), oracle_.get()}};
-  });
+  run_model<FaultModelTraits<FaultModel::kSet>>(faults, result.outcomes);
   result.counts.add(result.outcomes);
-
   last_run_seconds_ = timer.elapsed_seconds();
   return result;
 }
 
-template <typename FaultT, typename MakeView>
-void ParallelFaultSimulator::run_permuted(std::span<const FaultT> faults,
-                                          std::span<const std::uint32_t> perm,
-                                          std::span<FaultOutcome> outcomes,
-                                          const MakeView& make_view) {
-  using View = std::invoke_result_t<MakeView, std::span<const FaultT>>;
+StuckAtCampaignResult ParallelFaultSimulator::run_stuckat(
+    std::span<const StuckAtFault> faults) {
+  WallTimer timer;
+  StuckAtCampaignResult result;
+  result.faults.assign(faults.begin(), faults.end());
+  result.outcomes.resize(faults.size());
+  run_model<FaultModelTraits<FaultModel::kStuckAt>>(faults, result.outcomes);
+  result.counts.add(result.outcomes);
+  last_run_seconds_ = timer.elapsed_seconds();
+  return result;
+}
+
+// ---- generic campaign driver -----------------------------------------------
+
+template <typename Traits>
+void ParallelFaultSimulator::run_model(
+    std::span<const typename Traits::FaultT> faults,
+    std::span<FaultOutcome> outcomes) {
+  using FaultT = typename Traits::FaultT;
+  using View = ModelView<Traits>;
+
+  if constexpr (Traits::kUsesOverlay) {
+    FEMU_CHECK(kernel_ != nullptr, fault_model_name(Traits::kModel),
+               " campaigns require the compiled backend "
+               "(the injection overlay is an instruction-stream mechanism)");
+  }
+  const std::size_t num_cycles = testbench_.num_cycles();
+  for (const FaultT& fault : faults) {
+    Traits::validate(circuit_, num_cycles, fault);
+  }
+  if constexpr (Traits::kSiteKeyed) {
+    // Built lazily on the first site-keyed campaign; FF-keyed campaigns
+    // never pay for the per-gate structures.
+    ensure_site_structures();
+  }
+
+  const std::vector<std::uint32_t> perm =
+      schedule_permutation<Traits>(faults);
 
   // Run over a permuted view, scatter outcomes back through the inverse
   // permutation so results align with caller order.
@@ -506,6 +357,10 @@ void ParallelFaultSimulator::run_permuted(std::span<const FaultT> faults,
       std::min<std::size_t>(workers, std::max<std::size_t>(num_groups, 1)));
   last_run_threads_ = workers;
 
+  const auto make_view = [this](std::span<const FaultT> group) {
+    return View{group, {cones_.get(), gate_cones_.get(), oracle_.get()}};
+  };
+
   const bool cone = config_.cone_restricted && kernel_ != nullptr;
   if (config_.lanes == LaneWidth::k64 && kernel_) {
     const auto make_engine = [this] {
@@ -526,7 +381,8 @@ void ParallelFaultSimulator::run_permuted(std::span<const FaultT> faults,
                                        run_outcomes, workers);
   } else if (config_.lanes == LaneWidth::k64) {
     // Interpreted backend: full-eval only, and no instruction stream to
-    // overlay — the SET driver rejects this configuration up front.
+    // overlay — the overlay-model check above rejects this configuration
+    // up front.
     if constexpr (!View::kHasOverlay) {
       const auto make_engine = [this] {
         return ParallelSimulator(circuit_, SimBackend::kInterpreted);
@@ -692,27 +548,48 @@ void ParallelFaultSimulator::run_group_full(Engine& engine,
   Word injected = T::zero();
   Word classified = T::zero();
   [[maybe_unused]] auto& overlay = overlay_in<Word>(scratch);
+  if constexpr (View::kHasOverlay && View::kOverlayEveryCycle) {
+    // Permanent faults: one persistent overlay entry per lane, applied on
+    // every cycle's evaluation — built once per group.
+    overlay.clear();
+    for (std::size_t lane = 0; lane < group_size; ++lane) {
+      overlay.push_back(view.template overlay_entry<Word>(
+          lane, view.overlay_node(lane)));
+    }
+    finalize_overlay(overlay);
+  }
+  // Final-state divergence for models without convergence retirement (their
+  // undetected lanes map to latent/silent after the loop).
+  [[maybe_unused]] Word final_differs = T::zero();
 
   for (std::size_t t = first_cycle; t < num_cycles; ++t) {
     // Inject the lanes whose cycle has arrived. SEU/MBU flips happen in
     // state(t), before cycle t evaluates — the upset hits the new state;
-    // a SET lane instead contributes an overlay entry so the flip lands
-    // inline during this cycle's evaluation.
-    if constexpr (View::kHasOverlay) {
+    // an overlay model's lane instead contributes an overlay entry so the
+    // fault lands inline during this cycle's evaluation.
+    if constexpr (View::kHasOverlay && !View::kOverlayEveryCycle) {
       overlay.clear();
     }
+    [[maybe_unused]] bool thin_now = false;
+    [[maybe_unused]] const std::size_t inject_begin = cursor;
     while (cursor < order.size() && view.cycle(order[cursor]) == t) {
       const std::uint32_t lane = order[cursor];
       view.inject(engine, lane);
-      if constexpr (View::kHasOverlay) {
-        overlay.push_back({view.overlay_slot(lane), T::lane_bit(lane)});
+      if constexpr (View::kHasOverlay && !View::kOverlayEveryCycle) {
+        overlay.push_back(view.template overlay_entry<Word>(
+            lane, view.overlay_node(lane)));
+      }
+      if constexpr (View::kLatchThinning) {
+        thin_now = thin_now || view.lane_thins(lane);
       }
       injected |= T::lane_bit(lane);
       ++cursor;
     }
 
     if constexpr (View::kHasOverlay) {
-      finalize_overlay(overlay);
+      if constexpr (!View::kOverlayEveryCycle) {
+        finalize_overlay(overlay);
+      }
       engine.eval_words_overlay(image.inputs(t), overlay);
     } else {
       engine.eval_words(image.inputs(t));
@@ -736,16 +613,39 @@ void ParallelFaultSimulator::run_group_full(Engine& engine,
 
     engine.step();
 
-    const Word differs = engine.state_mismatch_lanes(image.states(t + 1));
-    const Word converged = injected & ~classified & ~differs;
-    if (T::any(converged)) {
-      for (std::size_t lane = 0; lane < group_size; ++lane) {
-        if (T::test(converged, static_cast<unsigned>(lane))) {
-          outcomes[lane].cls = FaultClass::kSilent;
-          outcomes[lane].converge_cycle = static_cast<std::uint32_t>(t + 1);
+    if constexpr (View::kLatchThinning) {
+      // Latching-window thinning: a sub-full-width pulse misses some
+      // destination FFs' setup windows; those latch the broadcast golden
+      // next-state value instead of the transient-disturbed D.
+      if (thin_now) {
+        const auto golden_state = image.states(t + 1);
+        for (std::size_t c = inject_begin; c < cursor; ++c) {
+          const std::uint32_t lane = order[c];
+          if (!view.lane_thins(lane)) continue;
+          for (std::uint32_t ff = 0; ff < image.num_ffs; ++ff) {
+            if (!view.latches(lane, ff)) {
+              engine.force_state_lanes(ff, T::lane_bit(lane),
+                                       golden_state[ff]);
+            }
+          }
         }
       }
-      classified |= converged;
+    }
+
+    if constexpr (View::kRetireOnConvergence) {
+      const Word differs = engine.state_mismatch_lanes(image.states(t + 1));
+      const Word converged = injected & ~classified & ~differs;
+      if (T::any(converged)) {
+        for (std::size_t lane = 0; lane < group_size; ++lane) {
+          if (T::test(converged, static_cast<unsigned>(lane))) {
+            outcomes[lane].cls = FaultClass::kSilent;
+            outcomes[lane].converge_cycle = static_cast<std::uint32_t>(t + 1);
+          }
+        }
+        classified |= converged;
+      }
+    } else if (t + 1 == num_cycles) {
+      final_differs = engine.state_mismatch_lanes(image.states(num_cycles));
     }
 
     if (classified == group_mask) {
@@ -763,8 +663,20 @@ void ParallelFaultSimulator::run_group_full(Engine& engine,
       }
     }
   }
-  // Lanes never classified stay latent (their final state differs and no
-  // output ever deviated).
+  if constexpr (!View::kRetireOnConvergence) {
+    // Test-pattern mapping for undetected permanent faults: latent when the
+    // final state still differs from golden (excited but unobserved),
+    // silent when it does not. No converge_cycle — the fault never goes
+    // away.
+    const Word benign = group_mask & ~classified & ~final_differs;
+    for (std::size_t lane = 0; lane < group_size; ++lane) {
+      if (T::test(benign, static_cast<unsigned>(lane))) {
+        outcomes[lane].cls = FaultClass::kSilent;
+      }
+    }
+  }
+  // Remaining unclassified lanes stay latent (their final state differs and
+  // no output ever deviated).
 }
 
 template <typename Word, typename View>
@@ -817,20 +729,22 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
   // lane classified since the last checkpoint, and every kNarrowInterval
   // cycles — from what is *currently* diverged: the cones of the flip-flops
   // whose lane state differs from golden in any active lane, plus the seed
-  // cones of lanes still waiting to inject (tracked as per-lane tail bits
-  // in the fingerprint — a waiting SET lane's bound is a gate cone no FF
-  // bit can express). Divergence can only move inside the structural
-  // closure, so the re-derived mask is always a subset of the current one
-  // and the sub-program only ever shrinks; latent faults whose divergence
-  // parks in a few dead-end flip-flops stop paying for the full injection
-  // cone. The fingerprint is remembered between checkpoints: once the tail
-  // stabilises (same FFs diverged, typical for latent survivors) the
-  // checkpoint is a bitset compare, with no union or derivation work.
+  // cones of lanes whose bound no FF bit can express (lanes still waiting
+  // to inject — and, for every-cycle overlay models, every unclassified
+  // lane: a permanent fault keeps re-entering at its site, so its seed cone
+  // stays a divergence bound forever). Those lanes are tracked as per-lane
+  // tail bits in the fingerprint. Divergence can only move inside the
+  // structural closure, so the re-derived mask is always a subset of the
+  // current one and the sub-program only ever shrinks; latent faults whose
+  // divergence parks in a few dead-end flip-flops stop paying for the full
+  // injection cone. The fingerprint is remembered between checkpoints: once
+  // the tail stabilises (same FFs diverged, typical for latent survivors)
+  // the checkpoint is a bitset compare, with no union or derivation work.
   std::size_t narrow_below = group_size - 1;
   constexpr std::size_t kNarrowInterval = 4;
   std::vector<std::uint64_t>& next_mask = scratch.narrow_mask;
   std::vector<std::uint64_t>& diverged = scratch.diverged_ffs;
-  // Seed with every lane waiting — the bound the initial sub-program was
+  // Seed with every lane's tail bit — the bound the initial sub-program was
   // derived from.
   diverged.assign(ff_words + lane_words, 0);
   for (std::size_t lane = 0; lane < group_size; ++lane) {
@@ -843,29 +757,59 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
   Word classified = T::zero();
   std::size_t next_narrow_check = first_cycle + kNarrowInterval;
   [[maybe_unused]] auto& overlay = overlay_in<Word>(scratch);
+  // Every-cycle overlays live in arena space, so they are rebuilt whenever
+  // the sub-program changes (the ping-pong narrow buffers can reuse an
+  // address, so a dirty flag — not the pointer — tracks staleness).
+  [[maybe_unused]] bool overlay_dirty = true;
+  [[maybe_unused]] Word final_differs = T::zero();
 
   for (std::size_t t = first_cycle; t < num_cycles; ++t) {
-    if constexpr (View::kHasOverlay) {
+    if constexpr (View::kHasOverlay && View::kOverlayEveryCycle) {
+      if (overlay_dirty) {
+        overlay.clear();
+        for (std::size_t lane = 0; lane < group_size; ++lane) {
+          // A site the (narrowed) sub-program no longer computes is
+          // dropped — its fault provably cannot affect what is still
+          // evaluated (only possible for already-classified lanes, whose
+          // seed bound left the mask).
+          const std::uint32_t s = view.overlay_node(lane);
+          if (sp->in_cone(s)) {
+            overlay.push_back(view.template overlay_entry<Word>(
+                lane, sp->local_of_slot[s]));
+          }
+        }
+        finalize_overlay(overlay);
+        overlay_dirty = false;
+      }
+    } else if constexpr (View::kHasOverlay) {
       overlay.clear();
     }
+    [[maybe_unused]] bool thin_now = false;
+    [[maybe_unused]] const std::size_t inject_begin = cursor;
     while (cursor < order.size() && view.cycle(order[cursor]) == t) {
       const std::uint32_t lane = order[cursor];
       view.inject(engine, lane);
-      if constexpr (View::kHasOverlay) {
+      if constexpr (View::kHasOverlay && !View::kOverlayEveryCycle) {
         // Overlay destinations live in the sub-program's arena space; a
         // site the (narrowed) sub-program no longer computes is dropped —
         // its transient provably cannot affect what is still evaluated.
-        const std::uint32_t s = view.overlay_slot(lane);
+        const std::uint32_t s = view.overlay_node(lane);
         if (sp->in_cone(s)) {
-          overlay.push_back({sp->local_of_slot[s], T::lane_bit(lane)});
+          overlay.push_back(view.template overlay_entry<Word>(
+              lane, sp->local_of_slot[s]));
         }
+      }
+      if constexpr (View::kLatchThinning) {
+        thin_now = thin_now || view.lane_thins(lane);
       }
       injected |= T::lane_bit(lane);
       ++cursor;
     }
 
     if constexpr (View::kHasOverlay) {
-      finalize_overlay(overlay);
+      if constexpr (!View::kOverlayEveryCycle) {
+        finalize_overlay(overlay);
+      }
       engine.eval_cone_overlay(*sp, slot_trace_.at(t), overlay);
     } else {
       engine.eval_cone(*sp, slot_trace_.at(t));
@@ -887,16 +831,47 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
       classified |= mismatch;
     }
 
-    const Word differs = engine.step_cone_mismatch(*sp, image.states(t + 1));
-    const Word converged = injected & ~classified & ~differs;
-    if (T::any(converged)) {
-      for (std::size_t lane = 0; lane < group_size; ++lane) {
-        if (T::test(converged, static_cast<unsigned>(lane))) {
-          outcomes[lane].cls = FaultClass::kSilent;
-          outcomes[lane].converge_cycle = static_cast<std::uint32_t>(t + 1);
+    Word differs;
+    if constexpr (View::kLatchThinning) {
+      if (thin_now) {
+        // Latching-window thinning, fused into the cone step: build the
+        // per-cone-FF suppression words for the lanes injecting a
+        // sub-full-width pulse this cycle, then step with those lanes
+        // latching golden where the pulse missed the setup window.
+        auto& suppress = thin_in<Word>(scratch);
+        suppress.assign(sp->dff_indices.size(), T::zero());
+        for (std::size_t c = inject_begin; c < cursor; ++c) {
+          const std::uint32_t lane = order[c];
+          if (!view.lane_thins(lane)) continue;
+          for (std::size_t k = 0; k < sp->dff_indices.size(); ++k) {
+            if (!view.latches(lane, sp->dff_indices[k])) {
+              suppress[k] |= T::lane_bit(lane);
+            }
+          }
         }
+        differs = engine.step_cone_mismatch_thinned(*sp, image.states(t + 1),
+                                                    suppress);
+      } else {
+        differs = engine.step_cone_mismatch(*sp, image.states(t + 1));
       }
-      classified |= converged;
+    } else {
+      differs = engine.step_cone_mismatch(*sp, image.states(t + 1));
+    }
+    if constexpr (View::kRetireOnConvergence) {
+      const Word converged = injected & ~classified & ~differs;
+      if (T::any(converged)) {
+        for (std::size_t lane = 0; lane < group_size; ++lane) {
+          if (T::test(converged, static_cast<unsigned>(lane))) {
+            outcomes[lane].cls = FaultClass::kSilent;
+            outcomes[lane].converge_cycle = static_cast<std::uint32_t>(t + 1);
+          }
+        }
+        classified |= converged;
+      }
+    } else if (t + 1 == num_cycles) {
+      // Only cone FFs can hold non-golden state, so the cone-restricted
+      // mismatch is the full final-state comparison.
+      final_differs = differs;
     }
 
     if (classified == group_mask) {
@@ -912,13 +887,21 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
     if (active <= narrow_below || t + 1 >= next_narrow_check) {
       narrow_below = active - 1;
       next_narrow_check = t + 1 + kNarrowInterval;
-      // Current divergence fingerprint: lanes still waiting to inject
-      // contribute their tail bit, active lanes contribute every cone FF
-      // whose state word differs from golden (only cone FFs can diverge).
+      // Current divergence fingerprint: lanes whose bound is their seed
+      // cone (waiting lanes; every unclassified lane for every-cycle
+      // models) contribute their tail bit, active lanes contribute every
+      // cone FF whose state word differs from golden (only cone FFs can
+      // diverge).
       std::vector<std::uint64_t>& now = scratch.diverged_now;
       now.assign(ff_words + lane_words, 0);
       for (std::size_t lane = 0; lane < group_size; ++lane) {
-        if (!T::test(injected, static_cast<unsigned>(lane))) {
+        bool tail;
+        if constexpr (View::kOverlayEveryCycle) {
+          tail = !T::test(classified, static_cast<unsigned>(lane));
+        } else {
+          tail = !T::test(injected, static_cast<unsigned>(lane));
+        }
+        if (tail) {
           now[ff_words + (lane >> 6)] |= std::uint64_t{1} << (lane & 63);
         }
       }
@@ -970,6 +953,7 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
             sp = &scratch.narrow_sp[narrow_buf];
             narrow_buf ^= 1u;
             ++scratch.narrowings;
+            overlay_dirty = true;
           }
         }
       }
@@ -980,6 +964,16 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
       if (next_cycle > t + 1) {
         engine.broadcast_state(golden_.states[next_cycle]);
         t = next_cycle - 1;
+      }
+    }
+  }
+  if constexpr (!View::kRetireOnConvergence) {
+    // Test-pattern mapping for undetected permanent faults (see
+    // run_group_full).
+    const Word benign = group_mask & ~classified & ~final_differs;
+    for (std::size_t lane = 0; lane < group_size; ++lane) {
+      if (T::test(benign, static_cast<unsigned>(lane))) {
+        outcomes[lane].cls = FaultClass::kSilent;
       }
     }
   }

@@ -7,7 +7,9 @@
 
 #include "fault/campaign_result.h"
 #include "fault/mbu.h"
+#include "fault/model_traits.h"
 #include "fault/set_model.h"
+#include "fault/stuckat_model.h"
 #include "netlist/circuit.h"
 #include "netlist/fanout_cones.h"
 #include "sim/compiled_kernel.h"
@@ -119,19 +121,29 @@ struct CampaignConfig {
 
 /// Bit-parallel fault simulation with cone-restricted differential
 /// evaluation and multi-threaded campaign sharding — the unified campaign
-/// engine for all three transient fault models (FaultModel):
+/// engine for every fault model (FaultModel):
 ///
-///   run()      — SEU (flip-flop bit-flips, the paper's model)
-///   run_mbu()  — MBU (multi-bit upsets: several FFs flipped together)
-///   run_set()  — SET (transient inversions at combinational gate outputs;
-///                compiled backend only — injection rides the kernel's
-///                instruction-stream overlay)
+///   run()         — SEU (flip-flop bit-flips, the paper's model)
+///   run_mbu()     — MBU (multi-bit upsets: several FFs flipped together)
+///   run_set()     — SET (transient inversions at combinational gate
+///                   outputs, optionally pulse-width-limited with per-FF
+///                   latching-window thinning; compiled backend only —
+///                   injection rides the kernel's instruction-stream
+///                   overlay)
+///   run_stuckat() — stuck-at-0/1 at combinational gate outputs
+///                   (test-pattern grading; compiled backend only — the
+///                   permanent force rides the same overlay, op-tagged
+///                   AND/OR instead of XOR, applied every cycle)
 ///
 /// One CampaignConfig drives every model with identical sharding,
-/// scheduling and classification semantics; the models differ only in how a
-/// lane's transient enters the machine (state-bit XOR before eval vs an
-/// inline instruction-overlay XOR during eval) and in which structural cone
-/// bounds its divergence (per-FF FanoutCones vs per-gate GateCones).
+/// scheduling and classification semantics. Everything model-specific —
+/// fault type, injection mechanism (state-bit XOR before eval vs op-tagged
+/// instruction-overlay update during eval), overlay emission cadence,
+/// divergence cone space, schedule key and classification mapping — lives
+/// in the model's FaultModelTraits descriptor (fault/model_traits.h); the
+/// engine core is instantiated once per model from that descriptor, so a
+/// new fault model is one descriptor specialization plus a result-shaping
+/// entry point, never a new engine path.
 ///
 /// Faults are processed in groups of lane-width size; lane k of every signal
 /// word carries faulty machine k. A lane whose injection cycle has not
@@ -181,9 +193,21 @@ class ParallelFaultSimulator {
   /// Grades a SET campaign: each lane's gate output is XOR-inverted inline
   /// during its injection cycle's evaluation via the kernel's injection
   /// overlay, then the latched divergence is tracked exactly like an SEU's.
+  /// Sub-full-width pulses (SetFault::pulse_q) additionally thin the latch
+  /// per destination flip-flop by the deterministic setup-window draw.
   /// Compiled backend only (the overlay is an instruction-stream mechanism);
-  /// both lane widths, all schedules, cone-restricted or full.
+  /// all lane widths, all schedules, cone-restricted or full.
   [[nodiscard]] SetCampaignResult run_set(std::span<const SetFault> faults);
+
+  /// Grades a stuck-at campaign with test-pattern semantics: each lane's
+  /// gate output is forced to its stuck value on **every** cycle's
+  /// evaluation (an op-tagged AND/OR overlay instead of SET's XOR), failure
+  /// means the testbench detected the fault at a primary output, and
+  /// undetected lanes run to the end of the testbench (no convergence
+  /// retirement — a permanent fault can be re-excited) before mapping to
+  /// latent/silent by the final-state comparison. Compiled backend only.
+  [[nodiscard]] StuckAtCampaignResult run_stuckat(
+      std::span<const StuckAtFault> faults);
 
   [[nodiscard]] const GoldenTrace& golden() const noexcept { return golden_; }
 
@@ -270,11 +294,18 @@ class ParallelFaultSimulator {
     // express for a SET site).
     std::vector<std::uint64_t> diverged_ffs;
     std::vector<std::uint64_t> diverged_now;
-    // Per-cycle SET injection overlays (one vector per lane word type; only
-    // the active width's vector is ever touched).
+    // Injection overlays (one vector per lane word type; only the active
+    // width's vector is ever touched): per injection cycle for transient
+    // models, persistent across cycles for every-cycle models (stuck-at).
     std::vector<CompiledKernel::OverlayEntry<std::uint64_t>> overlay64;
     std::vector<CompiledKernel::OverlayEntry<Word256>> overlay256;
     std::vector<CompiledKernel::OverlayEntry<Word512>> overlay512;
+    // Per-cone-FF latching suppression words for pulse-width thinning
+    // (parallel to the sub-program's dff_indices; see
+    // LaneEngine::step_cone_mismatch_thinned).
+    std::vector<std::uint64_t> thin64;
+    std::vector<Word256> thin256;
+    std::vector<Word512> thin512;
     CompiledKernel::ConeSubProgram initial_sp;
     // Two narrow buffers, ping-ponged: a re-derivation filters the current
     // sub-program (see build_subprogram's narrow_from), which must not
@@ -304,35 +335,32 @@ class ParallelFaultSimulator {
                    std::span<const FaultT> faults,
                    std::span<FaultOutcome> outcomes, unsigned num_workers);
 
-  /// Shared campaign driver: applies the schedule permutation, dispatches
-  /// on backend x lane width, shards the groups and scatters the outcomes
-  /// back to caller order. `make_view(group_faults)` adapts one group of
-  /// the model's fault type for the group runners.
-  template <typename FaultT, typename MakeView>
-  void run_permuted(std::span<const FaultT> faults,
-                    std::span<const std::uint32_t> perm,
-                    std::span<FaultOutcome> outcomes,
-                    const MakeView& make_view);
+  /// The generic campaign driver every public entry point wraps: validates
+  /// the faults through the model descriptor, applies the schedule
+  /// permutation, dispatches on backend x lane width, shards the groups
+  /// (running them through ModelView<Traits>) and scatters the outcomes
+  /// back to caller order.
+  template <typename Traits>
+  void run_model(std::span<const typename Traits::FaultT> faults,
+                 std::span<FaultOutcome> outcomes);
 
   /// Sorts the injection schedule indices for one group into scratch.order.
   template <typename View>
   void sort_group_order(const View& view, WorkerScratch& scratch) const;
 
   /// Schedule permutation: perm[i] is the caller index of the i-th fault in
-  /// engine order (identity for kAsGiven). One overload per fault model —
-  /// they share the generic keyed sort and differ only in the per-fault
-  /// (cycle, affinity-rank) key.
+  /// engine order (identity for kAsGiven). One generic keyed sort; the
+  /// per-fault (cycle, affinity-rank) key comes from the model descriptor
+  /// (schedule_site in FF or gate-site space, kSiteKeyed).
+  template <typename Traits>
   [[nodiscard]] std::vector<std::uint32_t> schedule_permutation(
-      std::span<const Fault> faults) const;
-  [[nodiscard]] std::vector<std::uint32_t> schedule_permutation(
-      std::span<const MbuFault> faults) const;
-  [[nodiscard]] std::vector<std::uint32_t> schedule_permutation(
-      std::span<const SetFault> faults) const;
+      std::span<const typename Traits::FaultT> faults) const;
 
-  /// Builds the per-gate cones and the SET site affinity ranks on the first
-  /// run_set() that needs them (cone-restricted evaluation or cone-affine
-  /// scheduling); SEU/MBU-only campaigns never pay for them.
-  void ensure_set_structures();
+  /// Builds the per-gate cones and the site affinity ranks on the first
+  /// site-keyed campaign (SET, stuck-at) that needs them (cone-restricted
+  /// evaluation or cone-affine scheduling); FF-keyed campaigns never pay
+  /// for them.
+  void ensure_site_structures();
 
   const Circuit& circuit_;
   const Testbench& testbench_;
@@ -343,7 +371,7 @@ class ParallelFaultSimulator {
   std::shared_ptr<const CompiledKernel> kernel_;  // null when interpreted
   std::unique_ptr<FanoutCones> cones_;            // eager mode only
   std::unique_ptr<ConeOracle> oracle_;            // on-demand mode only
-  std::unique_ptr<GateCones> gate_cones_;         // eager ensure_set_structures
+  std::unique_ptr<GateCones> gate_cones_;         // eager ensure_site_structures
   GoldenSlotTrace slot_trace_;                    // empty when full-eval
   std::vector<std::uint32_t> next_ff_labels_;     // on-demand anchor labels
   std::vector<std::uint32_t> ff_affinity_rank_;   // rank of ff in cone order

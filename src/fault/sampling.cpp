@@ -7,17 +7,16 @@
 
 namespace femu {
 
-ProportionEstimate estimate_proportion(std::size_t hits, std::size_t n,
-                                       double z) {
-  FEMU_CHECK(hits <= n, "estimate_proportion: ", hits, " hits out of ", n);
-  FEMU_CHECK(z > 0.0, "z must be positive");
+namespace {
+
+/// Wilson score interval core over a (possibly fractional) trial count —
+/// the shared math behind the integer and the weighted entry points.
+ProportionEstimate wilson_interval(double p, double nd, double z) {
   ProportionEstimate est;
-  if (n == 0) {
+  if (nd <= 0.0) {
     est.high = 1.0;
     return est;
   }
-  const double nd = static_cast<double>(n);
-  const double p = static_cast<double>(hits) / nd;
   est.fraction = p;
   const double z2 = z * z;
   const double denom = 1.0 + z2 / nd;
@@ -27,6 +26,31 @@ ProportionEstimate estimate_proportion(std::size_t hits, std::size_t n,
   est.low = std::max(0.0, (centre - spread) / denom);
   est.high = std::min(1.0, (centre + spread) / denom);
   return est;
+}
+
+}  // namespace
+
+ProportionEstimate estimate_proportion(std::size_t hits, std::size_t n,
+                                       double z) {
+  FEMU_CHECK(hits <= n, "estimate_proportion: ", hits, " hits out of ", n);
+  FEMU_CHECK(z > 0.0, "z must be positive");
+  if (n == 0) {
+    ProportionEstimate est;
+    est.high = 1.0;
+    return est;
+  }
+  return wilson_interval(
+      static_cast<double>(hits) / static_cast<double>(n),
+      static_cast<double>(n), z);
+}
+
+ProportionEstimate estimate_proportion_weighted(double fraction, double n_eff,
+                                                double z) {
+  FEMU_CHECK(fraction >= 0.0 && fraction <= 1.0,
+             "weighted fraction ", fraction, " outside [0, 1]");
+  FEMU_CHECK(n_eff >= 0.0, "effective sample size must be non-negative");
+  FEMU_CHECK(z > 0.0, "z must be positive");
+  return wilson_interval(fraction, n_eff, z);
 }
 
 std::size_t required_sample_size(double margin, double z) {
@@ -40,10 +64,67 @@ SampledGrading estimate_grading(const CampaignResult& result, double z) {
   const ClassCounts& counts = result.counts();
   SampledGrading grading;
   grading.sample_size = counts.total();
+  grading.effective_sample_size = static_cast<double>(counts.total());
   grading.failure = estimate_proportion(counts.failure, counts.total(), z);
   grading.latent = estimate_proportion(counts.latent, counts.total(), z);
   grading.silent = estimate_proportion(counts.silent, counts.total(), z);
   return grading;
+}
+
+SampledGrading estimate_weighted_grading(std::span<const FaultOutcome> outcomes,
+                                         std::span<const double> weights,
+                                         double z) {
+  FEMU_CHECK(outcomes.size() == weights.size(), "weights size ",
+             weights.size(), " != outcomes size ", outcomes.size());
+  double w_total = 0.0;
+  double w_sq_total = 0.0;
+  double w_failure = 0.0;
+  double w_latent = 0.0;
+  double w_silent = 0.0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const double w = weights[i];
+    FEMU_CHECK(w > 0.0, "non-positive weight ", w, " at index ", i);
+    w_total += w;
+    w_sq_total += w * w;
+    switch (outcomes[i].cls) {
+      case FaultClass::kFailure: w_failure += w; break;
+      case FaultClass::kLatent:  w_latent += w;  break;
+      case FaultClass::kSilent:  w_silent += w;  break;
+    }
+  }
+  SampledGrading grading;
+  grading.sample_size = outcomes.size();
+  if (outcomes.empty()) {
+    grading.failure.high = grading.latent.high = grading.silent.high = 1.0;
+    return grading;
+  }
+  // Kish effective sample size: what unequal weights shrink n to. Equal
+  // weights give exactly n, so the unweighted and weighted paths agree.
+  const double n_eff = w_total * w_total / w_sq_total;
+  grading.effective_sample_size = n_eff;
+  grading.failure =
+      estimate_proportion_weighted(w_failure / w_total, n_eff, z);
+  grading.latent = estimate_proportion_weighted(w_latent / w_total, n_eff, z);
+  grading.silent = estimate_proportion_weighted(w_silent / w_total, n_eff, z);
+  return grading;
+}
+
+SampledGrading estimate_set_grading(const SetSites& sites,
+                                    const SetCampaignResult& rep_result,
+                                    double z) {
+  std::vector<double> weights;
+  weights.reserve(rep_result.faults.size());
+  for (const SetFault& fault : rep_result.faults) {
+    // A graded representative stands for its whole equivalence class in the
+    // all-sites population; a fault on a non-representative site is its
+    // own, single-site evidence.
+    const double w =
+        sites.representative(fault.node) == fault.node
+            ? static_cast<double>(sites.class_members(fault.node).size())
+            : 1.0;
+    weights.push_back(w);
+  }
+  return estimate_weighted_grading(rep_result.outcomes, weights, z);
 }
 
 }  // namespace femu

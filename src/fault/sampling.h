@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 
 #include "fault/campaign_result.h"
+#include "fault/set_model.h"
 
 namespace femu {
 
@@ -30,15 +32,44 @@ struct ProportionEstimate {
 [[nodiscard]] std::size_t required_sample_size(double margin,
                                                double z = 1.96);
 
+/// Wilson score interval for a *weighted* sample: `fraction` is the
+/// weighted point estimate and `n_eff` the effective sample size (Kish:
+/// (Σw)² / Σw²), which is what unequal weights shrink the evidence to. With
+/// all weights equal this reduces exactly to estimate_proportion.
+[[nodiscard]] ProportionEstimate estimate_proportion_weighted(double fraction,
+                                                              double n_eff,
+                                                              double z = 1.96);
+
 /// Interval estimates for all three fault classes of a (sampled) campaign.
 struct SampledGrading {
   ProportionEstimate failure;
   ProportionEstimate latent;
   ProportionEstimate silent;
   std::size_t sample_size = 0;
+  /// Effective sample size after weighting — equals sample_size for an
+  /// unweighted estimate, smaller when weights are unequal.
+  double effective_sample_size = 0.0;
 };
 
 [[nodiscard]] SampledGrading estimate_grading(const CampaignResult& result,
                                               double z = 1.96);
+
+/// Interval estimates for outcomes carrying unequal population weights:
+/// weighted point estimates, Wilson intervals at the Kish effective sample
+/// size. `weights` parallels `outcomes`.
+[[nodiscard]] SampledGrading estimate_weighted_grading(
+    std::span<const FaultOutcome> outcomes, std::span<const double> weights,
+    double z = 1.96);
+
+/// Interval estimates of a sampled representative-site SET campaign over
+/// the **all-sites population**: each graded representative stands for its
+/// whole equivalence class, so its outcome is weighted by the class size
+/// (faults on non-representative sites weigh 1) and the interval expands
+/// through the effective sample size accordingly. Complements
+/// expand_collapsed_result, which gives the same weighting as exact counts
+/// for complete campaigns — this gives the sampling-uncertainty view.
+[[nodiscard]] SampledGrading estimate_set_grading(
+    const SetSites& sites, const SetCampaignResult& rep_result,
+    double z = 1.96);
 
 }  // namespace femu

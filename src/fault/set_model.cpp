@@ -7,8 +7,31 @@
 
 namespace femu {
 
+std::uint16_t set_pulse_q(double width_fraction) {
+  FEMU_CHECK(width_fraction >= 0.0 && width_fraction <= 1.0,
+             "pulse width fraction ", width_fraction, " outside [0, 1]");
+  return static_cast<std::uint16_t>(
+      width_fraction * static_cast<double>(kSetPulseFull) + 0.5);
+}
+
+bool set_pulse_latches(NodeId node, std::uint32_t cycle, std::uint32_t ff,
+                       std::uint16_t pulse_q) noexcept {
+  if (pulse_q >= kSetPulseFull) {
+    return true;
+  }
+  // splitmix64-style finalizer over the packed (node, cycle, ff) identity:
+  // platform-independent, stateless, uniform in its low bits.
+  std::uint64_t x = (std::uint64_t{node} << 32) ^ cycle;
+  x ^= 0x9e3779b97f4a7c15ULL + (std::uint64_t{ff} << 17);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return (x & 0xff) < pulse_q;
+}
+
 SetSites::SetSites(const Circuit& circuit)
-    : rep_of_(circuit.node_count(), kInvalidNode) {
+    : rep_of_(circuit.node_count(), kInvalidNode),
+      rep_inverted_(circuit.node_count(), 0) {
   circuit.validate();
   const std::size_t num_nodes = circuit.node_count();
   sites_.reserve(circuit.num_gates());
@@ -37,7 +60,10 @@ SetSites::SetSites(const Circuit& circuit)
   }
 
   // Descending node-id order: a chain n -> buf -> not -> ... resolves each
-  // link to the already-final representative of its consumer.
+  // link to the already-final representative of its consumer. The chain
+  // parity (odd number of kNot links to the representative) rides along:
+  // SET inversions are parity-blind, but polarity-carrying models
+  // (stuck-at) translate their forced value through it.
   for (std::size_t s = sites_.size(); s-- > 0;) {
     const NodeId n = sites_[s];
     rep_of_[n] = n;
@@ -47,6 +73,9 @@ SetSites::SetSites(const Circuit& circuit)
     const CellType ct = circuit.type(c);
     if (ct == CellType::kBuf || ct == CellType::kNot) {
       rep_of_[n] = rep_of_[c];
+      rep_inverted_[n] =
+          static_cast<std::uint8_t>((ct == CellType::kNot) ^
+                                    (rep_inverted_[c] != 0));
     }
   }
 
@@ -76,14 +105,15 @@ std::span<const NodeId> SetSites::class_members(NodeId rep) const {
 
 std::vector<SetFault> complete_set_fault_list(const SetSites& sites,
                                               std::size_t num_cycles,
-                                              bool collapsed) {
+                                              bool collapsed,
+                                              std::uint16_t pulse_q) {
   const std::span<const NodeId> nodes =
       collapsed ? sites.representatives() : sites.sites();
   std::vector<SetFault> faults;
   faults.reserve(nodes.size() * num_cycles);
   for (std::uint32_t cycle = 0; cycle < num_cycles; ++cycle) {
     for (const NodeId node : nodes) {
-      faults.push_back(SetFault{node, cycle});
+      faults.push_back(SetFault{node, cycle, pulse_q});
     }
   }
   return faults;
@@ -92,7 +122,8 @@ std::vector<SetFault> complete_set_fault_list(const SetSites& sites,
 std::vector<SetFault> sample_set_fault_list(const SetSites& sites,
                                             std::size_t num_cycles,
                                             std::size_t count,
-                                            std::uint64_t seed) {
+                                            std::uint64_t seed,
+                                            std::uint16_t pulse_q) {
   const std::span<const NodeId> reps = sites.representatives();
   // Sorted index sample == schedule (cycle-major) order.
   const std::vector<std::uint64_t> chosen =
@@ -101,7 +132,8 @@ std::vector<SetFault> sample_set_fault_list(const SetSites& sites,
   faults.reserve(count);
   for (const std::uint64_t index : chosen) {
     faults.push_back(SetFault{reps[index % reps.size()],
-                              static_cast<std::uint32_t>(index / reps.size())});
+                              static_cast<std::uint32_t>(index / reps.size()),
+                              pulse_q});
   }
   return faults;
 }
@@ -114,8 +146,13 @@ SetCampaignResult expand_collapsed_result(const SetSites& sites,
   for (std::size_t i = 0; i < rep_result.faults.size(); ++i) {
     const SetFault& fault = rep_result.faults[i];
     if (sites.representative(fault.node) == fault.node) {
+      // Exact for full-width faults (the collapse equivalence). At narrower
+      // pulse widths the per-member latch draws differ (the draw is keyed
+      // on the fault's own node), so member outcomes are statistically
+      // exchangeable with the representative's — same latch probability —
+      // but not bit-identical; aggregate counts remain representative.
       for (const NodeId member : sites.class_members(fault.node)) {
-        out.faults.push_back(SetFault{member, fault.cycle});
+        out.faults.push_back(SetFault{member, fault.cycle, fault.pulse_q});
         out.outcomes.push_back(rep_result.outcomes[i]);
       }
     } else {
@@ -224,8 +261,21 @@ SetCampaignResult SerialSetSimulator::run(std::span<const SetFault> faults) {
       for (std::size_t i = 0; i < state_.size(); ++i) {
         state_[i] = values_[dff_d_[i]];
       }
-      bool state_mismatch = false;
       const BitVec& next = golden_.states[t + 1];
+      // Latching-window thinning: a sub-full-width pulse latches into each
+      // flip-flop only when it overlaps that FF's setup window; FFs it
+      // misses latch the golden next-state value (their D deviation was
+      // the transient itself, which is gone by the edge).
+      if (t == fault.cycle && fault.pulse_q < kSetPulseFull) {
+        for (std::size_t i = 0; i < state_.size(); ++i) {
+          if (!set_pulse_latches(fault.node, fault.cycle,
+                                 static_cast<std::uint32_t>(i),
+                                 fault.pulse_q)) {
+            state_[i] = static_cast<char>(next.get(i));
+          }
+        }
+      }
+      bool state_mismatch = false;
       for (std::size_t i = 0; i < state_.size(); ++i) {
         if ((state_[i] != 0) != next.get(i)) {
           state_mismatch = true;

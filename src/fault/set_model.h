@@ -23,12 +23,45 @@ namespace femu {
 /// grades (its SEU bit-flip model covers the sequential half); as feature
 /// sizes shrank, gate-level transients became the dominant soft-error
 /// mechanism, which is why fault graders grew this model.
+///
+/// **Pulse width / latching window.** A real transient is a pulse, not a
+/// full-cycle inversion: it latches into a downstream flip-flop only when it
+/// overlaps that FF's setup window, with probability equal to the pulse
+/// width as a fraction of the clock period. `pulse_q` discretises that
+/// fraction in 1/256 steps (width = pulse_q / 256); the default
+/// `kSetPulseFull` (256) is the classic full-cycle inversion — always
+/// latched, bit-identical to the pre-pulse model. For narrower pulses each
+/// destination FF draws a deterministic setup-window-overlap decision from
+/// set_pulse_latches(); primary outputs are monitored continuously, so
+/// observation during the injection cycle is unaffected by the width.
 struct SetFault {
   NodeId node = 0;
   std::uint32_t cycle = 0;
+  std::uint16_t pulse_q = 256;  // kSetPulseFull
 
   friend bool operator==(const SetFault&, const SetFault&) = default;
 };
+
+/// pulse_q value of a full-cycle inversion (width fraction 1.0).
+inline constexpr std::uint16_t kSetPulseFull = 256;
+
+/// Discretises a pulse-width fraction in [0, 1] to a pulse_q step.
+[[nodiscard]] std::uint16_t set_pulse_q(double width_fraction);
+
+/// The width fraction a pulse_q step denotes.
+[[nodiscard]] constexpr double set_pulse_fraction(std::uint16_t q) noexcept {
+  return static_cast<double>(q) / static_cast<double>(kSetPulseFull);
+}
+
+/// Deterministic setup-window-overlap draw: does the transient of fault
+/// (node, cycle) latch into flip-flop `ff`? True with probability
+/// pulse_q / 256 over uniformly mixed (node, cycle, ff) triples; always
+/// true at kSetPulseFull. A pure function of its arguments — the serial
+/// reference and every kernel engine make identical decisions, so
+/// cross-validation stays exact at any width.
+[[nodiscard]] bool set_pulse_latches(NodeId node, std::uint32_t cycle,
+                                     std::uint32_t ff,
+                                     std::uint16_t pulse_q) noexcept;
 
 /// SET site enumeration over a Circuit, with equivalence collapse.
 ///
@@ -65,6 +98,17 @@ class SetSites {
   /// Members collapsed onto representative `rep` (including rep itself).
   [[nodiscard]] std::span<const NodeId> class_members(NodeId rep) const;
 
+  /// Parity of the collapse chain from `site` to its representative: true
+  /// when an odd number of inverting (kNot) cells lie on the chain. A SET
+  /// (inversion) is parity-blind — flipping either end of the chain is the
+  /// same disturbance — but a *polarity-carrying* fault is not: stuck-at-v
+  /// at `site` is behaviourally identical to stuck-at-(v XOR
+  /// rep_inverted(site)) at representative(site). False for every
+  /// self-representative site.
+  [[nodiscard]] bool rep_inverted(NodeId site) const {
+    return rep_inverted_[site] != 0;
+  }
+
   [[nodiscard]] std::size_t num_sites() const noexcept {
     return sites_.size();
   }
@@ -76,21 +120,24 @@ class SetSites {
   std::vector<NodeId> sites_;
   std::vector<NodeId> reps_;
   std::vector<NodeId> rep_of_;          // node id -> representative node id
+  std::vector<std::uint8_t> rep_inverted_;  // node id -> chain parity
   std::vector<NodeId> members_;         // grouped by representative
   std::vector<std::uint32_t> class_begin_;  // per rep: offset into members_
 };
 
 /// The complete SET fault list: every representative site x every cycle,
 /// cycle-major (pass collapsed = false for every raw site instead — e.g. to
-/// validate the collapse itself).
+/// validate the collapse itself). `pulse_q` applies the same discretised
+/// pulse width to every fault (default: full-cycle inversion).
 [[nodiscard]] std::vector<SetFault> complete_set_fault_list(
-    const SetSites& sites, std::size_t num_cycles, bool collapsed = true);
+    const SetSites& sites, std::size_t num_cycles, bool collapsed = true,
+    std::uint16_t pulse_q = kSetPulseFull);
 
 /// Uniform random sample (without replacement) of `count` faults from the
 /// complete representative-site list, in schedule order.
 [[nodiscard]] std::vector<SetFault> sample_set_fault_list(
     const SetSites& sites, std::size_t num_cycles, std::size_t count,
-    std::uint64_t seed);
+    std::uint64_t seed, std::uint16_t pulse_q = kSetPulseFull);
 
 /// Result of a SET campaign (same classification semantics as the SEU
 /// CampaignResult; the fault identity is a SetFault).

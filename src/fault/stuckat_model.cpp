@@ -1,0 +1,180 @@
+#include "fault/stuckat_model.h"
+
+#include "common/error.h"
+#include "fault/fault_list.h"
+
+namespace femu {
+
+std::vector<StuckAtFault> complete_stuckat_fault_list(const SetSites& sites,
+                                                      bool collapsed) {
+  const std::span<const NodeId> nodes =
+      collapsed ? sites.representatives() : sites.sites();
+  std::vector<StuckAtFault> faults;
+  faults.reserve(nodes.size() * 2);
+  for (const NodeId node : nodes) {
+    faults.push_back(StuckAtFault{node, false});
+    faults.push_back(StuckAtFault{node, true});
+  }
+  return faults;
+}
+
+std::vector<StuckAtFault> sample_stuckat_fault_list(const SetSites& sites,
+                                                    std::size_t count,
+                                                    std::uint64_t seed) {
+  const std::span<const NodeId> reps = sites.representatives();
+  const std::vector<std::uint64_t> chosen =
+      sample_index_set(std::uint64_t{reps.size()} * 2, count, seed);
+  std::vector<StuckAtFault> faults;
+  faults.reserve(count);
+  for (const std::uint64_t index : chosen) {
+    faults.push_back(StuckAtFault{reps[index / 2], (index & 1) != 0});
+  }
+  return faults;
+}
+
+StuckAtCampaignResult expand_collapsed_stuckat_result(
+    const SetSites& sites, const StuckAtCampaignResult& rep_result) {
+  StuckAtCampaignResult out;
+  out.faults.reserve(rep_result.faults.size());
+  out.outcomes.reserve(rep_result.outcomes.size());
+  for (std::size_t i = 0; i < rep_result.faults.size(); ++i) {
+    const StuckAtFault& fault = rep_result.faults[i];
+    if (sites.representative(fault.node) == fault.node) {
+      // stuck-at-v at member == stuck-at-(v ^ parity) at rep, so the
+      // member fault reproducing this rep fault's behaviour carries the
+      // rep polarity translated back through its own chain parity.
+      for (const NodeId member : sites.class_members(fault.node)) {
+        out.faults.push_back(StuckAtFault{
+            member, fault.stuck_one != sites.rep_inverted(member)});
+        out.outcomes.push_back(rep_result.outcomes[i]);
+      }
+    } else {
+      // A raw (uncollapsed) site: its own evidence, passed through.
+      out.faults.push_back(fault);
+      out.outcomes.push_back(rep_result.outcomes[i]);
+    }
+  }
+  out.counts.add(out.outcomes);
+  return out;
+}
+
+SerialStuckAtSimulator::SerialStuckAtSimulator(const Circuit& circuit,
+                                               const Testbench& testbench)
+    : circuit_(circuit),
+      testbench_(testbench),
+      golden_(capture_golden(circuit, testbench.vectors())),
+      dff_d_(circuit.dff_drivers()),
+      values_(circuit.node_count(), 0),
+      state_(circuit.num_dffs(), 0) {
+  FEMU_CHECK(testbench.input_width() == circuit.num_inputs(),
+             "testbench width ", testbench.input_width(), " != circuit PI ",
+             circuit.num_inputs());
+}
+
+StuckAtCampaignResult SerialStuckAtSimulator::run(
+    std::span<const StuckAtFault> faults) {
+  const std::size_t num_cycles = testbench_.num_cycles();
+  const std::size_t num_nodes = circuit_.node_count();
+
+  // Source ordinals: PI nodes -> stimulus bit, DFF nodes -> state bit.
+  std::vector<std::uint32_t> ordinal(num_nodes, 0);
+  for (std::size_t i = 0; i < circuit_.inputs().size(); ++i) {
+    ordinal[circuit_.inputs()[i]] = static_cast<std::uint32_t>(i);
+  }
+  for (std::size_t i = 0; i < circuit_.dffs().size(); ++i) {
+    ordinal[circuit_.dffs()[i]] = static_cast<std::uint32_t>(i);
+  }
+
+  StuckAtCampaignResult result;
+  result.faults.assign(faults.begin(), faults.end());
+  result.outcomes.assign(faults.size(),
+                         FaultOutcome{FaultClass::kLatent, kNoCycle, kNoCycle});
+
+  const auto settle = [&](std::size_t t, NodeId force_node, bool force_value) {
+    const BitVec& vector = testbench_.vector(t);
+    for (NodeId id = 0; id < num_nodes; ++id) {
+      bool v;
+      const CellType type = circuit_.type(id);
+      switch (type) {
+        case CellType::kInput:
+          v = vector.get(ordinal[id]);
+          break;
+        case CellType::kDff:
+          v = state_[ordinal[id]] != 0;
+          break;
+        case CellType::kConst0:
+          v = false;
+          break;
+        case CellType::kConst1:
+          v = true;
+          break;
+        default: {
+          const auto fanins = circuit_.fanins(id);
+          const bool a = values_[fanins[0]] != 0;
+          const bool b = fanins.size() > 1 ? values_[fanins[1]] != 0 : a;
+          const bool c = fanins.size() > 2 ? values_[fanins[2]] != 0 : a;
+          v = eval_cell_bool(type, a, b, c);
+          break;
+        }
+      }
+      values_[id] = static_cast<char>(id == force_node ? force_value : v);
+    }
+  };
+
+  for (std::size_t k = 0; k < faults.size(); ++k) {
+    const StuckAtFault& fault = faults[k];
+    FEMU_CHECK(fault.node < num_nodes &&
+                   is_comb_cell(circuit_.type(fault.node)),
+               "stuck-at node ", fault.node, " is not a combinational gate");
+    FaultOutcome& outcome = result.outcomes[k];
+
+    // The fault is present from reset: the faulty machine starts in the
+    // golden reset state and the force applies to every settle.
+    const BitVec& start = golden_.states[0];
+    for (std::size_t i = 0; i < state_.size(); ++i) {
+      state_[i] = static_cast<char>(start.get(i));
+    }
+
+    for (std::size_t t = 0; t < num_cycles; ++t) {
+      settle(t, fault.node, fault.stuck_one);
+
+      bool output_mismatch = false;
+      for (std::size_t o = 0; o < circuit_.num_outputs(); ++o) {
+        if ((values_[circuit_.outputs()[o].driver] != 0) !=
+            golden_.outputs[t].get(o)) {
+          output_mismatch = true;
+          break;
+        }
+      }
+      if (output_mismatch) {
+        outcome.cls = FaultClass::kFailure;
+        outcome.detect_cycle = static_cast<std::uint32_t>(t);
+        break;
+      }
+
+      for (std::size_t i = 0; i < state_.size(); ++i) {
+        state_[i] = values_[dff_d_[i]];
+      }
+      // No convergence retirement: a permanent fault whose state happens to
+      // match golden can be re-excited any later cycle, so the lane runs to
+      // the end of the testbench.
+    }
+
+    if (outcome.cls != FaultClass::kFailure) {
+      bool state_mismatch = false;
+      const BitVec& final_state = golden_.states[num_cycles];
+      for (std::size_t i = 0; i < state_.size(); ++i) {
+        if ((state_[i] != 0) != final_state.get(i)) {
+          state_mismatch = true;
+          break;
+        }
+      }
+      outcome.cls =
+          state_mismatch ? FaultClass::kLatent : FaultClass::kSilent;
+    }
+  }
+  result.counts.add(result.outcomes);
+  return result;
+}
+
+}  // namespace femu

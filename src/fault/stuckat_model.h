@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/campaign_result.h"
+#include "fault/set_model.h"
+#include "netlist/circuit.h"
+#include "sim/golden.h"
+#include "stim/testbench.h"
+
+namespace femu {
+
+/// A single stuck-at fault: the output of combinational gate `node` is
+/// permanently forced to `stuck_one` (stuck-at-1) or 0 (stuck-at-0), from
+/// reset through every testbench cycle — the classic manufacturing-test
+/// fault model, graded here with **test-pattern semantics**: the campaign
+/// asks whether the testbench *detects* the fault (any primary-output
+/// deviation from the golden run, at any cycle). In the shared three-way
+/// grading a detected fault is kFailure (detect_cycle = first deviating
+/// cycle); an undetected fault is kLatent when the final state still
+/// differs from golden (excited but unobserved) and kSilent when it does
+/// not (never excited, or always logically masked). Unlike the transient
+/// models a stuck-at lane is never retired on state re-convergence — the
+/// fault is permanent and can be re-excited any later cycle — so silent
+/// outcomes carry no converge_cycle.
+struct StuckAtFault {
+  NodeId node = 0;
+  bool stuck_one = false;
+
+  friend bool operator==(const StuckAtFault&, const StuckAtFault&) = default;
+};
+
+[[nodiscard]] constexpr const char* stuckat_polarity_name(
+    bool stuck_one) noexcept {
+  return stuck_one ? "sa1" : "sa0";
+}
+
+/// The complete stuck-at fault list: both polarities of every site,
+/// site-major (sa0 then sa1 per site). Site enumeration and fanout-free
+/// collapse are reused from SetSites — a chain member's fault translates to
+/// its representative with the chain parity applied to the polarity
+/// (stuck-at-v at site == stuck-at-(v XOR rep_inverted) at rep), so the
+/// collapsed list carries 2 faults per equivalence class. Pass
+/// collapsed = false for every raw (site, polarity) pair instead.
+[[nodiscard]] std::vector<StuckAtFault> complete_stuckat_fault_list(
+    const SetSites& sites, bool collapsed = true);
+
+/// Uniform random sample (without replacement) of `count` faults from the
+/// complete collapsed list, in list order.
+[[nodiscard]] std::vector<StuckAtFault> sample_stuckat_fault_list(
+    const SetSites& sites, std::size_t count, std::uint64_t seed);
+
+/// Result of a stuck-at campaign. Test-pattern grading reads
+/// counts.failure as "detected by this testbench"; fault coverage is the
+/// detected fraction over the graded list.
+struct StuckAtCampaignResult {
+  std::vector<StuckAtFault> faults;
+  std::vector<FaultOutcome> outcomes;
+  ClassCounts counts;
+
+  /// Detected / total — the test-pattern fault coverage.
+  [[nodiscard]] double fault_coverage() const noexcept {
+    return counts.failure_fraction();
+  }
+};
+
+/// Expands a representative-site campaign to the full site set: every
+/// member of a graded representative's class receives the representative's
+/// outcome under the member's own polarity (chain parity applied — see
+/// SetSites::rep_inverted). Faults on non-representative sites pass through
+/// unchanged.
+[[nodiscard]] StuckAtCampaignResult expand_collapsed_stuckat_result(
+    const SetSites& sites, const StuckAtCampaignResult& rep_result);
+
+/// Interpreted per-fault stuck-at reference simulator.
+///
+/// One fault at a time: start from the golden reset state and evaluate the
+/// circuit graph directly with the site's value forced every cycle —
+/// kernel-free, so it cross-validates the compiled force-overlay engines
+/// from a fully independent implementation. Same classification mapping as
+/// the campaign engine (failure on first output mismatch, else
+/// latent/silent by final-state comparison).
+class SerialStuckAtSimulator {
+ public:
+  SerialStuckAtSimulator(const Circuit& circuit, const Testbench& testbench);
+
+  /// Grades every fault; outcomes align with the input order.
+  [[nodiscard]] StuckAtCampaignResult run(std::span<const StuckAtFault> faults);
+
+  [[nodiscard]] const GoldenTrace& golden() const noexcept { return golden_; }
+
+ private:
+  const Circuit& circuit_;
+  const Testbench& testbench_;
+  GoldenTrace golden_;
+  std::vector<NodeId> dff_d_;
+  std::vector<char> values_;  // per node, current settle
+  std::vector<char> state_;   // per DFF
+};
+
+}  // namespace femu

@@ -158,19 +158,47 @@ class CompiledKernel {
     for (const std::uint32_t slot : const1_slots_) values[slot] = T::ones();
   }
 
-  /// One SET injection point for the overlay eval: after the instruction
-  /// writing slot `dest` executes, the computed value is inverted in the
-  /// lanes of `mask` — a transient at the gate's output, visible to every
-  /// downstream reader of that slot this settle and gone the next. Overlay
-  /// lists are sorted by dest and merged inline against the instruction
-  /// stream, which is dest-ascending (full program and every cone
-  /// sub-program alike), so injection costs one compare per instruction on
-  /// injection cycles and nothing on all others.
+  /// One injection point for the overlay eval: after the instruction
+  /// writing slot `dest` executes, the computed value receives the masked
+  /// update
+  ///
+  ///     value = (value & keep) ^ flip
+  ///
+  /// which expresses every overlay op a fault model needs, branch-free:
+  ///
+  ///   op           | lanes m         | keep | flip | model
+  ///   -------------|-----------------|------|------|------------------
+  ///   XOR (invert) | value ^= m      | ones | m    | SET transient
+  ///   AND (force 0)| value &= ~m     | ~m   | 0    | stuck-at-0
+  ///   OR  (force 1)| value |= m      | ~m   | m    | stuck-at-1
+  ///
+  /// (see overlay_xor/overlay_force below). Entries compose: applying
+  /// (k1,f1) then (k2,f2) equals the single entry (k1&k2, (f1&k2)^f2), so
+  /// several lanes' ops on the same destination — even mixed ops — merge
+  /// into one entry. Overlay lists are sorted by dest and merged inline
+  /// against the instruction stream, which is dest-ascending (full program
+  /// and every cone sub-program alike), so injection costs one compare per
+  /// instruction on overlay cycles and nothing on all others.
   template <typename Word>
   struct OverlayEntry {
     std::uint32_t dest = 0;
-    Word mask{};
+    Word keep{};
+    Word flip{};
   };
+
+  /// XOR overlay entry: invert the lanes of `m` (SET).
+  template <typename Word>
+  [[nodiscard]] static OverlayEntry<Word> overlay_xor(std::uint32_t dest,
+                                                      Word m) {
+    return {dest, LaneTraits<Word>::ones(), m};
+  }
+
+  /// Force overlay entry: drive the lanes of `m` to `value` (stuck-at).
+  template <typename Word>
+  [[nodiscard]] static OverlayEntry<Word> overlay_force(std::uint32_t dest,
+                                                        Word m, bool value) {
+    return {dest, ~m, value ? m : LaneTraits<Word>::zero()};
+  }
 
   /// Executes one instruction (shared by the plain and overlay eval loops).
   template <typename Word>
@@ -218,10 +246,10 @@ class CompiledKernel {
     }
   }
 
-  /// Executes an instruction sequence with a SET injection overlay merged
-  /// in: `overlay` must be sorted by dest (strictly ascending). Entries
-  /// whose dest is not written by `instrs` are skipped — a narrowed
-  /// sub-program may have dropped an already-injected site.
+  /// Executes an instruction sequence with an injection overlay merged in:
+  /// `overlay` must be sorted by dest (strictly ascending). Entries whose
+  /// dest is not written by `instrs` are skipped — a narrowed sub-program
+  /// may have dropped an already-injected site.
   template <typename Word>
   static void eval_instrs_overlay(std::span<const Instr> instrs, Word* values,
                                   std::span<const OverlayEntry<Word>> overlay) {
@@ -231,7 +259,7 @@ class CompiledKernel {
       exec_instr(in, values);
       while (ov != ov_end && ov->dest <= in.dest) {
         if (ov->dest == in.dest) {
-          values[in.dest] ^= ov->mask;
+          values[in.dest] = (values[in.dest] & ov->keep) ^ ov->flip;
         }
         ++ov;
       }
@@ -337,7 +365,7 @@ class LaneEngine {
     load_state_and_eval();
   }
 
-  /// eval_words with a SET injection overlay (sorted by dest) merged into
+  /// eval_words with an injection overlay (sorted by dest) merged into
   /// the instruction stream — see CompiledKernel::OverlayEntry.
   void eval_words_overlay(
       std::span<const Word> input_words,
@@ -371,7 +399,7 @@ class LaneEngine {
     CompiledKernel::eval_instrs<Word>(sp.instrs, arena_.data());
   }
 
-  /// eval_cone with a SET injection overlay merged into the sub-program
+  /// eval_cone with an injection overlay merged into the sub-program
   /// stream. Overlay destinations are **arena** indices (translate a kernel
   /// slot through sp.local_of_slot, gated on sp.in_cone — sites the
   /// sub-program no longer computes must be dropped by the caller), sorted
@@ -412,6 +440,35 @@ class LaneEngine {
       mismatch |= next ^ golden_state_words[i];
     }
     return mismatch;
+  }
+
+  /// step_cone_mismatch with per-FF latching-window thinning: the lanes of
+  /// `suppress[k]` (parallel to sp.dff_indices) latch the broadcast golden
+  /// next-state bit instead of their computed D value — a transient pulse
+  /// that missed flip-flop k's setup window in those lanes. Only called on
+  /// cycles where a pulse-width fault injects; all other cycles take the
+  /// plain variant above.
+  [[nodiscard]] Word step_cone_mismatch_thinned(
+      const CompiledKernel::ConeSubProgram& sp,
+      std::span<const Word> golden_state_words,
+      std::span<const Word> suppress) {
+    Word mismatch = Traits::zero();
+    for (std::size_t k = 0; k < sp.dff_indices.size(); ++k) {
+      const std::uint32_t i = sp.dff_indices[k];
+      const Word golden = golden_state_words[i];
+      const Word next = (arena_[sp.dff_d_locals[k]] & ~suppress[k]) |
+                        (golden & suppress[k]);
+      state_[i] = next;
+      mismatch |= next ^ golden;
+    }
+    return mismatch;
+  }
+
+  /// Forces the lanes of `lanes` in flip-flop `ff_index`'s state word to the
+  /// broadcast golden word — the full-eval path's latching-window thinning,
+  /// applied between step() and the state-mismatch query.
+  void force_state_lanes(std::size_t ff_index, Word lanes, Word golden_word) {
+    state_[ff_index] = (state_[ff_index] & ~lanes) | (golden_word & lanes);
   }
 
   void cycle(const BitVec& inputs) {

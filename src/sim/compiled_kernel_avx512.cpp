@@ -76,8 +76,10 @@ void eval_instrs_overlay_word512_avx512(
     __m512i v = exec_one(in, values);
     while (ov != ov_end && ov->dest <= in.dest) {
       if (ov->dest == in.dest) {
-        v = _mm512_xor_si512(
-            v, _mm512_loadu_si512(static_cast<const void*>(&ov->mask)));
+        // (v & keep) ^ flip — one ternary-logic op (imm 0x6A = (a&b)^c).
+        v = _mm512_ternarylogic_epi64(
+            v, _mm512_loadu_si512(static_cast<const void*>(&ov->keep)),
+            _mm512_loadu_si512(static_cast<const void*>(&ov->flip)), 0x6A);
       }
       ++ov;
     }

@@ -45,7 +45,7 @@ void eval_instrs_overlay_word512_limbs(
     CompiledKernel::exec_instr<Word512>(in, values);
     while (ov != ov_end && ov->dest <= in.dest) {
       if (ov->dest == in.dest) {
-        values[in.dest] ^= ov->mask;
+        values[in.dest] = (values[in.dest] & ov->keep) ^ ov->flip;
       }
       ++ov;
     }

@@ -85,6 +85,75 @@ TEST(SamplingTest, SampledCampaignIntervalCoversFullResult) {
   EXPECT_EQ(est.sample_size, 400u);
 }
 
+// ---- weighted sampling (SET equivalence-class weights) ----
+
+TEST(WeightedSamplingTest, EqualWeightsReduceToUnweighted) {
+  std::vector<FaultOutcome> outcomes(60);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    outcomes[i].cls = i < 21 ? FaultClass::kFailure
+                             : (i < 30 ? FaultClass::kLatent
+                                       : FaultClass::kSilent);
+  }
+  const std::vector<double> weights(outcomes.size(), 3.0);
+  const SampledGrading weighted = estimate_weighted_grading(outcomes, weights);
+  EXPECT_NEAR(weighted.effective_sample_size, 60.0, 1e-9);
+  const ProportionEstimate plain = estimate_proportion(21, 60);
+  EXPECT_NEAR(weighted.failure.fraction, plain.fraction, 1e-12);
+  EXPECT_NEAR(weighted.failure.low, plain.low, 1e-12);
+  EXPECT_NEAR(weighted.failure.high, plain.high, 1e-12);
+}
+
+TEST(WeightedSamplingTest, UnequalWeightsShrinkTheEffectiveSample) {
+  // Kish: n_eff = (Σw)²/Σw². Three outcomes weighted {1, 1, 3}: n_eff =
+  // 25/11 < 3, and the point estimate is the weighted mean.
+  std::vector<FaultOutcome> outcomes(3);
+  outcomes[0].cls = FaultClass::kFailure;
+  outcomes[1].cls = FaultClass::kSilent;
+  outcomes[2].cls = FaultClass::kSilent;
+  const std::vector<double> weights = {1.0, 1.0, 3.0};
+  const SampledGrading est = estimate_weighted_grading(outcomes, weights);
+  EXPECT_NEAR(est.effective_sample_size, 25.0 / 11.0, 1e-9);
+  EXPECT_NEAR(est.failure.fraction, 0.2, 1e-12);
+  EXPECT_NEAR(est.silent.fraction, 0.8, 1e-12);
+  // Wider than the same fractions at the raw count — the weighting costs
+  // evidence.
+  const ProportionEstimate raw = estimate_proportion(1, 3);
+  EXPECT_GT(est.failure.half_width(), 0.0);
+  EXPECT_GE(est.failure.high - est.failure.low, raw.high - raw.low);
+}
+
+TEST(WeightedSamplingTest, SetGradingCoversAllSitesPopulation) {
+  // A sampled representative-site SET campaign: the class-size-weighted
+  // point estimates must equal the expanded (all-sites) fractions of the
+  // same sample exactly, the intervals must cover the *complete* all-sites
+  // campaign's fractions (fixed seed — guards the plumbing), and unequal
+  // class sizes must show up as n_eff < n.
+  const Circuit circuit = circuits::build_by_name("b09_like");
+  const Testbench tb = random_testbench(circuit.num_inputs(), 48, 5);
+  const SetSites sites(circuit);
+  ParallelFaultSimulator sim(circuit, tb);
+
+  const auto sample = sample_set_fault_list(sites, tb.num_cycles(), 300, 9);
+  const SetCampaignResult sampled = sim.run_set(sample);
+  const SampledGrading est = estimate_set_grading(sites, sampled);
+  EXPECT_EQ(est.sample_size, 300u);
+  EXPECT_LE(est.effective_sample_size, 300.0);
+
+  const SetCampaignResult sample_expanded =
+      expand_collapsed_result(sites, sampled);
+  EXPECT_NEAR(est.failure.fraction, sample_expanded.counts.failure_fraction(),
+              1e-12);
+  EXPECT_NEAR(est.silent.fraction, sample_expanded.counts.silent_fraction(),
+              1e-12);
+
+  const SetCampaignResult complete = expand_collapsed_result(
+      sites, sim.run_set(complete_set_fault_list(sites, tb.num_cycles())));
+  EXPECT_GE(complete.counts.failure_fraction(), est.failure.low);
+  EXPECT_LE(complete.counts.failure_fraction(), est.failure.high);
+  EXPECT_GE(complete.counts.silent_fraction(), est.silent.low);
+  EXPECT_LE(complete.counts.silent_fraction(), est.silent.high);
+}
+
 // ---- fault dictionary ----
 
 TEST(DictionaryTest, IndexesExactlyTheFailures) {
