@@ -18,6 +18,12 @@
 //                    lane widths shows where each circuit shape hits the
 //                    memory wall (best_cone_lane_width per circuit)
 //
+// The *-adaptive-* configurations run the same campaigns under
+// WidthPolicy::kAdaptive (tail/sparse groups at narrower lane tiers,
+// cone-affinity-block-aligned grouping); each engine entry reports its
+// width_policy, lane_occupancy and per-tier group counts so the A/B against
+// the fixed-width twin is visible per line.
+//
 // Pipelines at or above the on-demand threshold run with on-demand cone
 // derivation automatically (ConePolicy::kAuto), so the matrix also tracks
 // the oracle's schedule-construction cost in the wall-clock numbers.
@@ -79,6 +85,8 @@ struct BenchResult {
   std::uint64_t eval_cycles = 0;
   std::uint64_t eval_instrs = 0;
   std::uint64_t eval_slot_bytes = 0;
+  double lane_occupancy = 1.0;
+  ParallelFaultSimulator::GroupWidthCounts group_widths;
 
   ClassCounts counts;
 
@@ -157,6 +165,12 @@ void write_json(std::ostream& out, const std::vector<BenchResult>& results,
         << ", \"eval_instrs\": " << r.eval_instrs
         << ", \"eval_bytes_per_instr\": " << r.eval_bytes_per_instr()
         << ", \"eval_cycles_per_sec\": " << r.eval_cycles_per_sec()
+        << ", \"width_policy\": \""
+        << width_policy_name(r.config.width_policy)
+        << "\", \"lane_occupancy\": " << r.lane_occupancy
+        << ", \"group_widths\": {\"64\": " << r.group_widths.g64
+        << ", \"256\": " << r.group_widths.g256
+        << ", \"512\": " << r.group_widths.g512 << "}"
         << ", \"speedup_vs_base\": "
         << (base > 0.0 ? r.faults_per_sec() / base : 0.0)
         << ", \"counts\": {\"failure\": " << r.counts.failure
@@ -199,6 +213,14 @@ CampaignConfig full_config(SimBackend b, LaneWidth w, unsigned threads) {
 CampaignConfig cone_config(LaneWidth w, unsigned threads) {
   return {SimBackend::kCompiled, w, threads, /*cone_restricted=*/true,
           CampaignSchedule::kConeAffine};
+}
+
+/// cone_config with the width-adaptive group planner: sparse and tail
+/// groups drop to narrower lane tiers and align to cone-affinity blocks.
+CampaignConfig adaptive_cone_config(LaneWidth w, unsigned threads) {
+  CampaignConfig config = cone_config(w, threads);
+  config.width_policy = WidthPolicy::kAdaptive;
+  return config;
 }
 
 /// Runs one circuit's configuration set (round-robin over repetitions so
@@ -252,6 +274,8 @@ void run_circuit(const std::string& circuit_name, const Circuit& circuit,
         r.eval_cycles = sim.last_run_eval_cycles();
         r.eval_instrs = sim.last_run_eval_instrs();
         r.eval_slot_bytes = sim.last_run_eval_slot_bytes();
+        r.lane_occupancy = sim.last_run_lane_occupancy();
+        r.group_widths = sim.last_run_group_widths();
       }
     }
   }
@@ -348,6 +372,8 @@ int main(int argc, char** argv) {
         {"compiled-512-full-1t", kSeu,
          full_config(SimBackend::kCompiled, LaneWidth::k512, 1)},
         {"compiled-512-cone-1t", kSeu, cone_config(LaneWidth::k512, 1)},
+        {"compiled-512-cone-adaptive-1t", kSeu,
+         adaptive_cone_config(LaneWidth::k512, 1)},
         {"compiled-64-cone-mt", kSeu, cone_config(LaneWidth::k64, hw)},
         {"compiled-256-cone-mt", kSeu, cone_config(LaneWidth::k256, hw)},
         {"compiled-512-cone-mt", kSeu, cone_config(LaneWidth::k512, hw)},
@@ -356,9 +382,13 @@ int main(int argc, char** argv) {
         {"set-64-cone-1t", kSet, cone_config(LaneWidth::k64, 1)},
         {"set-256-cone-1t", kSet, cone_config(LaneWidth::k256, 1)},
         {"set-512-cone-1t", kSet, cone_config(LaneWidth::k512, 1)},
+        {"set-512-cone-adaptive-1t", kSet,
+         adaptive_cone_config(LaneWidth::k512, 1)},
         {"set-64-cone-mt", kSet, cone_config(LaneWidth::k64, hw)},
         {"stuckat-64-cone-1t", kStuckAt, cone_config(LaneWidth::k64, 1)},
         {"stuckat-512-cone-1t", kStuckAt, cone_config(LaneWidth::k512, 1)},
+        {"stuckat-512-cone-adaptive-1t", kStuckAt,
+         adaptive_cone_config(LaneWidth::k512, 1)},
         {"stuckat-64-cone-mt", kStuckAt, cone_config(LaneWidth::k64, hw)},
     };
     run_circuit("b14", circuit, tb, faults, set_faults, stuckat_faults,
@@ -399,7 +429,11 @@ int main(int argc, char** argv) {
         {"compiled-64-cone-1t", kSeu, cone_config(LaneWidth::k64, 1)},
         {"compiled-256-cone-1t", kSeu, cone_config(LaneWidth::k256, 1)},
         {"compiled-512-cone-1t", kSeu, cone_config(LaneWidth::k512, 1)},
+        {"compiled-512-cone-adaptive-1t", kSeu,
+         adaptive_cone_config(LaneWidth::k512, 1)},
         {"compiled-512-cone-mt", kSeu, cone_config(LaneWidth::k512, hw)},
+        {"compiled-512-cone-adaptive-mt", kSeu,
+         adaptive_cone_config(LaneWidth::k512, hw)},
     };
     run_circuit(family.name, circuit, tb, faults, {}, {}, configs, repeat,
                 results, circuit_summaries);

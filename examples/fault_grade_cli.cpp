@@ -2,7 +2,8 @@
 //
 //   fault_grade_cli [circuit] [cycles] [technique] [sample] [seed]
 //                   [--model seu|mbu|set|stuckat] [--pulse-width F]
-//                   [--lanes 64|256|512] [--json]
+//                   [--lanes 64|256|512] [--width-policy fixed|adaptive]
+//                   [--json]
 //
 //     circuit    registry name (see --list) or a .bench file path
 //                [default: b14]
@@ -38,9 +39,16 @@
 //                per pass [default: 64]. 512 uses AVX-512 when the host
 //                supports it and portable limbs otherwise; the chosen SIMD
 //                path is reported in --json output ("simd")
+//     --width-policy fixed|adaptive
+//                fault-group width policy [default: fixed]. `adaptive` lets
+//                the engine run sparse/tail groups at a narrower lane tier
+//                and align groups to cone-affinity blocks (identical
+//                classifications, higher lane occupancy on sampled
+//                campaigns); compiled backend only
 //     --json     machine-readable grading JSON on stdout instead of tables
-//                (includes the model's descriptor name and, for SET, the
-//                pulse parameters)
+//                (includes the model's descriptor name, the engine work
+//                metrics — lane_occupancy, eval_bytes_per_instr, the chosen
+//                per-tier group counts — and, for SET, the pulse parameters)
 //
 // The SEU model prints the grading with 95% confidence intervals and the
 // emulation-time account per technique, and writes the per-fault dictionary
@@ -102,6 +110,27 @@ LaneWidth parse_lanes(const std::string& spec) {
   if (spec == "256") return LaneWidth::k256;
   if (spec == "512") return LaneWidth::k512;
   throw Error(str_cat("unknown lane width '", spec, "' (64 | 256 | 512)"));
+}
+
+WidthPolicy parse_width_policy(const std::string& spec) {
+  if (spec == "fixed") return WidthPolicy::kFixed;
+  if (spec == "adaptive") return WidthPolicy::kAdaptive;
+  throw Error(
+      str_cat("unknown width policy '", spec, "' (fixed | adaptive)"));
+}
+
+/// ", \"width_policy\": ..., \"lane_occupancy\": ..." — the engine work
+/// metrics of the run that just finished, appended to every model's JSON.
+std::string engine_metrics_json(const ParallelFaultSimulator& sim) {
+  const auto& widths = sim.last_run_group_widths();
+  return str_cat(", \"width_policy\": \"",
+                 width_policy_name(sim.config().width_policy),
+                 "\", \"lane_occupancy\": ", sim.last_run_lane_occupancy(),
+                 ", \"eval_bytes_per_instr\": ",
+                 sim.last_run_eval_bytes_per_instr(),
+                 ", \"group_widths\": {\"64\": ", widths.g64,
+                 ", \"256\": ", widths.g256, ", \"512\": ", widths.g512,
+                 "}");
 }
 
 /// The SIMD path the configured lane width actually executes: the runtime
@@ -174,9 +203,11 @@ void print_grading_table(FaultModel model, const ClassCounts& counts,
 
 int run_seu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
             const std::string& technique_spec, std::size_t sample,
-            std::uint64_t seed, LaneWidth lanes, bool json) {
+            std::uint64_t seed, LaneWidth lanes, WidthPolicy width_policy,
+            bool json) {
   EmulatorOptions options;
   options.campaign.lanes = lanes;
+  options.campaign.width_policy = width_policy;
   AutonomousEmulator emulator(circuit, tb, options);
   const std::size_t total = circuit.num_dffs() * cycles;
   const auto faults =
@@ -189,7 +220,8 @@ int run_seu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
         emulator.run(parse_techniques(technique_spec).front(), faults);
     write_grading_json(std::cout, FaultModel::kSeu, circuit, lanes,
                        faults.size(), report.grading.counts(),
-                       report.emulation_seconds);
+                       report.emulation_seconds,
+                       engine_metrics_json(emulator.engine()));
     return 0;
   }
 
@@ -239,7 +271,7 @@ int run_seu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
 
 int run_mbu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
             std::size_t sample, std::uint64_t seed, LaneWidth lanes,
-            bool json) {
+            WidthPolicy width_policy, bool json) {
   // Complete campaign: all adjacent FF pairs x all cycles (the dominant
   // physical MBU pattern); a sample draws random locality clusters instead.
   const auto faults =
@@ -250,11 +282,13 @@ int run_mbu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
                                      seed);
   CampaignConfig config;
   config.lanes = lanes;
+  config.width_policy = width_policy;
   ParallelFaultSimulator sim(circuit, tb, config);
   const MbuCampaignResult result = sim.run_mbu(faults);
   if (json) {
     write_grading_json(std::cout, FaultModel::kMbu, circuit, lanes,
-                       faults.size(), result.counts, sim.last_run_seconds());
+                       faults.size(), result.counts, sim.last_run_seconds(),
+                       engine_metrics_json(sim));
     return 0;
   }
   std::cout << "campaign: " << format_grouped(faults.size()) << " MBU faults ("
@@ -267,7 +301,7 @@ int run_mbu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
 
 int run_set(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
             std::size_t sample, std::uint64_t seed, LaneWidth lanes,
-            std::uint16_t pulse_q, bool json) {
+            WidthPolicy width_policy, std::uint16_t pulse_q, bool json) {
   const SetSites sites(circuit);
   const std::size_t total = sites.num_representatives() * cycles;
   const bool sampled = sample != 0 && sample < total;
@@ -277,6 +311,7 @@ int run_set(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
                                         pulse_q);
   CampaignConfig config;
   config.lanes = lanes;
+  config.width_policy = width_policy;
   ParallelFaultSimulator sim(circuit, tb, config);
   const SetCampaignResult rep_result = sim.run_set(faults);
   const double seconds = sim.last_run_seconds();
@@ -291,7 +326,8 @@ int run_set(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
   if (json) {
     std::string extra = str_cat(", \"pulse_width\": ",
                                 set_pulse_fraction(pulse_q),
-                                ", \"pulse_q\": ", pulse_q);
+                                ", \"pulse_q\": ", pulse_q,
+                                engine_metrics_json(sim));
     if (sampled) {
       extra += intervals_json(est);
     }
@@ -326,7 +362,7 @@ int run_set(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
 
 int run_stuckat(const Circuit& circuit, const Testbench& tb,
                 std::size_t cycles, std::size_t sample, std::uint64_t seed,
-                LaneWidth lanes, bool json) {
+                LaneWidth lanes, WidthPolicy width_policy, bool json) {
   const SetSites sites(circuit);
   const std::size_t total = sites.num_representatives() * 2;
   const auto faults = sample == 0 || sample >= total
@@ -334,6 +370,7 @@ int run_stuckat(const Circuit& circuit, const Testbench& tb,
                           : sample_stuckat_fault_list(sites, sample, seed);
   CampaignConfig config;
   config.lanes = lanes;
+  config.width_policy = width_policy;
   ParallelFaultSimulator sim(circuit, tb, config);
   const StuckAtCampaignResult rep_result = sim.run_stuckat(faults);
   const double seconds = sim.last_run_seconds();
@@ -341,7 +378,8 @@ int run_stuckat(const Circuit& circuit, const Testbench& tb,
       expand_collapsed_stuckat_result(sites, rep_result);
   if (json) {
     const std::string extra =
-        str_cat(", \"fault_coverage\": ", expanded.fault_coverage());
+        str_cat(", \"fault_coverage\": ", expanded.fault_coverage(),
+                engine_metrics_json(sim));
     write_grading_json(std::cout, FaultModel::kStuckAt, circuit, lanes,
                        expanded.faults.size(), expanded.counts, seconds,
                        extra);
@@ -370,6 +408,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> positional;
     std::string model_spec = "seu";
     std::string lanes_spec = "64";
+    std::string width_policy_spec = "fixed";
     std::uint16_t pulse_q = kSetPulseFull;
     bool json = false;
     for (int i = 1; i < argc; ++i) {
@@ -378,6 +417,8 @@ int main(int argc, char** argv) {
         model_spec = argv[++i];
       } else if (arg == "--lanes" && i + 1 < argc) {
         lanes_spec = argv[++i];
+      } else if (arg == "--width-policy" && i + 1 < argc) {
+        width_policy_spec = argv[++i];
       } else if (arg == "--pulse-width" && i + 1 < argc) {
         pulse_q = set_pulse_q(std::stod(argv[++i]));
       } else if (arg == "--json") {
@@ -404,6 +445,7 @@ int main(int argc, char** argv) {
         positional.size() > 4 ? std::stoull(positional[4]) : 2005;
     const FaultModel model = parse_model(model_spec);
     const LaneWidth lanes = parse_lanes(lanes_spec);
+    const WidthPolicy width_policy = parse_width_policy(width_policy_spec);
 
     const Circuit circuit = load_circuit(circuit_spec);
     const Testbench tb = random_testbench(circuit.num_inputs(), cycles, seed);
@@ -418,14 +460,16 @@ int main(int argc, char** argv) {
     switch (model) {
       case FaultModel::kSeu:
         return run_seu(circuit, tb, cycles, technique_spec, sample, seed,
-                       lanes, json);
+                       lanes, width_policy, json);
       case FaultModel::kMbu:
-        return run_mbu(circuit, tb, cycles, sample, seed, lanes, json);
-      case FaultModel::kSet:
-        return run_set(circuit, tb, cycles, sample, seed, lanes, pulse_q,
+        return run_mbu(circuit, tb, cycles, sample, seed, lanes, width_policy,
                        json);
+      case FaultModel::kSet:
+        return run_set(circuit, tb, cycles, sample, seed, lanes, width_policy,
+                       pulse_q, json);
       case FaultModel::kStuckAt:
-        return run_stuckat(circuit, tb, cycles, sample, seed, lanes, json);
+        return run_stuckat(circuit, tb, cycles, sample, seed, lanes,
+                           width_policy, json);
     }
     return 0;
   } catch (const std::exception& e) {

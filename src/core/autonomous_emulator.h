@@ -109,6 +109,11 @@ class AutonomousEmulator {
   [[nodiscard]] const EmulatorOptions& options() const noexcept {
     return options_;
   }
+  /// The underlying campaign engine — read-only access to the per-run work
+  /// metrics (lane occupancy, eval instruction/byte counters, group widths).
+  [[nodiscard]] const ParallelFaultSimulator& engine() const noexcept {
+    return engine_;
+  }
 
  private:
   [[nodiscard]] AreaReport compute_area(Technique technique,

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <bit>
 #include <numeric>
+#include <optional>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -110,6 +111,17 @@ template <typename KeyOf>
   return perm;
 }
 
+/// One worker's compiled engines, one per lane-width tier, constructed
+/// lazily on the first group of that tier the worker claims. Under kFixed
+/// exactly one tier ever materializes (same cost as before); an adaptive
+/// plan's tail groups bring up the narrower tiers only in workers that
+/// actually run them.
+struct LaneEngineSet {
+  std::optional<LaneEngine<std::uint64_t>> e64;
+  std::optional<LaneEngine<Word256>> e256;
+  std::optional<LaneEngine<Word512>> e512;
+};
+
 }  // namespace
 
 ParallelFaultSimulator::ParallelFaultSimulator(const Circuit& circuit,
@@ -163,13 +175,32 @@ ParallelFaultSimulator::ParallelFaultSimulator(const Circuit& circuit,
     slot_trace_ = capture_golden_slots(*kernel_, testbench.vectors());
   }
   // Golden trace + stimuli pre-broadcast once per campaign engine; shared
-  // read-only by every worker thread.
-  if (config_.lanes == LaneWidth::k64) {
-    image64_ = GoldenWordImage<std::uint64_t>(golden_, testbench.vectors());
-  } else if (config_.lanes == LaneWidth::k256) {
-    image256_ = GoldenWordImage<Word256>(golden_, testbench.vectors());
-  } else {
-    image512_ = GoldenWordImage<Word512>(golden_, testbench.vectors());
+  // read-only by every worker thread. Adaptive plans fill in their tail
+  // tiers' images lazily (ensure_image) before any worker spawns.
+  ensure_image(config_.lanes);
+}
+
+void ParallelFaultSimulator::ensure_image(LaneWidth width) {
+  switch (width) {
+    case LaneWidth::k64:
+      if (!image64_ready_) {
+        image64_ = GoldenWordImage<std::uint64_t>(golden_,
+                                                  testbench_.vectors());
+        image64_ready_ = true;
+      }
+      break;
+    case LaneWidth::k256:
+      if (!image256_ready_) {
+        image256_ = GoldenWordImage<Word256>(golden_, testbench_.vectors());
+        image256_ready_ = true;
+      }
+      break;
+    case LaneWidth::k512:
+      if (!image512_ready_) {
+        image512_ = GoldenWordImage<Word512>(golden_, testbench_.vectors());
+        image512_ready_ = true;
+      }
+      break;
   }
 }
 
@@ -249,6 +280,120 @@ std::vector<std::uint32_t> ParallelFaultSimulator::schedule_permutation(
     }
     return std::uint64_t{Traits::cycle(f)} * stride + site;
   });
+}
+
+// ---- lane-group plan -------------------------------------------------------
+
+template <typename Traits>
+std::vector<ParallelFaultSimulator::GroupSpec>
+ParallelFaultSimulator::group_plan(
+    std::span<const typename Traits::FaultT> faults) {
+  std::vector<GroupSpec> plan;
+  const std::size_t n = faults.size();
+  const std::size_t width = lane_count(config_.lanes);
+  const bool adaptive =
+      config_.width_policy == WidthPolicy::kAdaptive && kernel_ != nullptr;
+  if (n != 0 && !adaptive) {
+    // kFixed: consecutive full-width spans — the historical grouping,
+    // bit-identical outcomes *and* metrics.
+    plan.reserve((n + width - 1) / width);
+    for (std::size_t b = 0; b < n; b += width) {
+      plan.push_back({static_cast<std::uint32_t>(b),
+                      static_cast<std::uint32_t>(std::min(width, n - b)),
+                      config_.lanes});
+    }
+  } else if (n != 0) {
+    // kAdaptive, two rules. (1) On sparse campaigns, never cross a
+    // cone-affinity block boundary: the block-major schedule keys by
+    // (block, cycle, rank), so a group packed across blocks unions several
+    // blocks' cones — cheap for dense campaigns (a block spans many groups)
+    // but ruinous for sparse samples, where a full-width group sweeps up
+    // ~width/sample_rate blocks. Cutting at block edges keeps every group's
+    // cone union one block wide. On *dense* campaigns (average block fill
+    // >= 3/4 of the lane width) the fixed packing already aligns with the
+    // blocks, and per-block tails would only add groups — so the whole run
+    // stays one segment. (2) Decompose each segment's tail into the
+    // cheapest tier cover (see CampaignConfig::kTail512Min/kTail256Min):
+    // dead lanes still stream their limbs, so a word wider than its
+    // live-lane count pays full bandwidth for partial work.
+    const std::span<const std::uint32_t> ranks =
+        Traits::kSiteKeyed
+            ? std::span<const std::uint32_t>(site_affinity_rank_)
+            : std::span<const std::uint32_t>(ff_affinity_rank_);
+    const bool affine = config_.schedule == CampaignSchedule::kConeAffine &&
+                        !ranks.empty();
+    const std::uint64_t block = width;
+    const std::uint64_t pad =
+        affine && !Traits::kSiteKeyed
+            ? (block - ff_affinity_rank_.size() % block) % block
+            : 0;
+    const auto block_of = [&](std::size_t i) -> std::uint64_t {
+      return affine ? (ranks[Traits::schedule_site(faults[i])] + pad) / block
+                    : 0;
+    };
+    const auto emit_segment = [&](std::size_t begin, std::size_t end) {
+      std::size_t i = begin;
+      while (end - i >= width) {
+        plan.push_back({static_cast<std::uint32_t>(i),
+                        static_cast<std::uint32_t>(width), config_.lanes});
+        i += width;
+      }
+      while (i < end) {
+        const std::size_t rest = end - i;
+        LaneWidth w = LaneWidth::k64;
+        if (config_.lanes == LaneWidth::k512 &&
+            rest > CampaignConfig::kTail512Min) {
+          w = LaneWidth::k512;
+        } else if (config_.lanes != LaneWidth::k64 &&
+                   rest > CampaignConfig::kTail256Min) {
+          w = LaneWidth::k256;
+        }
+        const std::size_t take = std::min(rest, lane_count(w));
+        plan.push_back({static_cast<std::uint32_t>(i),
+                        static_cast<std::uint32_t>(take), w});
+        i += take;
+      }
+    };
+    // Scheduled order is block-major, so block_of is non-decreasing and the
+    // distinct-block count is one pass.
+    std::size_t distinct_blocks = 1;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (block_of(i) != block_of(i - 1)) ++distinct_blocks;
+    }
+    const bool dense = n * 4 >= distinct_blocks * width * 3;
+    if (dense) {
+      emit_segment(0, n);
+    } else {
+      std::size_t seg_begin = 0;
+      std::uint64_t seg_block = block_of(0);
+      for (std::size_t i = 1; i < n; ++i) {
+        const std::uint64_t b = block_of(i);
+        if (b != seg_block) {
+          emit_segment(seg_begin, i);
+          seg_begin = i;
+          seg_block = b;
+        }
+      }
+      emit_segment(seg_begin, n);
+    }
+  }
+
+  GroupWidthCounts counts;
+  std::uint64_t lane_slots = 0;
+  for (const GroupSpec& g : plan) {
+    lane_slots += lane_count(g.width);
+    switch (g.width) {
+      case LaneWidth::k64: ++counts.g64; break;
+      case LaneWidth::k256: ++counts.g256; break;
+      case LaneWidth::k512: ++counts.g512; break;
+    }
+  }
+  last_run_group_widths_ = counts;
+  last_run_lane_occupancy_ =
+      lane_slots != 0 ? static_cast<double>(n) /
+                            static_cast<double>(lane_slots)
+                      : 1.0;
+  return plan;
 }
 
 // ---- campaign entry points -------------------------------------------------
@@ -348,13 +493,19 @@ void ParallelFaultSimulator::run_model(
     run_outcomes = scheduled_outcomes;
   }
 
-  const std::size_t width = lane_count(config_.lanes);
-  const std::size_t num_groups = (faults.size() + width - 1) / width;
+  // Partition the scheduled list into lane groups (the width policy's
+  // product — see group_plan) and make sure every tier the plan uses has
+  // its golden word image before any worker spawns.
+  const std::vector<GroupSpec> plan = group_plan<Traits>(run_faults);
+  for (const GroupSpec& spec : plan) {
+    ensure_image(spec.width);
+  }
+
   unsigned workers = config_.num_threads != 0
                          ? config_.num_threads
                          : std::max(1u, std::thread::hardware_concurrency());
   workers = static_cast<unsigned>(
-      std::min<std::size_t>(workers, std::max<std::size_t>(num_groups, 1)));
+      std::min<std::size_t>(workers, std::max<std::size_t>(plan.size(), 1)));
   last_run_threads_ = workers;
 
   const auto make_view = [this](std::span<const FaultT> group) {
@@ -362,65 +513,68 @@ void ParallelFaultSimulator::run_model(
   };
 
   const bool cone = config_.cone_restricted && kernel_ != nullptr;
-  if (config_.lanes == LaneWidth::k64 && kernel_) {
-    const auto make_engine = [this] {
-      return LaneEngine<std::uint64_t>(kernel_);
+  if (kernel_) {
+    // Compiled backend, all widths and both width policies: each worker
+    // holds one lazily-constructed engine per tier and every group runs at
+    // its spec'd width.
+    const auto run_tier = [&]<typename Word>(
+                              std::optional<LaneEngine<Word>>& engine,
+                              const GoldenWordImage<Word>& image,
+                              std::span<const FaultT> group_faults,
+                              std::span<FaultOutcome> group_outcomes,
+                              WorkerScratch& scratch) {
+      if (!engine.has_value()) {
+        engine.emplace(kernel_);
+      }
+      const View view = make_view(group_faults);
+      if (cone) {
+        run_group_cone(*engine, image, view, group_outcomes, scratch);
+      } else {
+        run_group_full(*engine, image, view, group_outcomes, scratch);
+      }
     };
-    const auto run_group = [&](LaneEngine<std::uint64_t>& engine,
+    const auto make_engine = [] { return LaneEngineSet{}; };
+    const auto run_group = [&](LaneEngineSet& engines, const GroupSpec& spec,
                                std::span<const FaultT> group_faults,
                                std::span<FaultOutcome> group_outcomes,
                                WorkerScratch& scratch) {
-      const View view = make_view(group_faults);
-      if (cone) {
-        run_group_cone(engine, image64_, view, group_outcomes, scratch);
-      } else {
-        run_group_full(engine, image64_, view, group_outcomes, scratch);
+      switch (spec.width) {
+        case LaneWidth::k64:
+          run_tier.template operator()<std::uint64_t>(
+              engines.e64, image64_, group_faults, group_outcomes, scratch);
+          break;
+        case LaneWidth::k256:
+          run_tier.template operator()<Word256>(
+              engines.e256, image256_, group_faults, group_outcomes, scratch);
+          break;
+        case LaneWidth::k512:
+          run_tier.template operator()<Word512>(
+              engines.e512, image512_, group_faults, group_outcomes, scratch);
+          break;
       }
     };
-    run_sharded<std::uint64_t, FaultT>(make_engine, run_group, run_faults,
-                                       run_outcomes, workers);
-  } else if (config_.lanes == LaneWidth::k64) {
-    // Interpreted backend: full-eval only, and no instruction stream to
-    // overlay — the overlay-model check above rejects this configuration
-    // up front.
+    run_sharded<FaultT>(make_engine, run_group, plan, run_faults,
+                        run_outcomes, workers);
+  } else {
+    // Interpreted backend: full-eval only, 64 lanes only (so the plan is
+    // always fixed 64-wide spans), and no instruction stream to overlay —
+    // the overlay-model check above rejects that configuration up front.
     if constexpr (!View::kHasOverlay) {
       const auto make_engine = [this] {
         return ParallelSimulator(circuit_, SimBackend::kInterpreted);
       };
       const auto run_group = [&](ParallelSimulator& engine,
+                                 const GroupSpec& /*spec*/,
                                  std::span<const FaultT> group_faults,
                                  std::span<FaultOutcome> group_outcomes,
                                  WorkerScratch& scratch) {
         run_group_full(engine, image64_, make_view(group_faults),
                        group_outcomes, scratch);
       };
-      run_sharded<std::uint64_t, FaultT>(make_engine, run_group, run_faults,
-                                         run_outcomes, workers);
+      run_sharded<FaultT>(make_engine, run_group, plan, run_faults,
+                          run_outcomes, workers);
     } else {
       FEMU_CHECK(false, "overlay models require the compiled backend");
-    }
-  } else {
-    const auto run_wide = [&]<typename Word>(
-                              const GoldenWordImage<Word>& image) {
-      const auto make_engine = [this] { return LaneEngine<Word>(kernel_); };
-      const auto run_group = [&](LaneEngine<Word>& engine,
-                                 std::span<const FaultT> group_faults,
-                                 std::span<FaultOutcome> group_outcomes,
-                                 WorkerScratch& scratch) {
-        const View view = make_view(group_faults);
-        if (cone) {
-          run_group_cone(engine, image, view, group_outcomes, scratch);
-        } else {
-          run_group_full(engine, image, view, group_outcomes, scratch);
-        }
-      };
-      run_sharded<Word, FaultT>(make_engine, run_group, run_faults,
-                                run_outcomes, workers);
-    };
-    if (config_.lanes == LaneWidth::k256) {
-      run_wide(image256_);
-    } else {
-      run_wide(image512_);
     }
   }
 
@@ -431,21 +585,19 @@ void ParallelFaultSimulator::run_model(
   }
 }
 
-template <typename Word, typename FaultT, typename MakeEngine,
-          typename RunGroup>
+template <typename FaultT, typename MakeEngine, typename RunGroup>
 void ParallelFaultSimulator::run_sharded(const MakeEngine& make_engine,
                                          const RunGroup& run_group,
+                                         std::span<const GroupSpec> plan,
                                          std::span<const FaultT> faults,
                                          std::span<FaultOutcome> outcomes,
                                          unsigned num_workers) {
-  const std::size_t width = LaneTraits<Word>::kLanes;
-  const std::size_t num_groups = (faults.size() + width - 1) / width;
+  const std::size_t num_groups = plan.size();
 
   const auto group_span = [&](std::size_t g) {
-    const std::size_t begin = g * width;
-    const std::size_t count = std::min(width, faults.size() - begin);
-    return std::pair{faults.subspan(begin, count),
-                     outcomes.subspan(begin, count)};
+    const GroupSpec& spec = plan[g];
+    return std::pair{faults.subspan(spec.begin, spec.count),
+                     outcomes.subspan(spec.begin, spec.count)};
   };
 
   if (num_workers <= 1 || num_groups <= 1) {
@@ -453,7 +605,7 @@ void ParallelFaultSimulator::run_sharded(const MakeEngine& make_engine,
     WorkerScratch scratch;
     for (std::size_t g = 0; g < num_groups; ++g) {
       const auto [group_faults, group_outcomes] = group_span(g);
-      run_group(engine, group_faults, group_outcomes, scratch);
+      run_group(engine, plan[g], group_faults, group_outcomes, scratch);
     }
     last_run_eval_cycles_ = scratch.eval_cycles;
     last_run_eval_instrs_ = scratch.eval_instrs;
@@ -479,7 +631,7 @@ void ParallelFaultSimulator::run_sharded(const MakeEngine& make_engine,
          g < num_groups;
          g = next_group.fetch_add(1, std::memory_order_relaxed)) {
       const auto [group_faults, group_outcomes] = group_span(g);
-      run_group(engine, group_faults, group_outcomes, scratch);
+      run_group(engine, plan[g], group_faults, group_outcomes, scratch);
     }
     total_eval_cycles.fetch_add(scratch.eval_cycles,
                                 std::memory_order_relaxed);
@@ -717,7 +869,8 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
     for (std::size_t i = 0; i < group_size; ++i) {
       view.union_cone(scratch.initial_mask, i);
     }
-    kernel_->build_subprogram(scratch.initial_mask, scratch.initial_sp);
+    kernel_->build_subprogram(scratch.initial_mask, scratch.initial_sp,
+                              nullptr, config_.levelized_arena);
     scratch.initial_valid = true;
   }
   std::vector<std::uint64_t>& mask = scratch.cone_mask;
@@ -948,8 +1101,8 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
           }
           if (next_mask != mask) {
             mask.swap(next_mask);
-            kernel_->build_subprogram(mask, scratch.narrow_sp[narrow_buf],
-                                      sp);
+            kernel_->build_subprogram(mask, scratch.narrow_sp[narrow_buf], sp,
+                                      config_.levelized_arena);
             sp = &scratch.narrow_sp[narrow_buf];
             narrow_buf ^= 1u;
             ++scratch.narrowings;

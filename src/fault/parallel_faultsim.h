@@ -33,6 +33,38 @@ enum class LaneWidth : std::uint32_t {
   return static_cast<std::size_t>(w);
 }
 
+/// How the scheduler chooses each lane group's width.
+///
+///   kFixed    — every group runs at CampaignConfig::lanes (consecutive
+///               spans of the scheduled list, exactly the historical
+///               grouping) — the default; every pre-existing configuration
+///               is bit-identical, metrics included.
+///   kAdaptive — compiled backend only (silently treated as kFixed when
+///               interpreted). On sparse campaigns groups never cross a
+///               cone-affinity block boundary (under kConeAffine a sampled
+///               campaign's sparse blocks otherwise pack into full-width
+///               groups spanning many blocks, multiplying the cone union
+///               the group evaluates); dense campaigns — average block fill
+///               >= 3/4 of the lane width — keep the fixed packing, whose
+///               groups already align with the blocks. Every segment's tail
+///               drops to the 256/64-lane tier when too few faults remain
+///               to pay for a wide word (see DESIGN.md for the decision
+///               rule). Dead
+///               lanes cost real memory bandwidth — a 512-lane word streams
+///               8x the bytes of a 64-lane word regardless of how many
+///               lanes carry faults. Classifications are identical under
+///               either policy (grouping never affects per-lane grading);
+///               what changes is faults/s, eval_bytes_per_instr and
+///               last_run_lane_occupancy().
+enum class WidthPolicy : std::uint8_t {
+  kFixed,
+  kAdaptive,
+};
+
+[[nodiscard]] constexpr const char* width_policy_name(WidthPolicy p) noexcept {
+  return p == WidthPolicy::kFixed ? "fixed" : "adaptive";
+}
+
 /// How run() orders faults into lane groups. Outcomes always align with the
 /// caller's fault order regardless of schedule — the scheduler permutes
 /// internally and scatters results back through the inverse permutation —
@@ -114,9 +146,29 @@ struct CampaignConfig {
   /// circuit can never stall the campaign constructor. Only consulted in
   /// eager mode (on-demand always uses anchor ranks); 0 = never greedy.
   std::size_t greedy_order_cap = 2048;
+  /// Per-group lane-width decision (see WidthPolicy). kFixed keeps every
+  /// configuration bit-identical to the historical grouping.
+  WidthPolicy width_policy = WidthPolicy::kFixed;
+  /// Order cone sub-program instructions by (logic level, node id) so each
+  /// level occupies one contiguous arena block and operand reads hit the
+  /// block written just before (see CompiledKernel::build_subprogram).
+  /// Results are bit-identical either way — this is a pure locality knob,
+  /// exposed so benches and the reorder property test can A/B it.
+  bool levelized_arena = true;
 
   /// kAuto switches to on-demand cones at this circuit size.
   static constexpr std::size_t kOnDemandNodeThreshold = 20000;
+
+  /// kAdaptive tail-tier thresholds: a segment tail of more than
+  /// kTail512Min faults keeps the 512-lane word (one group beats any
+  /// decomposition once more than 3/4 of the word is live); a tail of more
+  /// than kTail256Min takes a 256-lane word; anything smaller runs in
+  /// 64-lane chunks. Derived from the measured per-instruction cost model
+  /// cost(width) ~ 1 + limbs(width) in 64-bit-limb units (the constant is
+  /// dispatch/loop overhead): 64/256/512-lane words cost ~2/5/9 units, and
+  /// these cut-offs pick the cheapest exact cover of a tail.
+  static constexpr std::size_t kTail512Min = 384;
+  static constexpr std::size_t kTail256Min = 128;
 };
 
 /// Bit-parallel fault simulation with cone-restricted differential
@@ -272,6 +324,40 @@ class ParallelFaultSimulator {
     return last_run_eval_slot_bytes_;
   }
 
+  /// Bytes streamed per executed kernel instruction in the last run — the
+  /// memory-wall ratio (last_run_eval_slot_bytes / last_run_eval_instrs).
+  [[nodiscard]] double last_run_eval_bytes_per_instr() const noexcept {
+    return last_run_eval_instrs_ != 0
+               ? static_cast<double>(last_run_eval_slot_bytes_) /
+                     static_cast<double>(last_run_eval_instrs_)
+               : 0.0;
+  }
+
+  /// How many lane groups the last run executed at each width tier. Under
+  /// kFixed only the configured tier is non-zero; under kAdaptive the tail
+  /// tiers show how the scheduler decomposed partial blocks.
+  struct GroupWidthCounts {
+    std::uint64_t g64 = 0;
+    std::uint64_t g256 = 0;
+    std::uint64_t g512 = 0;
+    [[nodiscard]] std::uint64_t total() const noexcept {
+      return g64 + g256 + g512;
+    }
+  };
+
+  [[nodiscard]] const GroupWidthCounts& last_run_group_widths() const noexcept {
+    return last_run_group_widths_;
+  }
+
+  /// Fraction of lane slots that carried a fault in the last run: injected
+  /// lanes / (sum of group widths). 1.0 means every word was full; the
+  /// shortfall is pure dead-lane bandwidth (a 512-lane group with 60 live
+  /// faults still streams all 8 limbs of every word). kAdaptive exists to
+  /// push this toward 1.0 on tail-heavy and sparse-sampled campaigns.
+  [[nodiscard]] double last_run_lane_occupancy() const noexcept {
+    return last_run_lane_occupancy_;
+  }
+
  private:
   /// Per-worker scratch reused across every group the worker runs: the
   /// injection-schedule index sort, the cone-union masks, the overlay lists
@@ -318,6 +404,17 @@ class ParallelFaultSimulator {
     std::uint64_t narrowings = 0;
   };
 
+  /// One scheduled lane group: faults [begin, begin + count) of the
+  /// scheduled list, run at `width` (count <= lane_count(width)). The plan —
+  /// the full partition of a run's scheduled faults into GroupSpecs — is
+  /// what the width policy produces; kFixed yields the historical
+  /// consecutive full-width spans.
+  struct GroupSpec {
+    std::uint32_t begin = 0;
+    std::uint32_t count = 0;
+    LaneWidth width = LaneWidth::k64;
+  };
+
   template <typename Engine, typename Word, typename View>
   void run_group_full(Engine& engine, const GoldenWordImage<Word>& image,
                       const View& view, std::span<FaultOutcome> outcomes,
@@ -329,11 +426,23 @@ class ParallelFaultSimulator {
                       std::span<FaultOutcome> outcomes,
                       WorkerScratch& scratch) const;
 
-  template <typename Word, typename FaultT, typename MakeEngine,
-            typename RunGroup>
+  template <typename FaultT, typename MakeEngine, typename RunGroup>
   void run_sharded(const MakeEngine& make_engine, const RunGroup& run_group,
+                   std::span<const GroupSpec> plan,
                    std::span<const FaultT> faults,
                    std::span<FaultOutcome> outcomes, unsigned num_workers);
+
+  /// Partitions the scheduled fault list into lane groups according to
+  /// config_.width_policy (see WidthPolicy). Also records the occupancy and
+  /// per-tier group-count metrics for this run.
+  template <typename Traits>
+  [[nodiscard]] std::vector<GroupSpec> group_plan(
+      std::span<const typename Traits::FaultT> faults);
+
+  /// Builds the pre-broadcast golden word image for `width` if this engine
+  /// has not built it yet (the constructor builds the configured width; an
+  /// adaptive plan's tail tiers are filled in lazily, before workers spawn).
+  void ensure_image(LaneWidth width);
 
   /// The generic campaign driver every public entry point wraps: validates
   /// the faults through the model descriptor, applies the schedule
@@ -379,12 +488,17 @@ class ParallelFaultSimulator {
   GoldenWordImage<std::uint64_t> image64_;
   GoldenWordImage<Word256> image256_;
   GoldenWordImage<Word512> image512_;
+  bool image64_ready_ = false;
+  bool image256_ready_ = false;
+  bool image512_ready_ = false;
   double last_run_seconds_ = 0.0;
   std::uint64_t last_run_eval_cycles_ = 0;
   std::uint64_t last_run_eval_instrs_ = 0;
   std::uint64_t last_run_eval_slot_bytes_ = 0;
   std::uint64_t last_run_narrowings_ = 0;
   unsigned last_run_threads_ = 1;
+  double last_run_lane_occupancy_ = 1.0;
+  GroupWidthCounts last_run_group_widths_;
 };
 
 }  // namespace femu

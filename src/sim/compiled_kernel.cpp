@@ -1,5 +1,8 @@
 #include "sim/compiled_kernel.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/error.h"
 
 namespace femu {
@@ -55,6 +58,16 @@ CompiledKernel::CompiledKernel(const Circuit& circuit) : circuit_(&circuit) {
     program_.push_back(in);
   }
 
+  // Logic levels in one pass: program_ is topological (comb fanins precede
+  // their readers), and non-comb slots (inputs, DFF Qs, constants) are never
+  // written by an instruction, so they keep level 0.
+  levels_.assign(num_slots_, 0);
+  for (const Instr& in : program_) {
+    const std::uint32_t fanin_level =
+        std::max({levels_[in.a], levels_[in.b], levels_[in.c]});
+    levels_[in.dest] = fanin_level + 1;
+  }
+
   input_slots_.assign(circuit.inputs().begin(), circuit.inputs().end());
   dff_slots_.assign(circuit.dffs().begin(), circuit.dffs().end());
   const std::vector<NodeId> drivers = circuit.dff_drivers();
@@ -67,7 +80,8 @@ CompiledKernel::CompiledKernel(const Circuit& circuit) : circuit_(&circuit) {
 
 void CompiledKernel::build_subprogram(std::span<const std::uint64_t> mask,
                                       ConeSubProgram& sp,
-                                      const ConeSubProgram* narrow_from) const {
+                                      const ConeSubProgram* narrow_from,
+                                      bool levelize) const {
   FEMU_CHECK(mask.size() == (num_slots_ + 63) / 64, "cone mask words ",
              mask.size(), " != ", (num_slots_ + 63) / 64);
   sp.instrs.clear();
@@ -146,6 +160,22 @@ void CompiledKernel::build_subprogram(std::span<const std::uint64_t> mask,
         sp.out_indices.push_back(i);
       }
     }
+  }
+
+  // Levelized blocking: reorder the filtered stream by (level, node id)
+  // before arena assignment, so pass 2 lays each logic level's destinations
+  // out as one contiguous arena block and operand reads hit the block
+  // written just before (see the header). Any (level, ...) order is
+  // topological, so results are bit-identical. Narrowing sources are
+  // already levelized (or deliberately not) — a filtered subsequence keeps
+  // the source's order, so only full builds sort. Node id breaks level ties
+  // deterministically; dests are unique, so plain sort suffices.
+  if (levelize && narrow_from == nullptr) {
+    std::sort(sp.instrs.begin(), sp.instrs.end(),
+              [&](const Instr& x, const Instr& y) {
+                return std::pair{levels_[x.dest], x.dest} <
+                       std::pair{levels_[y.dest], y.dest};
+              });
   }
 
   // Pass 2 — arena assignment: dense local indices for every slot the

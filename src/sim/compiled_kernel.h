@@ -65,6 +65,13 @@ class CompiledKernel {
     return program_;
   }
 
+  /// Combinational logic level per value slot: 0 for sources (inputs, DFF Q
+  /// pins, constants), 1 + max(fanin levels) for gate outputs. Drives the
+  /// levelized arena layout of cone sub-programs (see build_subprogram).
+  [[nodiscard]] std::span<const std::uint32_t> levels() const noexcept {
+    return levels_;
+  }
+
   [[nodiscard]] std::span<const std::uint32_t> input_slots() const noexcept {
     return input_slots_;
   }
@@ -97,8 +104,9 @@ class CompiledKernel {
   /// working set of a small cone fits in L1/L2 at any lane width. Local
   /// destinations stay strictly ascending (the overlay-merge invariant).
   ///
-  ///   instrs          — program() filtered to cone destinations (order
-  ///                     kept), operands/destinations in arena space
+  ///   instrs          — program() filtered to cone destinations, sorted by
+  ///                     (level, node id) when the build levelizes (see
+  ///                     below), operands/destinations in arena space
   ///   arena_slots     — arena size in words
   ///   global_of_local — arena index -> kernel slot (node id)
   ///   local_of_slot   — kernel slot -> arena index; valid only for slots
@@ -145,9 +153,23 @@ class CompiledKernel {
   /// When `narrow_from` is given, `mask` must be a subset of its cone and
   /// the derivation filters that sub-program instead of the whole kernel
   /// program (the narrowing fast path). `narrow_from` must not alias `sp`.
+  ///
+  /// `levelize` reorders the filtered instructions by (logic level, node id)
+  /// before arena assignment — any (level, ...) order is topological, so the
+  /// dataflow (and therefore every lane bit) is unchanged, but each level's
+  /// destinations now occupy one contiguous arena block and an instruction's
+  /// operand reads land in the block written just before it (plus the
+  /// leading boundary/state block) instead of gathering across the whole
+  /// arena. Arena destinations stay strictly ascending either way (each
+  /// instruction claims the next free arena slot in stream order), so the
+  /// overlay merge is unaffected; overlay dests are translated through this
+  /// build's local_of_slot as always. A narrowing derivation inherits the
+  /// source's order (a subsequence of a levelized stream is levelized), so
+  /// the flag only matters for full builds.
   void build_subprogram(std::span<const std::uint64_t> mask,
                         ConeSubProgram& sp,
-                        const ConeSubProgram* narrow_from = nullptr) const;
+                        const ConeSubProgram* narrow_from = nullptr,
+                        bool levelize = true) const;
 
   /// Zeroes `values` and writes the constant slots. Call once per engine
   /// before the first eval (constants are never re-evaluated).
@@ -276,6 +298,7 @@ class CompiledKernel {
   const Circuit* circuit_;
   std::size_t num_slots_ = 0;
   std::vector<Instr> program_;
+  std::vector<std::uint32_t> levels_;
   std::vector<std::uint32_t> input_slots_;
   std::vector<std::uint32_t> dff_slots_;
   std::vector<std::uint32_t> dff_d_slots_;

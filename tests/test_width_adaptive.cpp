@@ -1,0 +1,293 @@
+// Width-adaptive group formation (CampaignConfig::width_policy): tail-block
+// and sparse-block campaigns across kAdaptive/kFixed must classify
+// identically to the serial references at every lane width, schedule and
+// thread count, while the adaptive plan raises lane occupancy and drops
+// tail groups to narrower tiers.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "circuits/generators.h"
+#include "circuits/registry.h"
+#include "fault/fault_list.h"
+#include "fault/mbu.h"
+#include "fault/parallel_faultsim.h"
+#include "fault/set_model.h"
+#include "fault/stuckat_model.h"
+#include "stim/generate.h"
+
+namespace femu {
+namespace {
+
+CampaignConfig cone_config(LaneWidth lanes, unsigned threads = 1,
+                           WidthPolicy policy = WidthPolicy::kFixed,
+                           ConePolicy cones = ConePolicy::kAuto) {
+  CampaignConfig config{SimBackend::kCompiled, lanes, threads,
+                        /*cone_restricted=*/true,
+                        CampaignSchedule::kConeAffine};
+  config.width_policy = policy;
+  config.cone_policy = cones;
+  return config;
+}
+
+CampaignConfig interp_config() {
+  return {SimBackend::kInterpreted, LaneWidth::k64, 1,
+          /*cone_restricted=*/false, CampaignSchedule::kAsGiven};
+}
+
+Circuit medium_random_circuit(std::uint64_t seed = 7) {
+  circuits::RandomCircuitSpec spec;
+  spec.num_inputs = 6;
+  spec.num_outputs = 5;
+  spec.num_dffs = 24;
+  spec.num_gates = 220;
+  return circuits::build_random(spec, seed);
+}
+
+void expect_same_outcomes(std::span<const FaultOutcome> a,
+                          std::span<const FaultOutcome> b, const char* label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << label << " @" << i;
+  }
+}
+
+// ---- tail-block behaviour --------------------------------------------------
+
+TEST(WidthAdaptiveTest, TailCampaignIdenticalAndOccupancyRises) {
+  // 300 faults at 512 lanes: a fixed plan runs one 512-wide group at 59%
+  // occupancy; the adaptive plan must cover the same faults with narrower
+  // words (256 + 64 on a single affinity block) and classify identically.
+  const Circuit c = medium_random_circuit();
+  const Testbench tb = random_testbench(c.num_inputs(), 40, 11);
+  const auto faults = sample_fault_list(c.num_dffs(), tb.num_cycles(), 300, 3);
+  ASSERT_EQ(faults.size(), 300u);
+
+  ParallelFaultSimulator interp(c, tb, interp_config());
+  const CampaignResult ref = interp.run(faults);
+
+  ParallelFaultSimulator fixed(c, tb, cone_config(LaneWidth::k512));
+  const CampaignResult fixed_result = fixed.run(faults);
+  expect_same_outcomes(ref.outcomes(), fixed_result.outcomes(), "fixed-512");
+  EXPECT_EQ(fixed.last_run_group_widths().g512, 1u);
+  EXPECT_EQ(fixed.last_run_group_widths().total(), 1u);
+  EXPECT_NEAR(fixed.last_run_lane_occupancy(), 300.0 / 512.0, 1e-9);
+
+  ParallelFaultSimulator adaptive(
+      c, tb, cone_config(LaneWidth::k512, 1, WidthPolicy::kAdaptive));
+  const CampaignResult adaptive_result = adaptive.run(faults);
+  expect_same_outcomes(ref.outcomes(), adaptive_result.outcomes(),
+                       "adaptive-512");
+  // 24 FFs -> every rank lands in affinity block 0, one segment; the
+  // 300-fault tail is > kTail256Min, so one 256-lane group plus 44 faults
+  // in one 64-lane chunk.
+  EXPECT_EQ(adaptive.last_run_group_widths().g512, 0u);
+  EXPECT_EQ(adaptive.last_run_group_widths().g256, 1u);
+  EXPECT_EQ(adaptive.last_run_group_widths().g64, 1u);
+  EXPECT_NEAR(adaptive.last_run_lane_occupancy(), 300.0 / 320.0, 1e-9);
+  EXPECT_GT(adaptive.last_run_lane_occupancy(),
+            fixed.last_run_lane_occupancy());
+}
+
+TEST(WidthAdaptiveTest, FixedFullWidthCampaignHasUnitOccupancy) {
+  const Circuit c = circuits::build_by_name("b06_like");
+  const Testbench tb = random_testbench(c.num_inputs(), 32, 5);
+  // Any complete N x T campaign with N*T a multiple of 64 fills every word.
+  const auto faults = complete_fault_list(c.num_dffs(), tb.num_cycles());
+  ParallelFaultSimulator sim(c, tb, cone_config(LaneWidth::k64));
+  (void)sim.run(faults);
+  if (faults.size() % 64 == 0) {
+    EXPECT_DOUBLE_EQ(sim.last_run_lane_occupancy(), 1.0);
+  } else {
+    EXPECT_GT(sim.last_run_lane_occupancy(),
+              static_cast<double>(faults.size() % 64) / 64.0 /
+                  static_cast<double>((faults.size() + 63) / 64));
+  }
+  EXPECT_EQ(sim.last_run_group_widths().total(), (faults.size() + 63) / 64);
+}
+
+TEST(WidthAdaptiveTest, AdaptiveMatchesFixedForEveryModel) {
+  // SEU/MBU/SET/stuck-at, 256 and 512 lanes, eager and on-demand cones:
+  // outcomes must be bit-identical across the width policies (grouping can
+  // never change a lane's classification).
+  const Circuit c = medium_random_circuit(13);
+  const Testbench tb = random_testbench(c.num_inputs(), 36, 17);
+  const auto seu = sample_fault_list(c.num_dffs(), tb.num_cycles(), 333, 23);
+  const auto mbu = adjacent_pair_fault_list(c.num_dffs(), tb.num_cycles());
+  const SetSites sites(c);
+  const auto set = sample_set_fault_list(sites, tb.num_cycles(), 300, 29);
+  const auto stuck = complete_stuckat_fault_list(sites);
+
+  for (const LaneWidth lanes : {LaneWidth::k256, LaneWidth::k512}) {
+    for (const ConePolicy cones : {ConePolicy::kEager, ConePolicy::kOnDemand}) {
+      ParallelFaultSimulator fixed(c, tb,
+                                   cone_config(lanes, 1, WidthPolicy::kFixed,
+                                               cones));
+      ParallelFaultSimulator adaptive(
+          c, tb, cone_config(lanes, 1, WidthPolicy::kAdaptive, cones));
+      expect_same_outcomes(fixed.run(seu).outcomes(),
+                           adaptive.run(seu).outcomes(), "seu");
+      expect_same_outcomes(fixed.run_mbu(mbu).outcomes,
+                           adaptive.run_mbu(mbu).outcomes, "mbu");
+      expect_same_outcomes(fixed.run_set(set).outcomes,
+                           adaptive.run_set(set).outcomes, "set");
+      expect_same_outcomes(fixed.run_stuckat(stuck).outcomes,
+                           adaptive.run_stuckat(stuck).outcomes, "stuckat");
+      EXPECT_GE(adaptive.last_run_lane_occupancy(),
+                fixed.last_run_lane_occupancy());
+    }
+  }
+}
+
+TEST(WidthAdaptiveTest, NonAffineSchedulesTierOnlyTheGlobalTail) {
+  // Without cone-affine block boundaries there is a single segment, so the
+  // adaptive plan differs from fixed only in the final partial group.
+  const Circuit c = medium_random_circuit(19);
+  const Testbench tb = random_testbench(c.num_inputs(), 30, 3);
+  const auto faults = sample_fault_list(c.num_dffs(), tb.num_cycles(), 600, 7);
+  CampaignConfig config = cone_config(LaneWidth::k512, 1,
+                                      WidthPolicy::kAdaptive);
+  config.schedule = CampaignSchedule::kCycleMajor;
+  ParallelFaultSimulator sim(c, tb, config);
+  CampaignConfig ref_config = interp_config();
+  ParallelFaultSimulator interp(c, tb, ref_config);
+  expect_same_outcomes(interp.run(faults).outcomes(),
+                       sim.run(faults).outcomes(), "cycle-major adaptive");
+  // 600 = 512 + tail 88: one full 512 group, tail < kTail256Min decomposes
+  // into 64-lane chunks (88 = 64 + 24 -> two groups).
+  EXPECT_EQ(sim.last_run_group_widths().g512, 1u);
+  EXPECT_EQ(sim.last_run_group_widths().g256, 0u);
+  EXPECT_EQ(sim.last_run_group_widths().g64, 2u);
+}
+
+TEST(WidthAdaptiveTest, InterpretedBackendIgnoresAdaptive) {
+  const Circuit c = circuits::build_by_name("b06_like");
+  const Testbench tb = random_testbench(c.num_inputs(), 24, 2);
+  const auto faults = sample_fault_list(c.num_dffs(), tb.num_cycles(), 100, 9);
+  CampaignConfig config = interp_config();
+  config.width_policy = WidthPolicy::kAdaptive;
+  ParallelFaultSimulator adaptive(c, tb, config);
+  ParallelFaultSimulator fixed(c, tb, interp_config());
+  expect_same_outcomes(fixed.run(faults).outcomes(),
+                       adaptive.run(faults).outcomes(), "interpreted");
+  EXPECT_EQ(adaptive.last_run_group_widths().g64,
+            fixed.last_run_group_widths().g64);
+}
+
+// ---- determinism across thread counts --------------------------------------
+
+// The slow suite carries the b14-scale checks (CMake routes *Slow* suites to
+// the slow ctest shard; see FEMU_SLOW_SPLIT_TESTS).
+
+TEST(WidthAdaptiveSlowTest, DeterministicMetricsAtOneVsFourThreads) {
+  // Groups are independent and the plan is computed before sharding, so the
+  // classification *and* the work metrics must be identical for any worker
+  // count, under both policies — run each configuration twice to catch
+  // nondeterminism, at a b14-scale sampled campaign where the adaptive
+  // plan genuinely mixes tiers.
+  const Circuit c = circuits::build_by_name("b14");
+  const Testbench tb = random_testbench(c.num_inputs(), 48, 2005);
+  const auto faults =
+      sample_fault_list(c.num_dffs(), tb.num_cycles(), 1500, 2005);
+
+  for (const WidthPolicy policy :
+       {WidthPolicy::kFixed, WidthPolicy::kAdaptive}) {
+    std::vector<FaultOutcome> ref_outcomes;
+    std::uint64_t ref_instrs = 0;
+    std::uint64_t ref_cycles = 0;
+    std::uint64_t ref_narrowings = 0;
+    std::uint64_t ref_bytes = 0;
+    bool have_ref = false;
+    for (const unsigned threads : {1u, 4u}) {
+      for (int repeat = 0; repeat < 2; ++repeat) {
+        ParallelFaultSimulator sim(
+            c, tb, cone_config(LaneWidth::k512, threads, policy));
+        const CampaignResult result = sim.run(faults);
+        if (!have_ref) {
+          ref_outcomes.assign(result.outcomes().begin(),
+                              result.outcomes().end());
+          ref_instrs = sim.last_run_eval_instrs();
+          ref_cycles = sim.last_run_eval_cycles();
+          ref_narrowings = sim.last_run_narrowings();
+          ref_bytes = sim.last_run_eval_slot_bytes();
+          have_ref = true;
+          continue;
+        }
+        expect_same_outcomes(ref_outcomes, result.outcomes(),
+                             width_policy_name(policy));
+        EXPECT_EQ(sim.last_run_eval_instrs(), ref_instrs)
+            << width_policy_name(policy) << " @" << threads << "t";
+        EXPECT_EQ(sim.last_run_eval_cycles(), ref_cycles);
+        EXPECT_EQ(sim.last_run_narrowings(), ref_narrowings);
+        EXPECT_EQ(sim.last_run_eval_slot_bytes(), ref_bytes);
+      }
+    }
+  }
+}
+
+TEST(WidthAdaptiveSlowTest, TailHeavySampledB14AdaptiveCutsSlotBytes) {
+  // The guaranteed adaptive win: a tail-heavy sampled campaign at 512
+  // lanes. 800 faults pack as 512 + 288; the fixed plan runs the 288-fault
+  // tail as a second half-empty 512-lane group (64 bytes streamed per
+  // instruction), while the adaptive plan runs it as one 256-lane group
+  // plus one 64-lane chunk (32 + 8 bytes per instruction) — identical
+  // classifications, strictly fewer slot bytes, higher occupancy.
+  const Circuit c = circuits::build_by_name("b14");
+  const Testbench tb = random_testbench(c.num_inputs(), 48, 2005);
+  const auto faults =
+      sample_fault_list(c.num_dffs(), tb.num_cycles(), 800, 41);
+
+  ParallelFaultSimulator fixed(c, tb, cone_config(LaneWidth::k512));
+  const CampaignResult fixed_result = fixed.run(faults);
+  const double fixed_occupancy = fixed.last_run_lane_occupancy();
+  const std::uint64_t fixed_bytes = fixed.last_run_eval_slot_bytes();
+  EXPECT_EQ(fixed.last_run_group_widths().g512, 2u);
+
+  ParallelFaultSimulator adaptive(
+      c, tb, cone_config(LaneWidth::k512, 1, WidthPolicy::kAdaptive));
+  const CampaignResult adaptive_result = adaptive.run(faults);
+
+  expect_same_outcomes(fixed_result.outcomes(), adaptive_result.outcomes(),
+                       "tail-heavy b14");
+  EXPECT_EQ(adaptive.last_run_group_widths().g512, 1u);
+  EXPECT_EQ(adaptive.last_run_group_widths().g256, 1u);
+  EXPECT_EQ(adaptive.last_run_group_widths().g64, 1u);
+  EXPECT_NEAR(adaptive.last_run_lane_occupancy(), 800.0 / 832.0, 1e-9);
+  EXPECT_GT(adaptive.last_run_lane_occupancy(), fixed_occupancy);
+  EXPECT_LT(adaptive.last_run_eval_slot_bytes(), fixed_bytes);
+}
+
+TEST(WidthAdaptiveSlowTest, SparseSampledB14SetIdenticalAndBounded) {
+  // A sparse SET sample whose site ranks span many 512-lane affinity
+  // blocks: block-aligned adaptive groups trade union-sharing for
+  // per-block narrowing, so the work metrics land near the fixed plan's —
+  // assert identical classifications and that the trade stays bounded
+  // (within 15% on instructions, occupancy in the same ballpark).
+  const Circuit c = circuits::build_by_name("b14");
+  const Testbench tb = random_testbench(c.num_inputs(), 48, 2005);
+  const SetSites sites(c);
+  ASSERT_GT(sites.num_sites(), 512u)
+      << "need multiple affinity blocks for this test";
+  const auto faults =
+      sample_set_fault_list(sites, tb.num_cycles(), 2000, 41);
+
+  ParallelFaultSimulator fixed(c, tb, cone_config(LaneWidth::k512));
+  const SetCampaignResult fixed_result = fixed.run_set(faults);
+  const double fixed_occupancy = fixed.last_run_lane_occupancy();
+  const std::uint64_t fixed_instrs = fixed.last_run_eval_instrs();
+
+  ParallelFaultSimulator adaptive(
+      c, tb, cone_config(LaneWidth::k512, 1, WidthPolicy::kAdaptive));
+  const SetCampaignResult adaptive_result = adaptive.run_set(faults);
+
+  ASSERT_EQ(fixed_result.outcomes, adaptive_result.outcomes);
+  EXPECT_GE(adaptive.last_run_group_widths().total(),
+            fixed.last_run_group_widths().total());
+  EXPECT_GT(adaptive.last_run_lane_occupancy(), 0.5 * fixed_occupancy);
+  EXPECT_LT(adaptive.last_run_eval_instrs(),
+            fixed_instrs + fixed_instrs / 6);
+}
+
+}  // namespace
+}  // namespace femu
