@@ -3,6 +3,7 @@
 //   fault_grade_cli [circuit] [cycles] [technique] [sample] [seed]
 //                   [--model seu|mbu|set|stuckat] [--pulse-width F]
 //                   [--lanes 64|256|512] [--width-policy fixed|adaptive]
+//                   [--journal PATH] [--resume] [--regrade-from SPEC]
 //                   [--json]
 //
 //     circuit    registry name (see --list) or a .bench file path
@@ -45,6 +46,22 @@
 //                and align groups to cone-affinity blocks (identical
 //                classifications, higher lane occupancy on sampled
 //                campaigns); compiled backend only
+//     --journal PATH
+//                SEU only: run the campaign through the crash-safe journal
+//                (fault/journal.h). Retired groups stream to PATH as they
+//                finish, so a killed campaign leaves a resumable file; the
+//                failure-signature dictionary is written to PATH.dict
+//     --resume   with --journal: replay the journal's retired groups and
+//                grade only the remainder — bit-identical to an
+//                uninterrupted run. An invalid or mismatched journal
+//                degrades to a warned full re-run
+//     --regrade-from SPEC
+//                with --journal: cone-exact incremental re-grade. SPEC is
+//                the *previous* circuit revision (registry name or .bench
+//                path) whose campaign wrote the journal; only faults whose
+//                flip-flop cone touches the netlist edit are re-simulated,
+//                the rest reuse their journaled classification, and the
+//                journal is rewritten for the new revision
 //     --json     machine-readable grading JSON on stdout instead of tables
 //                (includes the model's descriptor name, the engine work
 //                metrics — lane_occupancy, eval_bytes_per_instr, the chosen
@@ -58,6 +75,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "circuits/registry.h"
@@ -65,6 +83,8 @@
 #include "common/strings.h"
 #include "common/table.h"
 #include "core/autonomous_emulator.h"
+#include "fault/dictionary.h"
+#include "fault/journal.h"
 #include "fault/model_traits.h"
 #include "fault/parallel_faultsim.h"
 #include "fault/sampling.h"
@@ -199,6 +219,108 @@ void print_grading_table(FaultModel model, const ClassCounts& counts,
                  format_fixed(seconds * 1e3, 2),
                  format_fixed(faults != 0 ? seconds * 1e6 / faults : 0.0, 3)});
   std::cout << table.to_ascii();
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        // Remaining control characters can't appear in our messages; a
+        // space keeps the output valid JSON regardless.
+        out += static_cast<unsigned char>(c) < 0x20 ? ' ' : c;
+    }
+  }
+  return out;
+}
+
+int run_seu_journaled(const Circuit& circuit, const Testbench& tb,
+                      std::size_t cycles, std::size_t sample,
+                      std::uint64_t seed, LaneWidth lanes,
+                      WidthPolicy width_policy,
+                      const std::string& journal_path, bool resume,
+                      const std::string& regrade_spec, bool json) {
+  const std::size_t total = circuit.num_dffs() * cycles;
+  const auto faults =
+      sample == 0 || sample >= total
+          ? complete_fault_list(circuit.num_dffs(), cycles)
+          : sample_fault_list(circuit.num_dffs(), cycles, sample, seed);
+
+  CampaignConfig config;
+  config.lanes = lanes;
+  config.width_policy = width_policy;
+  ParallelFaultSimulator sim(circuit, tb, config);
+  sim.set_capture_signatures(true);
+
+  CampaignResult result;
+  std::vector<std::uint64_t> signatures;
+  std::string journal_extra;
+  std::string warning;
+  if (!regrade_spec.empty()) {
+    const Circuit old_circuit = load_circuit(regrade_spec);
+    RegradeReport rep = regrade_from_journal(sim, faults, old_circuit,
+                                             journal_path, journal_path);
+    result = std::move(rep.result);
+    signatures = std::move(rep.signatures);
+    warning = rep.warning;
+    journal_extra = str_cat(
+        ", \"regrade_from\": \"", json_escape(regrade_spec),
+        "\", \"reused\": ", rep.reused, ", \"regraded\": ", rep.regraded,
+        ", \"dirty_faults\": ", rep.dirty_faults,
+        ", \"full_rerun\": ", rep.full_rerun ? "true" : "false");
+    if (!json) {
+      std::cout << "regrade from " << regrade_spec << ": " << rep.reused
+                << " reused, " << rep.regraded << " re-graded ("
+                << rep.dirty_faults << " in dirty cones)"
+                << (rep.full_rerun ? " [degraded to full re-run]" : "")
+                << "\n";
+    }
+  } else {
+    JournaledCampaignReport rep =
+        run_journaled_seu_campaign(sim, faults, journal_path, resume);
+    result = std::move(rep.result);
+    signatures = std::move(rep.signatures);
+    warning = rep.warning;
+    journal_extra = str_cat(
+        ", \"resumed\": ", rep.resumed ? "true" : "false",
+        ", \"replayed\": ", rep.replayed, ", \"graded\": ", rep.graded);
+    if (!json) {
+      std::cout << "journal " << journal_path << ": " << rep.replayed
+                << " replayed, " << rep.graded << " graded\n";
+    }
+  }
+  if (!warning.empty() && !json) {
+    std::cout << "warning: " << warning << "\n";
+  }
+
+  const FaultDictionary dict = FaultDictionary::from_campaign(
+      faults, result.outcomes(), signatures, sim.golden().outputs);
+  const std::string dict_path = journal_path + ".dict";
+  dict.save_file(dict_path);
+
+  if (json) {
+    const std::string extra = str_cat(
+        ", \"journal\": {\"path\": \"", json_escape(journal_path), "\"",
+        journal_extra, ", \"dictionary\": \"", json_escape(dict_path),
+        "\", \"dictionary_entries\": ", dict.num_entries(),
+        ", \"warning\": \"", json_escape(warning), "\"}",
+        engine_metrics_json(sim));
+    write_grading_json(std::cout, FaultModel::kSeu, circuit, lanes,
+                       faults.size(), result.counts(), sim.last_run_seconds(),
+                       extra);
+    return 0;
+  }
+  std::cout << "dictionary (" << dict.num_entries() << " failure signatures, "
+            << "resolution " << format_fixed(dict.resolution(), 3)
+            << ") written to " << dict_path << "\n\n";
+  print_grading_table(FaultModel::kSeu, result.counts(),
+                      sim.last_run_seconds(), faults.size());
+  return 0;
 }
 
 int run_seu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
@@ -403,14 +525,23 @@ int run_stuckat(const Circuit& circuit, const Testbench& tb,
 
 int main(int argc, char** argv) {
   using namespace femu;
+  // Detected before the try so the error handlers know the output format.
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      json = true;
+    }
+  }
   try {
     // Flags first (position-independent), positionals keep their order.
     std::vector<std::string> positional;
     std::string model_spec = "seu";
     std::string lanes_spec = "64";
     std::string width_policy_spec = "fixed";
+    std::string journal_path;
+    std::string regrade_spec;
+    bool resume = false;
     std::uint16_t pulse_q = kSetPulseFull;
-    bool json = false;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--model" && i + 1 < argc) {
@@ -421,8 +552,14 @@ int main(int argc, char** argv) {
         width_policy_spec = argv[++i];
       } else if (arg == "--pulse-width" && i + 1 < argc) {
         pulse_q = set_pulse_q(std::stod(argv[++i]));
+      } else if (arg == "--journal" && i + 1 < argc) {
+        journal_path = argv[++i];
+      } else if (arg == "--resume") {
+        resume = true;
+      } else if (arg == "--regrade-from" && i + 1 < argc) {
+        regrade_spec = argv[++i];
       } else if (arg == "--json") {
-        json = true;
+        // already handled above
       } else {
         positional.push_back(arg);
       }
@@ -457,8 +594,19 @@ int main(int argc, char** argv) {
                 << circuit.num_gates() << " gates), " << lane_count(lanes)
                 << " lanes (" << simd_path_of(lanes) << ")\n";
     }
+    if ((resume || !regrade_spec.empty()) && journal_path.empty()) {
+      throw Error("--resume/--regrade-from require --journal <path>");
+    }
+    if (!journal_path.empty() && model != FaultModel::kSeu) {
+      throw Error("--journal supports the seu model only");
+    }
     switch (model) {
       case FaultModel::kSeu:
+        if (!journal_path.empty()) {
+          return run_seu_journaled(circuit, tb, cycles, sample, seed, lanes,
+                                   width_policy, journal_path, resume,
+                                   regrade_spec, json);
+        }
         return run_seu(circuit, tb, cycles, technique_spec, sample, seed,
                        lanes, width_policy, json);
       case FaultModel::kMbu:
@@ -472,7 +620,23 @@ int main(int argc, char** argv) {
                            width_policy, json);
     }
     return 0;
+  } catch (const femu::Error& e) {
+    if (json) {
+      std::cout << "{\"error\": {\"message\": \"" << json_escape(e.what())
+                << "\"";
+      if (e.has_location()) {
+        std::cout << ", \"file\": \"" << json_escape(e.file())
+                  << "\", \"line\": " << e.line();
+      }
+      std::cout << "}}\n";
+    }
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   } catch (const std::exception& e) {
+    if (json) {
+      std::cout << "{\"error\": {\"message\": \"" << json_escape(e.what())
+                << "\"}}\n";
+    }
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }

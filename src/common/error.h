@@ -12,6 +12,17 @@ namespace femu {
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& message) : std::runtime_error(message) {}
+  Error(const std::string& message, const char* file, int line)
+      : std::runtime_error(message), file_(file), line_(line) {}
+
+  /// Source file of the failed check, or nullptr when unknown.
+  [[nodiscard]] const char* file() const noexcept { return file_; }
+  [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] bool has_location() const noexcept { return file_ != nullptr; }
+
+ private:
+  const char* file_ = nullptr;
+  int line_ = 0;
 };
 
 /// Thrown when a netlist fails structural validation (combinational loop,
@@ -39,7 +50,8 @@ namespace detail {
                                              const char* expr,
                                              const std::string& message) {
   throw Error(str_cat(file, ":", line, ": check failed: ", expr,
-                      message.empty() ? "" : " — ", message));
+                      message.empty() ? "" : " — ", message),
+              file, line);
 }
 
 }  // namespace detail

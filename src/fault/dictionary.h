@@ -1,11 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "fault/fault.h"
+#include "fault/parallel_faultsim.h"
 #include "netlist/circuit.h"
 #include "stim/testbench.h"
 
@@ -35,6 +38,30 @@ class FaultDictionary {
   [[nodiscard]] static FaultDictionary build(const Circuit& circuit,
                                              const Testbench& testbench,
                                              std::span<const Fault> faults);
+
+  /// Grades with the compiled bit-parallel engine (signature capture on) —
+  /// the syndromes fall out of the campaign itself, no serial re-simulation.
+  /// Produces the same dictionary as build(); test_dictionary cross-validates
+  /// the two paths signature-by-signature.
+  [[nodiscard]] static FaultDictionary build_compiled(
+      const Circuit& circuit, const Testbench& testbench,
+      std::span<const Fault> faults, const CampaignConfig& config = {});
+
+  /// Assembles a dictionary from an already-run campaign: caller-aligned
+  /// outcomes and engine-captured signature hashes (see
+  /// ParallelFaultSimulator::set_capture_signatures), plus the golden output
+  /// trace diagnose() compares against.
+  [[nodiscard]] static FaultDictionary from_campaign(
+      std::span<const Fault> faults, std::span<const FaultOutcome> outcomes,
+      std::span<const std::uint64_t> signature_hashes,
+      std::vector<BitVec> golden_outputs);
+
+  /// Binary serialization (magic "FEMUDICT", versioned, checksummed). save is
+  /// stream-order deterministic; save_file writes via temp file + rename.
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+  [[nodiscard]] static FaultDictionary load(std::istream& in);
+  [[nodiscard]] static FaultDictionary load_file(const std::string& path);
 
   /// Faults whose failure signature matches exactly (empty when unknown).
   [[nodiscard]] std::vector<Fault> lookup(const FaultSignature& sig) const;

@@ -1,0 +1,674 @@
+#include "fault/journal.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "fault/model_traits.h"
+#include "netlist/diff.h"
+
+namespace femu {
+
+namespace {
+
+constexpr char kFileMagic[8] = {'F', 'E', 'M', 'U', 'J', 'R', 'N', 'L'};
+constexpr std::uint32_t kRecordMagic = 0x4C4E524Au;  // "JRNL"
+constexpr std::uint32_t kFormatVersion = 1;
+
+constexpr std::uint8_t kRecHeader = 1;
+constexpr std::uint8_t kRecGroup = 2;
+constexpr std::uint8_t kRecComplete = 3;
+
+// Bytes per group entry: u32 index, u8 class, u32 detect, u32 converge,
+// u64 signature.
+constexpr std::size_t kEntryBytes = 4 + 1 + 4 + 4 + 8;
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T v) {
+  const std::size_t at = out.size();
+  out.resize(at + sizeof v);
+  std::memcpy(out.data() + at, &v, sizeof v);
+}
+
+[[nodiscard]] std::uint64_t record_checksum(
+    std::uint8_t type, const std::vector<std::uint8_t>& payload) {
+  Fnv64 h;
+  h.u8(type);
+  h.u64(payload.size());
+  h.bytes(payload.data(), payload.size());
+  return h.digest();
+}
+
+/// Bounds-checked cursor over the loaded journal bytes.
+struct Reader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool take(void* out, std::size_t len) {
+    if (size - pos < len) {
+      return false;
+    }
+    std::memcpy(out, data + pos, len);
+    pos += len;
+    return true;
+  }
+  template <typename T>
+  [[nodiscard]] bool get(T& v) {
+    return take(&v, sizeof v);
+  }
+};
+
+void hash_bitvec(Fnv64& h, const BitVec& v) {
+  h.u64(v.size());
+  for (const std::uint64_t w : v.words()) {
+    h.u64(w);
+  }
+}
+
+[[nodiscard]] std::uint64_t config_rule_hash() {
+  // Every CampaignConfig knob is outcome-invariant (see the fingerprint
+  // doc); this hashes only the invariance rule's version so a future
+  // outcome-affecting knob can bump it.
+  Fnv64 h;
+  h.str("campaign-config:outcome-invariant:v1");
+  return h.digest();
+}
+
+template <typename FaultT>
+[[nodiscard]] CampaignFingerprint make_fingerprint(
+    const Circuit& circuit, const Testbench& tb, std::span<const FaultT> faults,
+    FaultModel model) {
+  CampaignFingerprint fp;
+  fp.circuit = circuit_structure_hash(circuit);
+  fp.testbench = testbench_content_hash(tb);
+  fp.faults = fault_list_hash(faults);
+  Fnv64 m;
+  m.str(fault_model_descriptor(model));
+  fp.model = m.digest();
+  fp.config = config_rule_hash();
+  return fp;
+}
+
+}  // namespace
+
+// ---- fingerprints ----------------------------------------------------------
+
+std::uint64_t circuit_structure_hash(const Circuit& circuit) {
+  Fnv64 h;
+  h.str("circuit:v1");
+  h.u64(circuit.node_count());
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    h.u8(static_cast<std::uint8_t>(circuit.type(id)));
+    const std::span<const NodeId> fanins = circuit.fanins(id);
+    h.u8(static_cast<std::uint8_t>(fanins.size()));
+    for (const NodeId f : fanins) {
+      h.u32(f);
+    }
+  }
+  h.u64(circuit.num_inputs());
+  for (const NodeId id : circuit.inputs()) {
+    h.u32(id);
+  }
+  h.u64(circuit.num_dffs());
+  for (const NodeId id : circuit.dffs()) {
+    h.u32(id);
+  }
+  h.u64(circuit.num_outputs());
+  for (const auto& port : circuit.outputs()) {
+    h.u32(port.driver);
+  }
+  return h.digest();
+}
+
+std::uint64_t testbench_content_hash(const Testbench& tb) {
+  Fnv64 h;
+  h.str("testbench:v1");
+  h.u64(tb.input_width());
+  h.u64(tb.num_cycles());
+  for (const BitVec& v : tb.vectors()) {
+    hash_bitvec(h, v);
+  }
+  return h.digest();
+}
+
+std::uint64_t fault_list_hash(std::span<const Fault> faults) {
+  Fnv64 h;
+  h.str("faults:seu:v1");
+  h.u64(faults.size());
+  for (const Fault& f : faults) {
+    h.u32(f.ff_index);
+    h.u32(f.cycle);
+  }
+  return h.digest();
+}
+
+std::uint64_t fault_list_hash(std::span<const MbuFault> faults) {
+  Fnv64 h;
+  h.str("faults:mbu:v1");
+  h.u64(faults.size());
+  for (const MbuFault& f : faults) {
+    h.u32(f.cycle);
+    h.u64(f.ff_indices.size());
+    for (const std::uint32_t ff : f.ff_indices) {
+      h.u32(ff);
+    }
+  }
+  return h.digest();
+}
+
+std::uint64_t fault_list_hash(std::span<const SetFault> faults) {
+  Fnv64 h;
+  h.str("faults:set:v1");
+  h.u64(faults.size());
+  for (const SetFault& f : faults) {
+    h.u32(f.node);
+    h.u32(f.cycle);
+    h.u16(f.pulse_q);
+  }
+  return h.digest();
+}
+
+std::uint64_t fault_list_hash(std::span<const StuckAtFault> faults) {
+  Fnv64 h;
+  h.str("faults:stuckat:v1");
+  h.u64(faults.size());
+  for (const StuckAtFault& f : faults) {
+    h.u32(f.node);
+    h.u8(f.stuck_one ? 1 : 0);
+  }
+  return h.digest();
+}
+
+CampaignFingerprint campaign_fingerprint(const Circuit& circuit,
+                                         const Testbench& tb,
+                                         std::span<const Fault> faults) {
+  return make_fingerprint(circuit, tb, faults, FaultModel::kSeu);
+}
+
+CampaignFingerprint campaign_fingerprint(const Circuit& circuit,
+                                         const Testbench& tb,
+                                         std::span<const MbuFault> faults) {
+  return make_fingerprint(circuit, tb, faults, FaultModel::kMbu);
+}
+
+CampaignFingerprint campaign_fingerprint(const Circuit& circuit,
+                                         const Testbench& tb,
+                                         std::span<const SetFault> faults) {
+  return make_fingerprint(circuit, tb, faults, FaultModel::kSet);
+}
+
+CampaignFingerprint campaign_fingerprint(const Circuit& circuit,
+                                         const Testbench& tb,
+                                         std::span<const StuckAtFault> faults) {
+  return make_fingerprint(circuit, tb, faults, FaultModel::kStuckAt);
+}
+
+// ---- loader ----------------------------------------------------------------
+
+JournalContents load_journal(const std::string& path,
+                             const CampaignFingerprint& expected,
+                             std::size_t fault_count) {
+  JournalContents contents;
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    contents.status = JournalStatus::kMissing;
+    contents.detail = str_cat("no journal at ", path);
+    return contents;
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  Reader r{bytes.data(), bytes.size()};
+
+  char magic[8];
+  if (!r.take(magic, sizeof magic) ||
+      std::memcmp(magic, kFileMagic, sizeof magic) != 0) {
+    contents.status = JournalStatus::kCorrupt;
+    contents.detail = str_cat(path, ": not a campaign journal");
+    return contents;
+  }
+
+  // One record: fills type/payload, false when the remaining bytes don't
+  // form a verifiable record (torn tail).
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> payload;
+  const auto next_record = [&]() -> bool {
+    std::uint32_t rec_magic = 0;
+    std::uint32_t len = 0;
+    if (!r.get(rec_magic) || rec_magic != kRecordMagic || !r.get(type) ||
+        !r.get(len) || bytes.size() - r.pos < len + 8u) {
+      return false;
+    }
+    payload.resize(len);
+    if (!r.take(payload.data(), len)) {
+      return false;
+    }
+    std::uint64_t checksum = 0;
+    return r.get(checksum) && checksum == record_checksum(type, payload);
+  };
+
+  // Header first — without it nothing else is trustworthy.
+  if (!next_record() || type != kRecHeader) {
+    contents.status = JournalStatus::kCorrupt;
+    contents.detail = str_cat(path, ": journal header missing or corrupt");
+    return contents;
+  }
+  {
+    Reader hr{payload.data(), payload.size()};
+    std::uint32_t version = 0;
+    CampaignFingerprint fp;
+    std::uint64_t count = 0;
+    std::uint8_t has_sigs = 0;
+    if (!hr.get(version) || !hr.get(fp.circuit) || !hr.get(fp.testbench) ||
+        !hr.get(fp.faults) || !hr.get(fp.model) || !hr.get(fp.config) ||
+        !hr.get(count) || !hr.get(has_sigs)) {
+      contents.status = JournalStatus::kCorrupt;
+      contents.detail = str_cat(path, ": journal header truncated");
+      return contents;
+    }
+    if (version != kFormatVersion) {
+      contents.status = JournalStatus::kCorrupt;
+      contents.detail =
+          str_cat(path, ": journal format v", version, ", expected v",
+                  kFormatVersion);
+      return contents;
+    }
+    if (fp != expected || count != fault_count) {
+      std::string what;
+      const auto name_component = [&](const char* component, bool differs) {
+        if (differs) {
+          what += what.empty() ? component : str_cat("+", component);
+        }
+      };
+      name_component("circuit", fp.circuit != expected.circuit);
+      name_component("testbench", fp.testbench != expected.testbench);
+      name_component("fault-list", fp.faults != expected.faults);
+      name_component("model", fp.model != expected.model);
+      name_component("config", fp.config != expected.config);
+      name_component("fault-count", count != fault_count);
+      contents.status = JournalStatus::kFingerprintMismatch;
+      contents.detail = str_cat(path, ": journal belongs to a different "
+                                "campaign (", what, " differ)");
+      return contents;
+    }
+    contents.has_signatures = has_sigs != 0;
+  }
+
+  contents.status = JournalStatus::kOk;
+  contents.have.assign(fault_count, 0);
+  contents.outcomes.assign(fault_count, FaultOutcome{});
+  contents.signatures.assign(fault_count, 0);
+
+  while (r.pos < bytes.size()) {
+    if (!next_record()) {
+      // Torn tail (typical after SIGKILL mid-append): everything before it
+      // verified, so recover the valid prefix and say so.
+      contents.truncated = true;
+      break;
+    }
+    if (type == kRecComplete) {
+      contents.complete = true;
+      continue;
+    }
+    if (type != kRecGroup) {
+      continue;  // checksummed but unknown — skip (forward compatibility)
+    }
+    Reader gr{payload.data(), payload.size()};
+    std::uint32_t count = 0;
+    if (!gr.get(count) || payload.size() != 4 + count * kEntryBytes) {
+      contents.truncated = true;
+      break;
+    }
+    bool bad = false;
+    for (std::uint32_t k = 0; k < count; ++k) {
+      std::uint32_t index = 0;
+      std::uint8_t cls = 0;
+      FaultOutcome outcome;
+      std::uint64_t sig = 0;
+      if (!gr.get(index) || !gr.get(cls) || !gr.get(outcome.detect_cycle) ||
+          !gr.get(outcome.converge_cycle) || !gr.get(sig) ||
+          index >= fault_count || cls > 2) {
+        bad = true;
+        break;
+      }
+      outcome.cls = static_cast<FaultClass>(cls);
+      if (!contents.have[index]) {
+        contents.have[index] = 1;
+        ++contents.num_known;
+      }
+      contents.outcomes[index] = outcome;
+      contents.signatures[index] = sig;
+    }
+    if (bad) {
+      contents.truncated = true;
+      break;
+    }
+  }
+  return contents;
+}
+
+// ---- writer ----------------------------------------------------------------
+
+void CampaignJournalWriter::write_record(
+    std::uint8_t type, const std::vector<std::uint8_t>& payload,
+    std::ostream& out) {
+  std::vector<std::uint8_t> rec;
+  rec.reserve(4 + 1 + 4 + payload.size() + 8);
+  put(rec, kRecordMagic);
+  put(rec, type);
+  put(rec, static_cast<std::uint32_t>(payload.size()));
+  rec.insert(rec.end(), payload.begin(), payload.end());
+  put(rec, record_checksum(type, payload));
+  out.write(reinterpret_cast<const char*>(rec.data()),
+            static_cast<std::streamsize>(rec.size()));
+  out.flush();
+  FEMU_CHECK(out.good(), "journal write to ", path_, " failed");
+}
+
+CampaignJournalWriter::CampaignJournalWriter(
+    const std::string& path, const CampaignFingerprint& fingerprint,
+    std::uint64_t fault_count, bool with_signatures,
+    const JournalContents* replay)
+    : path_(path), with_signatures_(with_signatures) {
+  // Build the new journal beside the old one and rename into place: an
+  // interrupted construction can never leave a half-written file at `path`.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    FEMU_CHECK(out.good(), "cannot create journal ", tmp);
+    out.write(kFileMagic, sizeof kFileMagic);
+
+    std::vector<std::uint8_t> header;
+    put(header, kFormatVersion);
+    put(header, fingerprint.circuit);
+    put(header, fingerprint.testbench);
+    put(header, fingerprint.faults);
+    put(header, fingerprint.model);
+    put(header, fingerprint.config);
+    put(header, fault_count);
+    put(header, static_cast<std::uint8_t>(with_signatures ? 1 : 0));
+    write_record(kRecHeader, header, out);
+
+    if (replay != nullptr && replay->num_known != 0) {
+      // Compaction: everything already known goes into one group record, so
+      // a resumed journal never re-accumulates its history.
+      std::vector<std::uint8_t> group;
+      put(group, static_cast<std::uint32_t>(replay->num_known));
+      for (std::size_t i = 0; i < replay->have.size(); ++i) {
+        if (!replay->have[i]) {
+          continue;
+        }
+        put(group, static_cast<std::uint32_t>(i));
+        put(group, static_cast<std::uint8_t>(replay->outcomes[i].cls));
+        put(group, replay->outcomes[i].detect_cycle);
+        put(group, replay->outcomes[i].converge_cycle);
+        put(group, i < replay->signatures.size() ? replay->signatures[i]
+                                                 : std::uint64_t{0});
+      }
+      write_record(kRecGroup, group, out);
+    }
+  }
+  FEMU_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+             "cannot move journal ", tmp, " into place at ", path);
+  out_.open(path, std::ios::binary | std::ios::app);
+  FEMU_CHECK(out_.good(), "cannot append to journal ", path);
+}
+
+void CampaignJournalWriter::append(std::span<const std::uint32_t> indices,
+                                   std::span<const FaultOutcome> outcomes,
+                                   std::span<const std::uint64_t> sigs) {
+  std::vector<std::uint8_t> group;
+  group.reserve(4 + indices.size() * kEntryBytes);
+  put(group, static_cast<std::uint32_t>(indices.size()));
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    put(group, indices[k]);
+    put(group, static_cast<std::uint8_t>(outcomes[k].cls));
+    put(group, outcomes[k].detect_cycle);
+    put(group, outcomes[k].converge_cycle);
+    put(group, k < sigs.size() ? sigs[k] : std::uint64_t{0});
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  write_record(kRecGroup, group, out_);
+}
+
+void CampaignJournalWriter::mark_complete() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  write_record(kRecComplete, {}, out_);
+}
+
+// ---- journaled campaign ----------------------------------------------------
+
+namespace {
+
+/// Clears the engine's retire callback on scope exit (exception-safe).
+struct CallbackGuard {
+  ParallelFaultSimulator& sim;
+  ~CallbackGuard() { sim.set_retire_callback({}); }
+};
+
+}  // namespace
+
+JournaledCampaignReport run_journaled_seu_campaign(
+    ParallelFaultSimulator& sim, std::span<const Fault> faults,
+    const std::string& journal_path, bool resume,
+    const ParallelFaultSimulator::RetireCallback& observer) {
+  const std::size_t n = faults.size();
+  const CampaignFingerprint fp =
+      campaign_fingerprint(sim.circuit(), sim.testbench(), faults);
+  const bool capture = sim.capture_signatures();
+
+  JournaledCampaignReport report;
+  JournalContents prior;
+  if (resume) {
+    prior = load_journal(journal_path, fp, n);
+    switch (prior.status) {
+      case JournalStatus::kOk:
+        if (capture && !prior.has_signatures && prior.num_known != 0) {
+          report.warning =
+              str_cat(journal_path, ": journal carries no failure signatures "
+                      "but signature capture is enabled; re-running all "
+                      "faults");
+          prior = JournalContents{};
+        } else if (prior.truncated) {
+          report.warning = str_cat(journal_path, ": invalid journal tail "
+                                   "dropped; resumed from the valid prefix");
+        }
+        break;
+      case JournalStatus::kMissing:
+        break;  // fresh start, nothing to warn about
+      case JournalStatus::kCorrupt:
+      case JournalStatus::kFingerprintMismatch:
+        report.warning = str_cat(prior.detail, "; re-running all faults");
+        prior = JournalContents{};
+        break;
+    }
+  }
+
+  const bool have_prior =
+      prior.status == JournalStatus::kOk && prior.num_known != 0;
+  CampaignJournalWriter writer(journal_path, fp, n, capture,
+                               have_prior ? &prior : nullptr);
+
+  std::vector<FaultOutcome> outcomes(n);
+  std::vector<std::uint64_t> sigs;
+  if (capture) {
+    sigs.assign(n, 0);
+  }
+  std::vector<Fault> rest;
+  std::vector<std::uint32_t> rest_index;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (have_prior && prior.have[i]) {
+      outcomes[i] = prior.outcomes[i];
+      if (capture) {
+        sigs[i] = prior.signatures[i];
+      }
+      ++report.replayed;
+    } else {
+      rest.push_back(faults[i]);
+      rest_index.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  report.resumed = report.replayed != 0;
+  report.graded = rest.size();
+
+  if (!rest.empty()) {
+    const CallbackGuard guard{sim};
+    sim.set_retire_callback(
+        [&](std::span<const std::uint32_t> idx,
+            std::span<const FaultOutcome> group_outcomes,
+            std::span<const std::uint64_t> group_sigs) {
+          std::vector<std::uint32_t> mapped(idx.size());
+          for (std::size_t j = 0; j < idx.size(); ++j) {
+            mapped[j] = rest_index[idx[j]];
+          }
+          writer.append(mapped, group_outcomes, group_sigs);
+          if (observer) {
+            observer(mapped, group_outcomes, group_sigs);
+          }
+        });
+    const CampaignResult part = sim.run(rest);
+    for (std::size_t j = 0; j < rest.size(); ++j) {
+      outcomes[rest_index[j]] = part.outcomes()[j];
+    }
+    if (capture) {
+      const std::span<const std::uint64_t> part_sigs =
+          sim.last_run_signatures();
+      for (std::size_t j = 0; j < rest.size(); ++j) {
+        sigs[rest_index[j]] = part_sigs[j];
+      }
+    }
+  }
+  writer.mark_complete();
+
+  report.result = CampaignResult(std::vector<Fault>(faults.begin(),
+                                                    faults.end()),
+                                 std::move(outcomes));
+  report.signatures = std::move(sigs);
+  return report;
+}
+
+// ---- incremental re-grade --------------------------------------------------
+
+RegradeReport regrade_from_journal(
+    ParallelFaultSimulator& new_sim, std::span<const Fault> faults,
+    const Circuit& old_circuit, const std::string& old_journal_path,
+    const std::string& new_journal_path,
+    const ParallelFaultSimulator::RetireCallback& observer) {
+  const std::size_t n = faults.size();
+  const Circuit& new_circuit = new_sim.circuit();
+  const bool capture = new_sim.capture_signatures();
+
+  RegradeReport report;
+  JournalContents prior;
+  std::vector<std::uint8_t> dirty_ff;
+  bool can_reuse = false;
+
+  const CircuitDiff diff = diff_circuits(old_circuit, new_circuit);
+  if (!diff.interface_compatible) {
+    report.warning = str_cat("circuit interfaces incompatible (",
+                             diff.incompatibility, "); full re-run");
+  } else {
+    const CampaignFingerprint old_fp =
+        campaign_fingerprint(old_circuit, new_sim.testbench(), faults);
+    prior = load_journal(old_journal_path, old_fp, n);
+    if (prior.status != JournalStatus::kOk) {
+      report.warning = str_cat(prior.detail, "; full re-run");
+    } else if (capture && !prior.has_signatures && prior.num_known != 0) {
+      report.warning = str_cat(old_journal_path, ": journal carries no "
+                               "failure signatures but signature capture is "
+                               "enabled; full re-run");
+    } else {
+      dirty_ff = dirty_ff_set(old_circuit, new_circuit, diff);
+      can_reuse = true;
+    }
+  }
+  report.full_rerun = !can_reuse;
+
+  std::vector<FaultOutcome> outcomes(n);
+  std::vector<std::uint64_t> sigs;
+  if (capture) {
+    sigs.assign(n, 0);
+  }
+  std::vector<Fault> rest;
+  std::vector<std::uint32_t> rest_index;
+  std::vector<std::uint8_t> reused_mask(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Fault& f = faults[i];
+    const bool dirty = can_reuse && dirty_ff[f.ff_index];
+    if (dirty) {
+      ++report.dirty_faults;
+    }
+    if (can_reuse && !dirty && prior.have[i]) {
+      outcomes[i] = prior.outcomes[i];
+      if (capture) {
+        sigs[i] = prior.signatures[i];
+      }
+      reused_mask[i] = 1;
+      ++report.reused;
+    } else {
+      rest.push_back(f);
+      rest_index.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  report.regraded = rest.size();
+
+  std::unique_ptr<CampaignJournalWriter> writer;
+  if (!new_journal_path.empty()) {
+    const CampaignFingerprint new_fp =
+        campaign_fingerprint(new_circuit, new_sim.testbench(), faults);
+    JournalContents replay;
+    replay.status = JournalStatus::kOk;
+    replay.have = reused_mask;
+    replay.outcomes = outcomes;
+    replay.signatures = sigs;
+    replay.num_known = report.reused;
+    writer = std::make_unique<CampaignJournalWriter>(
+        new_journal_path, new_fp, n, capture,
+        report.reused != 0 ? &replay : nullptr);
+  }
+
+  if (!rest.empty()) {
+    const CallbackGuard guard{new_sim};
+    new_sim.set_retire_callback(
+        [&](std::span<const std::uint32_t> idx,
+            std::span<const FaultOutcome> group_outcomes,
+            std::span<const std::uint64_t> group_sigs) {
+          std::vector<std::uint32_t> mapped(idx.size());
+          for (std::size_t j = 0; j < idx.size(); ++j) {
+            mapped[j] = rest_index[idx[j]];
+          }
+          if (writer != nullptr) {
+            writer->append(mapped, group_outcomes, group_sigs);
+          }
+          if (observer) {
+            observer(mapped, group_outcomes, group_sigs);
+          }
+        });
+    const CampaignResult part = new_sim.run(rest);
+    for (std::size_t j = 0; j < rest.size(); ++j) {
+      outcomes[rest_index[j]] = part.outcomes()[j];
+    }
+    if (capture) {
+      const std::span<const std::uint64_t> part_sigs =
+          new_sim.last_run_signatures();
+      for (std::size_t j = 0; j < rest.size(); ++j) {
+        sigs[rest_index[j]] = part_sigs[j];
+      }
+    }
+  }
+  if (writer != nullptr) {
+    writer->mark_complete();
+  }
+
+  report.result = CampaignResult(std::vector<Fault>(faults.begin(),
+                                                    faults.end()),
+                                 std::move(outcomes));
+  report.signatures = std::move(sigs);
+  return report;
+}
+
+}  // namespace femu

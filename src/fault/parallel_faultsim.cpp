@@ -501,6 +501,36 @@ void ParallelFaultSimulator::run_model(
     ensure_image(spec.width);
   }
 
+  // Failure-signature buffer in scheduled order (scattered back through the
+  // permutation at the end, like the outcomes). Empty span = capture off —
+  // the group runners skip the syndrome work entirely.
+  std::vector<std::uint64_t> scheduled_sigs;
+  std::span<std::uint64_t> run_sigs;
+  if (capture_signatures_) {
+    scheduled_sigs.assign(faults.size(), 0);
+    run_sigs = scheduled_sigs;
+  }
+  const auto sig_span = [&](const GroupSpec& spec) {
+    return run_sigs.empty() ? std::span<std::uint64_t>{}
+                            : run_sigs.subspan(spec.begin, spec.count);
+  };
+  // Streaming retire: as soon as a group's outcomes are final, hand them to
+  // the caller's callback with caller-order indices (perm maps scheduled
+  // position -> caller position). Runs on the worker thread that finished
+  // the group; the callback is responsible for its own synchronization.
+  const auto notify_retire = [&](const GroupSpec& spec,
+                                 std::span<const FaultOutcome> group_outcomes,
+                                 std::span<const std::uint64_t> group_sigs) {
+    if (!retire_cb_) {
+      return;
+    }
+    std::vector<std::uint32_t> indices(spec.count);
+    for (std::uint32_t j = 0; j < spec.count; ++j) {
+      indices[j] = perm[spec.begin + j];
+    }
+    retire_cb_(indices, group_outcomes, group_sigs);
+  };
+
   unsigned workers = config_.num_threads != 0
                          ? config_.num_threads
                          : std::max(1u, std::thread::hardware_concurrency());
@@ -522,15 +552,18 @@ void ParallelFaultSimulator::run_model(
                               const GoldenWordImage<Word>& image,
                               std::span<const FaultT> group_faults,
                               std::span<FaultOutcome> group_outcomes,
+                              std::span<std::uint64_t> group_sigs,
                               WorkerScratch& scratch) {
       if (!engine.has_value()) {
         engine.emplace(kernel_);
       }
       const View view = make_view(group_faults);
       if (cone) {
-        run_group_cone(*engine, image, view, group_outcomes, scratch);
+        run_group_cone(*engine, image, view, group_outcomes, group_sigs,
+                       scratch);
       } else {
-        run_group_full(*engine, image, view, group_outcomes, scratch);
+        run_group_full(*engine, image, view, group_outcomes, group_sigs,
+                       scratch);
       }
     };
     const auto make_engine = [] { return LaneEngineSet{}; };
@@ -538,20 +571,25 @@ void ParallelFaultSimulator::run_model(
                                std::span<const FaultT> group_faults,
                                std::span<FaultOutcome> group_outcomes,
                                WorkerScratch& scratch) {
+      const std::span<std::uint64_t> group_sigs = sig_span(spec);
       switch (spec.width) {
         case LaneWidth::k64:
           run_tier.template operator()<std::uint64_t>(
-              engines.e64, image64_, group_faults, group_outcomes, scratch);
+              engines.e64, image64_, group_faults, group_outcomes, group_sigs,
+              scratch);
           break;
         case LaneWidth::k256:
           run_tier.template operator()<Word256>(
-              engines.e256, image256_, group_faults, group_outcomes, scratch);
+              engines.e256, image256_, group_faults, group_outcomes,
+              group_sigs, scratch);
           break;
         case LaneWidth::k512:
           run_tier.template operator()<Word512>(
-              engines.e512, image512_, group_faults, group_outcomes, scratch);
+              engines.e512, image512_, group_faults, group_outcomes,
+              group_sigs, scratch);
           break;
       }
+      notify_retire(spec, group_outcomes, group_sigs);
     };
     run_sharded<FaultT>(make_engine, run_group, plan, run_faults,
                         run_outcomes, workers);
@@ -564,12 +602,14 @@ void ParallelFaultSimulator::run_model(
         return ParallelSimulator(circuit_, SimBackend::kInterpreted);
       };
       const auto run_group = [&](ParallelSimulator& engine,
-                                 const GroupSpec& /*spec*/,
+                                 const GroupSpec& spec,
                                  std::span<const FaultT> group_faults,
                                  std::span<FaultOutcome> group_outcomes,
                                  WorkerScratch& scratch) {
+        const std::span<std::uint64_t> group_sigs = sig_span(spec);
         run_group_full(engine, image64_, make_view(group_faults),
-                       group_outcomes, scratch);
+                       group_outcomes, group_sigs, scratch);
+        notify_retire(spec, group_outcomes, group_sigs);
       };
       run_sharded<FaultT>(make_engine, run_group, plan, run_faults,
                           run_outcomes, workers);
@@ -582,6 +622,14 @@ void ParallelFaultSimulator::run_model(
     for (std::size_t i = 0; i < perm.size(); ++i) {
       outcomes[perm[i]] = scheduled_outcomes[i];
     }
+  }
+  if (capture_signatures_) {
+    last_run_signatures_.assign(faults.size(), 0);
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      last_run_signatures_[perm[i]] = scheduled_sigs[i];
+    }
+  } else {
+    last_run_signatures_.clear();
   }
 }
 
@@ -677,6 +725,7 @@ void ParallelFaultSimulator::run_group_full(Engine& engine,
                                             const GoldenWordImage<Word>& image,
                                             const View& view,
                                             std::span<FaultOutcome> outcomes,
+                                            std::span<std::uint64_t> sigs,
                                             WorkerScratch& scratch) const {
   using T = LaneTraits<Word>;
   const std::size_t num_cycles = testbench_.num_cycles();
@@ -758,6 +807,13 @@ void ParallelFaultSimulator::run_group_full(Engine& engine,
         if (T::test(mismatch, static_cast<unsigned>(lane))) {
           outcomes[lane].cls = FaultClass::kFailure;
           outcomes[lane].detect_cycle = static_cast<std::uint32_t>(t);
+          if (!sigs.empty()) {
+            // Failure signature: faulty XOR golden outputs at the detect
+            // cycle (the serial dictionary's syndrome, same hash).
+            BitVec syndrome = engine.lane_outputs(static_cast<unsigned>(lane));
+            syndrome ^= golden_.outputs[t];
+            sigs[lane] = syndrome.hash();
+          }
         }
       }
       classified |= mismatch;
@@ -836,6 +892,7 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
                                             const GoldenWordImage<Word>& image,
                                             const View& view,
                                             std::span<FaultOutcome> outcomes,
+                                            std::span<std::uint64_t> sigs,
                                             WorkerScratch& scratch) const {
   using T = LaneTraits<Word>;
   const std::size_t num_cycles = testbench_.num_cycles();
@@ -979,6 +1036,15 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
         if (T::test(mismatch, static_cast<unsigned>(lane))) {
           outcomes[lane].cls = FaultClass::kFailure;
           outcomes[lane].detect_cycle = static_cast<std::uint32_t>(t);
+          if (!sigs.empty()) {
+            // Full-width syndrome from the cone arena: outputs outside the
+            // (narrowed) sub-program are provably golden, so the XOR below
+            // matches the full-eval and serial syndromes bit for bit.
+            BitVec syndrome = engine.lane_outputs_cone(
+                *sp, golden_.outputs[t], static_cast<unsigned>(lane));
+            syndrome ^= golden_.outputs[t];
+            sigs[lane] = syndrome.hash();
+          }
         }
       }
       classified |= mismatch;

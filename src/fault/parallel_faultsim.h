@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -267,6 +268,56 @@ class ParallelFaultSimulator {
     return config_;
   }
 
+  [[nodiscard]] const Circuit& circuit() const noexcept { return circuit_; }
+
+  [[nodiscard]] const Testbench& testbench() const noexcept {
+    return testbench_;
+  }
+
+  /// Streaming retire notification: called as each lane group finishes,
+  /// before the campaign completes — the hook the crash-safe campaign
+  /// journal (fault/journal.h) appends records through. `fault_indices`
+  /// are positions in the *caller's* fault list (the schedule permutation
+  /// is already inverted), `outcomes` the group's gradings in the same
+  /// order, and `signature_hashes` the failure syndromes (empty unless
+  /// signature capture is enabled; zero for non-failure lanes).
+  ///
+  /// Invoked from worker threads — one call per group, possibly
+  /// concurrently from several workers — so the callback must be
+  /// thread-safe. The spans are only valid during the call.
+  using RetireCallback = std::function<void(
+      std::span<const std::uint32_t> fault_indices,
+      std::span<const FaultOutcome> outcomes,
+      std::span<const std::uint64_t> signature_hashes)>;
+
+  /// Installs (or clears, with an empty function) the retire callback for
+  /// subsequent runs.
+  void set_retire_callback(RetireCallback callback) {
+    retire_cb_ = std::move(callback);
+  }
+
+  /// Enables failure-signature capture: every failure lane's first
+  /// deviating output vector is XORed against golden at the detect cycle
+  /// and hashed (BitVec::hash of the full-width syndrome — identical to
+  /// the serial FaultDictionary syndrome, including on the cone-restricted
+  /// path, where non-cone outputs are provably golden). Off by default; the
+  /// per-failure BitVec materialization costs a few percent on
+  /// failure-heavy campaigns.
+  void set_capture_signatures(bool on) { capture_signatures_ = on; }
+
+  [[nodiscard]] bool capture_signatures() const noexcept {
+    return capture_signatures_;
+  }
+
+  /// Caller-aligned failure signature hashes of the last run (empty when
+  /// capture was off; zero at non-failure positions). Deterministic: a
+  /// lane's syndrome depends only on its own fault, never on grouping,
+  /// schedule, width or thread count.
+  [[nodiscard]] std::span<const std::uint64_t> last_run_signatures()
+      const noexcept {
+    return last_run_signatures_;
+  }
+
   /// Per-FF fanout cones. Built when the engine runs in eager cone mode and
   /// the cone-restricted engine is active (compiled backend) or the
   /// cone-affine schedule needs them as a grouping heuristic (any backend);
@@ -418,12 +469,14 @@ class ParallelFaultSimulator {
   template <typename Engine, typename Word, typename View>
   void run_group_full(Engine& engine, const GoldenWordImage<Word>& image,
                       const View& view, std::span<FaultOutcome> outcomes,
+                      std::span<std::uint64_t> sigs,
                       WorkerScratch& scratch) const;
 
   template <typename Word, typename View>
   void run_group_cone(LaneEngine<Word>& engine,
                       const GoldenWordImage<Word>& image, const View& view,
                       std::span<FaultOutcome> outcomes,
+                      std::span<std::uint64_t> sigs,
                       WorkerScratch& scratch) const;
 
   template <typename FaultT, typename MakeEngine, typename RunGroup>
@@ -491,6 +544,9 @@ class ParallelFaultSimulator {
   bool image64_ready_ = false;
   bool image256_ready_ = false;
   bool image512_ready_ = false;
+  RetireCallback retire_cb_;
+  bool capture_signatures_ = false;
+  std::vector<std::uint64_t> last_run_signatures_;
   double last_run_seconds_ = 0.0;
   std::uint64_t last_run_eval_cycles_ = 0;
   std::uint64_t last_run_eval_instrs_ = 0;

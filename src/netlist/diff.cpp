@@ -1,0 +1,210 @@
+#include "netlist/diff.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace femu {
+
+namespace {
+
+/// All fanin→node edges of one node, including a DFF's D pin (fanins()
+/// already exposes it — connect_dff writes the fanin array).
+void push_seed(std::vector<NodeId>& seeds, NodeId id) {
+  if (seeds.empty() || seeds.back() != id) {
+    seeds.push_back(id);
+  }
+}
+
+[[nodiscard]] bool same_node(const Circuit& a, const Circuit& b, NodeId id) {
+  if (a.type(id) != b.type(id)) {
+    return false;
+  }
+  const std::span<const NodeId> fa = a.fanins(id);
+  const std::span<const NodeId> fb = b.fanins(id);
+  return fa.size() == fb.size() && std::equal(fa.begin(), fa.end(), fb.begin());
+}
+
+}  // namespace
+
+CircuitDiff diff_circuits(const Circuit& old_circuit,
+                          const Circuit& new_circuit) {
+  CircuitDiff diff;
+
+  // Interface: the fault/stimulus/response index spaces must align, id for
+  // id — a same-size list with different node ids still re-maps the spaces.
+  if (old_circuit.inputs() != new_circuit.inputs()) {
+    diff.incompatibility = "primary-input set differs";
+    return diff;
+  }
+  if (old_circuit.dffs() != new_circuit.dffs()) {
+    diff.incompatibility = str_cat("flip-flop set differs (",
+                                   old_circuit.num_dffs(), " vs ",
+                                   new_circuit.num_dffs(), ")");
+    return diff;
+  }
+  if (old_circuit.num_outputs() != new_circuit.num_outputs()) {
+    diff.incompatibility = str_cat("primary-output count differs (",
+                                   old_circuit.num_outputs(), " vs ",
+                                   new_circuit.num_outputs(), ")");
+    return diff;
+  }
+  diff.interface_compatible = true;
+
+  const NodeId shared = static_cast<NodeId>(
+      std::min(old_circuit.node_count(), new_circuit.node_count()));
+  for (NodeId id = 0; id < shared; ++id) {
+    if (!same_node(old_circuit, new_circuit, id)) {
+      push_seed(diff.dirty_seeds_old, id);
+      push_seed(diff.dirty_seeds_new, id);
+    }
+  }
+  for (NodeId id = shared; id < old_circuit.node_count(); ++id) {
+    push_seed(diff.dirty_seeds_old, id);  // removed in the new revision
+  }
+  for (NodeId id = shared; id < new_circuit.node_count(); ++id) {
+    push_seed(diff.dirty_seeds_new, id);  // added in the new revision
+  }
+  // A rewired primary output changes observability without editing any
+  // node: the driver still computes the same value, so nothing downstream
+  // changes — but the syndrome at that output can change for every fault
+  // whose cone reaches either driver. Observe seeds, not function seeds.
+  for (std::size_t k = 0; k < old_circuit.num_outputs(); ++k) {
+    const NodeId d_old = old_circuit.outputs()[k].driver;
+    const NodeId d_new = new_circuit.outputs()[k].driver;
+    if (d_old != d_new) {
+      push_seed(diff.observe_seeds_old, d_old);
+      push_seed(diff.observe_seeds_new, d_new);
+    }
+  }
+  const auto dedup = [](std::vector<NodeId>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  dedup(diff.dirty_seeds_old);
+  dedup(diff.dirty_seeds_new);
+  dedup(diff.observe_seeds_old);
+  dedup(diff.observe_seeds_new);
+  return diff;
+}
+
+std::vector<std::uint64_t> dirty_influence(
+    const Circuit& circuit, std::span<const NodeId> seeds,
+    std::span<const NodeId> observe_seeds) {
+  const std::size_t n = circuit.node_count();
+  const std::size_t words = (n + 63) / 64;
+  std::vector<std::uint64_t> influence(words, 0);
+  if (seeds.empty() && observe_seeds.empty()) {
+    return influence;
+  }
+
+  // Forward CSR over fanin→node edges (a DFF's fanin[0] → DFF edge is the
+  // D-driver→Q back edge that closes cones over sequential feedback).
+  std::vector<std::uint32_t> degree(n + 1, 0);
+  for (NodeId id = 0; id < n; ++id) {
+    for (const NodeId f : circuit.fanins(id)) {
+      if (f != kInvalidNode) {
+        ++degree[f + 1];
+      }
+    }
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    degree[i] += degree[i - 1];
+  }
+  std::vector<NodeId> fanout(degree[n]);
+  {
+    std::vector<std::uint32_t> cursor(degree.begin(), degree.end() - 1);
+    for (NodeId id = 0; id < n; ++id) {
+      for (const NodeId f : circuit.fanins(id)) {
+        if (f != kInvalidNode) {
+          fanout[cursor[f]++] = id;
+        }
+      }
+    }
+  }
+
+  const auto test = [](std::span<const std::uint64_t> bits, NodeId id) {
+    return ((bits[id >> 6] >> (id & 63)) & 1u) != 0;
+  };
+  const auto mark = [](std::span<std::uint64_t> bits, NodeId id) {
+    bits[id >> 6] |= std::uint64_t{1} << (id & 63);
+  };
+
+  // D = forward closure of the seeds.
+  std::vector<std::uint64_t> forward(words, 0);
+  std::vector<NodeId> stack;
+  for (const NodeId s : seeds) {
+    FEMU_CHECK(s < n, "dirty_influence seed ", s, " out of range (",
+               n, " nodes)");
+    if (!test(forward, s)) {
+      mark(forward, s);
+      stack.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId x = stack.back();
+    stack.pop_back();
+    for (std::uint32_t e = degree[x]; e < degree[x + 1]; ++e) {
+      const NodeId y = fanout[e];
+      if (!test(forward, y)) {
+        mark(forward, y);
+        stack.push_back(y);
+      }
+    }
+  }
+
+  // R = backward closure of D ∪ observe_seeds over the same edges: every
+  // node whose own forward cone touches D or contains an observation
+  // point. D ⊆ R (a node reaches itself); observe seeds enter here without
+  // forward propagation — their value didn't change, only its audience.
+  influence = forward;
+  for (const NodeId s : observe_seeds) {
+    FEMU_CHECK(s < n, "dirty_influence observe seed ", s, " out of range (",
+               n, " nodes)");
+    mark(influence, s);
+  }
+  for (NodeId id = 0; id < n; ++id) {
+    if (test(influence, id)) {
+      stack.push_back(id);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId x = stack.back();
+    stack.pop_back();
+    for (const NodeId f : circuit.fanins(x)) {
+      if (f != kInvalidNode && !test(influence, f)) {
+        mark(influence, f);
+        stack.push_back(f);
+      }
+    }
+  }
+  return influence;
+}
+
+std::vector<std::uint8_t> dirty_ff_set(const Circuit& old_circuit,
+                                       const Circuit& new_circuit,
+                                       const CircuitDiff& diff) {
+  FEMU_CHECK(diff.interface_compatible,
+             "dirty_ff_set requires interface-compatible circuits — ",
+             diff.incompatibility);
+  std::vector<std::uint8_t> dirty(old_circuit.num_dffs(), 0);
+  if (diff.identical()) {
+    return dirty;
+  }
+  const std::vector<std::uint64_t> r_old = dirty_influence(
+      old_circuit, diff.dirty_seeds_old, diff.observe_seeds_old);
+  const std::vector<std::uint64_t> r_new = dirty_influence(
+      new_circuit, diff.dirty_seeds_new, diff.observe_seeds_new);
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    // The DFF node is the Q output — the root of FF i's fanout cone — and
+    // interface compatibility pinned the id on both revisions.
+    const NodeId q = old_circuit.dffs()[i];
+    dirty[i] = influence_contains(r_old, q) || influence_contains(r_new, q)
+                   ? 1
+                   : 0;
+  }
+  return dirty;
+}
+
+}  // namespace femu

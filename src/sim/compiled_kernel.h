@@ -555,6 +555,21 @@ class LaneEngine {
     return out;
   }
 
+  /// Outputs of one lane after eval_cone(): cone outputs read from the
+  /// arena, every other output copied from the golden vector — exact,
+  /// because a lane can deviate from golden only inside the (narrowed)
+  /// sub-program's cone. Used to form full-width failure syndromes
+  /// (faulty XOR golden) without ever leaving the cone-restricted path.
+  [[nodiscard]] BitVec lane_outputs_cone(
+      const CompiledKernel::ConeSubProgram& sp, const BitVec& golden_outputs,
+      unsigned lane) const {
+    BitVec out = golden_outputs;
+    for (std::size_t k = 0; k < sp.out_indices.size(); ++k) {
+      out.set(sp.out_indices[k], Traits::test(arena_[sp.out_locals[k]], lane));
+    }
+    return out;
+  }
+
   /// Raw lane word of a node after eval() (diagnostics).
   [[nodiscard]] Word node_word(NodeId id) const { return values_[id]; }
 

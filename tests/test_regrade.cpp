@@ -1,0 +1,301 @@
+// Circuit diffing and cone-exact incremental re-grading: exact dirty seeds
+// for node edits and output rewires, soundness of the dirty-FF rule (clean
+// faults provably grade identically in both revisions), bit-identity of
+// regrade_from_journal against a from-scratch campaign on the new revision
+// across thread counts, and graceful degradation on incompatible interfaces.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fault/fault_list.h"
+#include "fault/journal.h"
+#include "fault/parallel_faultsim.h"
+#include "netlist/diff.h"
+#include "stim/generate.h"
+
+namespace femu {
+namespace {
+
+/// Deterministic two-bank sequential circuit (~60 gates, 10 FFs). Banks A
+/// and B share the primary inputs but are otherwise disjoint — bank A's
+/// gates never read bank B nodes and vice versa — so an edit confined to
+/// bank B provably leaves every bank-A flip-flop clean (their fanout cones,
+/// even crossing registers, stay inside bank A). `edit` selects a revision:
+///   0  — baseline
+///   1  — one bank-B gate's cell type changed (AND <-> XOR)
+///   2  — one bank-B output port rewired to a different bank-B driver
+///   3  — extra flip-flop appended (interface-incompatible with 0..2)
+/// Revisions 0-2 allocate identical node-id spaces, so diff_circuits sees
+/// exactly the edited node(s).
+Circuit build_revision(std::uint64_t seed, int edit) {
+  std::uint64_t s = seed * 0x9e3779b97f4a7c15ull + 1;
+  const auto rnd = [&s]() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+  Circuit c("rev" + std::to_string(edit));
+  std::vector<NodeId> inputs;
+  for (int i = 0; i < 5; ++i) {
+    inputs.push_back(c.add_input("in" + std::to_string(i)));
+  }
+  std::vector<NodeId> ffs_a;
+  std::vector<NodeId> ffs_b;
+  for (int i = 0; i < 5; ++i) {
+    ffs_a.push_back(c.add_dff("ffa" + std::to_string(i)));
+  }
+  for (int i = 0; i < 5; ++i) {
+    ffs_b.push_back(c.add_dff("ffb" + std::to_string(i)));
+  }
+  const auto build_bank = [&](const std::vector<NodeId>& bank_ffs,
+                              bool edited_bank) {
+    std::vector<NodeId> pool = inputs;
+    pool.insert(pool.end(), bank_ffs.begin(), bank_ffs.end());
+    std::vector<NodeId> gates;
+    for (int g = 0; g < 30; ++g) {
+      const NodeId a = pool[rnd() % pool.size()];
+      const NodeId b = pool[rnd() % pool.size()];
+      CellType type = (rnd() % 2 != 0) ? CellType::kAnd : CellType::kXor;
+      if (edited_bank && edit == 1 && g == 27) {
+        // The edit: same fanins, opposite cell type, late in the bank so
+        // part of bank B itself also stays clean.
+        type = type == CellType::kAnd ? CellType::kXor : CellType::kAnd;
+      }
+      const NodeId n = c.add_gate(type, a, b);
+      gates.push_back(n);
+      pool.push_back(n);
+    }
+    for (std::size_t i = 0; i < bank_ffs.size(); ++i) {
+      c.connect_dff(bank_ffs[i], gates[10 + 3 * i]);
+    }
+    return gates;
+  };
+  const std::vector<NodeId> gates_a = build_bank(ffs_a, false);
+  const std::vector<NodeId> gates_b = build_bank(ffs_b, true);
+  c.add_output("o0", gates_a[gates_a.size() - 1]);
+  c.add_output("o1", gates_a[gates_a.size() - 3]);
+  c.add_output("o2", gates_b[gates_b.size() - 1]);
+  c.add_output("o3", edit == 2 ? gates_b[7]  // the rewire edit
+                               : gates_b[gates_b.size() - 3]);
+  if (edit == 3) {
+    const NodeId extra = c.add_dff("ff_extra");
+    c.connect_dff(extra, gates_a[0]);
+  }
+  c.validate();
+  return c;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+// ---- diff ------------------------------------------------------------------
+
+TEST(CircuitDiff, IdenticalCircuitsDiffEmpty) {
+  const Circuit a = build_revision(7, 0);
+  const Circuit b = build_revision(7, 0);
+  const CircuitDiff diff = diff_circuits(a, b);
+  EXPECT_TRUE(diff.interface_compatible);
+  EXPECT_TRUE(diff.identical());
+  EXPECT_TRUE(diff.dirty_seeds_old.empty());
+  EXPECT_TRUE(diff.dirty_seeds_new.empty());
+  const auto dirty = dirty_ff_set(a, b, diff);
+  EXPECT_EQ(std::count(dirty.begin(), dirty.end(), 1), 0);
+}
+
+TEST(CircuitDiff, GateEditSeedsExactlyThatNode) {
+  const Circuit a = build_revision(7, 0);
+  const Circuit b = build_revision(7, 1);
+  const CircuitDiff diff = diff_circuits(a, b);
+  ASSERT_TRUE(diff.interface_compatible);
+  EXPECT_FALSE(diff.identical());
+  // Revisions 0 and 1 differ in exactly one node, present in both.
+  ASSERT_EQ(diff.dirty_seeds_old.size(), 1u);
+  EXPECT_EQ(diff.dirty_seeds_old, diff.dirty_seeds_new);
+  const NodeId edited = diff.dirty_seeds_old[0];
+  EXPECT_NE(a.type(edited), b.type(edited));
+}
+
+TEST(CircuitDiff, OutputRewireSeedsBothDrivers) {
+  const Circuit a = build_revision(7, 0);
+  const Circuit b = build_revision(7, 2);
+  const CircuitDiff diff = diff_circuits(a, b);
+  ASSERT_TRUE(diff.interface_compatible);
+  EXPECT_FALSE(diff.identical());
+  // The node space is identical — no function edits — and only the output
+  // binding moved, so each side's *observe* seed is its own driver of the
+  // rewired port.
+  EXPECT_TRUE(diff.dirty_seeds_old.empty());
+  EXPECT_TRUE(diff.dirty_seeds_new.empty());
+  ASSERT_EQ(diff.observe_seeds_old.size(), 1u);
+  ASSERT_EQ(diff.observe_seeds_new.size(), 1u);
+  EXPECT_EQ(diff.observe_seeds_old[0], a.outputs()[3].driver);
+  EXPECT_EQ(diff.observe_seeds_new[0], b.outputs()[3].driver);
+}
+
+TEST(CircuitDiff, IncompatibleInterfaceIsNamed) {
+  const Circuit a = build_revision(7, 0);
+  const Circuit b = build_revision(7, 3);
+  const CircuitDiff diff = diff_circuits(a, b);
+  EXPECT_FALSE(diff.interface_compatible);
+  EXPECT_NE(diff.incompatibility.find("flip-flop"), std::string::npos);
+}
+
+// The dirty rule's soundness contract: every fault NOT marked dirty grades
+// identically in both revisions (its cone avoids the edit influence on both
+// sides). This is the property the journal-reuse correctness rests on.
+TEST(CircuitDiff, CleanFaultsGradeIdenticallyInBothRevisions) {
+  const Circuit a = build_revision(7, 0);
+  for (const int edit : {1, 2}) {
+    const Circuit b = build_revision(7, edit);
+    const CircuitDiff diff = diff_circuits(a, b);
+    ASSERT_TRUE(diff.interface_compatible);
+    const auto dirty = dirty_ff_set(a, b, diff);
+    ASSERT_EQ(dirty.size(), a.num_dffs());
+    // The edits were chosen to leave some flip-flops clean — otherwise this
+    // test (and incremental re-grading) would be vacuous.
+    ASSERT_GT(std::count(dirty.begin(), dirty.end(), 0), 0) << "edit " << edit;
+
+    const Testbench tb = random_testbench(a.num_inputs(), 64, 19);
+    const auto faults = complete_fault_list(a.num_dffs(), 64);
+    ParallelFaultSimulator sim_a(a, tb);
+    ParallelFaultSimulator sim_b(b, tb);
+    const CampaignResult ra = sim_a.run(faults);
+    const CampaignResult rb = sim_b.run(faults);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (!dirty[faults[i].ff_index]) {
+        ASSERT_EQ(ra.outcomes()[i], rb.outcomes()[i])
+            << "edit " << edit << ": clean fault ff=" << faults[i].ff_index
+            << " c=" << faults[i].cycle << " graded differently";
+      }
+    }
+  }
+}
+
+// ---- incremental re-grade --------------------------------------------------
+
+class Regrade : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Regrade, BitIdenticalToFromScratchOnNewRevision) {
+  const Circuit old_circuit = build_revision(7, 0);
+  const Circuit new_circuit = build_revision(7, 1);
+  const Testbench tb = random_testbench(old_circuit.num_inputs(), 64, 19);
+  const auto faults = complete_fault_list(old_circuit.num_dffs(), 64);
+  const std::string old_path = temp_path(
+      "femu_regrade_old_" + std::to_string(GetParam()) + ".jrnl");
+  const std::string new_path = temp_path(
+      "femu_regrade_new_" + std::to_string(GetParam()) + ".jrnl");
+  std::remove(old_path.c_str());
+  std::remove(new_path.c_str());
+
+  CampaignConfig config;
+  config.num_threads = GetParam();
+
+  // Campaign on the old revision, journaled with signatures.
+  ParallelFaultSimulator old_sim(old_circuit, tb, config);
+  old_sim.set_capture_signatures(true);
+  (void)run_journaled_seu_campaign(old_sim, faults, old_path, false);
+
+  // From-scratch reference on the new revision.
+  ParallelFaultSimulator ref_sim(new_circuit, tb, config);
+  ref_sim.set_capture_signatures(true);
+  const CampaignResult want = ref_sim.run(faults);
+  const std::vector<std::uint64_t> want_sigs(
+      ref_sim.last_run_signatures().begin(),
+      ref_sim.last_run_signatures().end());
+
+  // Incremental re-grade from the old journal.
+  ParallelFaultSimulator new_sim(new_circuit, tb, config);
+  new_sim.set_capture_signatures(true);
+  const RegradeReport report = regrade_from_journal(
+      new_sim, faults, old_circuit, old_path, new_path);
+  EXPECT_TRUE(report.warning.empty());
+  EXPECT_FALSE(report.full_rerun);
+  EXPECT_GT(report.reused, 0u);
+  EXPECT_GT(report.regraded, 0u);
+  EXPECT_EQ(report.reused + report.regraded, faults.size());
+  ASSERT_EQ(report.result.outcomes(), want.outcomes());
+  EXPECT_EQ(report.signatures, want_sigs);
+
+  // The new journal must be a complete, valid journal for the new revision:
+  // a later resume replays it entirely.
+  ParallelFaultSimulator resume_sim(new_circuit, tb, config);
+  resume_sim.set_capture_signatures(true);
+  const JournaledCampaignReport resumed =
+      run_journaled_seu_campaign(resume_sim, faults, new_path, true);
+  EXPECT_TRUE(resumed.warning.empty());
+  EXPECT_EQ(resumed.replayed, faults.size());
+  EXPECT_EQ(resumed.result.outcomes(), want.outcomes());
+  EXPECT_EQ(resumed.signatures, want_sigs);
+
+  std::remove(old_path.c_str());
+  std::remove(new_path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, Regrade, ::testing::Values(1u, 4u));
+
+TEST(RegradeDegrade, IncompatibleInterfaceFallsBackToFullRerun) {
+  const Circuit old_circuit = build_revision(7, 0);
+  const Circuit new_circuit = build_revision(7, 3);  // extra flip-flop
+  const Testbench tb = random_testbench(old_circuit.num_inputs(), 48, 19);
+  const auto faults = complete_fault_list(old_circuit.num_dffs(), 48);
+  const std::string old_path = temp_path("femu_regrade_incompat.jrnl");
+  std::remove(old_path.c_str());
+
+  ParallelFaultSimulator old_sim(old_circuit, tb);
+  (void)run_journaled_seu_campaign(old_sim, faults, old_path, false);
+
+  ParallelFaultSimulator ref_sim(new_circuit, tb);
+  const CampaignResult want = ref_sim.run(faults);
+
+  ParallelFaultSimulator new_sim(new_circuit, tb);
+  const RegradeReport report = regrade_from_journal(
+      new_sim, faults, old_circuit, old_path);
+  EXPECT_TRUE(report.full_rerun);
+  EXPECT_EQ(report.reused, 0u);
+  EXPECT_NE(report.warning.find("incompatible"), std::string::npos);
+  EXPECT_EQ(report.result.outcomes(), want.outcomes());
+  std::remove(old_path.c_str());
+}
+
+TEST(RegradeDegrade, MissingOrForeignJournalFallsBackToFullRerun) {
+  const Circuit old_circuit = build_revision(7, 0);
+  const Circuit new_circuit = build_revision(7, 1);
+  const Testbench tb = random_testbench(old_circuit.num_inputs(), 48, 19);
+  const auto faults = complete_fault_list(old_circuit.num_dffs(), 48);
+
+  ParallelFaultSimulator ref_sim(new_circuit, tb);
+  const CampaignResult want = ref_sim.run(faults);
+
+  // No journal at all.
+  ParallelFaultSimulator sim(new_circuit, tb);
+  const RegradeReport missing = regrade_from_journal(
+      sim, faults, old_circuit, temp_path("femu_regrade_nope.jrnl"));
+  EXPECT_TRUE(missing.full_rerun);
+  EXPECT_FALSE(missing.warning.empty());
+  EXPECT_EQ(missing.result.outcomes(), want.outcomes());
+
+  // A journal recorded against a *different* stimulus: fingerprint mismatch.
+  const std::string foreign = temp_path("femu_regrade_foreign.jrnl");
+  std::remove(foreign.c_str());
+  const Testbench other_tb =
+      random_testbench(old_circuit.num_inputs(), 48, 20);
+  ParallelFaultSimulator other_sim(old_circuit, other_tb);
+  (void)run_journaled_seu_campaign(other_sim, faults, foreign, false);
+
+  ParallelFaultSimulator sim2(new_circuit, tb);
+  const RegradeReport mismatched = regrade_from_journal(
+      sim2, faults, old_circuit, foreign);
+  EXPECT_TRUE(mismatched.full_rerun);
+  EXPECT_NE(mismatched.warning.find("testbench"), std::string::npos);
+  EXPECT_EQ(mismatched.result.outcomes(), want.outcomes());
+  std::remove(foreign.c_str());
+}
+
+}  // namespace
+}  // namespace femu
