@@ -88,6 +88,14 @@ struct BenchResult {
   double lane_occupancy = 1.0;
   ParallelFaultSimulator::GroupWidthCounts group_widths;
 
+  // Per-phase breakdown: one-time construction phases (kernel compile,
+  // golden/slot traces + word images, cone build) from the engine's
+  // telemetry scalars, plus the best-of grading wall time. compile/golden/
+  // cone are paid once per engine; grade_s is what `seconds` times.
+  double compile_s = 0.0;
+  double golden_s = 0.0;
+  double cone_s = 0.0;
+
   ClassCounts counts;
 
   [[nodiscard]] double faults_per_sec() const {
@@ -171,6 +179,9 @@ void write_json(std::ostream& out, const std::vector<BenchResult>& results,
         << ", \"group_widths\": {\"64\": " << r.group_widths.g64
         << ", \"256\": " << r.group_widths.g256
         << ", \"512\": " << r.group_widths.g512 << "}"
+        << ", \"phases\": {\"compile_s\": " << r.compile_s
+        << ", \"golden_s\": " << r.golden_s << ", \"cone_s\": " << r.cone_s
+        << ", \"grade_s\": " << r.seconds << "}"
         << ", \"speedup_vs_base\": "
         << (base > 0.0 ? r.faults_per_sec() / base : 0.0)
         << ", \"counts\": {\"failure\": " << r.counts.failure
@@ -278,6 +289,15 @@ void run_circuit(const std::string& circuit_name, const Circuit& circuit,
         r.group_widths = sim.last_run_group_widths();
       }
     }
+  }
+  // Construction-phase scalars, read after the reps so lazily built word
+  // images (wider tiers materialize on first use) are included in golden_s.
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    BenchResult& r = results[first_result + i];
+    const obs::CampaignTelemetry& t = sims[i]->telemetry_snapshot();
+    r.compile_s = t.compile_seconds;
+    r.golden_s = t.golden_seconds;
+    r.cone_s = t.cone_seconds;
   }
 
   CircuitSummary summary;

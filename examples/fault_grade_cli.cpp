@@ -4,6 +4,7 @@
 //                   [--model seu|mbu|set|stuckat] [--pulse-width F]
 //                   [--lanes 64|256|512] [--width-policy fixed|adaptive]
 //                   [--journal PATH] [--resume] [--regrade-from SPEC]
+//                   [--progress] [--trace-out FILE] [--metrics-out FILE]
 //                   [--json]
 //
 //     circuit    registry name (see --list) or a .bench file path
@@ -62,6 +63,23 @@
 //                flip-flop cone touches the netlist edit are re-simulated,
 //                the rest reuse their journaled classification, and the
 //                journal is rewritten for the new revision
+//     --progress live progress on stderr (rate-limited; \r redraw on a TTY)
+//                plus a final summary line — total faults, wall seconds,
+//                faults/s, peak lane-group occupancy. stdout is untouched,
+//                so it composes with --json
+//     --trace-out FILE
+//                write a Chrome trace-event JSON of the campaign to FILE:
+//                one track per worker with one slice per retired lane group
+//                (args: width, live lanes, occupancy %, narrowings, cone
+//                instructions), a campaign track with the serial phases
+//                (compile, golden trace, cone build, plan, grade, ...), and
+//                a journal track with per-group flush spans. Open in
+//                Perfetto (ui.perfetto.dev) or chrome://tracing
+//     --metrics-out FILE
+//                write the merged campaign metrics (counters, gauges,
+//                histograms with p50/p90/p99) as JSON to FILE. Counters and
+//                histogram bucket counts are bit-identical for any thread
+//                count (worker-id-ordered reduction)
 //     --json     machine-readable grading JSON on stdout instead of tables
 //                (includes the model's descriptor name, the engine work
 //                metrics — lane_occupancy, eval_bytes_per_instr, the chosen
@@ -74,6 +92,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -91,6 +110,7 @@
 #include "fault/set_model.h"
 #include "fault/stuckat_model.h"
 #include "netlist/bench_io.h"
+#include "obs/telemetry.h"
 #include "sim/simd_dispatch.h"
 #include "stim/generate.h"
 
@@ -244,7 +264,8 @@ int run_seu_journaled(const Circuit& circuit, const Testbench& tb,
                       std::uint64_t seed, LaneWidth lanes,
                       WidthPolicy width_policy,
                       const std::string& journal_path, bool resume,
-                      const std::string& regrade_spec, bool json) {
+                      const std::string& regrade_spec,
+                      obs::TelemetryCollector* telemetry, bool json) {
   const std::size_t total = circuit.num_dffs() * cycles;
   const auto faults =
       sample == 0 || sample >= total
@@ -254,6 +275,7 @@ int run_seu_journaled(const Circuit& circuit, const Testbench& tb,
   CampaignConfig config;
   config.lanes = lanes;
   config.width_policy = width_policy;
+  config.telemetry = telemetry;
   ParallelFaultSimulator sim(circuit, tb, config);
   sim.set_capture_signatures(true);
 
@@ -298,16 +320,23 @@ int run_seu_journaled(const Circuit& circuit, const Testbench& tb,
     std::cout << "warning: " << warning << "\n";
   }
 
-  const FaultDictionary dict = FaultDictionary::from_campaign(
-      faults, result.outcomes(), signatures, sim.golden().outputs);
   const std::string dict_path = journal_path + ".dict";
-  dict.save_file(dict_path);
+  std::size_t dict_entries = 0;
+  double dict_resolution = 0.0;
+  {
+    obs::PhaseSpan span(telemetry, "dictionary");
+    const FaultDictionary dict = FaultDictionary::from_campaign(
+        faults, result.outcomes(), signatures, sim.golden().outputs);
+    dict.save_file(dict_path);
+    dict_entries = dict.num_entries();
+    dict_resolution = dict.resolution();
+  }
 
   if (json) {
     const std::string extra = str_cat(
         ", \"journal\": {\"path\": \"", json_escape(journal_path), "\"",
         journal_extra, ", \"dictionary\": \"", json_escape(dict_path),
-        "\", \"dictionary_entries\": ", dict.num_entries(),
+        "\", \"dictionary_entries\": ", dict_entries,
         ", \"warning\": \"", json_escape(warning), "\"}",
         engine_metrics_json(sim));
     write_grading_json(std::cout, FaultModel::kSeu, circuit, lanes,
@@ -315,8 +344,8 @@ int run_seu_journaled(const Circuit& circuit, const Testbench& tb,
                        extra);
     return 0;
   }
-  std::cout << "dictionary (" << dict.num_entries() << " failure signatures, "
-            << "resolution " << format_fixed(dict.resolution(), 3)
+  std::cout << "dictionary (" << dict_entries << " failure signatures, "
+            << "resolution " << format_fixed(dict_resolution, 3)
             << ") written to " << dict_path << "\n\n";
   print_grading_table(FaultModel::kSeu, result.counts(),
                       sim.last_run_seconds(), faults.size());
@@ -326,10 +355,11 @@ int run_seu_journaled(const Circuit& circuit, const Testbench& tb,
 int run_seu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
             const std::string& technique_spec, std::size_t sample,
             std::uint64_t seed, LaneWidth lanes, WidthPolicy width_policy,
-            bool json) {
+            obs::TelemetryCollector* telemetry, bool json) {
   EmulatorOptions options;
   options.campaign.lanes = lanes;
   options.campaign.width_policy = width_policy;
+  options.campaign.telemetry = telemetry;
   AutonomousEmulator emulator(circuit, tb, options);
   const std::size_t total = circuit.num_dffs() * cycles;
   const auto faults =
@@ -393,7 +423,8 @@ int run_seu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
 
 int run_mbu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
             std::size_t sample, std::uint64_t seed, LaneWidth lanes,
-            WidthPolicy width_policy, bool json) {
+            WidthPolicy width_policy, obs::TelemetryCollector* telemetry,
+            bool json) {
   // Complete campaign: all adjacent FF pairs x all cycles (the dominant
   // physical MBU pattern); a sample draws random locality clusters instead.
   const auto faults =
@@ -405,6 +436,7 @@ int run_mbu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
   CampaignConfig config;
   config.lanes = lanes;
   config.width_policy = width_policy;
+  config.telemetry = telemetry;
   ParallelFaultSimulator sim(circuit, tb, config);
   const MbuCampaignResult result = sim.run_mbu(faults);
   if (json) {
@@ -423,7 +455,8 @@ int run_mbu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
 
 int run_set(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
             std::size_t sample, std::uint64_t seed, LaneWidth lanes,
-            WidthPolicy width_policy, std::uint16_t pulse_q, bool json) {
+            WidthPolicy width_policy, std::uint16_t pulse_q,
+            obs::TelemetryCollector* telemetry, bool json) {
   const SetSites sites(circuit);
   const std::size_t total = sites.num_representatives() * cycles;
   const bool sampled = sample != 0 && sample < total;
@@ -434,6 +467,7 @@ int run_set(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
   CampaignConfig config;
   config.lanes = lanes;
   config.width_policy = width_policy;
+  config.telemetry = telemetry;
   ParallelFaultSimulator sim(circuit, tb, config);
   const SetCampaignResult rep_result = sim.run_set(faults);
   const double seconds = sim.last_run_seconds();
@@ -484,7 +518,8 @@ int run_set(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
 
 int run_stuckat(const Circuit& circuit, const Testbench& tb,
                 std::size_t cycles, std::size_t sample, std::uint64_t seed,
-                LaneWidth lanes, WidthPolicy width_policy, bool json) {
+                LaneWidth lanes, WidthPolicy width_policy,
+                obs::TelemetryCollector* telemetry, bool json) {
   const SetSites sites(circuit);
   const std::size_t total = sites.num_representatives() * 2;
   const auto faults = sample == 0 || sample >= total
@@ -493,6 +528,7 @@ int run_stuckat(const Circuit& circuit, const Testbench& tb,
   CampaignConfig config;
   config.lanes = lanes;
   config.width_policy = width_policy;
+  config.telemetry = telemetry;
   ParallelFaultSimulator sim(circuit, tb, config);
   const StuckAtCampaignResult rep_result = sim.run_stuckat(faults);
   const double seconds = sim.last_run_seconds();
@@ -521,6 +557,25 @@ int run_stuckat(const Circuit& circuit, const Testbench& tb,
   return 0;
 }
 
+/// Writes the collected trace / metrics files once the campaign is done.
+/// No-op with a null collector (no observability flag given).
+void write_telemetry_outputs(obs::TelemetryCollector* telemetry,
+                             const std::string& trace_out,
+                             const std::string& metrics_out) {
+  if (telemetry == nullptr) return;
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    FEMU_CHECK(out.good(), "cannot open trace output file '", trace_out, "'");
+    telemetry->write_chrome_trace(out);
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    FEMU_CHECK(out.good(), "cannot open metrics output file '", metrics_out,
+               "'");
+    telemetry->write_metrics_json(out);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -540,7 +595,10 @@ int main(int argc, char** argv) {
     std::string width_policy_spec = "fixed";
     std::string journal_path;
     std::string regrade_spec;
+    std::string trace_out;
+    std::string metrics_out;
     bool resume = false;
+    bool progress = false;
     std::uint16_t pulse_q = kSetPulseFull;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -558,6 +616,12 @@ int main(int argc, char** argv) {
         resume = true;
       } else if (arg == "--regrade-from" && i + 1 < argc) {
         regrade_spec = argv[++i];
+      } else if (arg == "--progress") {
+        progress = true;
+      } else if (arg == "--trace-out" && i + 1 < argc) {
+        trace_out = argv[++i];
+      } else if (arg == "--metrics-out" && i + 1 < argc) {
+        metrics_out = argv[++i];
       } else if (arg == "--json") {
         // already handled above
       } else {
@@ -600,26 +664,44 @@ int main(int argc, char** argv) {
     if (!journal_path.empty() && model != FaultModel::kSeu) {
       throw Error("--journal supports the seu model only");
     }
+
+    // One collector for the whole invocation, created only when asked for —
+    // a null pointer keeps the engine on its zero-cost fast path. It must
+    // exist before the simulator so the construction phases (kernel compile,
+    // golden trace, cone build) land on the campaign track.
+    std::unique_ptr<obs::TelemetryCollector> telemetry;
+    if (progress || !trace_out.empty() || !metrics_out.empty()) {
+      telemetry = std::make_unique<obs::TelemetryCollector>();
+      if (progress) {
+        telemetry->enable_progress();
+      }
+    }
+
+    int rc = 0;
     switch (model) {
       case FaultModel::kSeu:
-        if (!journal_path.empty()) {
-          return run_seu_journaled(circuit, tb, cycles, sample, seed, lanes,
-                                   width_policy, journal_path, resume,
-                                   regrade_spec, json);
-        }
-        return run_seu(circuit, tb, cycles, technique_spec, sample, seed,
-                       lanes, width_policy, json);
+        rc = !journal_path.empty()
+                 ? run_seu_journaled(circuit, tb, cycles, sample, seed, lanes,
+                                     width_policy, journal_path, resume,
+                                     regrade_spec, telemetry.get(), json)
+                 : run_seu(circuit, tb, cycles, technique_spec, sample, seed,
+                           lanes, width_policy, telemetry.get(), json);
+        break;
       case FaultModel::kMbu:
-        return run_mbu(circuit, tb, cycles, sample, seed, lanes, width_policy,
-                       json);
+        rc = run_mbu(circuit, tb, cycles, sample, seed, lanes, width_policy,
+                     telemetry.get(), json);
+        break;
       case FaultModel::kSet:
-        return run_set(circuit, tb, cycles, sample, seed, lanes, width_policy,
-                       pulse_q, json);
+        rc = run_set(circuit, tb, cycles, sample, seed, lanes, width_policy,
+                     pulse_q, telemetry.get(), json);
+        break;
       case FaultModel::kStuckAt:
-        return run_stuckat(circuit, tb, cycles, sample, seed, lanes,
-                           width_policy, json);
+        rc = run_stuckat(circuit, tb, cycles, sample, seed, lanes,
+                         width_policy, telemetry.get(), json);
+        break;
     }
-    return 0;
+    write_telemetry_outputs(telemetry.get(), trace_out, metrics_out);
+    return rc;
   } catch (const femu::Error& e) {
     if (json) {
       std::cout << "{\"error\": {\"message\": \"" << json_escape(e.what())

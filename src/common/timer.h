@@ -1,8 +1,20 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace femu {
+
+/// Monotonic nanosecond timestamp (steady_clock since its epoch). All spans
+/// and heartbeats in the telemetry layer share this single clock source so
+/// timestamps from different threads land on one comparable timeline.
+[[nodiscard]] inline std::uint64_t now_ns() noexcept {
+  using Clock = std::chrono::steady_clock;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
 
 /// Monotonic wall-clock stopwatch, used to time the software baselines
 /// (serial fault simulation) so benches can report measured µs/fault.
@@ -18,6 +30,13 @@ class WallTimer {
 
   [[nodiscard]] double elapsed_micros() const noexcept {
     return elapsed_seconds() * 1e6;
+  }
+
+  [[nodiscard]] std::uint64_t elapsed_nanos() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
   }
 
  private:

@@ -114,6 +114,10 @@ class AutonomousEmulator {
   [[nodiscard]] const ParallelFaultSimulator& engine() const noexcept {
     return engine_;
   }
+  /// Mutable engine access for campaign-lifecycle hooks that live on the
+  /// engine (streaming retire callback, signature capture) — the grading
+  /// semantics stay fully owned by this emulator.
+  [[nodiscard]] ParallelFaultSimulator& engine() noexcept { return engine_; }
 
  private:
   [[nodiscard]] AreaReport compute_area(Technique technique,

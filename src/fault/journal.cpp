@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/strings.h"
+#include "common/timer.h"
 #include "fault/model_traits.h"
 #include "netlist/diff.h"
 
@@ -432,12 +433,23 @@ void CampaignJournalWriter::append(std::span<const std::uint32_t> indices,
     put(group, k < sigs.size() ? sigs[k] : std::uint64_t{0});
   }
   const std::lock_guard<std::mutex> lock(mutex_);
+  // Flush latency measured under the lock (the serialized write+flush IS
+  // the flush cost a group retirement pays); null telemetry skips the
+  // clock reads entirely.
+  const std::uint64_t begin_ns = telemetry_ != nullptr ? now_ns() : 0;
   write_record(kRecGroup, group, out_);
+  if (telemetry_ != nullptr) {
+    telemetry_->record_flush(begin_ns, now_ns());
+  }
 }
 
 void CampaignJournalWriter::mark_complete() {
   const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t begin_ns = telemetry_ != nullptr ? now_ns() : 0;
   write_record(kRecComplete, {}, out_);
+  if (telemetry_ != nullptr) {
+    telemetry_->record_flush(begin_ns, now_ns());
+  }
 }
 
 // ---- journaled campaign ----------------------------------------------------
@@ -492,6 +504,7 @@ JournaledCampaignReport run_journaled_seu_campaign(
       prior.status == JournalStatus::kOk && prior.num_known != 0;
   CampaignJournalWriter writer(journal_path, fp, n, capture,
                                have_prior ? &prior : nullptr);
+  writer.set_telemetry(sim.config().telemetry);
 
   std::vector<FaultOutcome> outcomes(n);
   std::vector<std::uint64_t> sigs;
@@ -629,6 +642,7 @@ RegradeReport regrade_from_journal(
     writer = std::make_unique<CampaignJournalWriter>(
         new_journal_path, new_fp, n, capture,
         report.reused != 0 ? &replay : nullptr);
+    writer->set_telemetry(new_sim.config().telemetry);
   }
 
   if (!rest.empty()) {

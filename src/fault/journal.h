@@ -170,6 +170,14 @@ class CampaignJournalWriter {
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
+  /// Attach a telemetry sink (not owned; may be null): every subsequent
+  /// append/mark_complete records a journal-flush span and a flush-latency
+  /// histogram sample. The journaled-campaign drivers wire this from
+  /// the engine's CampaignConfig::telemetry automatically.
+  void set_telemetry(obs::TelemetryCollector* collector) noexcept {
+    telemetry_ = collector;
+  }
+
  private:
   void write_record(std::uint8_t type, const std::vector<std::uint8_t>& payload,
                     std::ostream& out);
@@ -178,6 +186,7 @@ class CampaignJournalWriter {
   bool with_signatures_ = false;
   std::mutex mutex_;
   std::ofstream out_;
+  obs::TelemetryCollector* telemetry_ = nullptr;
 };
 
 // ---- journaled campaigns ---------------------------------------------------

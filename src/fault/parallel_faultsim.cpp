@@ -127,10 +127,7 @@ struct LaneEngineSet {
 ParallelFaultSimulator::ParallelFaultSimulator(const Circuit& circuit,
                                                const Testbench& testbench,
                                                CampaignConfig config)
-    : circuit_(circuit),
-      testbench_(testbench),
-      config_(config),
-      golden_(capture_golden(circuit, testbench.vectors())) {
+    : circuit_(circuit), testbench_(testbench), config_(config) {
   FEMU_CHECK(testbench.input_width() == circuit.num_inputs(),
              "testbench width ", testbench.input_width(), " != circuit PI ",
              circuit.num_inputs());
@@ -145,12 +142,26 @@ ParallelFaultSimulator::ParallelFaultSimulator(const Circuit& circuit,
   words_per_cone_ = (circuit.node_count() + 63) / 64;
   const bool cones_for_eval =
       config_.cone_restricted && config_.backend == SimBackend::kCompiled;
+  // Construction phases are timed unconditionally into the scalar snapshot
+  // (a handful of timer reads on a one-time path); the trace spans are
+  // emitted only when a collector is attached.
+  {
+    obs::PhaseSpan span(config_.telemetry, "golden_trace");
+    WallTimer timer;
+    golden_ = capture_golden(circuit, testbench.vectors());
+    telem_.golden_seconds += timer.elapsed_seconds();
+  }
   if (config_.backend == SimBackend::kCompiled) {
+    obs::PhaseSpan span(config_.telemetry, "compile");
+    WallTimer timer;
     kernel_ = compile_kernel(circuit);
+    telem_.compile_seconds = timer.elapsed_seconds();
   }
   // The cone-affine schedule only needs the cones, not the kernel, so it
   // works (as a grouping heuristic) even on the interpreted backend.
   if (cones_for_eval || config_.schedule == CampaignSchedule::kConeAffine) {
+    obs::PhaseSpan span(config_.telemetry, "cone_build");
+    WallTimer timer;
     std::vector<std::uint32_t> order;
     if (on_demand_cones_) {
       // On-demand mode never materializes cone matrices: the oracle serves
@@ -170,9 +181,13 @@ ParallelFaultSimulator::ParallelFaultSimulator(const Circuit& circuit,
     for (std::size_t rank = 0; rank < order.size(); ++rank) {
       ff_affinity_rank_[order[rank]] = static_cast<std::uint32_t>(rank);
     }
+    telem_.cone_seconds = timer.elapsed_seconds();
   }
   if (cones_for_eval) {
+    obs::PhaseSpan span(config_.telemetry, "slot_trace");
+    WallTimer timer;
     slot_trace_ = capture_golden_slots(*kernel_, testbench.vectors());
+    telem_.golden_seconds += timer.elapsed_seconds();
   }
   // Golden trace + stimuli pre-broadcast once per campaign engine; shared
   // read-only by every worker thread. Adaptive plans fill in their tail
@@ -181,27 +196,29 @@ ParallelFaultSimulator::ParallelFaultSimulator(const Circuit& circuit,
 }
 
 void ParallelFaultSimulator::ensure_image(LaneWidth width) {
+  const bool needed = (width == LaneWidth::k64 && !image64_ready_) ||
+                      (width == LaneWidth::k256 && !image256_ready_) ||
+                      (width == LaneWidth::k512 && !image512_ready_);
+  if (!needed) {
+    return;
+  }
+  obs::PhaseSpan span(config_.telemetry, "word_image");
+  WallTimer timer;
   switch (width) {
     case LaneWidth::k64:
-      if (!image64_ready_) {
-        image64_ = GoldenWordImage<std::uint64_t>(golden_,
-                                                  testbench_.vectors());
-        image64_ready_ = true;
-      }
+      image64_ = GoldenWordImage<std::uint64_t>(golden_, testbench_.vectors());
+      image64_ready_ = true;
       break;
     case LaneWidth::k256:
-      if (!image256_ready_) {
-        image256_ = GoldenWordImage<Word256>(golden_, testbench_.vectors());
-        image256_ready_ = true;
-      }
+      image256_ = GoldenWordImage<Word256>(golden_, testbench_.vectors());
+      image256_ready_ = true;
       break;
     case LaneWidth::k512:
-      if (!image512_ready_) {
-        image512_ = GoldenWordImage<Word512>(golden_, testbench_.vectors());
-        image512_ready_ = true;
-      }
+      image512_ = GoldenWordImage<Word512>(golden_, testbench_.vectors());
+      image512_ready_ = true;
       break;
   }
+  telem_.golden_seconds += timer.elapsed_seconds();
 }
 
 void ParallelFaultSimulator::ensure_site_structures() {
@@ -388,8 +405,8 @@ ParallelFaultSimulator::group_plan(
       case LaneWidth::k512: ++counts.g512; break;
     }
   }
-  last_run_group_widths_ = counts;
-  last_run_lane_occupancy_ =
+  telem_.group_widths = counts;
+  telem_.lane_occupancy =
       lane_slots != 0 ? static_cast<double>(n) /
                             static_cast<double>(lane_slots)
                       : 1.0;
@@ -404,7 +421,7 @@ CampaignResult ParallelFaultSimulator::run(std::span<const Fault> faults) {
   WallTimer timer;
   std::vector<FaultOutcome> outcomes(faults.size());
   run_model<FaultModelTraits<FaultModel::kSeu>>(faults, outcomes);
-  last_run_seconds_ = timer.elapsed_seconds();
+  telem_.seconds = timer.elapsed_seconds();
   return CampaignResult(std::vector<Fault>(faults.begin(), faults.end()),
                         std::move(outcomes));
 }
@@ -417,7 +434,7 @@ MbuCampaignResult ParallelFaultSimulator::run_mbu(
   result.outcomes.resize(faults.size());
   run_model<FaultModelTraits<FaultModel::kMbu>>(faults, result.outcomes);
   result.counts.add(result.outcomes);
-  last_run_seconds_ = timer.elapsed_seconds();
+  telem_.seconds = timer.elapsed_seconds();
   return result;
 }
 
@@ -429,7 +446,7 @@ SetCampaignResult ParallelFaultSimulator::run_set(
   result.outcomes.resize(faults.size());
   run_model<FaultModelTraits<FaultModel::kSet>>(faults, result.outcomes);
   result.counts.add(result.outcomes);
-  last_run_seconds_ = timer.elapsed_seconds();
+  telem_.seconds = timer.elapsed_seconds();
   return result;
 }
 
@@ -441,7 +458,7 @@ StuckAtCampaignResult ParallelFaultSimulator::run_stuckat(
   result.outcomes.resize(faults.size());
   run_model<FaultModelTraits<FaultModel::kStuckAt>>(faults, result.outcomes);
   result.counts.add(result.outcomes);
-  last_run_seconds_ = timer.elapsed_seconds();
+  telem_.seconds = timer.elapsed_seconds();
   return result;
 }
 
@@ -468,6 +485,11 @@ void ParallelFaultSimulator::run_model(
     // never pay for the per-gate structures.
     ensure_site_structures();
   }
+
+  // Planning span covers the schedule sort, the permuted copy, the width
+  // plan and any lazily-built tail-tier golden images. Taken manually (not
+  // PhaseSpan) because the planned vectors must outlive the span scope.
+  const std::uint64_t plan_begin_ns = config_.telemetry ? now_ns() : 0;
 
   const std::vector<std::uint32_t> perm =
       schedule_permutation<Traits>(faults);
@@ -499,6 +521,9 @@ void ParallelFaultSimulator::run_model(
   const std::vector<GroupSpec> plan = group_plan<Traits>(run_faults);
   for (const GroupSpec& spec : plan) {
     ensure_image(spec.width);
+  }
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->record_campaign_span("plan", plan_begin_ns, now_ns());
   }
 
   // Failure-signature buffer in scheduled order (scattered back through the
@@ -536,7 +561,16 @@ void ParallelFaultSimulator::run_model(
                          : std::max(1u, std::thread::hardware_concurrency());
   workers = static_cast<unsigned>(
       std::min<std::size_t>(workers, std::max<std::size_t>(plan.size(), 1)));
-  last_run_threads_ = workers;
+  telem_.threads = workers;
+  telem_.faults = faults.size();
+
+  // Arm the collector before any worker thread exists (per-worker shards
+  // and trace tracks are pre-registered; workers then record lock-free).
+  obs::TelemetryCollector* const collector = config_.telemetry;
+  if (collector != nullptr) {
+    collector->begin_run(workers, faults.size());
+  }
+  const std::uint64_t grade_begin_ns = collector != nullptr ? now_ns() : 0;
 
   const auto make_view = [this](std::span<const FaultT> group) {
     return View{group, {cones_.get(), gate_cones_.get(), oracle_.get()}};
@@ -572,6 +606,15 @@ void ParallelFaultSimulator::run_model(
                                std::span<FaultOutcome> group_outcomes,
                                WorkerScratch& scratch) {
       const std::span<std::uint64_t> group_sigs = sig_span(spec);
+      // Null telemetry is the fast path: no timestamps, no recording —
+      // the only per-group cost is this pointer test.
+      obs::WorkerTelemetry* const wt = scratch.telemetry;
+      std::uint64_t begin_ns = 0, instrs0 = 0, narrows0 = 0;
+      if (wt != nullptr) {
+        begin_ns = now_ns();
+        instrs0 = scratch.eval_instrs;
+        narrows0 = scratch.narrowings;
+      }
       switch (spec.width) {
         case LaneWidth::k64:
           run_tier.template operator()<std::uint64_t>(
@@ -588,6 +631,14 @@ void ParallelFaultSimulator::run_model(
               engines.e512, image512_, group_faults, group_outcomes,
               group_sigs, scratch);
           break;
+      }
+      if (wt != nullptr) {
+        wt->group_slice(begin_ns, now_ns(),
+                        static_cast<std::uint32_t>(lane_count(spec.width)),
+                        spec.count,
+                        static_cast<std::uint32_t>(scratch.narrowings -
+                                                   narrows0),
+                        scratch.eval_instrs - instrs0);
       }
       notify_retire(spec, group_outcomes, group_sigs);
     };
@@ -607,8 +658,19 @@ void ParallelFaultSimulator::run_model(
                                  std::span<FaultOutcome> group_outcomes,
                                  WorkerScratch& scratch) {
         const std::span<std::uint64_t> group_sigs = sig_span(spec);
+        obs::WorkerTelemetry* const wt = scratch.telemetry;
+        std::uint64_t begin_ns = 0, instrs0 = 0;
+        if (wt != nullptr) {
+          begin_ns = now_ns();
+          instrs0 = scratch.eval_instrs;
+        }
         run_group_full(engine, image64_, make_view(group_faults),
                        group_outcomes, group_sigs, scratch);
+        if (wt != nullptr) {
+          wt->group_slice(begin_ns, now_ns(),
+                          static_cast<std::uint32_t>(lane_count(spec.width)),
+                          spec.count, 0, scratch.eval_instrs - instrs0);
+        }
         notify_retire(spec, group_outcomes, group_sigs);
       };
       run_sharded<FaultT>(make_engine, run_group, plan, run_faults,
@@ -616,6 +678,11 @@ void ParallelFaultSimulator::run_model(
     } else {
       FEMU_CHECK(false, "overlay models require the compiled backend");
     }
+  }
+
+  if (collector != nullptr) {
+    collector->record_campaign_span("grade", grade_begin_ns, now_ns());
+    collector->end_run();
   }
 
   if (permuted) {
@@ -651,14 +718,17 @@ void ParallelFaultSimulator::run_sharded(const MakeEngine& make_engine,
   if (num_workers <= 1 || num_groups <= 1) {
     auto engine = make_engine();
     WorkerScratch scratch;
+    if (config_.telemetry != nullptr) {
+      scratch.telemetry = &config_.telemetry->worker(0);
+    }
     for (std::size_t g = 0; g < num_groups; ++g) {
       const auto [group_faults, group_outcomes] = group_span(g);
       run_group(engine, plan[g], group_faults, group_outcomes, scratch);
     }
-    last_run_eval_cycles_ = scratch.eval_cycles;
-    last_run_eval_instrs_ = scratch.eval_instrs;
-    last_run_eval_slot_bytes_ = scratch.eval_slot_bytes;
-    last_run_narrowings_ = scratch.narrowings;
+    telem_.eval_cycles = scratch.eval_cycles;
+    telem_.eval_instrs = scratch.eval_instrs;
+    telem_.eval_slot_bytes = scratch.eval_slot_bytes;
+    telem_.narrowings = scratch.narrowings;
     return;
   }
 
@@ -672,9 +742,12 @@ void ParallelFaultSimulator::run_sharded(const MakeEngine& make_engine,
   std::atomic<std::uint64_t> total_eval_instrs{0};
   std::atomic<std::uint64_t> total_eval_slot_bytes{0};
   std::atomic<std::uint64_t> total_narrowings{0};
-  const auto worker = [&] {
+  const auto worker = [&](unsigned worker_id) {
     auto engine = make_engine();
     WorkerScratch scratch;
+    if (config_.telemetry != nullptr) {
+      scratch.telemetry = &config_.telemetry->worker(worker_id);
+    }
     for (std::size_t g = next_group.fetch_add(1, std::memory_order_relaxed);
          g < num_groups;
          g = next_group.fetch_add(1, std::memory_order_relaxed)) {
@@ -693,16 +766,16 @@ void ParallelFaultSimulator::run_sharded(const MakeEngine& make_engine,
   std::vector<std::thread> pool;
   pool.reserve(num_workers - 1);
   for (unsigned i = 1; i < num_workers; ++i) {
-    pool.emplace_back(worker);
+    pool.emplace_back(worker, i);
   }
-  worker();  // the calling thread is worker 0
+  worker(0);  // the calling thread is worker 0
   for (auto& t : pool) {
     t.join();
   }
-  last_run_eval_cycles_ = total_eval_cycles.load();
-  last_run_eval_instrs_ = total_eval_instrs.load();
-  last_run_eval_slot_bytes_ = total_eval_slot_bytes.load();
-  last_run_narrowings_ = total_narrowings.load();
+  telem_.eval_cycles = total_eval_cycles.load();
+  telem_.eval_instrs = total_eval_instrs.load();
+  telem_.eval_slot_bytes = total_eval_slot_bytes.load();
+  telem_.narrowings = total_narrowings.load();
 }
 
 template <typename View>
@@ -1167,8 +1240,13 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
           }
           if (next_mask != mask) {
             mask.swap(next_mask);
+            const std::uint64_t narrow_begin_ns =
+                scratch.telemetry != nullptr ? now_ns() : 0;
             kernel_->build_subprogram(mask, scratch.narrow_sp[narrow_buf], sp,
                                       config_.levelized_arena);
+            if (scratch.telemetry != nullptr) {
+              scratch.telemetry->narrow_slice(narrow_begin_ns, now_ns());
+            }
             sp = &scratch.narrow_sp[narrow_buf];
             narrow_buf ^= 1u;
             ++scratch.narrowings;

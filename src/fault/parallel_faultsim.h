@@ -13,6 +13,7 @@
 #include "fault/stuckat_model.h"
 #include "netlist/circuit.h"
 #include "netlist/fanout_cones.h"
+#include "obs/telemetry.h"
 #include "sim/compiled_kernel.h"
 #include "sim/golden.h"
 #include "sim/golden_slots.h"
@@ -156,6 +157,14 @@ struct CampaignConfig {
   /// Results are bit-identical either way — this is a pure locality knob,
   /// exposed so benches and the reorder property test can A/B it.
   bool levelized_arena = true;
+  /// Telemetry sink (not owned; must outlive the engine). Null — the
+  /// default — is the near-zero-cost fast path: the engine takes no
+  /// per-group timestamps and records nothing. When attached, the engine
+  /// emits phase spans, per-group trace slices and per-worker metric
+  /// shards into the collector. Telemetry is provably outcome-neutral:
+  /// classifications, signatures and all `last_run_*` work metrics are
+  /// bit-identical with a collector attached or not.
+  obs::TelemetryCollector* telemetry = nullptr;
 
   /// kAuto switches to on-demand cones at this circuit size.
   static constexpr std::size_t kOnDemandNodeThreshold = 20000;
@@ -337,13 +346,22 @@ class ParallelFaultSimulator {
     return on_demand_cones_;
   }
 
+  /// Structured scalar telemetry: the engine's construction-phase timings
+  /// plus every work metric of the last run, in one snapshot. Always
+  /// populated (no collector required); the `last_run_*` accessors below
+  /// are thin views into this struct, kept for API continuity.
+  [[nodiscard]] const obs::CampaignTelemetry& telemetry_snapshot()
+      const noexcept {
+    return telem_;
+  }
+
   /// Worker threads the last run() actually used.
   [[nodiscard]] unsigned last_run_threads() const noexcept {
-    return last_run_threads_;
+    return telem_.threads;
   }
 
   [[nodiscard]] double last_run_seconds() const noexcept {
-    return last_run_seconds_;
+    return telem_.seconds;
   }
 
   /// Circuit-evaluation cycles spent in the last run, summed over all lane
@@ -352,18 +370,18 @@ class ParallelFaultSimulator {
   /// a cone-restricted eval also counts as one cycle even though it executes
   /// fewer instructions (see last_run_eval_instrs for the finer metric).
   [[nodiscard]] std::uint64_t last_run_eval_cycles() const noexcept {
-    return last_run_eval_cycles_;
+    return telem_.eval_cycles;
   }
 
   /// Kernel instructions executed in the last run, summed over all lane
   /// groups — the metric that shows the cone restriction's work reduction.
   [[nodiscard]] std::uint64_t last_run_eval_instrs() const noexcept {
-    return last_run_eval_instrs_;
+    return telem_.eval_instrs;
   }
 
   /// Sub-program re-derivations (narrowing rebuilds) in the last run.
   [[nodiscard]] std::uint64_t last_run_narrowings() const noexcept {
-    return last_run_narrowings_;
+    return telem_.narrowings;
   }
 
   /// Slot-storage bytes the eval loops streamed over in the last run: every
@@ -372,32 +390,25 @@ class ParallelFaultSimulator {
   /// last_run_eval_instrs() this is the engine's bytes-per-instruction — the
   /// memory-wall metric the bench matrix reports per circuit and lane width.
   [[nodiscard]] std::uint64_t last_run_eval_slot_bytes() const noexcept {
-    return last_run_eval_slot_bytes_;
+    return telem_.eval_slot_bytes;
   }
 
   /// Bytes streamed per executed kernel instruction in the last run — the
   /// memory-wall ratio (last_run_eval_slot_bytes / last_run_eval_instrs).
   [[nodiscard]] double last_run_eval_bytes_per_instr() const noexcept {
-    return last_run_eval_instrs_ != 0
-               ? static_cast<double>(last_run_eval_slot_bytes_) /
-                     static_cast<double>(last_run_eval_instrs_)
-               : 0.0;
+    return telem_.bytes_per_instr();
   }
 
-  /// How many lane groups the last run executed at each width tier. Under
-  /// kFixed only the configured tier is non-zero; under kAdaptive the tail
-  /// tiers show how the scheduler decomposed partial blocks.
-  struct GroupWidthCounts {
-    std::uint64_t g64 = 0;
-    std::uint64_t g256 = 0;
-    std::uint64_t g512 = 0;
-    [[nodiscard]] std::uint64_t total() const noexcept {
-      return g64 + g256 + g512;
-    }
-  };
+  /// How many lane groups the last run executed at each width tier (see
+  /// obs::GroupWidthCounts — the type moved into the obs layer; this alias
+  /// keeps existing `ParallelFaultSimulator::GroupWidthCounts` callers
+  /// compiling). Under kFixed only the configured tier is non-zero; under
+  /// kAdaptive the tail tiers show how the scheduler decomposed partial
+  /// blocks.
+  using GroupWidthCounts = obs::GroupWidthCounts;
 
   [[nodiscard]] const GroupWidthCounts& last_run_group_widths() const noexcept {
-    return last_run_group_widths_;
+    return telem_.group_widths;
   }
 
   /// Fraction of lane slots that carried a fault in the last run: injected
@@ -406,7 +417,7 @@ class ParallelFaultSimulator {
   /// faults still streams all 8 limbs of every word). kAdaptive exists to
   /// push this toward 1.0 on tail-heavy and sparse-sampled campaigns.
   [[nodiscard]] double last_run_lane_occupancy() const noexcept {
-    return last_run_lane_occupancy_;
+    return telem_.lane_occupancy;
   }
 
  private:
@@ -453,6 +464,9 @@ class ParallelFaultSimulator {
     std::uint64_t eval_instrs = 0;
     std::uint64_t eval_slot_bytes = 0;
     std::uint64_t narrowings = 0;
+    /// This worker's telemetry sink, or null when telemetry is off — the
+    /// group runners take timestamps only when this is set.
+    obs::WorkerTelemetry* telemetry = nullptr;
   };
 
   /// One scheduled lane group: faults [begin, begin + count) of the
@@ -547,14 +561,10 @@ class ParallelFaultSimulator {
   RetireCallback retire_cb_;
   bool capture_signatures_ = false;
   std::vector<std::uint64_t> last_run_signatures_;
-  double last_run_seconds_ = 0.0;
-  std::uint64_t last_run_eval_cycles_ = 0;
-  std::uint64_t last_run_eval_instrs_ = 0;
-  std::uint64_t last_run_eval_slot_bytes_ = 0;
-  std::uint64_t last_run_narrowings_ = 0;
-  unsigned last_run_threads_ = 1;
-  double last_run_lane_occupancy_ = 1.0;
-  GroupWidthCounts last_run_group_widths_;
+  /// Scalar telemetry backing every last_run_* accessor (see
+  /// telemetry_snapshot). Construction phases are written once in the
+  /// constructor; run fields are overwritten by each run.
+  obs::CampaignTelemetry telem_;
 };
 
 }  // namespace femu

@@ -1,0 +1,232 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace femu::obs {
+
+HistogramData::HistogramData(std::vector<std::uint64_t> upper_bounds)
+    : bounds(std::move(upper_bounds)), counts(bounds.size() + 1, 0) {
+  FEMU_CHECK(std::is_sorted(bounds.begin(), bounds.end()),
+             "histogram bounds must be ascending");
+  FEMU_CHECK(std::adjacent_find(bounds.begin(), bounds.end()) == bounds.end(),
+             "histogram bounds must be distinct");
+}
+
+void HistogramData::record(std::uint64_t value) noexcept {
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  ++counts[static_cast<std::size_t>(it - bounds.begin())];
+  ++count;
+  sum += value;
+  min = value < min ? value : min;
+  max = value > max ? value : max;
+}
+
+void HistogramData::merge_from(const HistogramData& other) {
+  FEMU_CHECK(bounds == other.bounds,
+             "cannot merge histograms with different bucket layouts");
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] += other.counts[i];
+  }
+  count += other.count;
+  sum += other.sum;
+  min = other.min < min ? other.min : min;
+  max = other.max > max ? other.max : max;
+}
+
+double HistogramData::percentile(double p) const noexcept {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate within bucket i. Bucket lower edge is the previous bound
+      // (exclusive) or the observed min for the first populated bucket; the
+      // +inf bucket clamps to the observed max.
+      if (i == bounds.size()) return static_cast<double>(max);
+      const double hi =
+          static_cast<double>(std::min<std::uint64_t>(bounds[i], max));
+      double lo = i == 0 ? static_cast<double>(min)
+                         : static_cast<double>(bounds[i - 1]);
+      lo = std::min(lo, hi);
+      const double frac =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max);
+}
+
+std::vector<std::uint64_t> exp2_bounds(unsigned lo_log2, unsigned hi_log2) {
+  FEMU_CHECK(lo_log2 <= hi_log2 && hi_log2 < 64, "bad exp2 bound range");
+  std::vector<std::uint64_t> out;
+  out.reserve(hi_log2 - lo_log2 + 1);
+  for (unsigned e = lo_log2; e <= hi_log2; ++e) {
+    out.push_back(std::uint64_t{1} << e);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> linear_bounds(std::uint64_t step, std::size_t n) {
+  FEMU_CHECK(step > 0 && n > 0, "bad linear bound spec");
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    out.push_back(step * static_cast<std::uint64_t>(i));
+  }
+  return out;
+}
+
+void MetricShard::merge_from(const MetricShard& other) {
+  FEMU_CHECK(counters_.size() == other.counters_.size() &&
+                 gauges_.size() == other.gauges_.size() &&
+                 histograms_.size() == other.histograms_.size(),
+             "cannot merge shards from different registries");
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    if (other.gauge_set_[i] && (!gauge_set_[i] || other.gauges_[i] > gauges_[i])) {
+      gauges_[i] = other.gauges_[i];
+      gauge_set_[i] = 1;
+    }
+  }
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    histograms_[i].merge_from(other.histograms_[i]);
+  }
+}
+
+CounterId MetricRegistry::add_counter(std::string name, std::string unit) {
+  counter_names_.push_back(std::move(name));
+  counter_units_.push_back(std::move(unit));
+  return CounterId{static_cast<std::uint32_t>(counter_names_.size() - 1)};
+}
+
+GaugeId MetricRegistry::add_gauge(std::string name, std::string unit) {
+  gauge_names_.push_back(std::move(name));
+  gauge_units_.push_back(std::move(unit));
+  return GaugeId{static_cast<std::uint32_t>(gauge_names_.size() - 1)};
+}
+
+HistogramId MetricRegistry::add_histogram(std::string name, std::string unit,
+                                          std::vector<std::uint64_t> bounds) {
+  histogram_names_.push_back(std::move(name));
+  histogram_units_.push_back(std::move(unit));
+  histogram_bounds_.push_back(std::move(bounds));
+  return HistogramId{static_cast<std::uint32_t>(histogram_names_.size() - 1)};
+}
+
+MetricShard MetricRegistry::make_shard() const {
+  MetricShard shard;
+  shard.counters_.assign(counter_names_.size(), 0);
+  shard.gauges_.assign(gauge_names_.size(), 0);
+  shard.gauge_set_.assign(gauge_names_.size(), 0);
+  shard.histograms_.reserve(histogram_bounds_.size());
+  for (const auto& bounds : histogram_bounds_) {
+    shard.histograms_.emplace_back(bounds);
+  }
+  return shard;
+}
+
+MetricSnapshot MetricRegistry::merge(
+    std::span<const MetricShard> shards) const {
+  MetricSnapshot out;
+  out.counters.assign(counter_names_.size(), 0);
+  out.gauges.assign(gauge_names_.size(), 0);
+  out.histograms.reserve(histogram_bounds_.size());
+  for (const auto& bounds : histogram_bounds_) {
+    out.histograms.emplace_back(bounds);
+  }
+  for (const MetricShard& shard : shards) {
+    FEMU_CHECK(shard.counters_.size() == out.counters.size() &&
+                   shard.gauges_.size() == out.gauges.size() &&
+                   shard.histograms_.size() == out.histograms.size(),
+               "shard does not belong to this registry");
+    for (std::size_t i = 0; i < out.counters.size(); ++i) {
+      out.counters[i] += shard.counters_[i];
+    }
+    for (std::size_t i = 0; i < out.gauges.size(); ++i) {
+      if (shard.gauge_set_[i] && shard.gauges_[i] > out.gauges[i]) {
+        out.gauges[i] = shard.gauges_[i];
+      }
+    }
+    for (std::size_t i = 0; i < out.histograms.size(); ++i) {
+      out.histograms[i].merge_from(shard.histograms_[i]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void MetricRegistry::write_json(std::ostream& out,
+                                const MetricSnapshot& snapshot) const {
+  FEMU_CHECK(snapshot.counters.size() == counter_names_.size() &&
+                 snapshot.gauges.size() == gauge_names_.size() &&
+                 snapshot.histograms.size() == histogram_names_.size(),
+             "snapshot does not belong to this registry");
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    out << (i == 0 ? "\n    " : ",\n    ");
+    write_json_string(out, counter_names_[i]);
+    out << ": " << snapshot.counters[i];
+  }
+  out << "\n  },\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    out << (i == 0 ? "\n    " : ",\n    ");
+    write_json_string(out, gauge_names_[i]);
+    out << ": " << snapshot.gauges[i];
+  }
+  out << "\n  },\n  \"histograms\": [";
+  for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
+    const HistogramData& h = snapshot.histograms[i];
+    out << (i == 0 ? "\n    {" : ",\n    {");
+    out << "\"name\": ";
+    write_json_string(out, histogram_names_[i]);
+    out << ", \"unit\": ";
+    write_json_string(out, histogram_units_[i]);
+    out << ", \"count\": " << h.count << ", \"sum\": " << h.sum;
+    out << ", \"min\": " << (h.count ? h.min : 0) << ", \"max\": " << h.max;
+    out << ", \"p50\": " << h.percentile(0.50);
+    out << ", \"p90\": " << h.percentile(0.90);
+    out << ", \"p99\": " << h.percentile(0.99);
+    out << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b != 0) out << ", ";
+      out << "{\"le\": ";
+      if (b < h.bounds.size()) {
+        out << h.bounds[b];
+      } else {
+        out << "\"inf\"";
+      }
+      out << ", \"count\": " << h.counts[b] << '}';
+    }
+    out << "]}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+}  // namespace femu::obs

@@ -1,0 +1,175 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace femu::obs {
+
+// ---- histogram -------------------------------------------------------------
+
+/// Fixed-bucket histogram over unsigned integer samples.
+///
+/// `bounds` are ascending inclusive upper bounds; a final implicit +inf
+/// bucket catches everything above the last bound, so `counts` always has
+/// bounds.size() + 1 entries. All state is integral (counts, sum, min, max),
+/// so merging shards is exact addition — bit-identical regardless of how the
+/// samples were distributed across shards. Percentiles interpolate linearly
+/// inside the covering bucket (the usual Prometheus-style estimate).
+struct HistogramData {
+  std::vector<std::uint64_t> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = UINT64_MAX;
+  std::uint64_t max = 0;
+
+  HistogramData() = default;
+  explicit HistogramData(std::vector<std::uint64_t> upper_bounds);
+
+  void record(std::uint64_t value) noexcept;
+
+  /// Exact additive merge; the bucket layouts must match (FEMU_CHECK).
+  void merge_from(const HistogramData& other);
+
+  /// Estimated value at quantile `p` in [0, 1] (0 when empty). The estimate
+  /// interpolates within the covering bucket; the +inf bucket clamps to the
+  /// observed max.
+  [[nodiscard]] double percentile(double p) const noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return count == 0; }
+  [[nodiscard]] double mean() const noexcept {
+    return count != 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                      : 0.0;
+  }
+};
+
+/// Power-of-two bounds [2^lo_log2, 2^hi_log2] — the standard latency ladder
+/// (e.g. exp2_bounds(10, 30) spans ~1 µs .. ~1 s in nanoseconds).
+[[nodiscard]] std::vector<std::uint64_t> exp2_bounds(unsigned lo_log2,
+                                                     unsigned hi_log2);
+
+/// Evenly spaced bounds {step, 2*step, ..., n*step}.
+[[nodiscard]] std::vector<std::uint64_t> linear_bounds(std::uint64_t step,
+                                                       std::size_t n);
+
+// ---- registry --------------------------------------------------------------
+
+/// Typed handles into a MetricRegistry. Plain indices — cheap to copy into
+/// hot loops; validity is the caller's contract (handles come from the same
+/// registry that made the shard).
+struct CounterId { std::uint32_t index = 0; };
+struct GaugeId { std::uint32_t index = 0; };
+struct HistogramId { std::uint32_t index = 0; };
+
+/// One worker's private metric storage — no atomics, no locks, no sharing.
+/// A worker owns exactly one shard and touches nothing else during a run;
+/// the registry merges shards afterwards in worker-id order.
+class MetricShard {
+ public:
+  void add(CounterId id, std::uint64_t delta) noexcept {
+    counters_[id.index] += delta;
+  }
+  void set(GaugeId id, std::uint64_t value) noexcept {
+    gauges_[id.index] = value;
+    gauge_set_[id.index] = 1;
+  }
+  /// Gauge update keeping the maximum (the deterministic merge rule).
+  void set_max(GaugeId id, std::uint64_t value) noexcept {
+    if (!gauge_set_[id.index] || value > gauges_[id.index]) {
+      set(id, value);
+    }
+  }
+  void record(HistogramId id, std::uint64_t value) noexcept {
+    histograms_[id.index].record(value);
+  }
+
+  [[nodiscard]] std::uint64_t counter(CounterId id) const noexcept {
+    return counters_[id.index];
+  }
+  [[nodiscard]] const HistogramData& histogram(HistogramId id) const noexcept {
+    return histograms_[id.index];
+  }
+
+  /// Fold `other` into this shard (counters add, gauges max, histograms
+  /// add). Exact integer arithmetic — the reduction building block.
+  void merge_from(const MetricShard& other);
+
+ private:
+  friend class MetricRegistry;
+  std::vector<std::uint64_t> counters_;
+  std::vector<std::uint64_t> gauges_;
+  std::vector<std::uint8_t> gauge_set_;
+  std::vector<HistogramData> histograms_;
+};
+
+/// Merged view of every shard, aligned with the registry's metric tables.
+struct MetricSnapshot {
+  std::vector<std::uint64_t> counters;
+  std::vector<std::uint64_t> gauges;  ///< max over shards that set the gauge
+  std::vector<HistogramData> histograms;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Metric definitions plus the deterministic shard-merge rule.
+///
+/// Registration happens once, before any shard exists (make_shard sizes the
+/// shard from the tables). The determinism contract: merging is a
+/// worker-id-ordered reduction of integer state — counter totals are exact
+/// sums, gauge totals are maxima, histogram buckets are exact sums — so for
+/// any thread count and any work-stealing interleaving the merged totals of
+/// deterministic per-item observations are bit-identical. (Per-shard
+/// subtotals are NOT deterministic — groups migrate between workers — which
+/// is exactly why only the merged snapshot is part of the contract.)
+class MetricRegistry {
+ public:
+  CounterId add_counter(std::string name, std::string unit = {});
+  GaugeId add_gauge(std::string name, std::string unit = {});
+  HistogramId add_histogram(std::string name, std::string unit,
+                            std::vector<std::uint64_t> bounds);
+
+  [[nodiscard]] MetricShard make_shard() const;
+
+  /// Worker-id-ordered reduction over `shards` (span order == worker order).
+  [[nodiscard]] MetricSnapshot merge(
+      std::span<const MetricShard> shards) const;
+
+  [[nodiscard]] std::span<const std::string> counter_names() const noexcept {
+    return counter_names_;
+  }
+  [[nodiscard]] std::span<const std::string> gauge_names() const noexcept {
+    return gauge_names_;
+  }
+  [[nodiscard]] std::span<const std::string> histogram_names()
+      const noexcept {
+    return histogram_names_;
+  }
+  [[nodiscard]] std::span<const std::string> counter_units() const noexcept {
+    return counter_units_;
+  }
+  [[nodiscard]] std::span<const std::string> gauge_units() const noexcept {
+    return gauge_units_;
+  }
+  [[nodiscard]] std::span<const std::string> histogram_units()
+      const noexcept {
+    return histogram_units_;
+  }
+
+  /// Snapshot serialization: {"counters": {...}, "gauges": {...},
+  /// "histograms": [{name, unit, count, sum, min, max, p50/p90/p99,
+  /// buckets: [{le, count}...]}]}. Object keys are the registered names.
+  void write_json(std::ostream& out, const MetricSnapshot& snapshot) const;
+
+ private:
+  std::vector<std::string> counter_names_, counter_units_;
+  std::vector<std::string> gauge_names_, gauge_units_;
+  std::vector<std::string> histogram_names_, histogram_units_;
+  std::vector<std::vector<std::uint64_t>> histogram_bounds_;
+};
+
+}  // namespace femu::obs

@@ -1,0 +1,86 @@
+#include "obs/progress.h"
+
+#include <cinttypes>
+
+#include "common/timer.h"
+
+#if defined(_WIN32)
+#include <io.h>
+#define FEMU_ISATTY _isatty
+#define FEMU_FILENO _fileno
+#else
+#include <unistd.h>
+#define FEMU_ISATTY isatty
+#define FEMU_FILENO fileno
+#endif
+
+namespace femu::obs {
+
+void ProgressReporter::begin(std::uint64_t total_faults) {
+  total_ = total_faults;
+  start_ns_ = now_ns();
+  is_tty_ = FEMU_ISATTY(FEMU_FILENO(stderr)) != 0;
+  printed_any_ = false;
+  retired_.store(0, std::memory_order_relaxed);
+  last_print_ns_.store(start_ns_, std::memory_order_relaxed);
+}
+
+void ProgressReporter::on_retired(std::uint64_t count) {
+  const std::uint64_t retired_now =
+      retired_.fetch_add(count, std::memory_order_relaxed) + count;
+  const std::uint64_t now = now_ns();
+  std::uint64_t last = last_print_ns_.load(std::memory_order_relaxed);
+  if (now - last < interval_ns_) return;
+  // Claim the print slot; losers simply skip (another worker just printed).
+  if (!last_print_ns_.compare_exchange_strong(last, now,
+                                              std::memory_order_relaxed)) {
+    return;
+  }
+  print_line(retired_now, now, /*final=*/false);
+}
+
+void ProgressReporter::finish() {
+  const std::uint64_t now = now_ns();
+  print_line(retired_.load(std::memory_order_relaxed), now, /*final=*/true);
+}
+
+void ProgressReporter::print_line(std::uint64_t retired_now, std::uint64_t now,
+                                  bool final) {
+  const double elapsed_s = static_cast<double>(now - start_ns_) * 1e-9;
+  const double rate =
+      elapsed_s > 0.0 ? static_cast<double>(retired_now) / elapsed_s : 0.0;
+  if (final) {
+    // Terminate any in-place line before the summary so it isn't clobbered.
+    if (is_tty_ && printed_any_) std::fputc('\n', stderr);
+    if (has_peak_occupancy_.load(std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "graded %" PRIu64 " faults in %.2f s (%.0f faults/s, peak "
+                   "occupancy %u%%)\n",
+                   retired_now, elapsed_s, rate,
+                   peak_occupancy_pct_.load(std::memory_order_relaxed));
+    } else {
+      std::fprintf(stderr,
+                   "graded %" PRIu64 " faults in %.2f s (%.0f faults/s)\n",
+                   retired_now, elapsed_s, rate);
+    }
+    std::fflush(stderr);
+    return;
+  }
+  const double pct =
+      total_ != 0
+          ? 100.0 * static_cast<double>(retired_now) / static_cast<double>(total_)
+          : 0.0;
+  const double eta_s =
+      rate > 0.0 && total_ > retired_now
+          ? static_cast<double>(total_ - retired_now) / rate
+          : 0.0;
+  std::fprintf(stderr,
+               "%s%" PRIu64 "/%" PRIu64 " faults (%.1f%%), %.0f faults/s, "
+               "ETA %.1f s%s",
+               is_tty_ ? "\r" : "", retired_now, total_, pct, rate, eta_s,
+               is_tty_ ? "   " : "\n");
+  std::fflush(stderr);
+  printed_any_ = true;
+}
+
+}  // namespace femu::obs

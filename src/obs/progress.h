@@ -1,0 +1,58 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+
+namespace femu::obs {
+
+/// Rate-limited live progress line driven by the engine's streaming retire
+/// callback. Thread-safe: workers call on_retired() concurrently; the
+/// reporter claims the print slot with a CAS on the last-print timestamp, so
+/// at most one worker formats output per interval and nobody blocks.
+///
+/// Output goes to stderr (stdout stays machine-parseable for --json). When
+/// stderr is a TTY the line is redrawn in place with '\r'; otherwise one
+/// plain line per interval is appended so piped logs stay readable.
+class ProgressReporter {
+ public:
+  /// `interval_ns` is the minimum spacing between printed updates.
+  explicit ProgressReporter(std::uint64_t interval_ns = 200'000'000)
+      : interval_ns_(interval_ns) {}
+
+  /// Arm the reporter for a run of `total_faults`. Resets all counters.
+  void begin(std::uint64_t total_faults);
+
+  /// Record `count` retired faults; prints if the interval has elapsed.
+  void on_retired(std::uint64_t count);
+
+  /// Print the final summary line (total faults, wall seconds, faults/s,
+  /// peak lane occupancy if provided via set_peak_occupancy).
+  void finish();
+
+  /// Optional: surface the campaign's peak group occupancy (percent) in the
+  /// final summary. Call before finish().
+  void set_peak_occupancy(std::uint32_t pct) {
+    peak_occupancy_pct_.store(pct, std::memory_order_relaxed);
+    has_peak_occupancy_.store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t retired() const noexcept {
+    return retired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void print_line(std::uint64_t retired_now, std::uint64_t now, bool final);
+
+  std::uint64_t interval_ns_;
+  std::uint64_t total_ = 0;
+  std::uint64_t start_ns_ = 0;
+  bool is_tty_ = false;
+  bool printed_any_ = false;
+  std::atomic<std::uint64_t> retired_{0};
+  std::atomic<std::uint64_t> last_print_ns_{0};
+  std::atomic<std::uint32_t> peak_occupancy_pct_{0};
+  std::atomic<bool> has_peak_occupancy_{false};
+};
+
+}  // namespace femu::obs

@@ -1,0 +1,109 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+
+namespace femu::obs {
+
+TrackBuffer& TraceRecorder::track(std::uint32_t track_id,
+                                  std::string track_name) {
+  for (const auto& t : tracks_) {
+    if (t->id == track_id) return t->buffer;
+  }
+  tracks_.push_back(
+      std::make_unique<Track>(Track{track_id, std::move(track_name), {}}));
+  return tracks_.back()->buffer;
+}
+
+bool TraceRecorder::empty() const noexcept {
+  for (const auto& t : tracks_) {
+    if (!t->buffer.empty()) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// ts/dur in microseconds with nanosecond precision kept as a decimal
+/// fraction — avoids double rounding on long campaigns.
+void write_micros(std::ostream& out, std::uint64_t ns) {
+  out << ns / 1000 << '.' << static_cast<char>('0' + (ns / 100) % 10)
+      << static_cast<char>('0' + (ns / 10) % 10)
+      << static_cast<char>('0' + ns % 10);
+}
+
+void write_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void TraceRecorder::write_chrome_trace(std::ostream& out) const {
+  std::uint64_t epoch = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& t : tracks_) {
+    for (const TraceEvent& e : t->buffer.events()) {
+      epoch = std::min(epoch, e.begin_ns);
+    }
+  }
+  if (epoch == std::numeric_limits<std::uint64_t>::max()) epoch = 0;
+
+  out << "{\"traceEvents\": [\n";
+  bool first = true;
+  // Emit tracks in ascending id order so the viewer's row order is stable.
+  std::vector<const Track*> ordered;
+  ordered.reserve(tracks_.size());
+  for (const auto& t : tracks_) ordered.push_back(t.get());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Track* a, const Track* b) { return a->id < b->id; });
+
+  for (const Track* t : ordered) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+        << t->id << ", \"args\": {\"name\": ";
+    write_json_string(out, t->name);
+    out << "}}";
+  }
+
+  for (const Track* t : ordered) {
+    // Sorted by begin, longest-first on ties — the nesting order viewers
+    // expect for "X" events sharing a tid.
+    std::vector<const TraceEvent*> events;
+    events.reserve(t->buffer.events().size());
+    for (const TraceEvent& e : t->buffer.events()) events.push_back(&e);
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent* a, const TraceEvent* b) {
+                if (a->begin_ns != b->begin_ns) {
+                  return a->begin_ns < b->begin_ns;
+                }
+                return a->duration_ns() > b->duration_ns();
+              });
+    for (const TraceEvent* e : events) {
+      if (!first) out << ",\n";
+      first = false;
+      out << "{\"name\": \"" << e->name
+          << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << t->id
+          << ", \"ts\": ";
+      write_micros(out, e->begin_ns - epoch);
+      out << ", \"dur\": ";
+      write_micros(out, e->duration_ns());
+      if (e->has_args) {
+        out << ", \"args\": {\"width\": " << e->width
+            << ", \"live\": " << e->live << ", \"occupancy_pct\": "
+            << (e->width != 0 ? (100u * e->live) / e->width : 0)
+            << ", \"narrowings\": " << e->narrowings
+            << ", \"cone_instrs\": " << e->cone_instrs << '}';
+      }
+      out << '}';
+    }
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+}  // namespace femu::obs

@@ -1,0 +1,226 @@
+// Minimal recursive-descent JSON parser for test-side validation of the
+// tool outputs (Chrome traces, metric snapshots, bench JSON). Tests only —
+// strict enough to reject malformed output, small enough to need no
+// dependency. Throws std::runtime_error on any syntax violation.
+#pragma once
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace femu::testjson {
+
+class Value;
+using Object = std::map<std::string, Value>;
+using Array = std::vector<Value>;
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::shared_ptr<Array> array;
+  std::shared_ptr<Object> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+
+  /// Member access that throws on missing keys/kind mismatch, so a test
+  /// failure names the violated expectation instead of segfaulting.
+  [[nodiscard]] const Value& at(const std::string& key) const {
+    if (!is_object()) throw std::runtime_error("not an object: ." + key);
+    const auto it = object->find(key);
+    if (it == object->end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return is_object() && object->find(key) != object->end();
+  }
+  [[nodiscard]] const Array& items() const {
+    if (!is_array()) throw std::runtime_error("not an array");
+    return *array;
+  }
+  [[nodiscard]] double num() const {
+    if (!is_number()) throw std::runtime_error("not a number");
+    return number;
+  }
+  [[nodiscard]] const std::string& str() const {
+    if (!is_string()) throw std::runtime_error("not a string");
+    return string;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse() {
+    const Value v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON error at offset " + std::to_string(pos_) +
+                             ": " + what);
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (consume_word("true")) {
+      Value v;
+      v.kind = Value::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_word("false")) {
+      Value v;
+      v.kind = Value::Kind::kBool;
+      return v;
+    }
+    if (consume_word("null")) return {};
+    return parse_number();
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::kObject;
+    v.object = std::make_shared<Object>();
+    skip_ws();
+    if (consume('}')) return v;
+    while (true) {
+      skip_ws();
+      const Value key = parse_string();
+      skip_ws();
+      expect(':');
+      (*v.object)[key.string] = value();
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::kArray;
+    v.array = std::make_shared<Array>();
+    skip_ws();
+    if (consume(']')) return v;
+    while (true) {
+      v.array->push_back(value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return v;
+    }
+  }
+
+  Value parse_string() {
+    expect('"');
+    Value v;
+    v.kind = Value::Kind::kString;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': v.string += '"'; break;
+          case '\\': v.string += '\\'; break;
+          case '/': v.string += '/'; break;
+          case 'n': v.string += '\n'; break;
+          case 't': v.string += '\t'; break;
+          case 'r': v.string += '\r'; break;
+          case 'b': v.string += '\b'; break;
+          case 'f': v.string += '\f'; break;
+          case 'u':
+            // Tests never emit non-ASCII; accept and keep the raw digits.
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            v.string += "\\u";
+            v.string += text_.substr(pos_, 4);
+            pos_ += 4;
+            break;
+          default: fail("bad escape");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) fail("control char in string");
+      v.string += c;
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    std::size_t used = 0;
+    const std::string token(text_.substr(start, pos_ - start));
+    v.number = std::stod(token, &used);
+    if (used != token.size()) fail("bad number: " + token);
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+inline Value parse(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace femu::testjson

@@ -1,0 +1,310 @@
+// Observability primitives (src/obs/): histogram bucketing and exact
+// merging, the registry's deterministic shard reduction, percentile
+// estimation, Chrome-trace export well-formedness, and metrics JSON shape.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+#include "json_mini.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace femu {
+namespace {
+
+using obs::CounterId;
+using obs::GaugeId;
+using obs::HistogramData;
+using obs::HistogramId;
+using obs::MetricRegistry;
+using obs::MetricShard;
+using obs::MetricSnapshot;
+using obs::TraceEvent;
+using obs::TraceRecorder;
+
+// ---- histogram -------------------------------------------------------------
+
+TEST(HistogramTest, RecordsIntoCorrectBuckets) {
+  HistogramData h({10, 100, 1000});
+  ASSERT_EQ(h.counts.size(), 4u);  // 3 bounds + the +inf bucket
+  h.record(5);
+  h.record(10);    // inclusive upper bound -> first bucket
+  h.record(11);    // -> second bucket
+  h.record(1000);  // -> third bucket
+  h.record(5000);  // -> +inf bucket
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.counts[3], 1u);
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_EQ(h.sum, 5u + 10 + 11 + 1000 + 5000);
+  EXPECT_EQ(h.min, 5u);
+  EXPECT_EQ(h.max, 5000u);
+}
+
+TEST(HistogramTest, MergeIsExactAddition) {
+  HistogramData a({10, 100});
+  HistogramData b({10, 100});
+  a.record(3);
+  a.record(50);
+  b.record(7);
+  b.record(200);
+  a.merge_from(b);
+  EXPECT_EQ(a.count, 4u);
+  EXPECT_EQ(a.sum, 3u + 50 + 7 + 200);
+  EXPECT_EQ(a.min, 3u);
+  EXPECT_EQ(a.max, 200u);
+  EXPECT_EQ(a.counts[0], 2u);
+  EXPECT_EQ(a.counts[1], 1u);
+  EXPECT_EQ(a.counts[2], 1u);
+  // Merging an empty histogram changes nothing (min stays put).
+  a.merge_from(HistogramData({10, 100}));
+  EXPECT_EQ(a.min, 3u);
+  EXPECT_EQ(a.count, 4u);
+}
+
+TEST(HistogramTest, MergeRejectsMismatchedBounds) {
+  HistogramData a({10, 100});
+  HistogramData b({10, 200});
+  b.record(1);
+  EXPECT_THROW(a.merge_from(b), Error);
+}
+
+TEST(HistogramTest, PercentileEstimates) {
+  HistogramData h(obs::linear_bounds(10, 10));  // 10, 20, ..., 100
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  // Uniform 1..100: the p50 estimate must land in the covering bucket and
+  // the extremes are exact.
+  EXPECT_NEAR(h.percentile(0.5), 50.0, 10.0);
+  EXPECT_GE(h.percentile(0.99), 90.0);
+  EXPECT_EQ(h.percentile(0.0), static_cast<double>(h.min));
+  // +inf bucket clamps to the observed max, never invents a value.
+  HistogramData inf_heavy({4});
+  inf_heavy.record(1000);
+  inf_heavy.record(2000);
+  EXPECT_LE(inf_heavy.percentile(0.99), 2000.0);
+  EXPECT_EQ(HistogramData({4}).percentile(0.5), 0.0);  // empty -> 0
+}
+
+// ---- shard merge determinism -----------------------------------------------
+
+TEST(MetricRegistryTest, OneShardVsManyShardsMergeIdentically) {
+  MetricRegistry registry;
+  const CounterId events = registry.add_counter("events");
+  const GaugeId peak = registry.add_gauge("peak");
+  const HistogramId h = registry.add_histogram("values", "units",
+                                               obs::exp2_bounds(0, 10));
+
+  // The same deterministic observation stream...
+  std::mt19937_64 rng(42);
+  std::vector<std::uint64_t> samples(1000);
+  for (auto& s : samples) s = rng() % 2000;
+
+  // ...recorded into one shard, and scattered round-robin over four shards
+  // (the work-stealing analogue: which worker sees which sample varies).
+  MetricShard one = registry.make_shard();
+  std::vector<MetricShard> four;
+  for (int i = 0; i < 4; ++i) four.push_back(registry.make_shard());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    one.add(events, 1);
+    one.set_max(peak, samples[i]);
+    one.record(h, samples[i]);
+    MetricShard& shard = four[i % 4];
+    shard.add(events, 1);
+    shard.set_max(peak, samples[i]);
+    shard.record(h, samples[i]);
+  }
+
+  const MetricSnapshot a = registry.merge({&one, 1});
+  const MetricSnapshot b = registry.merge(four);
+  ASSERT_EQ(a.counters.size(), b.counters.size());
+  EXPECT_EQ(a.counters[events.index], 1000u);
+  EXPECT_EQ(a.counters[events.index], b.counters[events.index]);
+  EXPECT_EQ(a.gauges[peak.index], b.gauges[peak.index]);
+  const HistogramData& ha = a.histograms[h.index];
+  const HistogramData& hb = b.histograms[h.index];
+  EXPECT_EQ(ha.counts, hb.counts);
+  EXPECT_EQ(ha.sum, hb.sum);
+  EXPECT_EQ(ha.min, hb.min);
+  EXPECT_EQ(ha.max, hb.max);
+}
+
+TEST(MetricRegistryTest, GaugeMergeTakesMaxOverSettingShardsOnly) {
+  MetricRegistry registry;
+  const GaugeId g = registry.add_gauge("g");
+  std::vector<MetricShard> shards;
+  for (int i = 0; i < 3; ++i) shards.push_back(registry.make_shard());
+  shards[0].set(g, 7);
+  // shards[1] never sets the gauge — its zero must not poison the max.
+  shards[2].set(g, 3);
+  const MetricSnapshot snap = registry.merge(shards);
+  EXPECT_EQ(snap.gauges[g.index], 7u);
+}
+
+TEST(MetricRegistryTest, MetricsJsonParsesAndCarriesNames) {
+  MetricRegistry registry;
+  const CounterId c = registry.add_counter("groups", "groups");
+  const HistogramId h = registry.add_histogram("latency", "ns", {10, 100});
+  MetricShard shard = registry.make_shard();
+  shard.add(c, 5);
+  shard.record(h, 42);
+  shard.record(h, 7);
+  const MetricShard shards[] = {shard};
+  std::ostringstream out;
+  registry.write_json(out, registry.merge(shards));
+
+  const testjson::Value doc = testjson::parse(out.str());
+  EXPECT_EQ(doc.at("counters").at("groups").num(), 5.0);
+  const auto& hists = doc.at("histograms").items();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].at("name").str(), "latency");
+  EXPECT_EQ(hists[0].at("unit").str(), "ns");
+  EXPECT_EQ(hists[0].at("count").num(), 2.0);
+  EXPECT_EQ(hists[0].at("sum").num(), 49.0);
+  const auto& buckets = hists[0].at("buckets").items();
+  ASSERT_EQ(buckets.size(), 3u);  // two bounds + inf
+  EXPECT_EQ(buckets.back().at("le").str(), "inf");
+  EXPECT_TRUE(hists[0].has("p50"));
+  EXPECT_TRUE(hists[0].has("p99"));
+}
+
+// ---- trace export ----------------------------------------------------------
+
+TEST(TraceRecorderTest, TrackBufferReferencesSurviveLaterRegistrations) {
+  // Regression: track() hands out long-lived references; registering more
+  // tracks must never invalidate them (the collector holds campaign/journal
+  // buffers across per-worker registrations).
+  TraceRecorder recorder;
+  obs::TrackBuffer& first = recorder.track(0, "first");
+  for (std::uint32_t id = 1; id <= 32; ++id) {
+    recorder.track(id, "worker " + std::to_string(id));
+  }
+  TraceEvent e;
+  e.name = "probe";
+  e.begin_ns = 10;
+  e.end_ns = 20;
+  first.push(e);
+  EXPECT_EQ(recorder.track(0, "first").events().size(), 1u);
+}
+
+TEST(TraceRecorderTest, ChromeTraceIsWellFormedAndNested) {
+  TraceRecorder recorder;
+  obs::TrackBuffer& campaign = recorder.track(obs::kCampaignTrack, "campaign");
+  obs::TrackBuffer& worker = recorder.track(obs::kWorkerBase, "worker 0");
+
+  const auto span = [](const char* name, std::uint64_t b, std::uint64_t e) {
+    TraceEvent ev;
+    ev.name = name;
+    ev.begin_ns = b;
+    ev.end_ns = e;
+    return ev;
+  };
+  campaign.push(span("compile", 1000, 3000));
+  campaign.push(span("grade", 3000, 9000));
+  // Out-of-order pushes with a nested child: export must sort by begin and
+  // put the longer parent before the nested child on a begin tie.
+  TraceEvent group = span("group", 4000, 8000);
+  group.has_args = true;
+  group.width = 512;
+  group.live = 300;
+  group.narrowings = 2;
+  group.cone_instrs = 12345;
+  TraceEvent narrow = span("narrow", 4000, 5000);
+  worker.push(narrow);
+  worker.push(group);
+
+  std::ostringstream out;
+  recorder.write_chrome_trace(out);
+  const testjson::Value doc = testjson::parse(out.str());
+  const auto& events = doc.at("traceEvents").items();
+
+  std::size_t metadata = 0;
+  std::vector<const testjson::Value*> worker_events;
+  for (const auto& e : events) {
+    const std::string& ph = e.at("ph").str();
+    ASSERT_TRUE(ph == "X" || ph == "M");
+    EXPECT_EQ(e.at("pid").num(), 1.0);
+    if (ph == "M") {
+      EXPECT_EQ(e.at("name").str(), "thread_name");
+      ++metadata;
+      continue;
+    }
+    EXPECT_GE(e.at("dur").num(), 0.0);
+    EXPECT_GE(e.at("ts").num(), 0.0);
+    if (e.at("tid").num() == obs::kWorkerBase) worker_events.push_back(&e);
+  }
+  EXPECT_EQ(metadata, 2u);  // one thread_name record per track
+
+  // Worker track: sorted by ts, parent-before-child on the tie, and the
+  // child fully inside the parent (nesting, never partial overlap).
+  ASSERT_EQ(worker_events.size(), 2u);
+  const testjson::Value& parent = *worker_events[0];
+  const testjson::Value& child = *worker_events[1];
+  EXPECT_EQ(parent.at("name").str(), "group");
+  EXPECT_EQ(child.at("name").str(), "narrow");
+  EXPECT_LE(parent.at("ts").num(), child.at("ts").num());
+  EXPECT_GE(parent.at("ts").num() + parent.at("dur").num(),
+            child.at("ts").num() + child.at("dur").num());
+
+  // Group args survive the export with the derived occupancy.
+  const testjson::Value& args = parent.at("args");
+  EXPECT_EQ(args.at("width").num(), 512.0);
+  EXPECT_EQ(args.at("live").num(), 300.0);
+  EXPECT_EQ(args.at("occupancy_pct").num(), 58.0);  // floor(100*300/512)
+  EXPECT_EQ(args.at("narrowings").num(), 2.0);
+  EXPECT_EQ(args.at("cone_instrs").num(), 12345.0);
+
+  // Events are rebased to the earliest begin: the first campaign span
+  // starts at ts 0.
+  double min_ts = 1e18;
+  for (const auto& e : events) {
+    if (e.at("ph").str() == "X") min_ts = std::min(min_ts, e.at("ts").num());
+  }
+  EXPECT_EQ(min_ts, 0.0);
+}
+
+TEST(TraceRecorderTest, SubMicrosecondPrecisionSurvives) {
+  // ts/dur are microseconds with the nanosecond remainder as a decimal
+  // fraction — a 1500 ns slice starting 250 ns in must not collapse to 0.
+  TraceRecorder recorder;
+  obs::TrackBuffer& t = recorder.track(0, "t");
+  TraceEvent a;
+  a.name = "a";
+  a.begin_ns = 100;
+  a.end_ns = 350;
+  TraceEvent b;
+  b.name = "b";
+  b.begin_ns = 350;
+  b.end_ns = 1850;
+  t.push(a);
+  t.push(b);
+  std::ostringstream out;
+  recorder.write_chrome_trace(out);
+  const testjson::Value doc = testjson::parse(out.str());
+  double total_dur = 0.0;
+  for (const auto& e : doc.at("traceEvents").items()) {
+    if (e.at("ph").str() == "X") total_dur += e.at("dur").num();
+  }
+  EXPECT_NEAR(total_dur, (250 + 1500) / 1000.0, 1e-9);
+}
+
+// ---- phase spans -----------------------------------------------------------
+
+TEST(PhaseSpanTest, NullCollectorIsFreeAndRealCollectorRecords) {
+  { obs::PhaseSpan nothing(nullptr, "noop"); }  // must not crash
+
+  obs::TelemetryCollector collector;
+  { obs::PhaseSpan span(&collector, "unit_test_phase"); }
+  std::ostringstream out;
+  collector.write_chrome_trace(out);
+  EXPECT_NE(out.str().find("unit_test_phase"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace femu
