@@ -24,6 +24,13 @@
 // width_policy, lane_occupancy and per-tier group counts so the A/B against
 // the fixed-width twin is visible per line.
 //
+// The *-noopt-* configurations run with the kernel IR optimizer off
+// (CampaignConfig::optimize = false — sim/kernel_opt.h): the A/B baseline
+// for the optimizer's instruction reduction. Every engine entry reports an
+// "optimizer" object (raw vs optimized instruction counts and the
+// per-pass deletions), and the identical-classification cross-check
+// covers opt-on vs opt-off rows of the same model like any other pair.
+//
 // Pipelines at or above the on-demand threshold run with on-demand cone
 // derivation automatically (ConePolicy::kAuto), so the matrix also tracks
 // the oracle's schedule-construction cost in the wall-clock numbers.
@@ -95,6 +102,14 @@ struct BenchResult {
   double compile_s = 0.0;
   double golden_s = 0.0;
   double cone_s = 0.0;
+
+  // Kernel-optimizer accounting of the run kernel (all zero when the row
+  // runs opt-off or interpreted).
+  std::uint64_t opt_raw_instrs = 0;
+  std::uint64_t opt_instrs = 0;
+  std::uint64_t opt_absorbed = 0;
+  std::uint64_t opt_folded = 0;
+  std::uint64_t opt_dead = 0;
 
   ClassCounts counts;
 
@@ -179,6 +194,11 @@ void write_json(std::ostream& out, const std::vector<BenchResult>& results,
         << ", \"group_widths\": {\"64\": " << r.group_widths.g64
         << ", \"256\": " << r.group_widths.g256
         << ", \"512\": " << r.group_widths.g512 << "}"
+        << ", \"optimizer\": {\"raw_instrs\": " << r.opt_raw_instrs
+        << ", \"instrs\": " << r.opt_instrs
+        << ", \"absorbed\": " << r.opt_absorbed
+        << ", \"folded\": " << r.opt_folded
+        << ", \"dead\": " << r.opt_dead << "}"
         << ", \"phases\": {\"compile_s\": " << r.compile_s
         << ", \"golden_s\": " << r.golden_s << ", \"cone_s\": " << r.cone_s
         << ", \"grade_s\": " << r.seconds << "}"
@@ -231,6 +251,14 @@ CampaignConfig cone_config(LaneWidth w, unsigned threads) {
 CampaignConfig adaptive_cone_config(LaneWidth w, unsigned threads) {
   CampaignConfig config = cone_config(w, threads);
   config.width_policy = WidthPolicy::kAdaptive;
+  return config;
+}
+
+/// cone_config with the kernel IR optimizer off — the raw-kernel A/B
+/// baseline the optimizer rows are measured against.
+CampaignConfig noopt_cone_config(LaneWidth w, unsigned threads) {
+  CampaignConfig config = cone_config(w, threads);
+  config.optimize = false;
   return config;
 }
 
@@ -298,6 +326,11 @@ void run_circuit(const std::string& circuit_name, const Circuit& circuit,
     r.compile_s = t.compile_seconds;
     r.golden_s = t.golden_seconds;
     r.cone_s = t.cone_seconds;
+    r.opt_raw_instrs = t.opt_raw_instrs;
+    r.opt_instrs = t.opt_instrs;
+    r.opt_absorbed = t.opt_absorbed;
+    r.opt_folded = t.opt_folded;
+    r.opt_dead = t.opt_dead;
   }
 
   CircuitSummary summary;
@@ -392,6 +425,8 @@ int main(int argc, char** argv) {
         {"compiled-512-full-1t", kSeu,
          full_config(SimBackend::kCompiled, LaneWidth::k512, 1)},
         {"compiled-512-cone-1t", kSeu, cone_config(LaneWidth::k512, 1)},
+        {"compiled-512-cone-noopt-1t", kSeu,
+         noopt_cone_config(LaneWidth::k512, 1)},
         {"compiled-512-cone-adaptive-1t", kSeu,
          adaptive_cone_config(LaneWidth::k512, 1)},
         {"compiled-64-cone-mt", kSeu, cone_config(LaneWidth::k64, hw)},
@@ -402,11 +437,15 @@ int main(int argc, char** argv) {
         {"set-64-cone-1t", kSet, cone_config(LaneWidth::k64, 1)},
         {"set-256-cone-1t", kSet, cone_config(LaneWidth::k256, 1)},
         {"set-512-cone-1t", kSet, cone_config(LaneWidth::k512, 1)},
+        {"set-512-cone-noopt-1t", kSet,
+         noopt_cone_config(LaneWidth::k512, 1)},
         {"set-512-cone-adaptive-1t", kSet,
          adaptive_cone_config(LaneWidth::k512, 1)},
         {"set-64-cone-mt", kSet, cone_config(LaneWidth::k64, hw)},
         {"stuckat-64-cone-1t", kStuckAt, cone_config(LaneWidth::k64, 1)},
         {"stuckat-512-cone-1t", kStuckAt, cone_config(LaneWidth::k512, 1)},
+        {"stuckat-512-cone-noopt-1t", kStuckAt,
+         noopt_cone_config(LaneWidth::k512, 1)},
         {"stuckat-512-cone-adaptive-1t", kStuckAt,
          adaptive_cone_config(LaneWidth::k512, 1)},
         {"stuckat-64-cone-mt", kStuckAt, cone_config(LaneWidth::k64, hw)},
@@ -449,6 +488,8 @@ int main(int argc, char** argv) {
         {"compiled-64-cone-1t", kSeu, cone_config(LaneWidth::k64, 1)},
         {"compiled-256-cone-1t", kSeu, cone_config(LaneWidth::k256, 1)},
         {"compiled-512-cone-1t", kSeu, cone_config(LaneWidth::k512, 1)},
+        {"compiled-512-cone-noopt-1t", kSeu,
+         noopt_cone_config(LaneWidth::k512, 1)},
         {"compiled-512-cone-adaptive-1t", kSeu,
          adaptive_cone_config(LaneWidth::k512, 1)},
         {"compiled-512-cone-mt", kSeu, cone_config(LaneWidth::k512, hw)},

@@ -157,6 +157,25 @@ void BM_ParallelFaultSim_B14_Compiled(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelFaultSim_B14_Compiled)->Unit(benchmark::kMillisecond);
 
+// Same campaign on the raw (un-optimized) kernel — the A/B twin that shows
+// what the kernel IR optimizer (sim/kernel_opt.h) buys per fault.
+CampaignConfig noopt_config(LaneWidth w) {
+  CampaignConfig config{SimBackend::kCompiled, w, 1};
+  config.optimize = false;
+  return config;
+}
+
+void BM_ParallelFaultSim_B14_CompiledNoOpt(benchmark::State& state) {
+  ParallelFaultSimulator sim(b14(), b14_tb(), noopt_config(LaneWidth::k64));
+  const auto faults =
+      complete_fault_list(b14().num_dffs(), b14_tb().num_cycles());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(faults));
+  }
+  state.SetItemsProcessed(state.iterations() * faults.size());
+}
+BENCHMARK(BM_ParallelFaultSim_B14_CompiledNoOpt)->Unit(benchmark::kMillisecond);
+
 void BM_ParallelFaultSim_B14_Compiled256(benchmark::State& state) {
   ParallelFaultSimulator sim(
       b14(), b14_tb(), {SimBackend::kCompiled, LaneWidth::k256, 1});
@@ -168,6 +187,18 @@ void BM_ParallelFaultSim_B14_Compiled256(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * faults.size());
 }
 BENCHMARK(BM_ParallelFaultSim_B14_Compiled256)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelFaultSim_B14_Compiled256NoOpt(benchmark::State& state) {
+  ParallelFaultSimulator sim(b14(), b14_tb(), noopt_config(LaneWidth::k256));
+  const auto faults =
+      complete_fault_list(b14().num_dffs(), b14_tb().num_cycles());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(faults));
+  }
+  state.SetItemsProcessed(state.iterations() * faults.size());
+}
+BENCHMARK(BM_ParallelFaultSim_B14_Compiled256NoOpt)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ParallelFaultSim_B14_CompiledSharded(benchmark::State& state) {
   ParallelFaultSimulator sim(

@@ -3,6 +3,7 @@
 //   fault_grade_cli [circuit] [cycles] [technique] [sample] [seed]
 //                   [--model seu|mbu|set|stuckat] [--pulse-width F]
 //                   [--lanes 64|256|512] [--width-policy fixed|adaptive]
+//                   [--bench FILE] [--no-optimize]
 //                   [--journal PATH] [--resume] [--regrade-from SPEC]
 //                   [--progress] [--trace-out FILE] [--metrics-out FILE]
 //                   [--json]
@@ -47,6 +48,19 @@
 //                and align groups to cone-affinity blocks (identical
 //                classifications, higher lane occupancy on sampled
 //                campaigns); compiled backend only
+//     --bench FILE
+//                grade an external netlist in the ISCAS-89 .bench format
+//                (netlist/bench_io.h) instead of a registry circuit. Any
+//                extension works — unlike the positional form, which only
+//                routes paths containing ".bench" to the parser
+//     --no-optimize
+//                run the campaign on the raw compiled kernel, skipping the
+//                kernel IR optimizer (inverter absorption, constant folding,
+//                dead-logic elimination — sim/kernel_opt.h). The A/B
+//                baseline: classifications are bit-identical with and
+//                without this flag; only the executed instruction stream
+//                (and so faults/s) changes. The reduction shows up in
+//                --json as the "optimizer" object
 //     --journal PATH
 //                SEU only: run the campaign through the crash-safe journal
 //                (fault/journal.h). Retired groups stream to PATH as they
@@ -163,6 +177,7 @@ WidthPolicy parse_width_policy(const std::string& spec) {
 /// metrics of the run that just finished, appended to every model's JSON.
 std::string engine_metrics_json(const ParallelFaultSimulator& sim) {
   const auto& widths = sim.last_run_group_widths();
+  const obs::CampaignTelemetry& t = sim.telemetry_snapshot();
   return str_cat(", \"width_policy\": \"",
                  width_policy_name(sim.config().width_policy),
                  "\", \"lane_occupancy\": ", sim.last_run_lane_occupancy(),
@@ -170,7 +185,13 @@ std::string engine_metrics_json(const ParallelFaultSimulator& sim) {
                  sim.last_run_eval_bytes_per_instr(),
                  ", \"group_widths\": {\"64\": ", widths.g64,
                  ", \"256\": ", widths.g256, ", \"512\": ", widths.g512,
-                 "}");
+                 "}, \"optimizer\": {\"enabled\": ",
+                 t.opt_raw_instrs != 0 ? "true" : "false",
+                 ", \"raw_instrs\": ", t.opt_raw_instrs,
+                 ", \"instrs\": ", t.opt_instrs,
+                 ", \"absorbed\": ", t.opt_absorbed,
+                 ", \"folded\": ", t.opt_folded, ", \"dead\": ", t.opt_dead,
+                 ", \"preserved\": ", t.opt_preserved, "}");
 }
 
 /// The SIMD path the configured lane width actually executes: the runtime
@@ -262,7 +283,7 @@ std::string json_escape(std::string_view text) {
 int run_seu_journaled(const Circuit& circuit, const Testbench& tb,
                       std::size_t cycles, std::size_t sample,
                       std::uint64_t seed, LaneWidth lanes,
-                      WidthPolicy width_policy,
+                      WidthPolicy width_policy, bool optimize,
                       const std::string& journal_path, bool resume,
                       const std::string& regrade_spec,
                       obs::TelemetryCollector* telemetry, bool json) {
@@ -275,6 +296,7 @@ int run_seu_journaled(const Circuit& circuit, const Testbench& tb,
   CampaignConfig config;
   config.lanes = lanes;
   config.width_policy = width_policy;
+  config.optimize = optimize;
   config.telemetry = telemetry;
   ParallelFaultSimulator sim(circuit, tb, config);
   sim.set_capture_signatures(true);
@@ -355,10 +377,11 @@ int run_seu_journaled(const Circuit& circuit, const Testbench& tb,
 int run_seu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
             const std::string& technique_spec, std::size_t sample,
             std::uint64_t seed, LaneWidth lanes, WidthPolicy width_policy,
-            obs::TelemetryCollector* telemetry, bool json) {
+            bool optimize, obs::TelemetryCollector* telemetry, bool json) {
   EmulatorOptions options;
   options.campaign.lanes = lanes;
   options.campaign.width_policy = width_policy;
+  options.campaign.optimize = optimize;
   options.campaign.telemetry = telemetry;
   AutonomousEmulator emulator(circuit, tb, options);
   const std::size_t total = circuit.num_dffs() * cycles;
@@ -423,8 +446,8 @@ int run_seu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
 
 int run_mbu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
             std::size_t sample, std::uint64_t seed, LaneWidth lanes,
-            WidthPolicy width_policy, obs::TelemetryCollector* telemetry,
-            bool json) {
+            WidthPolicy width_policy, bool optimize,
+            obs::TelemetryCollector* telemetry, bool json) {
   // Complete campaign: all adjacent FF pairs x all cycles (the dominant
   // physical MBU pattern); a sample draws random locality clusters instead.
   const auto faults =
@@ -436,6 +459,7 @@ int run_mbu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
   CampaignConfig config;
   config.lanes = lanes;
   config.width_policy = width_policy;
+  config.optimize = optimize;
   config.telemetry = telemetry;
   ParallelFaultSimulator sim(circuit, tb, config);
   const MbuCampaignResult result = sim.run_mbu(faults);
@@ -455,7 +479,7 @@ int run_mbu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
 
 int run_set(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
             std::size_t sample, std::uint64_t seed, LaneWidth lanes,
-            WidthPolicy width_policy, std::uint16_t pulse_q,
+            WidthPolicy width_policy, bool optimize, std::uint16_t pulse_q,
             obs::TelemetryCollector* telemetry, bool json) {
   const SetSites sites(circuit);
   const std::size_t total = sites.num_representatives() * cycles;
@@ -467,6 +491,7 @@ int run_set(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
   CampaignConfig config;
   config.lanes = lanes;
   config.width_policy = width_policy;
+  config.optimize = optimize;
   config.telemetry = telemetry;
   ParallelFaultSimulator sim(circuit, tb, config);
   const SetCampaignResult rep_result = sim.run_set(faults);
@@ -518,7 +543,7 @@ int run_set(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
 
 int run_stuckat(const Circuit& circuit, const Testbench& tb,
                 std::size_t cycles, std::size_t sample, std::uint64_t seed,
-                LaneWidth lanes, WidthPolicy width_policy,
+                LaneWidth lanes, WidthPolicy width_policy, bool optimize,
                 obs::TelemetryCollector* telemetry, bool json) {
   const SetSites sites(circuit);
   const std::size_t total = sites.num_representatives() * 2;
@@ -528,6 +553,7 @@ int run_stuckat(const Circuit& circuit, const Testbench& tb,
   CampaignConfig config;
   config.lanes = lanes;
   config.width_policy = width_policy;
+  config.optimize = optimize;
   config.telemetry = telemetry;
   ParallelFaultSimulator sim(circuit, tb, config);
   const StuckAtCampaignResult rep_result = sim.run_stuckat(faults);
@@ -593,12 +619,14 @@ int main(int argc, char** argv) {
     std::string model_spec = "seu";
     std::string lanes_spec = "64";
     std::string width_policy_spec = "fixed";
+    std::string bench_path;
     std::string journal_path;
     std::string regrade_spec;
     std::string trace_out;
     std::string metrics_out;
     bool resume = false;
     bool progress = false;
+    bool optimize = true;
     std::uint16_t pulse_q = kSetPulseFull;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -610,6 +638,10 @@ int main(int argc, char** argv) {
         width_policy_spec = argv[++i];
       } else if (arg == "--pulse-width" && i + 1 < argc) {
         pulse_q = set_pulse_q(std::stod(argv[++i]));
+      } else if (arg == "--bench" && i + 1 < argc) {
+        bench_path = argv[++i];
+      } else if (arg == "--no-optimize") {
+        optimize = false;
       } else if (arg == "--journal" && i + 1 < argc) {
         journal_path = argv[++i];
       } else if (arg == "--resume") {
@@ -648,7 +680,8 @@ int main(int argc, char** argv) {
     const LaneWidth lanes = parse_lanes(lanes_spec);
     const WidthPolicy width_policy = parse_width_policy(width_policy_spec);
 
-    const Circuit circuit = load_circuit(circuit_spec);
+    const Circuit circuit = !bench_path.empty() ? load_bench_file(bench_path)
+                                                 : load_circuit(circuit_spec);
     const Testbench tb = random_testbench(circuit.num_inputs(), cycles, seed);
 
     if (!json) {
@@ -682,22 +715,24 @@ int main(int argc, char** argv) {
       case FaultModel::kSeu:
         rc = !journal_path.empty()
                  ? run_seu_journaled(circuit, tb, cycles, sample, seed, lanes,
-                                     width_policy, journal_path, resume,
-                                     regrade_spec, telemetry.get(), json)
+                                     width_policy, optimize, journal_path,
+                                     resume, regrade_spec, telemetry.get(),
+                                     json)
                  : run_seu(circuit, tb, cycles, technique_spec, sample, seed,
-                           lanes, width_policy, telemetry.get(), json);
+                           lanes, width_policy, optimize, telemetry.get(),
+                           json);
         break;
       case FaultModel::kMbu:
         rc = run_mbu(circuit, tb, cycles, sample, seed, lanes, width_policy,
-                     telemetry.get(), json);
+                     optimize, telemetry.get(), json);
         break;
       case FaultModel::kSet:
         rc = run_set(circuit, tb, cycles, sample, seed, lanes, width_policy,
-                     pulse_q, telemetry.get(), json);
+                     optimize, pulse_q, telemetry.get(), json);
         break;
       case FaultModel::kStuckAt:
         rc = run_stuckat(circuit, tb, cycles, sample, seed, lanes,
-                         width_policy, telemetry.get(), json);
+                         width_policy, optimize, telemetry.get(), json);
         break;
     }
     write_telemetry_outputs(telemetry.get(), trace_out, metrics_out);

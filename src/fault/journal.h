@@ -49,10 +49,11 @@ class Fnv64 {
 /// classifications, kept component-wise so a mismatch can name the culprit.
 ///
 /// Deliberately EXCLUDED: every CampaignConfig knob (backend, lane width,
-/// thread count, schedule, cone policy, width policy, arena layout) — the
-/// engine's classifications are proven bit-identical across all of them
-/// (the cross-validation suites of PRs 1–6), which is precisely what makes
-/// a journal resumable on a different machine/thread count. `config` is
+/// thread count, schedule, cone policy, width policy, arena layout, kernel
+/// optimizer) — the engine's classifications are proven bit-identical
+/// across all of them (the cross-validation suites of PRs 1–6 and the
+/// optimizer preserve-contract suite), which is precisely what makes a
+/// journal resumable on a different machine/thread count. `config` is
 /// reserved for a future knob that does affect outcomes; today it hashes
 /// only the rule's version tag.
 struct CampaignFingerprint {

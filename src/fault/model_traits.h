@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "common/error.h"
 #include "fault/fault.h"
@@ -71,6 +72,13 @@ struct ConeBackend {
 ///   overlay_node/entry  — overlay destination and op-tagged lane masks
 ///   union_cone/seed_key — the structural divergence bound and the
 ///                         sub-program cache key bits
+///   collect_preserve    — the model's injectable-node set: every node id a
+///                         campaign over these faults may target with an
+///                         overlay, appended to the kernel optimizer's
+///                         preserve set (see sim/kernel_opt.h) so injection
+///                         sites stay materialized. State-injection models
+///                         (SEU/MBU) contribute nothing and optimize
+///                         maximally; overlay models push their rep sites
 ///   validate            — per-fault precondition checks
 ///
 /// Adding a fault model = adding a FaultT, one specialization here, and a
@@ -126,6 +134,9 @@ struct FaultModelTraits<FaultModel::kSeu> {
   static constexpr std::uint32_t overlay_node(const FaultT&) noexcept {
     return kInvalidNode;
   }
+  /// State-bit injection only — no gate slot needs materializing.
+  static void collect_preserve(std::span<const FaultT>,
+                               std::vector<NodeId>&) {}
   static void union_cone(const ConeBackend& cones,
                          std::span<std::uint64_t> mask, const FaultT& f) {
     cones.union_ff(mask, f.ff_index);
@@ -170,6 +181,9 @@ struct FaultModelTraits<FaultModel::kMbu> {
   static constexpr std::uint32_t overlay_node(const FaultT&) noexcept {
     return kInvalidNode;
   }
+  /// State-bit injection only — no gate slot needs materializing.
+  static void collect_preserve(std::span<const FaultT>,
+                               std::vector<NodeId>&) {}
   static void union_cone(const ConeBackend& cones,
                          std::span<std::uint64_t> mask, const FaultT& f) {
     for (const std::uint32_t ff : f.ff_indices) {
@@ -219,6 +233,11 @@ struct FaultModelTraits<FaultModel::kSet> {
                                                           unsigned lane) {
     return CompiledKernel::overlay_xor<Word>(
         dest, LaneTraits<Word>::lane_bit(lane));
+  }
+  /// Overlay-borne: every (collapsed) rep site must stay materialized.
+  static void collect_preserve(std::span<const FaultT> faults,
+                               std::vector<NodeId>& preserve) {
+    for (const FaultT& f : faults) preserve.push_back(f.node);
   }
   static void union_cone(const ConeBackend& cones,
                          std::span<std::uint64_t> mask, const FaultT& f) {
@@ -275,6 +294,11 @@ struct FaultModelTraits<FaultModel::kStuckAt> {
                                                           unsigned lane) {
     return CompiledKernel::overlay_force<Word>(
         dest, LaneTraits<Word>::lane_bit(lane), f.stuck_one);
+  }
+  /// Overlay-borne and permanent: every fault node must stay materialized.
+  static void collect_preserve(std::span<const FaultT> faults,
+                               std::vector<NodeId>& preserve) {
+    for (const FaultT& f : faults) preserve.push_back(f.node);
   }
   static void union_cone(const ConeBackend& cones,
                          std::span<std::uint64_t> mask, const FaultT& f) {

@@ -11,6 +11,7 @@
 
 #include "common/error.h"
 #include "common/timer.h"
+#include "sim/kernel_opt.h"
 #include "sim/parallel_sim.h"
 
 namespace femu {
@@ -256,6 +257,64 @@ void ParallelFaultSimulator::ensure_site_structures() {
   }
 }
 
+void ParallelFaultSimulator::select_run_kernel(std::vector<NodeId> preserve) {
+  if (kernel_ == nullptr || !config_.optimize) {
+    run_kernel_ = kernel_;  // raw stream (or interpreted: no kernel at all)
+    telem_.opt_seconds = 0.0;
+    telem_.opt_raw_instrs = telem_.opt_instrs = 0;
+    telem_.opt_absorbed = telem_.opt_folded = telem_.opt_dead = 0;
+    telem_.opt_preserved = 0;
+    if (config_.telemetry != nullptr) {
+      config_.telemetry->record_optimizer(0, 0, 0, 0, 0, 0);
+    }
+    return;
+  }
+  std::sort(preserve.begin(), preserve.end());
+  preserve.erase(std::unique(preserve.begin(), preserve.end()),
+                 preserve.end());
+  double build_seconds = 0.0;
+  if (preserve.empty()) {
+    // FF-keyed models (SEU/MBU) inject into state words, never gate slots:
+    // one maximally-optimized kernel serves every such run.
+    if (opt_kernel_ff_ == nullptr) {
+      obs::PhaseSpan span(config_.telemetry, "optimize");
+      WallTimer timer;
+      opt_kernel_ff_ = optimize_kernel(kernel_, preserve);
+      build_seconds = timer.elapsed_seconds();
+    }
+    run_kernel_ = opt_kernel_ff_;
+  } else {
+    // Site-keyed models: a kernel optimized under a superset preserve set is
+    // sound (just less optimized), so reuse the cached one while this run's
+    // sites are a subset of what it keeps materialized.
+    const bool subset =
+        opt_kernel_site_ != nullptr &&
+        std::includes(site_preserve_.begin(), site_preserve_.end(),
+                      preserve.begin(), preserve.end());
+    if (!subset) {
+      obs::PhaseSpan span(config_.telemetry, "optimize");
+      WallTimer timer;
+      opt_kernel_site_ = optimize_kernel(kernel_, preserve);
+      build_seconds = timer.elapsed_seconds();
+      site_preserve_ = std::move(preserve);
+    }
+    run_kernel_ = opt_kernel_site_;
+  }
+  const CompiledKernel::OptStats& stats = run_kernel_->opt_stats();
+  telem_.opt_seconds = build_seconds;
+  telem_.opt_raw_instrs = stats.raw_instrs;
+  telem_.opt_instrs = stats.opt_instrs;
+  telem_.opt_absorbed = stats.absorbed;
+  telem_.opt_folded = stats.folded;
+  telem_.opt_dead = stats.dead;
+  telem_.opt_preserved = stats.preserved;
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->record_optimizer(stats.raw_instrs, stats.opt_instrs,
+                                        stats.absorbed, stats.folded,
+                                        stats.dead, stats.preserved);
+  }
+}
+
 // ---- schedule permutation --------------------------------------------------
 
 template <typename Traits>
@@ -486,6 +545,15 @@ void ParallelFaultSimulator::run_model(
     ensure_site_structures();
   }
 
+  // Resolve the instruction stream this run executes: the raw kernel, or an
+  // optimized clone whose preserve set covers every injection site in this
+  // fault list (cached — see select_run_kernel).
+  {
+    std::vector<NodeId> preserve;
+    Traits::collect_preserve(faults, preserve);
+    select_run_kernel(std::move(preserve));
+  }
+
   // Planning span covers the schedule sort, the permuted copy, the width
   // plan and any lazily-built tail-tier golden images. Taken manually (not
   // PhaseSpan) because the planned vectors must outlive the span scope.
@@ -589,7 +657,7 @@ void ParallelFaultSimulator::run_model(
                               std::span<std::uint64_t> group_sigs,
                               WorkerScratch& scratch) {
       if (!engine.has_value()) {
-        engine.emplace(kernel_);
+        engine.emplace(run_kernel_);
       }
       const View view = make_view(group_faults);
       if (cone) {
@@ -803,7 +871,7 @@ void ParallelFaultSimulator::run_group_full(Engine& engine,
   using T = LaneTraits<Word>;
   const std::size_t num_cycles = testbench_.num_cycles();
   const std::size_t program_size =
-      kernel_ ? kernel_->program().size() : circuit_.num_gates();
+      run_kernel_ ? run_kernel_->program().size() : circuit_.num_gates();
   const std::size_t slot_bytes = circuit_.node_count() * sizeof(Word);
   const std::size_t group_size = view.size();
   const Word group_mask = T::first_n(group_size);
@@ -999,8 +1067,8 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
     for (std::size_t i = 0; i < group_size; ++i) {
       view.union_cone(scratch.initial_mask, i);
     }
-    kernel_->build_subprogram(scratch.initial_mask, scratch.initial_sp,
-                              nullptr, config_.levelized_arena);
+    run_kernel_->build_subprogram(scratch.initial_mask, scratch.initial_sp,
+                                  nullptr, config_.levelized_arena);
     scratch.initial_valid = true;
   }
   std::vector<std::uint64_t>& mask = scratch.cone_mask;
@@ -1242,8 +1310,8 @@ void ParallelFaultSimulator::run_group_cone(LaneEngine<Word>& engine,
             mask.swap(next_mask);
             const std::uint64_t narrow_begin_ns =
                 scratch.telemetry != nullptr ? now_ns() : 0;
-            kernel_->build_subprogram(mask, scratch.narrow_sp[narrow_buf], sp,
-                                      config_.levelized_arena);
+            run_kernel_->build_subprogram(mask, scratch.narrow_sp[narrow_buf],
+                                          sp, config_.levelized_arena);
             if (scratch.telemetry != nullptr) {
               scratch.telemetry->narrow_slice(narrow_begin_ns, now_ns());
             }

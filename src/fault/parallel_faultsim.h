@@ -157,6 +157,18 @@ struct CampaignConfig {
   /// Results are bit-identical either way — this is a pure locality knob,
   /// exposed so benches and the reorder property test can A/B it.
   bool levelized_arena = true;
+  /// Run campaigns on an optimizer-processed kernel (sim/kernel_opt.h):
+  /// inverter/buffer absorption into per-operand complement flags, constant
+  /// folding and dead-logic elimination, under the model's injection-site
+  /// preserve set (FaultModelTraits::collect_preserve) so overlay sites
+  /// stay materialized. Compiled backend only (the interpreted backend is
+  /// the unoptimized cross-validation oracle); classifications are
+  /// bit-identical on vs off for every model, lane width, schedule, cone
+  /// policy and thread count — off is the A/B baseline benches measure the
+  /// instruction reduction against. Cones, golden traces and images are
+  /// always derived from the raw circuit/kernel; only the executed
+  /// instruction stream changes.
+  bool optimize = true;
   /// Telemetry sink (not owned; must outlive the engine). Null — the
   /// default — is the near-zero-cost fast path: the engine takes no
   /// per-group timestamps and records nothing. When attached, the engine
@@ -538,6 +550,17 @@ class ParallelFaultSimulator {
   /// for them.
   void ensure_site_structures();
 
+  /// Resolves the kernel the next run executes: the raw kernel when the
+  /// optimizer is off (or the backend interpreted), otherwise a cached
+  /// optimized clone for `preserve` (the campaign's injection-site set,
+  /// from FaultModelTraits::collect_preserve). An empty set — SEU/MBU —
+  /// shares one maximally-optimized kernel across runs; site-keyed
+  /// campaigns reuse the cached site kernel when their sites are a subset
+  /// of the set it preserves (a superset preserve set is sound, just less
+  /// optimized) and rebuild otherwise. Sets run_kernel_ and the telemetry
+  /// optimizer counters.
+  void select_run_kernel(std::vector<NodeId> preserve);
+
   const Circuit& circuit_;
   const Testbench& testbench_;
   CampaignConfig config_;
@@ -545,6 +568,20 @@ class ParallelFaultSimulator {
   std::size_t words_per_cone_ = 0;
   GoldenTrace golden_;
   std::shared_ptr<const CompiledKernel> kernel_;  // null when interpreted
+  /// Optimized kernel clones (sim/kernel_opt.h), built lazily per preserve
+  /// shape and cached across runs: one for FF-keyed campaigns (empty
+  /// preserve set — maximal optimization) and one for the latest site-keyed
+  /// preserve set (reused while subsequent runs' sites stay a subset).
+  /// kernel_ itself always stays the raw kernel: the golden slot trace and
+  /// the cone structures are derived from it, and boundary loads need every
+  /// slot's golden value.
+  std::shared_ptr<const CompiledKernel> opt_kernel_ff_;
+  std::shared_ptr<const CompiledKernel> opt_kernel_site_;
+  std::vector<NodeId> site_preserve_;  // sorted sites opt_kernel_site_ keeps
+  /// The kernel the current run executes (set by select_run_kernel at the
+  /// top of run_model; campaign runs are serial per simulator object, and
+  /// worker scratch never outlives a run, so per-run selection is safe).
+  std::shared_ptr<const CompiledKernel> run_kernel_;
   std::unique_ptr<FanoutCones> cones_;            // eager mode only
   std::unique_ptr<ConeOracle> oracle_;            // on-demand mode only
   std::unique_ptr<GateCones> gate_cones_;         // eager ensure_site_structures

@@ -50,6 +50,18 @@ struct CampaignTelemetry {
   GroupWidthCounts group_widths;
   double lane_occupancy = 1.0;
 
+  // Kernel optimizer (sim/kernel_opt.h) accounting for the kernel the last
+  // run executed. All zero when the optimizer is off or the backend is
+  // interpreted; opt_seconds counts only cache-miss builds (a run that
+  // reuses a cached optimized kernel reports the reduction at zero cost).
+  double opt_seconds = 0.0;          ///< optimizer pass time (cache misses)
+  std::uint64_t opt_raw_instrs = 0;  ///< instruction count before passes
+  std::uint64_t opt_instrs = 0;      ///< instruction count actually executed
+  std::uint64_t opt_absorbed = 0;    ///< BUF/NOT absorbed into operand flags
+  std::uint64_t opt_folded = 0;      ///< instructions folded to constants
+  std::uint64_t opt_dead = 0;        ///< unobservable instructions eliminated
+  std::uint64_t opt_preserved = 0;   ///< injection sites kept materialized
+
   [[nodiscard]] double bytes_per_instr() const noexcept {
     return eval_instrs != 0 ? static_cast<double>(eval_slot_bytes) /
                                   static_cast<double>(eval_instrs)
@@ -127,6 +139,14 @@ class TelemetryCollector {
   /// Journal flush slice + latency histogram sample. Any thread.
   void record_flush(std::uint64_t begin_ns, std::uint64_t end_ns);
 
+  /// Kernel-optimizer accounting of the stream the run executes (gauges:
+  /// last run wins — the stats describe a kernel, not an accumulation).
+  /// Campaign-thread only, before workers spawn. All-zero when the
+  /// optimizer is off or the backend is interpreted.
+  void record_optimizer(std::uint64_t raw_instrs, std::uint64_t opt_instrs,
+                        std::uint64_t absorbed, std::uint64_t folded,
+                        std::uint64_t dead, std::uint64_t preserved);
+
   /// Merged cumulative metrics (all completed runs + journal flushes).
   [[nodiscard]] MetricSnapshot snapshot() const;
 
@@ -153,6 +173,8 @@ class TelemetryCollector {
   CounterId groups_retired_, faults_retired_, lanes_total_, narrowings_,
       eval_instrs_;
   GaugeId peak_occupancy_;
+  GaugeId g_opt_raw_instrs_, g_opt_instrs_, g_opt_absorbed_, g_opt_folded_,
+      g_opt_dead_, g_opt_preserved_;
   HistogramId h_width_, h_occupancy_, h_narrow_depth_, h_group_ns_,
       h_flush_ns_;
 

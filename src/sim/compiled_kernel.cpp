@@ -145,6 +145,7 @@ void CompiledKernel::build_subprogram(std::span<const std::uint64_t> mask,
       g.b = gol[in.b];
       g.c = gol[in.c];
       g.op = in.op;
+      g.neg = in.neg;
       sp.instrs.push_back(g);
       note_read(g.a);
       note_read(g.b);

@@ -50,6 +50,13 @@ class CompiledKernel {
     std::uint32_t b = 0;  // fanin 1 slot (mux: d0); == a for unary cells
     std::uint32_t c = 0;  // fanin 2 slot (mux: d1); == a when unused
     CellType op = CellType::kBuf;
+    /// Per-operand complement flags (bit 0 → ~a, bit 1 → ~b, bit 2 → ~c):
+    /// the optimizer absorbs BUF/NOT producers into their consumers by
+    /// flipping these bits instead of keeping the inverter instruction
+    /// around (see sim/kernel_opt.h). Lowering always emits 0; every eval
+    /// path (generic, AVX-512, limb fallback) honours the flags
+    /// branch-free, and sub-program derivation copies them verbatim.
+    std::uint8_t neg = 0;
   };
 
   /// Lowers `circuit` (validates it first). The circuit must outlive the
@@ -223,9 +230,51 @@ class CompiledKernel {
   }
 
   /// Executes one instruction (shared by the plain and overlay eval loops).
+  /// Operand complements (Instr::neg) take a single highly-predictable
+  /// branch: a raw stream carries no flags at all and an optimized stream
+  /// flags only a small minority of instructions, so the neg == 0 body —
+  /// the exact pre-optimizer codegen, no masking — is what the loop
+  /// actually runs; paying the flag XORs unconditionally instead costs
+  /// ~15 % of b14 campaign throughput at 512 lanes.
   template <typename Word>
   static inline void exec_instr(const Instr& in, Word* values) {
-    const Word a = values[in.a];
+    using T = LaneTraits<Word>;
+    if (in.neg == 0) [[likely]] {
+      switch (in.op) {
+        case CellType::kBuf:
+          values[in.dest] = values[in.a];
+          break;
+        case CellType::kNot:
+          values[in.dest] = ~values[in.a];
+          break;
+        case CellType::kAnd:
+          values[in.dest] = values[in.a] & values[in.b];
+          break;
+        case CellType::kOr:
+          values[in.dest] = values[in.a] | values[in.b];
+          break;
+        case CellType::kNand:
+          values[in.dest] = ~(values[in.a] & values[in.b]);
+          break;
+        case CellType::kNor:
+          values[in.dest] = ~(values[in.a] | values[in.b]);
+          break;
+        case CellType::kXor:
+          values[in.dest] = values[in.a] ^ values[in.b];
+          break;
+        case CellType::kXnor:
+          values[in.dest] = ~(values[in.a] ^ values[in.b]);
+          break;
+        case CellType::kMux:
+          values[in.dest] = (values[in.a] & values[in.c]) |
+                            (~values[in.a] & values[in.b]);
+          break;
+        default:
+          break;  // sources/DFFs never appear in the program
+      }
+      return;
+    }
+    const Word a = values[in.a] ^ T::broadcast((in.neg & 1) != 0);
     switch (in.op) {
       case CellType::kBuf:
         values[in.dest] = a;
@@ -234,26 +283,32 @@ class CompiledKernel {
         values[in.dest] = ~a;
         break;
       case CellType::kAnd:
-        values[in.dest] = a & values[in.b];
+        values[in.dest] = a & (values[in.b] ^ T::broadcast((in.neg & 2) != 0));
         break;
       case CellType::kOr:
-        values[in.dest] = a | values[in.b];
+        values[in.dest] = a | (values[in.b] ^ T::broadcast((in.neg & 2) != 0));
         break;
       case CellType::kNand:
-        values[in.dest] = ~(a & values[in.b]);
+        values[in.dest] =
+            ~(a & (values[in.b] ^ T::broadcast((in.neg & 2) != 0)));
         break;
       case CellType::kNor:
-        values[in.dest] = ~(a | values[in.b]);
+        values[in.dest] =
+            ~(a | (values[in.b] ^ T::broadcast((in.neg & 2) != 0)));
         break;
       case CellType::kXor:
-        values[in.dest] = a ^ values[in.b];
+        values[in.dest] = a ^ values[in.b] ^ T::broadcast((in.neg & 2) != 0);
         break;
       case CellType::kXnor:
-        values[in.dest] = ~(a ^ values[in.b]);
+        values[in.dest] =
+            ~(a ^ values[in.b] ^ T::broadcast((in.neg & 2) != 0));
         break;
-      case CellType::kMux:
-        values[in.dest] = (a & values[in.c]) | (~a & values[in.b]);
+      case CellType::kMux: {
+        const Word b = values[in.b] ^ T::broadcast((in.neg & 2) != 0);
+        const Word c = values[in.c] ^ T::broadcast((in.neg & 4) != 0);
+        values[in.dest] = (a & c) | (~a & b);
         break;
+      }
       default:
         break;  // sources/DFFs never appear in the program
     }
@@ -294,7 +349,30 @@ class CompiledKernel {
     eval_instrs<Word>(program_, values);
   }
 
+  /// Instruction-reduction accounting of the optimizer pass pipeline
+  /// (sim/kernel_opt.h). `raw_instrs - opt_instrs == absorbed + folded +
+  /// dead` by construction; all zero on an unoptimized kernel.
+  struct OptStats {
+    std::size_t raw_instrs = 0;   ///< program size before optimization
+    std::size_t opt_instrs = 0;   ///< program size after optimization
+    std::size_t absorbed = 0;     ///< BUF/NOT deleted into operand neg flags
+    std::size_t folded = 0;       ///< instructions folded to constants
+    std::size_t dead = 0;         ///< unreachable instructions eliminated
+    std::size_t preserved = 0;    ///< preserve-set sites kept materialized
+    [[nodiscard]] bool optimized() const noexcept {
+      return raw_instrs != 0;
+    }
+  };
+
+  [[nodiscard]] const OptStats& opt_stats() const noexcept {
+    return opt_stats_;
+  }
+
  private:
+  /// The optimizer (sim/kernel_opt.cpp) clones a kernel and rewrites
+  /// program_/levels_/const1_slots_ in place under the preserve contract.
+  friend class KernelOptimizer;
+
   const Circuit* circuit_;
   std::size_t num_slots_ = 0;
   std::vector<Instr> program_;
@@ -304,6 +382,7 @@ class CompiledKernel {
   std::vector<std::uint32_t> dff_d_slots_;
   std::vector<std::uint32_t> output_slots_;
   std::vector<std::uint32_t> const1_slots_;
+  OptStats opt_stats_;
 };
 
 /// Word512's hot loops are runtime-dispatched: one binary carries both an

@@ -24,8 +24,21 @@ inline void store(Word512* values, std::uint32_t slot, __m512i v) noexcept {
   _mm512_storeu_si512(static_cast<void*>(values + slot), v);
 }
 
-inline __m512i exec_one(const CompiledKernel::Instr& in,
-                        Word512* values) noexcept {
+/// Broadcasts complement-flag bit `k` of Instr::neg to an all-ones or
+/// all-zeros word — the operand XOR mask of the optimizer's absorbed
+/// inverters (branch-free; -(bit) sign-extends to the full lane word).
+inline __m512i neg_mask(std::uint8_t neg, unsigned k) noexcept {
+  return _mm512_set1_epi64(-static_cast<long long>((neg >> k) & 1));
+}
+
+/// The neg == 0 body — the exact pre-optimizer instruction sequence. Raw
+/// streams carry no complement flags and optimized streams flag only a
+/// minority of instructions, so this is what the eval loop overwhelmingly
+/// executes; the single flag branch in exec_one predicts near-perfectly,
+/// where paying the neg_mask set1+xor chain unconditionally cost ~15 % of
+/// b14 campaign throughput at 512 lanes.
+inline __m512i exec_one_plain(const CompiledKernel::Instr& in,
+                              Word512* values) noexcept {
   const __m512i ones = _mm512_set1_epi64(-1);
   const __m512i a = load(values, in.a);
   switch (in.op) {
@@ -49,6 +62,55 @@ inline __m512i exec_one(const CompiledKernel::Instr& in,
       // (a & c) | (~a & b) — one ternary-logic op on AVX-512.
       return _mm512_ternarylogic_epi64(a, load(values, in.c),
                                        load(values, in.b), 0xCA);
+    default:
+      // Sources/DFFs never appear in the program; mirror the portable
+      // path's no-op (dest keeps its current value) so both dispatch
+      // targets behave identically even for an unexpected opcode.
+      return load(values, in.dest);
+  }
+}
+
+inline __m512i exec_one(const CompiledKernel::Instr& in,
+                        Word512* values) noexcept {
+  if (in.neg == 0) [[likely]] {
+    return exec_one_plain(in, values);
+  }
+  const __m512i ones = _mm512_set1_epi64(-1);
+  const __m512i a = _mm512_xor_si512(load(values, in.a), neg_mask(in.neg, 0));
+  switch (in.op) {
+    case CellType::kBuf:
+      return a;
+    case CellType::kNot:
+      return _mm512_xor_si512(a, ones);
+    case CellType::kAnd:
+      return _mm512_and_si512(
+          a, _mm512_xor_si512(load(values, in.b), neg_mask(in.neg, 1)));
+    case CellType::kOr:
+      return _mm512_or_si512(
+          a, _mm512_xor_si512(load(values, in.b), neg_mask(in.neg, 1)));
+    case CellType::kNand:
+      return _mm512_xor_si512(
+          _mm512_and_si512(
+              a, _mm512_xor_si512(load(values, in.b), neg_mask(in.neg, 1))),
+          ones);
+    case CellType::kNor:
+      return _mm512_xor_si512(
+          _mm512_or_si512(
+              a, _mm512_xor_si512(load(values, in.b), neg_mask(in.neg, 1))),
+          ones);
+    case CellType::kXor:
+      return _mm512_xor_si512(
+          a, _mm512_xor_si512(load(values, in.b), neg_mask(in.neg, 1)));
+    case CellType::kXnor:
+      return _mm512_xor_si512(
+          _mm512_xor_si512(
+              a, _mm512_xor_si512(load(values, in.b), neg_mask(in.neg, 1))),
+          ones);
+    case CellType::kMux:
+      // (a & c) | (~a & b) — one ternary-logic op on AVX-512.
+      return _mm512_ternarylogic_epi64(
+          a, _mm512_xor_si512(load(values, in.c), neg_mask(in.neg, 2)),
+          _mm512_xor_si512(load(values, in.b), neg_mask(in.neg, 1)), 0xCA);
     default:
       // Sources/DFFs never appear in the program; mirror the portable
       // path's no-op (dest keeps its current value) so both dispatch
