@@ -40,8 +40,16 @@
 // ("identical_classifications") and fails the process, so CI can use this
 // bench as a correctness smoke test as well as a perf trajectory.
 //
+// The *-cache-cold-* / *-cache-warm-* twins (b14 and pipe32x128) run the
+// same cone campaign against a fresh artifact-cache directory: the cold
+// twin pays full setup and stores the entry, the warm twin loads it back.
+// Their per-phase JSON ("setup_s", "cache_load_s", "cache_hits") is the
+// committed evidence for the setup-wall speedup; the classification
+// cross-check covers the pair like any other twin.
+//
 // Usage: engine_throughput [--cycles N] [--repeat N] [--out FILE]
 //                          [--bench-index N] [--baseline FILE]
+//                          [--bench-file FILE]
 //   --cycles N       b14 testbench length (default 160, the paper's vector
 //                    count; pipeline circuits use min(N, 48) vectors)
 //   --repeat N       timed repetitions per config, best-of (default 3)
@@ -51,9 +59,15 @@
 //   --baseline FILE  previous BENCH_*.json to compare against; regressions
 //                    >10% on matching "<circuit>/<config>" names print a
 //                    warning but do NOT fail the process (soft-fail check)
+//   --bench-file FILE
+//                    additionally run an external ISCAS-89 .bench netlist
+//                    through the cone-engine ladder (complete SEU campaign,
+//                    same cross-check) — external circuits ride the same
+//                    matrix as the built-ins
 
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -68,6 +82,7 @@
 #include "fault/parallel_faultsim.h"
 #include "fault/set_model.h"
 #include "fault/stuckat_model.h"
+#include "netlist/bench_io.h"
 #include "sim/simd_dispatch.h"
 #include "stim/generate.h"
 
@@ -102,6 +117,21 @@ struct BenchResult {
   double compile_s = 0.0;
   double golden_s = 0.0;
   double cone_s = 0.0;
+  double cache_load_s = 0.0;
+  double cache_store_s = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  // The setup wall: everything paid before the first fault grades (the
+  // cache-store write-back is excluded — it overlaps no grading and a warm
+  // run never pays it).
+  [[nodiscard]] double setup_s() const {
+    return compile_s + golden_s + cone_s + cache_load_s;
+  }
+  [[nodiscard]] double setup_frac() const {
+    const double total = setup_s() + seconds;
+    return total > 0.0 ? setup_s() / total : 0.0;
+  }
 
   // Kernel-optimizer accounting of the run kernel (all zero when the row
   // runs opt-off or interpreted).
@@ -201,7 +231,13 @@ void write_json(std::ostream& out, const std::vector<BenchResult>& results,
         << ", \"dead\": " << r.opt_dead << "}"
         << ", \"phases\": {\"compile_s\": " << r.compile_s
         << ", \"golden_s\": " << r.golden_s << ", \"cone_s\": " << r.cone_s
-        << ", \"grade_s\": " << r.seconds << "}"
+        << ", \"cache_load_s\": " << r.cache_load_s
+        << ", \"cache_store_s\": " << r.cache_store_s
+        << ", \"grade_s\": " << r.seconds
+        << ", \"setup_s\": " << r.setup_s()
+        << ", \"setup_frac\": " << r.setup_frac() << "}"
+        << ", \"cache\": {\"hits\": " << r.cache_hits
+        << ", \"misses\": " << r.cache_misses << "}"
         << ", \"speedup_vs_base\": "
         << (base > 0.0 ? r.faults_per_sec() / base : 0.0)
         << ", \"counts\": {\"failure\": " << r.counts.failure
@@ -260,6 +296,27 @@ CampaignConfig noopt_cone_config(LaneWidth w, unsigned threads) {
   CampaignConfig config = cone_config(w, threads);
   config.optimize = false;
   return config;
+}
+
+/// cone_config against a persistent artifact cache. The cold/warm twins
+/// share `dir`: main() wipes it before the circuit runs, construction order
+/// inside run_circuit puts the cold twin first, so the warm twin always
+/// finds the entry the cold one stored.
+CampaignConfig cached_cone_config(LaneWidth w, unsigned threads,
+                                  const std::string& dir) {
+  CampaignConfig config = cone_config(w, threads);
+  config.cache_dir = dir;
+  return config;
+}
+
+/// Per-circuit scratch cache directory for the cold/warm twins, wiped on
+/// every bench invocation so the cold twin is genuinely cold.
+std::string fresh_cache_dir(const std::string& circuit_name) {
+  const std::filesystem::path dir = std::filesystem::temp_directory_path() /
+                                    ("femu-bench-cache-" + circuit_name);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir.string();
 }
 
 /// Runs one circuit's configuration set (round-robin over repetitions so
@@ -326,6 +383,10 @@ void run_circuit(const std::string& circuit_name, const Circuit& circuit,
     r.compile_s = t.compile_seconds;
     r.golden_s = t.golden_seconds;
     r.cone_s = t.cone_seconds;
+    r.cache_load_s = t.cache_load_seconds;
+    r.cache_store_s = t.cache_store_seconds;
+    r.cache_hits = t.cache_hits;
+    r.cache_misses = t.cache_misses;
     r.opt_raw_instrs = t.opt_raw_instrs;
     r.opt_instrs = t.opt_instrs;
     r.opt_absorbed = t.opt_absorbed;
@@ -367,6 +428,7 @@ int main(int argc, char** argv) {
   int repeat = 3;
   std::string out_path;
   std::string baseline_path;
+  std::string bench_file;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc) {
       cycles = static_cast<std::size_t>(std::stoul(argv[++i]));
@@ -378,9 +440,12 @@ int main(int argc, char** argv) {
       out_path = std::string("BENCH_") + argv[++i] + ".json";
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--bench-file") == 0 && i + 1 < argc) {
+      bench_file = argv[++i];
     } else {
       std::cerr << "usage: engine_throughput [--cycles N] [--repeat N]"
-                   " [--out FILE] [--bench-index N] [--baseline FILE]\n";
+                   " [--out FILE] [--bench-index N] [--baseline FILE]"
+                   " [--bench-file FILE]\n";
       return 2;
     }
   }
@@ -395,6 +460,7 @@ int main(int argc, char** argv) {
 
   // ---- b14: the full engine ladder (the paper's campaign shape) ----------
   {
+    const std::string b14_cache_dir = fresh_cache_dir("b14");
     const Circuit circuit = circuits::build_b14();
     const Testbench tb = random_testbench(circuit.num_inputs(), cycles, 2005);
     const auto faults =
@@ -449,6 +515,10 @@ int main(int argc, char** argv) {
         {"stuckat-512-cone-adaptive-1t", kStuckAt,
          adaptive_cone_config(LaneWidth::k512, 1)},
         {"stuckat-64-cone-mt", kStuckAt, cone_config(LaneWidth::k64, hw)},
+        {"compiled-512-cone-cache-cold-1t", kSeu,
+         cached_cone_config(LaneWidth::k512, 1, b14_cache_dir)},
+        {"compiled-512-cone-cache-warm-1t", kSeu,
+         cached_cone_config(LaneWidth::k512, 1, b14_cache_dir)},
     };
     run_circuit("b14", circuit, tb, faults, set_faults, stuckat_faults,
                 configs, repeat, results, circuit_summaries);
@@ -484,7 +554,7 @@ int main(int argc, char** argv) {
             ? complete_fault_list(circuit.num_dffs(), tb.num_cycles())
             : sample_fault_list(circuit.num_dffs(), tb.num_cycles(),
                                 family.sample, 2005);
-    const std::vector<BenchConfig> configs = {
+    std::vector<BenchConfig> configs = {
         {"compiled-64-cone-1t", kSeu, cone_config(LaneWidth::k64, 1)},
         {"compiled-256-cone-1t", kSeu, cone_config(LaneWidth::k256, 1)},
         {"compiled-512-cone-1t", kSeu, cone_config(LaneWidth::k512, 1)},
@@ -496,7 +566,37 @@ int main(int argc, char** argv) {
         {"compiled-512-cone-adaptive-mt", kSeu,
          adaptive_cone_config(LaneWidth::k512, hw)},
     };
+    // Cache twins on the largest family only — it has the tallest setup
+    // wall (the eager-cone build), so it is the speedup evidence.
+    std::string family_cache_dir;
+    if (family.name == std::string("pipe32x128")) {
+      family_cache_dir = fresh_cache_dir(family.name);
+      configs.push_back({"compiled-512-cone-cache-cold-1t", kSeu,
+                         cached_cone_config(LaneWidth::k512, 1,
+                                            family_cache_dir)});
+      configs.push_back({"compiled-512-cone-cache-warm-1t", kSeu,
+                         cached_cone_config(LaneWidth::k512, 1,
+                                            family_cache_dir)});
+    }
     run_circuit(family.name, circuit, tb, faults, {}, {}, configs, repeat,
+                results, circuit_summaries);
+  }
+
+  // ---- external .bench netlist through the cone ladder -------------------
+  if (!bench_file.empty()) {
+    const Circuit circuit = load_bench_file(bench_file);
+    const Testbench tb =
+        random_testbench(circuit.num_inputs(), pipe_cycles, 2005);
+    const auto faults =
+        complete_fault_list(circuit.num_dffs(), tb.num_cycles());
+    const std::vector<BenchConfig> configs = {
+        {"compiled-64-full-1t", kSeu,
+         full_config(SimBackend::kCompiled, LaneWidth::k64, 1)},
+        {"compiled-64-cone-1t", kSeu, cone_config(LaneWidth::k64, 1)},
+        {"compiled-256-cone-1t", kSeu, cone_config(LaneWidth::k256, 1)},
+        {"compiled-512-cone-1t", kSeu, cone_config(LaneWidth::k512, 1)},
+    };
+    run_circuit(circuit.name(), circuit, tb, faults, {}, {}, configs, repeat,
                 results, circuit_summaries);
   }
 

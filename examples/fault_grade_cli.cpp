@@ -3,7 +3,7 @@
 //   fault_grade_cli [circuit] [cycles] [technique] [sample] [seed]
 //                   [--model seu|mbu|set|stuckat] [--pulse-width F]
 //                   [--lanes 64|256|512] [--width-policy fixed|adaptive]
-//                   [--bench FILE] [--no-optimize]
+//                   [--bench FILE] [--no-optimize] [--cache-dir DIR]
 //                   [--journal PATH] [--resume] [--regrade-from SPEC]
 //                   [--progress] [--trace-out FILE] [--metrics-out FILE]
 //                   [--json]
@@ -61,6 +61,16 @@
 //                without this flag; only the executed instruction stream
 //                (and so faults/s) changes. The reduction shows up in
 //                --json as the "optimizer" object
+//     --cache-dir DIR
+//                persist the campaign setup artifacts (golden traces, cone
+//                structures, cone-affine order, optimized kernel) in DIR,
+//                content-addressed by circuit/testbench/optimizer hashes
+//                (fault/artifact_cache.h). The first campaign over a given
+//                (circuit, testbench) pays setup and stores; later ones
+//                load it back and skip the setup wall. Corrupt, stale or
+//                foreign entries degrade to a warned rebuild; grading output
+//                is bit-identical either way. Cache traffic is reported in
+//                --json ("cache") and --metrics-out (artifact_cache_*)
 //     --journal PATH
 //                SEU only: run the campaign through the crash-safe journal
 //                (fault/journal.h). Retired groups stream to PATH as they
@@ -191,7 +201,14 @@ std::string engine_metrics_json(const ParallelFaultSimulator& sim) {
                  ", \"instrs\": ", t.opt_instrs,
                  ", \"absorbed\": ", t.opt_absorbed,
                  ", \"folded\": ", t.opt_folded, ", \"dead\": ", t.opt_dead,
-                 ", \"preserved\": ", t.opt_preserved, "}");
+                 ", \"preserved\": ", t.opt_preserved,
+                 "}, \"cache\": {\"enabled\": ",
+                 sim.config().cache_dir.empty() ? "false" : "true",
+                 ", \"hits\": ", t.cache_hits, ", \"misses\": ",
+                 t.cache_misses, ", \"bytes_read\": ", t.cache_bytes_read,
+                 ", \"bytes_written\": ", t.cache_bytes_written,
+                 ", \"load_seconds\": ", t.cache_load_seconds,
+                 ", \"store_seconds\": ", t.cache_store_seconds, "}");
 }
 
 /// The SIMD path the configured lane width actually executes: the runtime
@@ -284,6 +301,7 @@ int run_seu_journaled(const Circuit& circuit, const Testbench& tb,
                       std::size_t cycles, std::size_t sample,
                       std::uint64_t seed, LaneWidth lanes,
                       WidthPolicy width_policy, bool optimize,
+                      const std::string& cache_dir,
                       const std::string& journal_path, bool resume,
                       const std::string& regrade_spec,
                       obs::TelemetryCollector* telemetry, bool json) {
@@ -298,6 +316,7 @@ int run_seu_journaled(const Circuit& circuit, const Testbench& tb,
   config.width_policy = width_policy;
   config.optimize = optimize;
   config.telemetry = telemetry;
+  config.cache_dir = cache_dir;
   ParallelFaultSimulator sim(circuit, tb, config);
   sim.set_capture_signatures(true);
 
@@ -377,12 +396,14 @@ int run_seu_journaled(const Circuit& circuit, const Testbench& tb,
 int run_seu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
             const std::string& technique_spec, std::size_t sample,
             std::uint64_t seed, LaneWidth lanes, WidthPolicy width_policy,
-            bool optimize, obs::TelemetryCollector* telemetry, bool json) {
+            bool optimize, const std::string& cache_dir,
+            obs::TelemetryCollector* telemetry, bool json) {
   EmulatorOptions options;
   options.campaign.lanes = lanes;
   options.campaign.width_policy = width_policy;
   options.campaign.optimize = optimize;
   options.campaign.telemetry = telemetry;
+  options.campaign.cache_dir = cache_dir;
   AutonomousEmulator emulator(circuit, tb, options);
   const std::size_t total = circuit.num_dffs() * cycles;
   const auto faults =
@@ -447,6 +468,7 @@ int run_seu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
 int run_mbu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
             std::size_t sample, std::uint64_t seed, LaneWidth lanes,
             WidthPolicy width_policy, bool optimize,
+            const std::string& cache_dir,
             obs::TelemetryCollector* telemetry, bool json) {
   // Complete campaign: all adjacent FF pairs x all cycles (the dominant
   // physical MBU pattern); a sample draws random locality clusters instead.
@@ -461,6 +483,7 @@ int run_mbu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
   config.width_policy = width_policy;
   config.optimize = optimize;
   config.telemetry = telemetry;
+  config.cache_dir = cache_dir;
   ParallelFaultSimulator sim(circuit, tb, config);
   const MbuCampaignResult result = sim.run_mbu(faults);
   if (json) {
@@ -480,6 +503,7 @@ int run_mbu(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
 int run_set(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
             std::size_t sample, std::uint64_t seed, LaneWidth lanes,
             WidthPolicy width_policy, bool optimize, std::uint16_t pulse_q,
+            const std::string& cache_dir,
             obs::TelemetryCollector* telemetry, bool json) {
   const SetSites sites(circuit);
   const std::size_t total = sites.num_representatives() * cycles;
@@ -493,6 +517,7 @@ int run_set(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
   config.width_policy = width_policy;
   config.optimize = optimize;
   config.telemetry = telemetry;
+  config.cache_dir = cache_dir;
   ParallelFaultSimulator sim(circuit, tb, config);
   const SetCampaignResult rep_result = sim.run_set(faults);
   const double seconds = sim.last_run_seconds();
@@ -544,6 +569,7 @@ int run_set(const Circuit& circuit, const Testbench& tb, std::size_t cycles,
 int run_stuckat(const Circuit& circuit, const Testbench& tb,
                 std::size_t cycles, std::size_t sample, std::uint64_t seed,
                 LaneWidth lanes, WidthPolicy width_policy, bool optimize,
+                const std::string& cache_dir,
                 obs::TelemetryCollector* telemetry, bool json) {
   const SetSites sites(circuit);
   const std::size_t total = sites.num_representatives() * 2;
@@ -555,6 +581,7 @@ int run_stuckat(const Circuit& circuit, const Testbench& tb,
   config.width_policy = width_policy;
   config.optimize = optimize;
   config.telemetry = telemetry;
+  config.cache_dir = cache_dir;
   ParallelFaultSimulator sim(circuit, tb, config);
   const StuckAtCampaignResult rep_result = sim.run_stuckat(faults);
   const double seconds = sim.last_run_seconds();
@@ -620,6 +647,7 @@ int main(int argc, char** argv) {
     std::string lanes_spec = "64";
     std::string width_policy_spec = "fixed";
     std::string bench_path;
+    std::string cache_dir;
     std::string journal_path;
     std::string regrade_spec;
     std::string trace_out;
@@ -642,6 +670,8 @@ int main(int argc, char** argv) {
         bench_path = argv[++i];
       } else if (arg == "--no-optimize") {
         optimize = false;
+      } else if (arg == "--cache-dir" && i + 1 < argc) {
+        cache_dir = argv[++i];
       } else if (arg == "--journal" && i + 1 < argc) {
         journal_path = argv[++i];
       } else if (arg == "--resume") {
@@ -715,24 +745,25 @@ int main(int argc, char** argv) {
       case FaultModel::kSeu:
         rc = !journal_path.empty()
                  ? run_seu_journaled(circuit, tb, cycles, sample, seed, lanes,
-                                     width_policy, optimize, journal_path,
-                                     resume, regrade_spec, telemetry.get(),
-                                     json)
+                                     width_policy, optimize, cache_dir,
+                                     journal_path, resume, regrade_spec,
+                                     telemetry.get(), json)
                  : run_seu(circuit, tb, cycles, technique_spec, sample, seed,
-                           lanes, width_policy, optimize, telemetry.get(),
-                           json);
+                           lanes, width_policy, optimize, cache_dir,
+                           telemetry.get(), json);
         break;
       case FaultModel::kMbu:
         rc = run_mbu(circuit, tb, cycles, sample, seed, lanes, width_policy,
-                     optimize, telemetry.get(), json);
+                     optimize, cache_dir, telemetry.get(), json);
         break;
       case FaultModel::kSet:
         rc = run_set(circuit, tb, cycles, sample, seed, lanes, width_policy,
-                     optimize, pulse_q, telemetry.get(), json);
+                     optimize, pulse_q, cache_dir, telemetry.get(), json);
         break;
       case FaultModel::kStuckAt:
         rc = run_stuckat(circuit, tb, cycles, sample, seed, lanes,
-                         width_policy, optimize, telemetry.get(), json);
+                         width_policy, optimize, cache_dir, telemetry.get(),
+                         json);
         break;
     }
     write_telemetry_outputs(telemetry.get(), trace_out, metrics_out);

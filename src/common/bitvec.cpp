@@ -148,6 +148,15 @@ std::uint64_t BitVec::hash() const noexcept {
   return h;
 }
 
+void BitVec::assign_words(std::size_t size,
+                          std::span<const std::uint64_t> words) {
+  FEMU_CHECK(words.size() == words_for(size), "BitVec::assign_words: ",
+             words.size(), " words for ", size, " bits");
+  size_ = size;
+  words_.assign(words.begin(), words.end());
+  mask_tail();
+}
+
 void BitVec::mask_tail() noexcept {
   const std::size_t tail = size_ % 64;
   if (tail != 0 && !words_.empty()) {

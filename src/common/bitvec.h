@@ -57,6 +57,13 @@ class BitVec {
     return words_;
   }
 
+  /// Rebuilds the vector from a whole-word image (the words() layout):
+  /// `size` bits backed by exactly ceil(size/64) words. Junk bits beyond
+  /// `size` in the last word are masked off. The bulk-load path for
+  /// deserializers — equivalent to size/resize + per-bit set, without the
+  /// per-bit cost.
+  void assign_words(std::size_t size, std::span<const std::uint64_t> words);
+
   /// Bits rendered most-significant-first, e.g. BitVec of {1,0,1} -> "101".
   [[nodiscard]] std::string to_string() const;
 

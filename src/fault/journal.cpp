@@ -98,6 +98,8 @@ template <typename FaultT>
 
 // ---- fingerprints ----------------------------------------------------------
 
+std::uint64_t campaign_config_rule_hash() { return config_rule_hash(); }
+
 std::uint64_t circuit_structure_hash(const Circuit& circuit) {
   Fnv64 h;
   h.str("circuit:v1");

@@ -74,6 +74,11 @@ struct CampaignFingerprint {
 /// Hash of the stimulus: input width plus every vector's bits.
 [[nodiscard]] std::uint64_t testbench_content_hash(const Testbench& tb);
 
+/// The `config` component of CampaignFingerprint: a hash of the campaign-
+/// config outcome-invariance rule's version tag (no knob affects outcomes
+/// today). Exposed so the artifact cache keys on the exact same contract.
+[[nodiscard]] std::uint64_t campaign_config_rule_hash();
+
 [[nodiscard]] std::uint64_t fault_list_hash(std::span<const Fault> faults);
 [[nodiscard]] std::uint64_t fault_list_hash(std::span<const MbuFault> faults);
 [[nodiscard]] std::uint64_t fault_list_hash(std::span<const SetFault> faults);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cstdio>
 #include <numeric>
 #include <optional>
 #include <thread>
@@ -11,6 +12,8 @@
 
 #include "common/error.h"
 #include "common/timer.h"
+#include "fault/artifact_cache.h"
+#include "fault/journal.h"
 #include "sim/kernel_opt.h"
 #include "sim/parallel_sim.h"
 
@@ -143,57 +146,185 @@ ParallelFaultSimulator::ParallelFaultSimulator(const Circuit& circuit,
   words_per_cone_ = (circuit.node_count() + 63) / 64;
   const bool cones_for_eval =
       config_.cone_restricted && config_.backend == SimBackend::kCompiled;
-  // Construction phases are timed unconditionally into the scalar snapshot
-  // (a handful of timer reads on a one-time path); the trace spans are
-  // emitted only when a collector is attached.
-  {
-    obs::PhaseSpan span(config_.telemetry, "golden_trace");
+  const bool need_cones =
+      cones_for_eval || config_.schedule == CampaignSchedule::kConeAffine;
+  // Construction parallelism follows the campaign worker count (0 = all
+  // hardware threads); the parallel builders are bit-identical to their
+  // serial forms for any thread count, so this is a latency knob only.
+  const unsigned build_threads = config_.num_threads;
+
+  // ---- artifact cache probe ----
+  // One lookup per construction: a hit supplies every artifact the resolved
+  // shape needs; any miss flavor (absent, corrupt, version skew, foreign
+  // fingerprint) degrades to a full rebuild + store. Interpreted backends
+  // have no cacheable artifacts worth the key (golden alone re-derives in
+  // the same walk the interpreter needs anyway), so the cache is
+  // compiled-backend only.
+  const bool cache_on =
+      !config_.cache_dir.empty() && config_.backend == SimBackend::kCompiled;
+  const bool cache_opt_kernel = cache_on && config_.optimize;
+  ArtifactCacheKey cache_key;
+  ArtifactBundle cached;
+  bool cache_hit = false;
+  if (cache_on) {
+    obs::PhaseSpan span(config_.telemetry, "cache_load");
     WallTimer timer;
-    golden_ = capture_golden(circuit, testbench.vectors());
-    telem_.golden_seconds += timer.elapsed_seconds();
+    cache_key.circuit = circuit_structure_hash(circuit);
+    cache_key.testbench = testbench_content_hash(testbench);
+    cache_key.config_rule = campaign_config_rule_hash();
+    cache_key.optimizer = optimizer_pipeline_hash(config_.optimize);
+    cache_key.shape = artifact_shape_hash(
+        on_demand_cones_, need_cones, cones_for_eval, cache_opt_kernel,
+        (need_cones && !on_demand_cones_) ? lane_count(config_.lanes) : 0,
+        (need_cones && !on_demand_cones_) ? config_.greedy_order_cap : 0);
+    ArtifactLoadResult loaded =
+        load_artifacts(config_.cache_dir, cache_key, circuit);
+    telem_.cache_bytes_read = loaded.bytes;
+    if (loaded.status == ArtifactCacheStatus::kHit) {
+      cache_hit = true;
+      telem_.cache_hits = 1;
+      cached = std::move(loaded.bundle);
+    } else {
+      telem_.cache_misses = 1;
+      if (loaded.status != ArtifactCacheStatus::kMiss) {
+        std::fprintf(stderr, "femu: artifact cache %s: %s -- rebuilding\n",
+                     artifact_cache_status_name(loaded.status),
+                     loaded.detail.c_str());
+      }
+    }
+    telem_.cache_load_seconds = timer.elapsed_seconds();
   }
+
+  // The raw kernel is always compiled fresh: it binds the live circuit,
+  // site-keyed optimizations re-run from it per preserve set, and compiling
+  // is orders of magnitude cheaper than the phases the cache skips.
   if (config_.backend == SimBackend::kCompiled) {
     obs::PhaseSpan span(config_.telemetry, "compile");
     WallTimer timer;
     kernel_ = compile_kernel(circuit);
     telem_.compile_seconds = timer.elapsed_seconds();
   }
-  // The cone-affine schedule only needs the cones, not the kernel, so it
-  // works (as a grouping heuristic) even on the interpreted backend.
-  if (cones_for_eval || config_.schedule == CampaignSchedule::kConeAffine) {
-    obs::PhaseSpan span(config_.telemetry, "cone_build");
+
+  // Construction phases are timed unconditionally into the scalar snapshot
+  // (a handful of timer reads on a one-time path); the trace spans are
+  // emitted only when a collector is attached.
+  const bool have_golden = cache_hit && cached.has_golden;
+  const bool have_slots = cache_hit && cached.has_slot_trace;
+  if (have_golden) golden_ = std::move(cached.golden);
+  if (have_slots) slot_trace_ = std::move(cached.slot_trace);
+  if (!have_golden || (cones_for_eval && !have_slots)) {
+    obs::PhaseSpan span(config_.telemetry, "golden_trace");
     WallTimer timer;
-    std::vector<std::uint32_t> order;
-    if (on_demand_cones_) {
-      // On-demand mode never materializes cone matrices: the oracle serves
-      // unions by DFS and the FF ordering comes from the near-linear
-      // anchor-rank pass — campaign construction stays near-linear in the
-      // circuit size. The labels are kept so a later site-keyed campaign's
-      // site ranking reuses them instead of repeating the sweep.
-      oracle_ = std::make_unique<ConeOracle>(circuit);
-      next_ff_labels_ = next_ff_labels(circuit);
-      order = cone_affine_ff_order_anchor(circuit, next_ff_labels_);
+    if (kernel_ != nullptr) {
+      // One scalar walk captures every golden view — the output/state trace
+      // and (when cone restriction needs them) the full slot snapshots —
+      // instead of the former two full passes over the vector set.
+      GoldenCapture cap =
+          capture_golden_unified(*kernel_, testbench.vectors(), build_threads,
+                                 cones_for_eval && !have_slots);
+      if (!have_golden) golden_ = std::move(cap.trace);
+      if (cones_for_eval && !have_slots) slot_trace_ = std::move(cap.slots);
     } else {
-      cones_ = std::make_unique<FanoutCones>(circuit);
-      order = cone_affine_ff_order(circuit, *cones_, lane_count(config_.lanes),
-                                   config_.greedy_order_cap);
+      golden_ = capture_golden(circuit, testbench.vectors());
     }
-    ff_affinity_rank_.resize(order.size());
-    for (std::size_t rank = 0; rank < order.size(); ++rank) {
-      ff_affinity_rank_[order[rank]] = static_cast<std::uint32_t>(rank);
-    }
-    telem_.cone_seconds = timer.elapsed_seconds();
-  }
-  if (cones_for_eval) {
-    obs::PhaseSpan span(config_.telemetry, "slot_trace");
-    WallTimer timer;
-    slot_trace_ = capture_golden_slots(*kernel_, testbench.vectors());
     telem_.golden_seconds += timer.elapsed_seconds();
   }
+
+  // The cone-affine schedule only needs the cones, not the kernel, so it
+  // works (as a grouping heuristic) even on the interpreted backend.
+  if (need_cones) {
+    const bool have_rank = cache_hit && cached.has_ff_rank;
+    if (cache_hit) {
+      if (cached.oracle != nullptr) oracle_ = std::move(cached.oracle);
+      if (cached.eager_cones != nullptr) cones_ = std::move(cached.eager_cones);
+      if (cached.has_labels) next_ff_labels_ = std::move(cached.next_ff_labels);
+      if (have_rank) ff_affinity_rank_ = std::move(cached.ff_affinity_rank);
+    }
+    const bool complete =
+        have_rank && (on_demand_cones_
+                          ? oracle_ != nullptr && !next_ff_labels_.empty()
+                          : cones_ != nullptr);
+    if (!complete) {
+      obs::PhaseSpan span(config_.telemetry, "cone_build");
+      WallTimer timer;
+      std::vector<std::uint32_t> order;
+      if (on_demand_cones_) {
+        // On-demand mode never materializes cone matrices: the oracle serves
+        // unions by DFS and the FF ordering comes from the near-linear
+        // anchor-rank pass — campaign construction stays near-linear in the
+        // circuit size. The labels are kept so a later site-keyed campaign's
+        // site ranking reuses them instead of repeating the sweep.
+        if (oracle_ == nullptr) {
+          oracle_ = std::make_unique<ConeOracle>(circuit, build_threads);
+        }
+        if (next_ff_labels_.empty()) next_ff_labels_ = next_ff_labels(circuit);
+        order = cone_affine_ff_order_anchor(circuit, next_ff_labels_);
+      } else {
+        if (cones_ == nullptr) {
+          cones_ = std::make_unique<FanoutCones>(circuit, build_threads);
+        }
+        order = cone_affine_ff_order(circuit, *cones_,
+                                     lane_count(config_.lanes),
+                                     config_.greedy_order_cap);
+      }
+      if (!have_rank) {
+        ff_affinity_rank_.resize(order.size());
+        for (std::size_t rank = 0; rank < order.size(); ++rank) {
+          ff_affinity_rank_[order[rank]] = static_cast<std::uint32_t>(rank);
+        }
+      }
+      telem_.cone_seconds = timer.elapsed_seconds();
+    }
+  }
+
+  // FF-model optimized kernel: adopt the cached one, or — when caching — build
+  // it eagerly so the stored entry is complete and the first select_run_kernel
+  // gets it for free. Its build time lands in compile_seconds (kernel
+  // preparation); select_run_kernel's opt_seconds stays a cache-miss meter.
+  if (cached.opt_kernel != nullptr) {
+    opt_kernel_ff_ = std::move(cached.opt_kernel);
+  } else if (cache_opt_kernel && kernel_ != nullptr) {
+    obs::PhaseSpan span(config_.telemetry, "optimize");
+    WallTimer timer;
+    opt_kernel_ff_ = optimize_kernel(kernel_, {});
+    telem_.compile_seconds += timer.elapsed_seconds();
+  }
+
+  if (cache_on && !cache_hit) {
+    obs::PhaseSpan span(config_.telemetry, "cache_store");
+    WallTimer timer;
+    ArtifactStoreView view;
+    view.golden = &golden_;
+    if (cones_for_eval) view.slot_trace = &slot_trace_;
+    if (need_cones) {
+      view.ff_affinity_rank = &ff_affinity_rank_;
+      if (on_demand_cones_) {
+        view.oracle = oracle_.get();
+        view.next_ff_labels = &next_ff_labels_;
+      } else {
+        view.eager_cones = cones_.get();
+      }
+    }
+    if (opt_kernel_ff_ != nullptr) view.opt_kernel = opt_kernel_ff_.get();
+    const ArtifactStoreResult stored =
+        store_artifacts(config_.cache_dir, cache_key, view);
+    telem_.cache_bytes_written = stored.bytes;
+    if (!stored.stored) {
+      std::fprintf(stderr, "femu: artifact cache store failed: %s\n",
+                   stored.detail.c_str());
+    }
+    telem_.cache_store_seconds = timer.elapsed_seconds();
+  }
+
   // Golden trace + stimuli pre-broadcast once per campaign engine; shared
   // read-only by every worker thread. Adaptive plans fill in their tail
   // tiers' images lazily (ensure_image) before any worker spawns.
   ensure_image(config_.lanes);
+  if (cache_on && config_.telemetry != nullptr) {
+    config_.telemetry->record_cache(telem_.cache_hits, telem_.cache_misses,
+                                    telem_.cache_bytes_read,
+                                    telem_.cache_bytes_written);
+  }
 }
 
 void ParallelFaultSimulator::ensure_image(LaneWidth width) {
@@ -207,15 +338,18 @@ void ParallelFaultSimulator::ensure_image(LaneWidth width) {
   WallTimer timer;
   switch (width) {
     case LaneWidth::k64:
-      image64_ = GoldenWordImage<std::uint64_t>(golden_, testbench_.vectors());
+      image64_ = GoldenWordImage<std::uint64_t>(golden_, testbench_.vectors(),
+                                                config_.num_threads);
       image64_ready_ = true;
       break;
     case LaneWidth::k256:
-      image256_ = GoldenWordImage<Word256>(golden_, testbench_.vectors());
+      image256_ = GoldenWordImage<Word256>(golden_, testbench_.vectors(),
+                                           config_.num_threads);
       image256_ready_ = true;
       break;
     case LaneWidth::k512:
-      image512_ = GoldenWordImage<Word512>(golden_, testbench_.vectors());
+      image512_ = GoldenWordImage<Word512>(golden_, testbench_.vectors(),
+                                           config_.num_threads);
       image512_ready_ = true;
       break;
   }

@@ -178,6 +178,18 @@ struct CampaignConfig {
   /// bit-identical with a collector attached or not.
   obs::TelemetryCollector* telemetry = nullptr;
 
+  /// Persistent content-addressed artifact cache directory
+  /// (fault/artifact_cache.h). Empty — the default — disables caching.
+  /// Compiled backend only. When set, construction first tries to adopt the
+  /// cached setup artifacts (golden traces, cone structures, cone-affine
+  /// order, optimized FF-model kernel) keyed by circuit/testbench/config-
+  /// rule content hashes plus optimizer and shape hashes; any invalid entry
+  /// degrades totally-and-warned to a rebuild, and every miss stores the
+  /// rebuilt artifacts via tmp + atomic rename. Outcome-neutral by the same
+  /// contract as every other knob: classifications and work metrics are
+  /// bit-identical cold vs warm.
+  std::string cache_dir;
+
   /// kAuto switches to on-demand cones at this circuit size.
   static constexpr std::size_t kOnDemandNodeThreshold = 20000;
 

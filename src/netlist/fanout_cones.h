@@ -8,6 +8,8 @@
 
 namespace femu {
 
+struct ArtifactCacheAccess;
+
 /// Per-flip-flop structural fanout cones, closed over sequential feedback.
 ///
 /// The cone of FF i is every node a divergence seeded in FF i's Q output can
@@ -24,7 +26,10 @@ namespace femu {
 /// per circuit — O(FFs x edges) worst case, negligible next to any campaign.
 class FanoutCones {
  public:
-  explicit FanoutCones(const Circuit& circuit);
+  /// `build_threads` shards the per-FF closure DFS (each FF writes a
+  /// disjoint bitset row, so the result is bit-identical to the serial
+  /// build for any thread count); 0 = hardware concurrency, 1 = serial.
+  explicit FanoutCones(const Circuit& circuit, unsigned build_threads = 1);
 
   [[nodiscard]] std::size_t num_ffs() const noexcept { return num_ffs_; }
   [[nodiscard]] std::size_t num_nodes() const noexcept { return num_nodes_; }
@@ -55,6 +60,9 @@ class FanoutCones {
   void union_into(std::span<std::uint64_t> dst, std::size_t ff) const;
 
  private:
+  friend struct ArtifactCacheAccess;  // fault/artifact_cache.cpp (de)serialize
+  FanoutCones() = default;
+
   std::size_t num_ffs_ = 0;
   std::size_t num_nodes_ = 0;
   std::size_t words_per_cone_ = 0;
@@ -145,7 +153,10 @@ class GateCones {
 /// which is what keeps per-union DFS cost off the per-group hot path.
 class ConeOracle {
  public:
-  explicit ConeOracle(const Circuit& circuit);
+  /// `build_threads` shards the CSR fill (deterministic per-thread offset
+  /// carving keeps the adjacency order identical to the serial build);
+  /// 0 = hardware concurrency, 1 = serial.
+  explicit ConeOracle(const Circuit& circuit, unsigned build_threads = 1);
 
   [[nodiscard]] std::size_t num_ffs() const noexcept { return num_ffs_; }
   [[nodiscard]] std::size_t num_nodes() const noexcept { return num_nodes_; }
@@ -164,6 +175,9 @@ class ConeOracle {
   void union_into_gate(std::span<std::uint64_t> dst, NodeId gate) const;
 
  private:
+  friend struct ArtifactCacheAccess;  // fault/artifact_cache.cpp (de)serialize
+  ConeOracle() = default;
+
   void dfs_from(std::span<std::uint64_t> dst, NodeId root) const;
 
   std::size_t num_ffs_ = 0;

@@ -56,6 +56,12 @@ TelemetryCollector::TelemetryCollector() {
   lanes_total_ = registry_.add_counter("lanes_total", "lanes");
   narrowings_ = registry_.add_counter("narrowings", "rederivations");
   eval_instrs_ = registry_.add_counter("eval_instrs", "instructions");
+  c_cache_hits_ = registry_.add_counter("artifact_cache_hits", "entries");
+  c_cache_misses_ = registry_.add_counter("artifact_cache_misses", "entries");
+  c_cache_bytes_read_ =
+      registry_.add_counter("artifact_cache_bytes_read", "bytes");
+  c_cache_bytes_written_ =
+      registry_.add_counter("artifact_cache_bytes_written", "bytes");
   peak_occupancy_ = registry_.add_gauge("peak_group_occupancy_pct", "percent");
   g_opt_raw_instrs_ =
       registry_.add_gauge("kernel_opt_raw_instrs", "instructions");
@@ -144,6 +150,15 @@ void TelemetryCollector::record_optimizer(
   total_.set(g_opt_folded_, folded);
   total_.set(g_opt_dead_, dead);
   total_.set(g_opt_preserved_, preserved);
+}
+
+void TelemetryCollector::record_cache(std::uint64_t hits, std::uint64_t misses,
+                                      std::uint64_t bytes_read,
+                                      std::uint64_t bytes_written) {
+  total_.add(c_cache_hits_, hits);
+  total_.add(c_cache_misses_, misses);
+  total_.add(c_cache_bytes_read_, bytes_read);
+  total_.add(c_cache_bytes_written_, bytes_written);
 }
 
 MetricSnapshot TelemetryCollector::snapshot() const {

@@ -39,6 +39,17 @@ struct CampaignTelemetry {
   double golden_seconds = 0.0;   ///< golden trace + slot trace + word image
   double cone_seconds = 0.0;     ///< eager cone matrices or cone-oracle CSR
 
+  // Artifact cache (fault/artifact_cache.h) accounting for this engine's
+  // construction; all zero when CampaignConfig::cache_dir is empty. One
+  // lookup per construction: a hit adopts the whole entry, a miss (of any
+  // flavor — absent, corrupt, version-skewed, foreign) rebuilds and stores.
+  double cache_load_seconds = 0.0;   ///< key derivation + load + adoption
+  double cache_store_seconds = 0.0;  ///< serialization + atomic store
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_bytes_read = 0;
+  std::uint64_t cache_bytes_written = 0;
+
   // Last run.
   double seconds = 0.0;
   unsigned threads = 1;
@@ -147,6 +158,12 @@ class TelemetryCollector {
                         std::uint64_t absorbed, std::uint64_t folded,
                         std::uint64_t dead, std::uint64_t preserved);
 
+  /// Artifact-cache accounting for one engine construction (counters —
+  /// several constructions against one collector accumulate). Campaign-
+  /// thread only.
+  void record_cache(std::uint64_t hits, std::uint64_t misses,
+                    std::uint64_t bytes_read, std::uint64_t bytes_written);
+
   /// Merged cumulative metrics (all completed runs + journal flushes).
   [[nodiscard]] MetricSnapshot snapshot() const;
 
@@ -172,6 +189,8 @@ class TelemetryCollector {
   MetricRegistry registry_;
   CounterId groups_retired_, faults_retired_, lanes_total_, narrowings_,
       eval_instrs_;
+  CounterId c_cache_hits_, c_cache_misses_, c_cache_bytes_read_,
+      c_cache_bytes_written_;
   GaugeId peak_occupancy_;
   GaugeId g_opt_raw_instrs_, g_opt_instrs_, g_opt_absorbed_, g_opt_folded_,
       g_opt_dead_, g_opt_preserved_;

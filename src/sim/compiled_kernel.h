@@ -12,6 +12,8 @@
 
 namespace femu {
 
+struct ArtifactCacheAccess;
+
 /// Which evaluation backend a simulator runs on.
 ///
 /// kInterpreted walks the Circuit object graph every cycle (type lookup,
@@ -372,8 +374,12 @@ class CompiledKernel {
   /// The optimizer (sim/kernel_opt.cpp) clones a kernel and rewrites
   /// program_/levels_/const1_slots_ in place under the preserve contract.
   friend class KernelOptimizer;
+  /// The artifact cache (fault/artifact_cache.cpp) serializes an optimized
+  /// kernel and reconstructs it against a freshly validated circuit.
+  friend struct ArtifactCacheAccess;
+  CompiledKernel() = default;
 
-  const Circuit* circuit_;
+  const Circuit* circuit_ = nullptr;
   std::size_t num_slots_ = 0;
   std::vector<Instr> program_;
   std::vector<std::uint32_t> levels_;

@@ -1,20 +1,34 @@
 #include "sim/golden_slots.h"
 
+#include <cstddef>
+#include <thread>
+
+#include "common/parallel_for.h"
+
 namespace femu {
+namespace {
 
-GoldenSlotTrace capture_golden_slots(const CompiledKernel& kernel,
-                                     std::span<const BitVec> vectors) {
-  GoldenSlotTrace trace;
-  trace.num_slots = kernel.num_slots();
-  trace.cycles.reserve(vectors.size());
+/// One fault-free cycle on the scalar (Word8) machine: load vector + state,
+/// settle, extract. Shared by every golden capture below so all views of the
+/// golden run (outputs, next state, full slot snapshot) come from the same
+/// settled values — identical to the GoldenTrace capture semantics.
+struct ScalarGoldenMachine {
+  const CompiledKernel& kernel;
+  std::vector<Word8> values;
+  std::vector<Word8> state;
 
-  // Scalar (Word8) machine: one lane, byte-mask values, reset state 0 —
-  // identical to the GoldenTrace capture semantics.
-  std::vector<Word8> values(kernel.num_slots());
-  kernel.init(std::span<Word8>(values));
-  std::vector<Word8> state(kernel.dff_slots().size(), 0);
+  explicit ScalarGoldenMachine(const CompiledKernel& k)
+      : kernel(k), values(k.num_slots()), state(k.dff_slots().size(), 0) {
+    kernel.init(std::span<Word8>(values));
+  }
 
-  for (const BitVec& vector : vectors) {
+  void seed_state(const BitVec& bits) {
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      state[i] = LaneTraits<Word8>::broadcast(bits.get(i));
+    }
+  }
+
+  void settle(const BitVec& vector) {
     const auto pis = kernel.input_slots();
     for (std::size_t i = 0; i < pis.size(); ++i) {
       values[pis[i]] = LaneTraits<Word8>::broadcast(vector.get(i));
@@ -24,19 +38,110 @@ GoldenSlotTrace capture_golden_slots(const CompiledKernel& kernel,
       values[dffs[i]] = state[i];
     }
     kernel.eval(values.data());
+  }
 
-    BitVec snapshot(kernel.num_slots());
-    for (std::size_t s = 0; s < values.size(); ++s) {
-      snapshot.set(s, values[s] != 0);
-    }
-    trace.cycles.push_back(std::move(snapshot));
-
+  void latch() {
     const auto d_slots = kernel.dff_d_slots();
     for (std::size_t i = 0; i < d_slots.size(); ++i) {
       state[i] = values[d_slots[i]];
     }
   }
+
+  [[nodiscard]] BitVec snapshot_slots() const {
+    BitVec snapshot(kernel.num_slots());
+    for (std::size_t s = 0; s < values.size(); ++s) {
+      snapshot.set(s, values[s] != 0);
+    }
+    return snapshot;
+  }
+
+  [[nodiscard]] BitVec snapshot_outputs() const {
+    const auto outs = kernel.output_slots();
+    BitVec bits(outs.size());
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      bits.set(i, values[outs[i]] != 0);
+    }
+    return bits;
+  }
+
+  [[nodiscard]] BitVec snapshot_state() const {
+    BitVec bits(state.size());
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      bits.set(i, state[i] != 0);
+    }
+    return bits;
+  }
+};
+
+}  // namespace
+
+GoldenSlotTrace capture_golden_slots(const CompiledKernel& kernel,
+                                     std::span<const BitVec> vectors) {
+  GoldenSlotTrace trace;
+  trace.num_slots = kernel.num_slots();
+  trace.cycles.reserve(vectors.size());
+
+  ScalarGoldenMachine machine(kernel);
+  for (const BitVec& vector : vectors) {
+    machine.settle(vector);
+    trace.cycles.push_back(machine.snapshot_slots());
+    machine.latch();
+  }
   return trace;
+}
+
+GoldenCapture capture_golden_unified(const CompiledKernel& kernel,
+                                     std::span<const BitVec> vectors,
+                                     unsigned build_threads, bool want_slots) {
+  GoldenCapture cap;
+  cap.trace.states.reserve(vectors.size() + 1);
+  cap.trace.outputs.reserve(vectors.size());
+  if (want_slots) {
+    cap.slots.num_slots = kernel.num_slots();
+  }
+
+  // Serial walk: the state chain is inherently sequential, but recording the
+  // (small) output/state views is cheap next to packing full slot snapshots.
+  // The two-pass parallel capture re-settles every cycle once more, so it
+  // only pays off with real concurrency — resolve 0 before deciding.
+  const unsigned threads = build_threads == 0
+                               ? std::thread::hardware_concurrency()
+                               : build_threads;
+  const bool parallel_slots = want_slots && threads > 1 && vectors.size() > 1;
+  if (want_slots && !parallel_slots) {
+    cap.slots.cycles.reserve(vectors.size());
+  }
+  ScalarGoldenMachine machine(kernel);
+  cap.trace.states.push_back(machine.snapshot_state());
+  for (const BitVec& vector : vectors) {
+    machine.settle(vector);
+    cap.trace.outputs.push_back(machine.snapshot_outputs());
+    if (want_slots && !parallel_slots) {
+      cap.slots.cycles.push_back(machine.snapshot_slots());
+    }
+    machine.latch();
+    cap.trace.states.push_back(machine.snapshot_state());
+  }
+
+  // Parallel slot packing: each cycle's snapshot is a pure function of
+  // (start state, vector), and the start states are now all known, so
+  // disjoint cycle ranges re-settle concurrently, each seeded from the
+  // recorded state — bit-identical to the serial walk for any thread count.
+  if (parallel_slots) {
+    cap.slots.cycles.resize(vectors.size());
+    parallel_for_ranges(
+        vectors.size(), threads,
+        [&](std::size_t begin, std::size_t end) {
+          ScalarGoldenMachine local(kernel);
+          local.seed_state(cap.trace.states[begin]);
+          for (std::size_t t = begin; t < end; ++t) {
+            local.settle(vectors[t]);
+            cap.slots.cycles[t] = local.snapshot_slots();
+            local.latch();
+          }
+        });
+  }
+  return cap;
 }
 
 }  // namespace femu

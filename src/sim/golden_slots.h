@@ -5,6 +5,7 @@
 
 #include "common/bitvec.h"
 #include "sim/compiled_kernel.h"
+#include "sim/golden.h"
 
 namespace femu {
 
@@ -36,5 +37,29 @@ struct GoldenSlotTrace {
 /// snapshots every slot after each combinational settle.
 [[nodiscard]] GoldenSlotTrace capture_golden_slots(
     const CompiledKernel& kernel, std::span<const BitVec> vectors);
+
+/// Both golden views of one fault-free run: the output/state trace the
+/// classifiers compare against, and (optionally) the full per-slot trace the
+/// cone-restricted engine reads at cone boundaries.
+struct GoldenCapture {
+  GoldenTrace trace;
+  GoldenSlotTrace slots;
+};
+
+/// Captures the golden output/state trace and (when `want_slots`) the golden
+/// slot trace in ONE walk of the fault-free machine, replacing the separate
+/// `capture_golden` (interpreted re-simulation) + `capture_golden_slots`
+/// passes the engine constructor used to run back to back.
+///
+/// Bit-identical to both separate captures by construction: outputs(t) and
+/// next-state(t) are read from the same settled slot values the snapshot
+/// packs. With `build_threads > 1` a serial state-only walk records the
+/// per-cycle start states first, then disjoint cycle ranges re-settle in
+/// parallel, each seeded from the recorded state — every cycle's snapshot is
+/// a pure function of (state, vector), so the result is bit-identical to the
+/// serial walk for any thread count. 0 = hardware concurrency.
+[[nodiscard]] GoldenCapture capture_golden_unified(
+    const CompiledKernel& kernel, std::span<const BitVec> vectors,
+    unsigned build_threads = 1, bool want_slots = true);
 
 }  // namespace femu

@@ -3,6 +3,7 @@
 #include <span>
 #include <vector>
 
+#include "common/parallel_for.h"
 #include "sim/golden.h"
 #include "sim/lane_word.h"
 
@@ -34,30 +35,50 @@ struct GoldenWordImage {
 
   GoldenWordImage() = default;
 
+  /// Each cycle's block of broadcast words is an independent, disjoint slice
+  /// of the flat arrays, so the fill shards by cycle across `build_threads`
+  /// (0 = hardware concurrency) and is bit-identical to the serial fill for
+  /// any thread count.
   explicit GoldenWordImage(const GoldenTrace& trace,
-                           std::span<const BitVec> input_vectors = {})
+                           std::span<const BitVec> input_vectors = {},
+                           unsigned build_threads = 1)
       : num_outputs(trace.outputs.empty() ? 0 : trace.outputs.front().size()),
         num_ffs(trace.states.empty() ? 0 : trace.states.front().size()),
         num_inputs(input_vectors.empty() ? 0 : input_vectors.front().size()) {
     using T = LaneTraits<Word>;
-    out_words.reserve(trace.outputs.size() * num_outputs);
-    for (const BitVec& outs : trace.outputs) {
-      for (std::size_t i = 0; i < num_outputs; ++i) {
-        out_words.push_back(T::broadcast(outs.get(i)));
-      }
-    }
-    state_words.reserve(trace.states.size() * num_ffs);
-    for (const BitVec& state : trace.states) {
-      for (std::size_t i = 0; i < num_ffs; ++i) {
-        state_words.push_back(T::broadcast(state.get(i)));
-      }
-    }
-    in_words.reserve(input_vectors.size() * num_inputs);
-    for (const BitVec& vector : input_vectors) {
-      for (std::size_t i = 0; i < num_inputs; ++i) {
-        in_words.push_back(T::broadcast(vector.get(i)));
-      }
-    }
+    out_words.resize(trace.outputs.size() * num_outputs);
+    parallel_for_ranges(
+        trace.outputs.size(), build_threads,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t t = begin; t < end; ++t) {
+            const BitVec& outs = trace.outputs[t];
+            for (std::size_t i = 0; i < num_outputs; ++i) {
+              out_words[t * num_outputs + i] = T::broadcast(outs.get(i));
+            }
+          }
+        });
+    state_words.resize(trace.states.size() * num_ffs);
+    parallel_for_ranges(
+        trace.states.size(), build_threads,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t t = begin; t < end; ++t) {
+            const BitVec& state = trace.states[t];
+            for (std::size_t i = 0; i < num_ffs; ++i) {
+              state_words[t * num_ffs + i] = T::broadcast(state.get(i));
+            }
+          }
+        });
+    in_words.resize(input_vectors.size() * num_inputs);
+    parallel_for_ranges(
+        input_vectors.size(), build_threads,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t t = begin; t < end; ++t) {
+            const BitVec& vector = input_vectors[t];
+            for (std::size_t i = 0; i < num_inputs; ++i) {
+              in_words[t * num_inputs + i] = T::broadcast(vector.get(i));
+            }
+          }
+        });
   }
 
   [[nodiscard]] std::span<const Word> outputs(std::size_t t) const {
